@@ -1,0 +1,596 @@
+//! Adaptive group-associative cache (paper Section III.B; Peir, Lee & Hsu,
+//! ASPLOS 1998).
+//!
+//! A direct-mapped cache augmented with two tables:
+//!
+//! * **SHT** (set-reference history table) — the indexes of the most
+//!   recently used sets. A line whose set is in the SHT is considered
+//!   *non-disposable*: worth keeping in an alternate location when
+//!   displaced. Paper sizing: `3/8` of the line count.
+//! * **OUT** (out-of-position directory) — maps a displaced block to the
+//!   set currently holding it. Probed in parallel with the cache, but a
+//!   hit through OUT costs 3 extra cycles (paper Eq. 8). Paper sizing:
+//!   `4/16` of the line count.
+//!
+//! Behaviour implemented from the paper's own description:
+//!
+//! * primary hit → update SHT (MRU);
+//! * primary miss, resident's **disposable** bit set (its set is not in
+//!   the SHT) → replace in place, *without consulting OUT*;
+//! * primary miss, non-disposable resident → probe OUT: a match whose
+//!   alternate set still holds the block is a **Secondary** hit and the
+//!   block is swapped back to its primary set; otherwise the displaced
+//!   resident is moved to a *nearby disposable line* and registered in OUT
+//!   (evicting the LRU OUT entry — and its now-unreachable line — when the
+//!   directory is full).
+//!
+//! Invariant maintained throughout (and property-tested): a block is
+//! resident in at most one location, and every OUT entry points at a set
+//! that actually holds its block.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use unicache_core::{
+    AccessResult, BlockAddr, CacheGeometry, CacheModel, CacheStats, ConfigError, HitWhere,
+    MemRecord, Result,
+};
+
+/// Sizing knobs for the SHT and OUT tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// SHT capacity as a fraction of the line count (paper: 3/8).
+    pub sht_fraction: f64,
+    /// OUT capacity as a fraction of the line count (paper: 4/16 = 1/4).
+    pub out_fraction: f64,
+    /// Search window (sets on each side of the primary set) when looking
+    /// for a nearby disposable line to host a displaced block.
+    pub relocation_window: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            sht_fraction: 3.0 / 8.0,
+            out_fraction: 4.0 / 16.0,
+            relocation_window: 64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    block: BlockAddr,
+    valid: bool,
+    dirty: bool,
+    /// True if this line holds a block *out of position* (reachable only
+    /// through the OUT directory).
+    out_of_position: bool,
+}
+
+impl Line {
+    fn empty() -> Self {
+        Line {
+            block: 0,
+            valid: false,
+            dirty: false,
+            out_of_position: false,
+        }
+    }
+}
+
+/// LRU set-reference history table.
+#[derive(Debug)]
+struct Sht {
+    order: VecDeque<usize>,
+    member: Vec<bool>,
+    capacity: usize,
+}
+
+impl Sht {
+    fn new(num_sets: usize, capacity: usize) -> Self {
+        Sht {
+            order: VecDeque::with_capacity(capacity + 1),
+            member: vec![false; num_sets],
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn contains(&self, set: usize) -> bool {
+        self.member[set]
+    }
+
+    fn touch(&mut self, set: usize) {
+        if self.member[set] {
+            if let Some(pos) = self.order.iter().position(|&s| s == set) {
+                self.order.remove(pos);
+            }
+        } else {
+            self.member[set] = true;
+        }
+        self.order.push_front(set);
+        if self.order.len() > self.capacity {
+            if let Some(old) = self.order.pop_back() {
+                self.member[old] = false;
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.order.clear();
+        self.member.iter_mut().for_each(|m| *m = false);
+    }
+}
+
+/// LRU out-of-position directory: block -> set.
+#[derive(Debug)]
+struct OutDir {
+    map: HashMap<BlockAddr, (usize, u64)>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl OutDir {
+    fn new(capacity: usize) -> Self {
+        OutDir {
+            map: HashMap::with_capacity(capacity * 2),
+            clock: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&mut self, block: BlockAddr) -> Option<usize> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&block).map(|e| {
+            e.1 = clock;
+            e.0
+        })
+    }
+
+    fn remove(&mut self, block: BlockAddr) -> Option<usize> {
+        self.map.remove(&block).map(|e| e.0)
+    }
+
+    /// Inserts, returning the evicted `(block, set)` if the directory was
+    /// full.
+    fn insert(&mut self, block: BlockAddr, set: usize) -> Option<(BlockAddr, usize)> {
+        self.clock += 1;
+        let mut evicted = None;
+        if !self.map.contains_key(&block) && self.map.len() >= self.capacity {
+            // Evict the LRU entry (linear scan: the directory is small).
+            if let Some((&b, &(s, _))) = self.map.iter().min_by_key(|(_, &(_, stamp))| stamp) {
+                self.map.remove(&b);
+                evicted = Some((b, s));
+            }
+        }
+        self.map.insert(block, (set, self.clock));
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.clock = 0;
+    }
+}
+
+/// The adaptive group-associative cache.
+pub struct AdaptiveGroupCache {
+    geom: CacheGeometry,
+    lines: Vec<Line>,
+    sht: Sht,
+    out: OutDir,
+    stats: CacheStats,
+    window: usize,
+    name: String,
+}
+
+impl AdaptiveGroupCache {
+    /// Paper-sized tables (SHT 3/8, OUT 1/4 of the line count).
+    pub fn new(geom: CacheGeometry) -> Result<Self> {
+        Self::with_config(geom, AdaptiveConfig::default())
+    }
+
+    /// Custom table sizing (ablation `ablation_adaptive_tables`).
+    pub fn with_config(geom: CacheGeometry, cfg: AdaptiveConfig) -> Result<Self> {
+        if geom.ways() != 1 {
+            return Err(ConfigError::Mismatch {
+                what: "adaptive group-associative cache extends a direct-mapped cache".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&cfg.sht_fraction) || !(0.0..=1.0).contains(&cfg.out_fraction) {
+            return Err(ConfigError::InvalidParameter {
+                what: "table fractions must lie in [0, 1]".into(),
+            });
+        }
+        let n = geom.num_sets();
+        let sht_cap = ((n as f64 * cfg.sht_fraction).round() as usize).max(1);
+        let out_cap = ((n as f64 * cfg.out_fraction).round() as usize).max(1);
+        Ok(AdaptiveGroupCache {
+            geom,
+            lines: vec![Line::empty(); n],
+            sht: Sht::new(n, sht_cap),
+            out: OutDir::new(out_cap),
+            stats: CacheStats::new(n),
+            window: cfg.relocation_window.max(1),
+            name: format!("adaptive_cache(sht={sht_cap},out={out_cap})"),
+        })
+    }
+
+    #[inline]
+    fn primary_of(&self, block: BlockAddr) -> usize {
+        self.geom.conventional_index(self.geom.block_base(block))
+    }
+
+    /// True if `block` is resident anywhere (primary or out-of-position).
+    pub fn contains_block(&mut self, block: BlockAddr) -> bool {
+        let p = self.primary_of(block);
+        if self.lines[p].valid && self.lines[p].block == block {
+            return true;
+        }
+        if let Some(s) = self.out.get(block) {
+            return self.lines[s].valid && self.lines[s].block == block;
+        }
+        false
+    }
+
+    /// Current number of OUT entries (tests/introspection).
+    pub fn out_len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Finds a disposable line near `around` (invalid, or valid with its
+    /// set outside the SHT and not already hosting an out-of-position
+    /// block). Searches outward up to the configured window.
+    fn find_disposable_near(&self, around: usize, exclude: usize) -> Option<usize> {
+        let n = self.lines.len();
+        for d in 1..=self.window {
+            for cand in [(around + d) % n, (around + n - d % n) % n] {
+                if cand == exclude {
+                    continue;
+                }
+                let l = &self.lines[cand];
+                if !l.valid {
+                    return Some(cand);
+                }
+                if !self.sht.contains(cand) && !l.out_of_position {
+                    return Some(cand);
+                }
+            }
+        }
+        None
+    }
+
+    /// Drops the block hosted out-of-position at `set` (when its OUT entry
+    /// is evicted, the line becomes unreachable and must be invalidated to
+    /// preserve the single-residency invariant).
+    fn invalidate_out_line(&mut self, block: BlockAddr, set: usize) {
+        let l = &mut self.lines[set];
+        if l.valid && l.block == block && l.out_of_position {
+            *l = Line::empty();
+        }
+    }
+}
+
+impl CacheModel for AdaptiveGroupCache {
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn access(&mut self, rec: MemRecord) -> AccessResult {
+        let block = self.geom.block_addr(rec.addr);
+        let is_write = rec.kind.is_write();
+        if is_write {
+            self.stats.record_write();
+        }
+        let p = self.primary_of(block);
+
+        // Primary probe (OUT is probed in parallel in hardware; a primary
+        // hit never waits on it).
+        if self.lines[p].valid && self.lines[p].block == block {
+            if is_write {
+                self.lines[p].dirty = true;
+            }
+            self.sht.touch(p);
+            self.stats.record(p, HitWhere::Primary);
+            return AccessResult {
+                where_hit: HitWhere::Primary,
+                set: p,
+                evicted: None,
+            };
+        }
+
+        // OUT probe: the block may live out of position.
+        if let Some(alt) = self.out.get(block) {
+            if self.lines[alt].valid && self.lines[alt].block == block {
+                // Swap back toward the primary position to shorten future
+                // hits; the displaced primary resident takes the alternate
+                // slot (its OUT entry replaces ours).
+                let mut incoming = self.lines[alt];
+                incoming.out_of_position = false;
+                if is_write {
+                    incoming.dirty = true;
+                }
+                let outgoing = self.lines[p];
+                self.out.remove(block);
+                self.lines[p] = incoming;
+                if outgoing.valid {
+                    self.lines[alt] = Line {
+                        out_of_position: true,
+                        ..outgoing
+                    };
+                    if let Some((evb, evs)) = self.out.insert(outgoing.block, alt) {
+                        self.invalidate_out_line(evb, evs);
+                    }
+                } else {
+                    self.lines[alt] = Line::empty();
+                }
+                self.sht.touch(p);
+                self.stats.record(p, HitWhere::Secondary);
+                self.stats.record_relocation();
+                return AccessResult {
+                    where_hit: HitWhere::Secondary,
+                    set: p,
+                    evicted: None,
+                };
+            }
+            // Stale entry: the alternate line was reclaimed. Clean up.
+            self.out.remove(block);
+        }
+
+        // Miss. Decide the fate of the primary resident.
+        let resident = self.lines[p];
+        let disposable = !resident.valid || !self.sht.contains(p) || resident.out_of_position;
+        let mut evicted = None;
+        let mut where_hit = HitWhere::MissDirect;
+
+        if resident.valid {
+            if disposable {
+                // Replace in place; OUT untouched (the paper: "the OUT
+                // table is not consulted when the disposable bit is set").
+                if resident.out_of_position {
+                    self.out.remove(resident.block);
+                }
+                evicted = Some(resident.block);
+                self.stats.record_eviction(p);
+            } else {
+                // Keep the MRU-set victim: move it to a nearby disposable
+                // line and register it in OUT.
+                where_hit = HitWhere::MissAfterProbe;
+                if let Some(host) = self.find_disposable_near(p, p) {
+                    let hosted = self.lines[host];
+                    if hosted.valid {
+                        if hosted.out_of_position {
+                            self.out.remove(hosted.block);
+                        }
+                        evicted = Some(hosted.block);
+                        self.stats.record_eviction(host);
+                    }
+                    self.lines[host] = Line {
+                        out_of_position: true,
+                        ..resident
+                    };
+                    if let Some((evb, evs)) = self.out.insert(resident.block, host) {
+                        self.invalidate_out_line(evb, evs);
+                    }
+                    self.stats.record_relocation();
+                } else {
+                    // No disposable line in the window: fall back to plain
+                    // eviction.
+                    evicted = Some(resident.block);
+                    self.stats.record_eviction(p);
+                }
+            }
+        }
+
+        // Fill the primary slot. Any stale out-of-position copy of the
+        // incoming block was already cleaned above.
+        self.lines[p] = Line {
+            block,
+            valid: true,
+            dirty: is_write,
+            out_of_position: false,
+        };
+        self.sht.touch(p);
+        self.stats.record(p, where_hit);
+        AccessResult {
+            where_hit,
+            set: p,
+            evicted,
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn flush(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::empty();
+        }
+        self.sht.clear();
+        self.out.clear();
+        self.stats.reset();
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn geom(sets: usize) -> CacheGeometry {
+        CacheGeometry::from_sets(sets, 32, 1).unwrap()
+    }
+
+    fn read_block(b: u64) -> MemRecord {
+        MemRecord::read(b * 32)
+    }
+
+    #[test]
+    fn construction() {
+        let c = AdaptiveGroupCache::new(geom(1024)).unwrap();
+        assert_eq!(c.name(), "adaptive_cache(sht=384,out=256)");
+        assert!(AdaptiveGroupCache::new(CacheGeometry::from_sets(8, 32, 2).unwrap()).is_err());
+        let bad = AdaptiveConfig {
+            sht_fraction: 1.5,
+            ..Default::default()
+        };
+        assert!(AdaptiveGroupCache::with_config(geom(8), bad).is_err());
+    }
+
+    #[test]
+    fn hot_conflict_pair_is_rescued() {
+        let mut c = AdaptiveGroupCache::new(geom(64)).unwrap();
+        // Make set 0 MRU-hot, then conflict: 0 and 64 share set 0.
+        c.access(read_block(0));
+        c.access(read_block(0));
+        let r = c.access(read_block(64));
+        // Set 0 is in SHT -> resident 0 is non-disposable -> relocated.
+        assert_eq!(r.where_hit, HitWhere::MissAfterProbe);
+        assert!(c.contains_block(0), "victim kept out of position");
+        assert!(c.contains_block(64));
+        // Access to 0 now hits through OUT (secondary).
+        let r = c.access(read_block(0));
+        assert_eq!(r.where_hit, HitWhere::Secondary);
+        // After the swap-back, 0 is primary again.
+        let r = c.access(read_block(0));
+        assert_eq!(r.where_hit, HitWhere::Primary);
+    }
+
+    #[test]
+    fn cold_set_victim_is_just_replaced() {
+        let mut c = AdaptiveGroupCache::new(geom(64)).unwrap();
+        // Touch block 5 once, then flood the SHT with other sets so set 5
+        // falls out of the MRU table.
+        c.access(read_block(5));
+        for b in 6..48u64 {
+            c.access(read_block(b));
+        }
+        assert!(!c.sht.contains(5));
+        let before = c.out_len();
+        let r = c.access(read_block(64 + 5)); // conflicts with block 5
+        assert_eq!(r.where_hit, HitWhere::MissDirect);
+        assert_eq!(r.evicted, Some(5));
+        assert_eq!(c.out_len(), before, "OUT untouched for disposable victim");
+        assert!(!c.contains_block(5));
+    }
+
+    #[test]
+    fn out_directory_capacity_is_bounded() {
+        let cfg = AdaptiveConfig {
+            sht_fraction: 1.0, // everything MRU -> every victim relocates
+            out_fraction: 4.0 / 64.0,
+            relocation_window: 64,
+        };
+        let mut c = AdaptiveGroupCache::with_config(geom(64), cfg).unwrap();
+        // Generate many conflicting fills.
+        for i in 0..200u64 {
+            c.access(read_block(i % 8 + 64 * (i / 8)));
+        }
+        assert!(c.out_len() <= 4, "OUT grew to {}", c.out_len());
+    }
+
+    #[test]
+    fn single_residency_invariant_under_random_traffic() {
+        let mut c = AdaptiveGroupCache::new(geom(32)).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let blocks: Vec<u64> = (0..5000).map(|_| rng.gen_range(0u64..256)).collect();
+        for (i, &b) in blocks.iter().enumerate() {
+            c.access(read_block(b));
+            if i % 97 == 0 {
+                // Count copies of a sample of blocks.
+                for probe in 0..256u64 {
+                    let copies = c
+                        .lines
+                        .iter()
+                        .filter(|l| l.valid && l.block == probe)
+                        .count();
+                    assert!(copies <= 1, "block {probe} resident {copies}x at step {i}");
+                }
+            }
+        }
+        // Every OUT entry points at a line holding its block.
+        let entries: Vec<(u64, usize)> = c.out.map.iter().map(|(&b, &(s, _))| (b, s)).collect();
+        for (b, s) in entries {
+            assert!(c.lines[s].valid && c.lines[s].block == b && c.lines[s].out_of_position);
+        }
+    }
+
+    #[test]
+    fn beats_direct_mapped_on_hot_conflicts() {
+        use unicache_sim::CacheBuilder;
+        let g = geom(64);
+        let mut adaptive = AdaptiveGroupCache::new(g).unwrap();
+        let mut dm = CacheBuilder::new(g).build().unwrap();
+        // Two hot blocks in the same set, plus background traffic.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut trace = Vec::new();
+        for _ in 0..4000 {
+            trace.push(read_block(0));
+            trace.push(read_block(64));
+            if rng.gen_bool(0.3) {
+                trace.push(read_block(rng.gen_range(1u64..40)));
+            }
+        }
+        for &r in &trace {
+            adaptive.access(r);
+            dm.access(r);
+        }
+        assert!(
+            adaptive.stats().miss_rate() < dm.stats().miss_rate() * 0.5,
+            "adaptive {} vs dm {}",
+            adaptive.stats().miss_rate(),
+            dm.stats().miss_rate()
+        );
+    }
+
+    #[test]
+    fn flush_clears_tables() {
+        let mut c = AdaptiveGroupCache::new(geom(32)).unwrap();
+        c.access(read_block(0));
+        c.access(read_block(0));
+        c.access(read_block(32));
+        c.flush();
+        assert_eq!(c.out_len(), 0);
+        assert!(!c.contains_block(0));
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn sht_lru_behaviour() {
+        let mut sht = Sht::new(8, 3);
+        sht.touch(0);
+        sht.touch(1);
+        sht.touch(2);
+        assert!(sht.contains(0) && sht.contains(1) && sht.contains(2));
+        sht.touch(0); // refresh 0
+        sht.touch(3); // evicts 1 (LRU)
+        assert!(sht.contains(0) && !sht.contains(1) && sht.contains(2) && sht.contains(3));
+    }
+
+    #[test]
+    fn out_dir_lru_behaviour() {
+        let mut out = OutDir::new(2);
+        assert_eq!(out.insert(10, 1), None);
+        assert_eq!(out.insert(20, 2), None);
+        assert_eq!(out.get(10), Some(1)); // refresh 10
+        let ev = out.insert(30, 3);
+        assert_eq!(ev, Some((20, 2)), "20 was LRU");
+        assert_eq!(out.get(20), None);
+        assert_eq!(out.remove(10), Some(1));
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Design-choice ablations called out in DESIGN.md. Each bench sweeps one
+//! knob, prints the resulting miss rates (the scientific observable) and
+//! times the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::sync::OnceLock;
+use unicache_assoc::{AdaptiveConfig, AdaptiveGroupCache, BCache, BCacheConfig};
+use unicache_bench::{geom, miss_rate, sweep_line};
+use unicache_core::CacheGeometry;
+use unicache_indexing::{GivargisIndex, OddMultiplierIndex, RECOMMENDED_MULTIPLIERS};
+use unicache_sim::{CacheBuilder, ReplacementPolicy};
+use unicache_trace::Trace;
+use unicache_workloads::{Scale, Workload};
+
+fn fft_trace() -> &'static Trace {
+    static T: OnceLock<Trace> = OnceLock::new();
+    T.get_or_init(|| Workload::Fft.generate(Scale::Small))
+}
+
+fn qsort_trace() -> &'static Trace {
+    static T: OnceLock<Trace> = OnceLock::new();
+    T.get_or_init(|| Workload::Qsort.generate(Scale::Small))
+}
+
+/// Replacement policy in a 4-way cache (paper uses LRU for L2/B-cache).
+fn ablation_replacement(c: &mut Criterion) {
+    let g = CacheGeometry::new(32 * 1024, 32, 4).unwrap();
+    let trace = fft_trace();
+    let policies = [
+        ("LRU", ReplacementPolicy::Lru),
+        ("FIFO", ReplacementPolicy::Fifo),
+        ("Random", ReplacementPolicy::Random),
+        ("TreePLRU", ReplacementPolicy::TreePlru),
+    ];
+    let results: Vec<(String, f64)> = policies
+        .iter()
+        .map(|(name, p)| {
+            let mut cache = CacheBuilder::new(g).replacement(*p).build().unwrap();
+            (name.to_string(), miss_rate(trace, &mut cache))
+        })
+        .collect();
+    eprintln!(
+        "{}",
+        sweep_line("replacement policy (fft, 4-way)", &results)
+    );
+    c.bench_function("ablation_replacement", |b| {
+        b.iter(|| {
+            let mut cache = CacheBuilder::new(g)
+                .replacement(ReplacementPolicy::Lru)
+                .build()
+                .unwrap();
+            black_box(miss_rate(trace, &mut cache))
+        })
+    });
+}
+
+/// The odd-multiplier choice (paper recommends 9, 21, 31, 61).
+fn ablation_multiplier(c: &mut Criterion) {
+    let g = geom();
+    let trace = fft_trace();
+    let mut results = Vec::new();
+    for &m in RECOMMENDED_MULTIPLIERS.iter().chain([7u64, 127].iter()) {
+        let mut cache = CacheBuilder::new(g)
+            .index(Arc::new(OddMultiplierIndex::new(g.num_sets(), m).unwrap()))
+            .build()
+            .unwrap();
+        results.push((format!("p{m}"), miss_rate(trace, &mut cache)));
+    }
+    eprintln!("{}", sweep_line("odd multiplier (fft)", &results));
+    c.bench_function("ablation_multiplier", |b| {
+        b.iter(|| {
+            let mut cache = CacheBuilder::new(g)
+                .index(Arc::new(OddMultiplierIndex::new(g.num_sets(), 21).unwrap()))
+                .build()
+                .unwrap();
+            black_box(miss_rate(trace, &mut cache))
+        })
+    });
+}
+
+/// SHT/OUT sizing of the adaptive cache (paper: 3/8 and 4/16).
+fn ablation_adaptive_tables(c: &mut Criterion) {
+    let g = geom();
+    let trace = fft_trace();
+    let sizes = [
+        ("sht1/8,out1/8", 0.125, 0.125),
+        ("sht3/8,out1/4", 0.375, 0.25), // paper configuration
+        ("sht1/2,out1/2", 0.5, 0.5),
+        ("sht1,out1", 1.0, 1.0),
+    ];
+    let results: Vec<(String, f64)> = sizes
+        .iter()
+        .map(|(name, sht, out)| {
+            let cfg = AdaptiveConfig {
+                sht_fraction: *sht,
+                out_fraction: *out,
+                relocation_window: 64,
+            };
+            let mut cache = AdaptiveGroupCache::with_config(g, cfg).unwrap();
+            (name.to_string(), miss_rate(trace, &mut cache))
+        })
+        .collect();
+    eprintln!("{}", sweep_line("adaptive SHT/OUT sizing (fft)", &results));
+    c.bench_function("ablation_adaptive_tables", |b| {
+        b.iter(|| {
+            let mut cache = AdaptiveGroupCache::new(g).unwrap();
+            black_box(miss_rate(trace, &mut cache))
+        })
+    });
+}
+
+/// B-cache mapping factor and associativity (paper: MF=2, BAS=8).
+fn ablation_bcache_shape(c: &mut Criterion) {
+    let g = geom();
+    let trace = qsort_trace();
+    let shapes = [(1u32, 2u32), (2, 2), (2, 4), (2, 8), (4, 8), (2, 16)];
+    let results: Vec<(String, f64)> = shapes
+        .iter()
+        .map(|&(mf, bas)| {
+            let mut cache = BCache::with_config(
+                g,
+                BCacheConfig {
+                    mapping_factor: mf,
+                    bas,
+                },
+            )
+            .unwrap();
+            (format!("MF{mf}/BAS{bas}"), miss_rate(trace, &mut cache))
+        })
+        .collect();
+    eprintln!("{}", sweep_line("b-cache shape (qsort)", &results));
+    c.bench_function("ablation_bcache_shape", |b| {
+        b.iter(|| {
+            let mut cache = BCache::new(g).unwrap();
+            black_box(miss_rate(trace, &mut cache))
+        })
+    });
+}
+
+/// Givargis sensitivity to line size — the paper attributes its poor
+/// showing at 32 B lines to byte-offset bits being excluded from the
+/// candidate pool; smaller lines exclude fewer bits.
+fn ablation_givargis_linesize(c: &mut Criterion) {
+    let trace = fft_trace();
+    let mut results = Vec::new();
+    for line in [8u64, 16, 32, 64] {
+        let g = CacheGeometry::new(32 * 1024, line, 1).unwrap();
+        let unique = trace.unique_blocks(line);
+        let idx = GivargisIndex::train(&unique, g, 28).unwrap();
+        let mut givargis = CacheBuilder::new(g).index(Arc::new(idx)).build().unwrap();
+        let mut base = CacheBuilder::new(g).build().unwrap();
+        let gv = miss_rate(trace, &mut givargis);
+        let bs = miss_rate(trace, &mut base);
+        let red = if bs > 0.0 {
+            100.0 * (bs - gv) / bs
+        } else {
+            0.0
+        };
+        results.push((format!("{line}B:reduction"), red / 100.0));
+    }
+    eprintln!(
+        "{}",
+        sweep_line("givargis % miss reduction by line size (fft)", &results)
+    );
+    c.bench_function("ablation_givargis_linesize", |b| {
+        b.iter(|| {
+            let g = CacheGeometry::new(32 * 1024, 32, 1).unwrap();
+            let unique = trace.unique_blocks(32);
+            black_box(GivargisIndex::train(&unique, g, 28).unwrap())
+        })
+    });
+}
+
+/// Partner-chain length (the paper's §1.2 "linked list" extension:
+/// longer chains = more effective associativity for hot sets, more probe
+/// cycles).
+fn ablation_chain_length(c: &mut Criterion) {
+    use unicache_assoc::{ChainConfig, PartnerChainCache};
+    let g = geom();
+    let trace = fft_trace();
+    let mut results = Vec::new();
+    for len in [1usize, 2, 3, 4, 6] {
+        let cfg = ChainConfig {
+            epoch: 8192,
+            max_chains: 64,
+            chain_len: len,
+        };
+        let mut cache = PartnerChainCache::with_config(g, cfg).unwrap();
+        results.push((format!("len{len}"), miss_rate(trace, &mut cache)));
+    }
+    eprintln!("{}", sweep_line("partner-chain length (fft)", &results));
+    c.bench_function("ablation_chain_length", |b| {
+        b.iter(|| {
+            let mut cache = PartnerChainCache::new(g).unwrap();
+            black_box(miss_rate(trace, &mut cache))
+        })
+    });
+}
+
+criterion_group!(
+    ablations,
+    ablation_replacement,
+    ablation_multiplier,
+    ablation_adaptive_tables,
+    ablation_bcache_shape,
+    ablation_givargis_linesize,
+    ablation_chain_length
+);
+criterion_main!(ablations);

@@ -1,0 +1,98 @@
+//! End-to-end regeneration of every paper figure, timed with Criterion.
+//!
+//! Each benchmark runs the corresponding `unicache-experiments` runner at
+//! `Scale::Tiny` (Criterion needs many iterations; `xp --scale small` is
+//! the canonical results run) and prints the resulting table once, so
+//! `cargo bench` output contains the reproduced numbers alongside the
+//! timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+use unicache_experiments::figures::{assoc, extras, fig1, hybrid, indexing, smt};
+use unicache_experiments::TraceStore;
+use unicache_workloads::{Scale, Workload};
+
+fn store() -> &'static TraceStore {
+    static STORE: OnceLock<TraceStore> = OnceLock::new();
+    STORE.get_or_init(|| {
+        let s = TraceStore::new(Scale::Tiny);
+        s.prefetch(&Workload::all());
+        s
+    })
+}
+
+macro_rules! fig_bench {
+    ($fn_name:ident, $id:literal, $runner:expr) => {
+        fn $fn_name(c: &mut Criterion) {
+            let s = store();
+            // Print the reproduced table once.
+            let table = $runner(s);
+            eprintln!("{}", table.render());
+            let mut g = c.benchmark_group("figures");
+            g.sample_size(10);
+            g.bench_function($id, |b| b.iter(|| black_box($runner(s))));
+            g.finish();
+        }
+    };
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let s = store();
+    let report = fig1::report(s, Workload::Fft);
+    eprintln!("{}", report.render());
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig01_nonuniformity", |b| {
+        b.iter(|| black_box(fig1::report(s, Workload::Fft)))
+    });
+    g.finish();
+}
+
+fig_bench!(bench_fig4, "fig04_indexing", indexing::fig4);
+fig_bench!(bench_fig6, "fig06_assoc", assoc::fig6);
+fig_bench!(bench_fig7, "fig07_amat", assoc::fig7);
+fig_bench!(bench_fig8, "fig08_hybrid", hybrid::fig8);
+fig_bench!(bench_fig9, "fig09_kurtosis_idx", indexing::fig9);
+fig_bench!(bench_fig10, "fig10_skewness_idx", indexing::fig10);
+fig_bench!(bench_fig11, "fig11_kurtosis_assoc", assoc::fig11);
+fig_bench!(bench_fig12, "fig12_skewness_assoc", assoc::fig12);
+fig_bench!(bench_fig13, "fig13_smt_multi_index", smt::fig13);
+fig_bench!(bench_fig14, "fig14_adaptive_partitioned", smt::fig14);
+fig_bench!(
+    bench_classify,
+    "classify_fhs_fms_las",
+    extras::classification
+);
+fig_bench!(bench_belady, "belady_lower_bound", extras::belady_bound);
+
+fn bench_patel(c: &mut Criterion) {
+    let s = store();
+    let table = extras::patel(s, 5_000, 6);
+    eprintln!("{}", table.render());
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("patel_bounded_search", |b| {
+        b.iter(|| black_box(extras::patel(s, 5_000, 6)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig4,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_classify,
+    bench_belady,
+    bench_patel
+);
+criterion_main!(figures);

@@ -1,0 +1,107 @@
+//! Hot-path microbenches: index-function hashing and per-model access
+//! throughput. These quantify the *simulator* cost of each technique (the
+//! hardware cost is the paper's Section V discussion; the simulation cost
+//! determines how long `xp --scale large` runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use unicache_assoc::{AdaptiveGroupCache, BCache, ColumnAssociativeCache, PartnerIndexCache};
+use unicache_bench::geom;
+use unicache_core::{CacheModel, IndexFunction, MemRecord};
+use unicache_indexing::{
+    GivargisIndex, ModuloIndex, OddMultiplierIndex, PrimeModuloIndex, XorIndex,
+};
+use unicache_sim::CacheBuilder;
+use unicache_trace::synth;
+
+fn index_functions(c: &mut Criterion) {
+    let g = geom();
+    let sets = g.num_sets();
+    let blocks: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+    let train: Vec<u64> = blocks.clone();
+    let fns: Vec<Arc<dyn IndexFunction>> = vec![
+        Arc::new(ModuloIndex::new(sets).unwrap()),
+        Arc::new(XorIndex::new(sets).unwrap()),
+        Arc::new(OddMultiplierIndex::new(sets, 21).unwrap()),
+        Arc::new(PrimeModuloIndex::new(sets).unwrap()),
+        Arc::new(GivargisIndex::train(&train, g, 28).unwrap()),
+    ];
+    let mut grp = c.benchmark_group("index_fn_hash");
+    grp.throughput(Throughput::Elements(blocks.len() as u64));
+    for f in fns {
+        grp.bench_with_input(
+            BenchmarkId::from_parameter(f.name().to_string()),
+            &f,
+            |b, f| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for &blk in &blocks {
+                        acc ^= f.index_block(black_box(blk));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    grp.finish();
+}
+
+fn model_access(c: &mut Criterion) {
+    let g = geom();
+    let trace = synth::zipfian(3, 100_000, 0x10000, 4096, 32, 1.1);
+    let mut models: Vec<Box<dyn CacheModel>> = vec![
+        Box::new(CacheBuilder::new(g).name("direct_mapped").build().unwrap()),
+        Box::new(ColumnAssociativeCache::new(g).unwrap()),
+        Box::new(AdaptiveGroupCache::new(g).unwrap()),
+        Box::new(BCache::new(g).unwrap()),
+        Box::new(PartnerIndexCache::new(g).unwrap()),
+    ];
+    let mut grp = c.benchmark_group("model_access");
+    grp.throughput(Throughput::Elements(trace.len() as u64));
+    grp.sample_size(20);
+    for model in &mut models {
+        let name = model.name().to_string();
+        grp.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                model.flush();
+                model.run(black_box(trace.records()));
+                black_box(model.stats().misses())
+            })
+        });
+    }
+    grp.finish();
+}
+
+fn trace_generation(c: &mut Criterion) {
+    use unicache_workloads::{Scale, Workload};
+    let mut grp = c.benchmark_group("trace_generation");
+    grp.sample_size(10);
+    for w in [Workload::Crc, Workload::Fft, Workload::Qsort] {
+        grp.bench_function(BenchmarkId::from_parameter(w.name()), |b| {
+            b.iter(|| black_box(w.generate(Scale::Tiny)))
+        });
+    }
+    grp.finish();
+}
+
+fn access_single(c: &mut Criterion) {
+    let g = geom();
+    let mut cache = CacheBuilder::new(g).build().unwrap();
+    let mut addr = 0u64;
+    c.bench_function("single_cache_access", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(0x9E3779B97F4A7C15) & 0xF_FFFF;
+            black_box(cache.access(MemRecord::read(addr)))
+        })
+    });
+}
+
+criterion_group!(
+    micro,
+    index_functions,
+    model_access,
+    trace_generation,
+    access_single
+);
+criterion_main!(micro);

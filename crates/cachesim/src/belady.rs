@@ -1,0 +1,223 @@
+//! Offline MIN (Belady) replacement on a fully-associative cache.
+//!
+//! The paper's Section III opens by noting that "a fully associative cache
+//! with a perfect replacement policy will access all cache lines uniformly
+//! … and only serves as a theoretical lower bound for cache miss rates."
+//! This module computes that bound for any trace, so experiment reports can
+//! show how much headroom each technique leaves.
+
+use std::collections::HashMap;
+use unicache_core::{BlockAddr, MemRecord};
+
+/// Miss count of a fully-associative cache of `capacity_lines` lines with
+/// clairvoyant (Belady MIN) replacement, over the block stream induced by
+/// `trace` and `line_bytes`.
+///
+/// Runs in `O(n log n)` using the classic next-use index plus a max-ordered
+/// candidate structure with lazy invalidation.
+pub fn min_misses(trace: &[MemRecord], capacity_lines: usize, line_bytes: u64) -> u64 {
+    assert!(capacity_lines > 0, "cache must hold at least one line");
+    assert!(
+        line_bytes.is_power_of_two(),
+        "line size must be a power of two"
+    );
+    let shift = line_bytes.trailing_zeros();
+    let blocks: Vec<BlockAddr> = trace.iter().map(|r| r.addr >> shift).collect();
+    min_misses_blocks(&blocks, capacity_lines)
+}
+
+/// Same as [`min_misses`] over a pre-computed block stream.
+pub fn min_misses_blocks(blocks: &[BlockAddr], capacity_lines: usize) -> u64 {
+    assert!(capacity_lines > 0);
+    let n = blocks.len();
+    // next_use[i] = next position after i referencing the same block, or n.
+    let mut next_use = vec![n; n];
+    let mut last_pos: HashMap<BlockAddr, usize> = HashMap::new();
+    for (i, &b) in blocks.iter().enumerate().rev() {
+        if let Some(&p) = last_pos.get(&b) {
+            next_use[i] = p;
+        }
+        last_pos.insert(b, i);
+    }
+
+    use std::collections::BinaryHeap;
+    // Heap of (next_use_position, block); max next-use = Belady victim.
+    let mut heap: BinaryHeap<(usize, BlockAddr)> = BinaryHeap::new();
+    // resident block -> the next-use stamp we most recently pushed for it.
+    let mut resident: HashMap<BlockAddr, usize> = HashMap::with_capacity(capacity_lines * 2);
+    let mut misses = 0u64;
+    for (i, &b) in blocks.iter().enumerate() {
+        let nu = next_use[i];
+        if let std::collections::hash_map::Entry::Occupied(mut e) = resident.entry(b) {
+            // Hit: refresh its priority (lazy: old heap entry goes stale).
+            e.insert(nu);
+            heap.push((nu, b));
+            continue;
+        }
+        misses += 1;
+        if resident.len() == capacity_lines {
+            // Evict the resident block with the farthest next use, skipping
+            // stale heap entries.
+            loop {
+                let (stamp, cand) = heap.pop().expect("resident set non-empty");
+                match resident.get(&cand) {
+                    Some(&cur) if cur == stamp => {
+                        resident.remove(&cand);
+                        break;
+                    }
+                    _ => continue, // stale
+                }
+            }
+        }
+        resident.insert(b, nu);
+        heap.push((nu, b));
+    }
+    misses
+}
+
+/// The MIN miss *rate* for a trace and cache capacity.
+pub fn min_miss_rate(trace: &[MemRecord], capacity_lines: usize, line_bytes: u64) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    min_misses(trace, capacity_lines, line_bytes) as f64 / trace.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn textbook_example() {
+        // Classic Belady demo: 3 frames, page string
+        // 2,3,2,1,5,2,4,5,3,2,5,2 -> 7 faults (well-known result is 7
+        // with FIFO 9 / LRU 8; MIN achieves 7? verify by construction
+        // below against brute force).
+        let blocks = [2u64, 3, 2, 1, 5, 2, 4, 5, 3, 2, 5, 2];
+        let got = min_misses_blocks(&blocks, 3);
+        assert_eq!(got, brute_force_min(&blocks, 3));
+    }
+
+    #[test]
+    fn cache_larger_than_working_set_gives_cold_misses_only() {
+        let blocks = [1u64, 2, 3, 1, 2, 3, 1, 2, 3];
+        assert_eq!(min_misses_blocks(&blocks, 8), 3);
+    }
+
+    #[test]
+    fn single_line_cache() {
+        let blocks = [1u64, 1, 2, 2, 1];
+        assert_eq!(min_misses_blocks(&blocks, 1), 3);
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert_eq!(min_misses_blocks(&[], 4), 0);
+        assert_eq!(min_miss_rate(&[], 4, 32), 0.0);
+    }
+
+    #[test]
+    fn byte_addresses_collapse_to_lines() {
+        // Four byte addresses within one 64-byte line: one cold miss.
+        let trace: Vec<MemRecord> = [0u64, 8, 16, 63]
+            .iter()
+            .map(|&a| MemRecord::read(a))
+            .collect();
+        assert_eq!(min_misses(&trace, 4, 64), 1);
+        // With 8-byte lines they are four distinct blocks.
+        assert_eq!(min_misses(&trace, 4, 8), 4);
+    }
+
+    #[test]
+    fn min_is_a_lower_bound_for_lru() {
+        // Simulate LRU fully-associative by hand and compare.
+        let mut rng = StdRng::seed_from_u64(11);
+        let blocks: Vec<u64> = (0..3000).map(|_| rng.gen_range(0u64..64)).collect();
+        let cap = 16;
+        // LRU.
+        let mut lru: Vec<u64> = Vec::new();
+        let mut lru_misses = 0u64;
+        for &b in &blocks {
+            if let Some(pos) = lru.iter().position(|&x| x == b) {
+                lru.remove(pos);
+                lru.push(b);
+            } else {
+                lru_misses += 1;
+                if lru.len() == cap {
+                    lru.remove(0);
+                }
+                lru.push(b);
+            }
+        }
+        let min = min_misses_blocks(&blocks, cap);
+        assert!(min <= lru_misses, "MIN {min} > LRU {lru_misses}");
+    }
+
+    /// O(n^2) reference implementation for cross-checking.
+    fn brute_force_min(blocks: &[u64], cap: usize) -> u64 {
+        let mut resident: Vec<u64> = Vec::new();
+        let mut misses = 0u64;
+        for i in 0..blocks.len() {
+            let b = blocks[i];
+            if resident.contains(&b) {
+                continue;
+            }
+            misses += 1;
+            if resident.len() == cap {
+                // Farthest next use.
+                let victim = resident
+                    .iter()
+                    .copied()
+                    .max_by_key(|&r| {
+                        blocks[i + 1..]
+                            .iter()
+                            .position(|&x| x == r)
+                            .map(|p| p as i64)
+                            .unwrap_or(i64::MAX)
+                    })
+                    .unwrap();
+                resident.retain(|&x| x != victim);
+            }
+            resident.push(b);
+        }
+        misses
+    }
+
+    proptest! {
+        #[test]
+        fn matches_brute_force(
+            blocks in proptest::collection::vec(0u64..24, 1..120),
+            cap in 1usize..8
+        ) {
+            prop_assert_eq!(
+                min_misses_blocks(&blocks, cap),
+                brute_force_min(&blocks, cap)
+            );
+        }
+
+        #[test]
+        fn monotone_in_capacity(
+            blocks in proptest::collection::vec(0u64..40, 1..150),
+            cap in 1usize..10
+        ) {
+            // MIN is a stack algorithm: more capacity never hurts.
+            prop_assert!(
+                min_misses_blocks(&blocks, cap + 1) <= min_misses_blocks(&blocks, cap)
+            );
+        }
+
+        #[test]
+        fn bounded_by_unique_and_total(
+            blocks in proptest::collection::vec(0u64..40, 1..150),
+            cap in 1usize..10
+        ) {
+            let m = min_misses_blocks(&blocks, cap);
+            let unique = blocks.iter().collect::<std::collections::HashSet<_>>().len() as u64;
+            prop_assert!(m >= unique, "must pay every cold miss");
+            prop_assert!(m <= blocks.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! The conventional set-associative cache with a pluggable index function.
+//!
+//! This single type instantiates, depending on its parameters:
+//! * the paper's **baseline** (direct-mapped, conventional modulo index),
+//! * every Section II indexing variant (attach a different
+//!   [`IndexFunction`]),
+//! * the higher-associativity comparison points (2/4/8-way), and
+//! * the L2 of the simulated hierarchy.
+
+use crate::set::{CacheSet, ReplacementPolicy};
+use std::sync::Arc;
+use unicache_core::{
+    AccessResult, CacheGeometry, CacheModel, CacheStats, ConfigError, HitWhere, IndexFunction,
+    MemRecord, Result,
+};
+
+/// A set-associative cache.
+pub struct Cache {
+    geom: CacheGeometry,
+    index: Arc<dyn IndexFunction>,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+    write_allocate: bool,
+    name: String,
+}
+
+/// Builder for [`Cache`].
+///
+/// ```
+/// use unicache_sim::CacheBuilder;
+/// use unicache_core::{CacheGeometry, CacheModel};
+///
+/// let cache = CacheBuilder::new(CacheGeometry::paper_l1()).build().unwrap();
+/// assert_eq!(cache.geometry().num_sets(), 1024);
+/// ```
+pub struct CacheBuilder {
+    geom: CacheGeometry,
+    index: Option<Arc<dyn IndexFunction>>,
+    policy: ReplacementPolicy,
+    write_allocate: bool,
+    seed: u64,
+    name: Option<String>,
+}
+
+impl CacheBuilder {
+    /// A builder with the paper's defaults: conventional indexing, LRU,
+    /// write-allocate.
+    pub fn new(geom: CacheGeometry) -> Self {
+        CacheBuilder {
+            geom,
+            index: None,
+            policy: ReplacementPolicy::Lru,
+            write_allocate: true,
+            seed: 0x5EED,
+            name: None,
+        }
+    }
+
+    /// Attaches a non-conventional index function.
+    pub fn index(mut self, f: Arc<dyn IndexFunction>) -> Self {
+        self.index = Some(f);
+        self
+    }
+
+    /// Selects the replacement policy (default LRU).
+    pub fn replacement(mut self, p: ReplacementPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Enables/disables write-allocation (default enabled).
+    pub fn write_allocate(mut self, on: bool) -> Self {
+        self.write_allocate = on;
+        self
+    }
+
+    /// Seed for the `Random` replacement policy.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the report name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Builds the cache.
+    ///
+    /// # Errors
+    /// [`ConfigError::Mismatch`] if the index function produces more sets
+    /// than the geometry has.
+    pub fn build(self) -> Result<Cache> {
+        let geom = self.geom;
+        let index: Arc<dyn IndexFunction> = match self.index {
+            Some(f) => f,
+            None => Arc::new(unicache_indexing::ModuloIndex::new(geom.num_sets())?),
+        };
+        if index.num_sets() > geom.num_sets() {
+            return Err(ConfigError::Mismatch {
+                what: format!(
+                    "index function '{}' covers {} sets but cache has {}",
+                    index.name(),
+                    index.num_sets(),
+                    geom.num_sets()
+                ),
+            });
+        }
+        let name = self
+            .name
+            .unwrap_or_else(|| format!("cache({}, {}-way)", index.name(), geom.ways()));
+        let sets = (0..geom.num_sets())
+            .map(|i| CacheSet::new(geom.ways() as usize, self.policy, self.seed ^ i as u64))
+            .collect();
+        Ok(Cache {
+            geom,
+            index,
+            sets,
+            stats: CacheStats::new(geom.num_sets()),
+            write_allocate: self.write_allocate,
+            name,
+        })
+    }
+}
+
+impl Cache {
+    /// Shorthand: the paper's baseline L1 (32 KB direct-mapped,
+    /// conventional index, 32 B lines).
+    pub fn paper_baseline() -> Self {
+        CacheBuilder::new(CacheGeometry::paper_l1())
+            .name("baseline_direct_mapped")
+            .build()
+            .expect("baseline configuration is valid")
+    }
+
+    /// The attached index function.
+    pub fn index_fn(&self) -> &Arc<dyn IndexFunction> {
+        &self.index
+    }
+
+    /// Probes for a block without disturbing state (for tests/inspection).
+    pub fn contains_block(&self, block: u64) -> bool {
+        let set = self.index.index_block(block);
+        self.sets[set].probe(block).is_some()
+    }
+}
+
+impl CacheModel for Cache {
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn access(&mut self, rec: MemRecord) -> AccessResult {
+        let block = self.geom.block_addr(rec.addr);
+        let is_write = rec.kind.is_write();
+        if is_write {
+            self.stats.record_write();
+        }
+        let set = self.index.index_block(block);
+        if self.sets[set].lookup(block, is_write).is_some() {
+            self.stats.record(set, HitWhere::Primary);
+            return AccessResult {
+                where_hit: HitWhere::Primary,
+                set,
+                evicted: None,
+            };
+        }
+        // Miss.
+        self.stats.record(set, HitWhere::MissDirect);
+        if is_write && !self.write_allocate {
+            // Write-around: no fill, no eviction.
+            return AccessResult {
+                where_hit: HitWhere::MissDirect,
+                set,
+                evicted: None,
+            };
+        }
+        let fill = self.sets[set].fill(block, is_write);
+        if fill.evicted.is_some() {
+            self.stats.record_eviction(set);
+        }
+        AccessResult {
+            where_hit: HitWhere::MissDirect,
+            set,
+            evicted: fill.evicted,
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.flush();
+        }
+        self.stats.reset();
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unicache_core::MemRecord;
+    use unicache_indexing::{OddMultiplierIndex, PrimeModuloIndex, XorIndex};
+
+    fn small_geom() -> CacheGeometry {
+        CacheGeometry::from_sets(8, 32, 1).unwrap()
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let c = Cache::paper_baseline();
+        assert_eq!(c.geometry().num_sets(), 1024);
+        assert_eq!(c.name(), "baseline_direct_mapped");
+        assert_eq!(c.index_fn().name(), "conventional");
+    }
+
+    #[test]
+    fn cold_then_hit() {
+        let mut c = CacheBuilder::new(small_geom()).build().unwrap();
+        let r1 = c.access(MemRecord::read(0x100));
+        assert!(!r1.is_hit());
+        let r2 = c.access(MemRecord::read(0x100));
+        assert!(r2.is_hit());
+        // Same line, different byte: still a hit.
+        let r3 = c.access(MemRecord::read(0x11F));
+        assert!(r3.is_hit());
+        // Next line: miss.
+        let r4 = c.access(MemRecord::read(0x120));
+        assert!(!r4.is_hit());
+        assert_eq!(c.stats().hits(), 2);
+        assert_eq!(c.stats().misses(), 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_ping_pong() {
+        let mut c = CacheBuilder::new(small_geom()).build().unwrap();
+        // Two addresses 8 lines apart share set 0 under modulo-8.
+        let a = 0x000u64;
+        let b = 0x100u64; // 8 * 32
+        for _ in 0..10 {
+            c.access(MemRecord::read(a));
+            c.access(MemRecord::read(b));
+        }
+        assert_eq!(c.stats().misses(), 20, "every access conflicts");
+        assert_eq!(c.stats().per_set()[0].misses, 20);
+    }
+
+    #[test]
+    fn two_way_absorbs_the_ping_pong() {
+        let geom = CacheGeometry::from_sets(8, 32, 2).unwrap();
+        let mut c = CacheBuilder::new(geom).build().unwrap();
+        let a = 0x000u64;
+        let b = 0x200u64; // same set modulo 8 lines (8*32*2? -> block 16 % 8 = 0)
+        for _ in 0..10 {
+            c.access(MemRecord::read(a));
+            c.access(MemRecord::read(b));
+        }
+        assert_eq!(c.stats().misses(), 2, "only the two cold misses remain");
+    }
+
+    #[test]
+    fn xor_index_separates_the_conflict() {
+        let mut c = CacheBuilder::new(small_geom())
+            .index(Arc::new(XorIndex::new(8).unwrap()))
+            .build()
+            .unwrap();
+        // Blocks 0 and 8: same modulo-8 set, different tag -> XOR separates.
+        let a = 0u64;
+        let b = 8 * 32u64;
+        for _ in 0..10 {
+            c.access(MemRecord::read(a));
+            c.access(MemRecord::read(b));
+        }
+        assert_eq!(c.stats().misses(), 2);
+    }
+
+    #[test]
+    fn prime_modulo_leaves_top_sets_cold() {
+        let geom = CacheGeometry::from_sets(8, 32, 1).unwrap();
+        let mut c = CacheBuilder::new(geom)
+            .index(Arc::new(PrimeModuloIndex::new(8).unwrap())) // prime 7
+            .build()
+            .unwrap();
+        for i in 0..1000u64 {
+            c.access(MemRecord::read(i * 32));
+        }
+        assert_eq!(c.stats().per_set()[7].accesses, 0, "fragmented set");
+    }
+
+    #[test]
+    fn write_allocate_toggle() {
+        let mut wa = CacheBuilder::new(small_geom()).build().unwrap();
+        let mut nwa = CacheBuilder::new(small_geom())
+            .write_allocate(false)
+            .build()
+            .unwrap();
+        wa.access(MemRecord::write(0x40));
+        nwa.access(MemRecord::write(0x40));
+        // Allocating cache now hits; non-allocating misses again.
+        assert!(wa.access(MemRecord::read(0x40)).is_hit());
+        assert!(!nwa.access(MemRecord::read(0x40)).is_hit());
+        assert_eq!(wa.stats().writes, 1);
+        assert_eq!(nwa.stats().writes, 1);
+    }
+
+    #[test]
+    fn eviction_reporting_for_writeback() {
+        let mut c = CacheBuilder::new(small_geom()).build().unwrap();
+        c.access(MemRecord::write(0x000));
+        let r = c.access(MemRecord::read(0x100)); // conflicts in set 0
+        assert_eq!(r.evicted, Some(0));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn flush_and_reset() {
+        let mut c = CacheBuilder::new(small_geom()).build().unwrap();
+        c.access(MemRecord::read(0x40));
+        assert!(c.contains_block(2));
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(c.contains_block(2), "reset_stats keeps contents");
+        c.flush();
+        assert!(!c.contains_block(2));
+    }
+
+    #[test]
+    fn index_function_with_more_sets_is_rejected() {
+        let err = CacheBuilder::new(small_geom())
+            .index(Arc::new(OddMultiplierIndex::new(16, 9).unwrap()))
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn index_function_with_fewer_sets_is_allowed() {
+        // A 4-set index on an 8-set cache just never touches sets 4..8
+        // (deliberate, e.g. Patel indexes trained for a smaller space).
+        let c = CacheBuilder::new(small_geom())
+            .index(Arc::new(unicache_indexing::ModuloIndex::new(4).unwrap()))
+            .build();
+        assert!(c.is_ok());
+    }
+
+    #[test]
+    fn run_whole_trace() {
+        let mut c = Cache::paper_baseline();
+        let trace: Vec<MemRecord> = (0..10_000u64).map(|i| MemRecord::read(i * 32)).collect();
+        c.run(&trace);
+        assert_eq!(c.stats().accesses(), 10_000);
+        // Sequential sweep larger than the cache: all cold/capacity misses.
+        assert_eq!(c.stats().misses(), 10_000);
+    }
+}
+
+#[cfg(test)]
+mod inclusion_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use unicache_core::MemRecord;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// LRU is a stack algorithm: per set, every hit in a k-way cache is
+        /// also a hit in a 2k-way cache with the same set count (inclusion
+        /// property). Verified end-to-end through the simulator.
+        #[test]
+        fn lru_inclusion_property(
+            blocks in proptest::collection::vec(0u64..512, 50..400)
+        ) {
+            let g_small = CacheGeometry::from_sets(8, 32, 2).unwrap();
+            let g_big = CacheGeometry::from_sets(8, 32, 4).unwrap();
+            let mut small = CacheBuilder::new(g_small).build().unwrap();
+            let mut big = CacheBuilder::new(g_big).build().unwrap();
+            for &b in &blocks {
+                let rec = MemRecord::read(b * 32);
+                let rs = small.access(rec);
+                let rb = big.access(rec);
+                if rs.is_hit() {
+                    prop_assert!(rb.is_hit(), "inclusion violated at block {b}");
+                }
+            }
+            prop_assert!(big.stats().misses() <= small.stats().misses());
+        }
+
+        /// FIFO is NOT a stack algorithm in general, but miss counts still
+        /// respect cold-miss lower bounds.
+        #[test]
+        fn any_policy_pays_cold_misses(
+            blocks in proptest::collection::vec(0u64..256, 1..300),
+            policy in prop_oneof![
+                Just(crate::set::ReplacementPolicy::Lru),
+                Just(crate::set::ReplacementPolicy::Fifo),
+                Just(crate::set::ReplacementPolicy::Random),
+                Just(crate::set::ReplacementPolicy::TreePlru),
+            ]
+        ) {
+            let g = CacheGeometry::from_sets(16, 32, 2).unwrap();
+            let mut c = CacheBuilder::new(g).replacement(policy).build().unwrap();
+            for &b in &blocks {
+                c.access(MemRecord::read(b * 32));
+            }
+            let unique = blocks.iter().collect::<std::collections::HashSet<_>>().len() as u64;
+            prop_assert!(c.stats().misses() >= unique);
+            prop_assert!(c.stats().misses() <= blocks.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for cache and experiment configuration.
+
+use std::fmt;
+
+/// Result alias used across the workspace for configuration-time fallibility.
+pub type Result<T> = std::result::Result<T, ConfigError>;
+
+/// Errors raised while validating cache geometries, index functions or
+/// experiment parameters.
+///
+/// Simulation itself (driving records through a cache) is infallible once a
+/// model has been constructed; all validation happens up front, so the hot
+/// access loop carries no `Result` overhead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A size that must be a power of two was not.
+    NotPowerOfTwo {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// A parameter fell outside its legal range.
+    OutOfRange {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+        /// Description of the legal range.
+        expected: String,
+        /// The rejected value.
+        got: u64,
+    },
+    /// Two parameters that must agree did not (e.g. an index function built
+    /// for 512 sets attached to a 1024-set cache).
+    Mismatch {
+        /// Description of the inconsistency.
+        what: String,
+    },
+    /// An odd-multiplier index was configured with an even multiplier, a
+    /// prime-modulo index with a composite modulus, and similar scheme
+    /// specific violations.
+    InvalidParameter {
+        /// Description of the violated requirement.
+        what: String,
+    },
+    /// A trace-trained component (Givargis, Patel) was given an empty or
+    /// otherwise unusable training trace.
+    EmptyTrainingTrace,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            ConfigError::OutOfRange {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} out of range: expected {expected}, got {got}"),
+            ConfigError::Mismatch { what } => write!(f, "configuration mismatch: {what}"),
+            ConfigError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            ConfigError::EmptyTrainingTrace => {
+                write!(f, "training trace is empty or contains no unique addresses")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ConfigError::NotPowerOfTwo {
+            what: "line size",
+            value: 33,
+        };
+        assert!(e.to_string().contains("line size"));
+        assert!(e.to_string().contains("33"));
+
+        let e = ConfigError::OutOfRange {
+            what: "ways",
+            expected: "1..=64".to_string(),
+            got: 128,
+        };
+        assert!(e.to_string().contains("ways"));
+        assert!(e.to_string().contains("128"));
+
+        let e = ConfigError::Mismatch {
+            what: "index fn sets (512) != cache sets (1024)".into(),
+        };
+        assert!(e.to_string().contains("512"));
+
+        assert!(ConfigError::EmptyTrainingTrace
+            .to_string()
+            .contains("empty"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&ConfigError::EmptyTrainingTrace);
+    }
+}

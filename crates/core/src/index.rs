@@ -1,0 +1,103 @@
+//! The [`IndexFunction`] extension point — Section II of the paper.
+//!
+//! An index function maps a *block address* (byte address with offset bits
+//! removed) to a set number. The conventional cache uses the low `m` bits
+//! (modulo hashing, paper Figure 2); the schemes evaluated in the paper
+//! replace this mapping while leaving the rest of the cache unchanged.
+
+use crate::BlockAddr;
+
+/// A cache set-index function.
+///
+/// Implementations must be cheap (`index_block` sits in the innermost
+/// simulation loop) and deterministic. They are `Send + Sync` so experiment
+/// sweeps can evaluate many workloads in parallel against shared, immutable
+/// function instances.
+pub trait IndexFunction: Send + Sync {
+    /// Maps a block address to a set in `0..self.num_sets()`.
+    fn index_block(&self, block: BlockAddr) -> usize;
+
+    /// Number of sets this function indexes into.
+    ///
+    /// Note: a function may deliberately use *fewer* sets than the cache has
+    /// (prime-modulo leaves `sets - p` sets unused — the paper's "cache
+    /// fragmentation"); it must never return an index `>= num_sets()` of the
+    /// attached cache.
+    fn num_sets(&self) -> usize;
+
+    /// Human-readable name, e.g. `"odd_multiplier(21)"`, used in reports.
+    fn name(&self) -> &str;
+}
+
+// Allow passing boxed/shared functions wherever a function is expected.
+impl<T: IndexFunction + ?Sized> IndexFunction for &T {
+    fn index_block(&self, block: BlockAddr) -> usize {
+        (**self).index_block(block)
+    }
+    fn num_sets(&self) -> usize {
+        (**self).num_sets()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<T: IndexFunction + ?Sized> IndexFunction for Box<T> {
+    fn index_block(&self, block: BlockAddr) -> usize {
+        (**self).index_block(block)
+    }
+    fn num_sets(&self) -> usize {
+        (**self).num_sets()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<T: IndexFunction + ?Sized> IndexFunction for std::sync::Arc<T> {
+    fn index_block(&self, block: BlockAddr) -> usize {
+        (**self).index_block(block)
+    }
+    fn num_sets(&self) -> usize {
+        (**self).num_sets()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Mod8;
+    impl IndexFunction for Mod8 {
+        fn index_block(&self, block: BlockAddr) -> usize {
+            (block % 8) as usize
+        }
+        fn num_sets(&self) -> usize {
+            8
+        }
+        fn name(&self) -> &str {
+            "mod8"
+        }
+    }
+
+    fn takes_dyn(f: &dyn IndexFunction) -> usize {
+        f.index_block(13)
+    }
+
+    #[test]
+    fn trait_objects_and_wrappers_delegate() {
+        let f = Mod8;
+        assert_eq!(takes_dyn(&f), 5);
+        let b: Box<dyn IndexFunction> = Box::new(Mod8);
+        assert_eq!(b.index_block(13), 5);
+        assert_eq!(b.num_sets(), 8);
+        assert_eq!(b.name(), "mod8");
+        let a: std::sync::Arc<dyn IndexFunction> = std::sync::Arc::new(Mod8);
+        assert_eq!(a.index_block(9), 1);
+        let r: &dyn IndexFunction = &f;
+        assert_eq!(IndexFunction::index_block(&r, 16), 0);
+    }
+}

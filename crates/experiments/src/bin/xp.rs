@@ -1,0 +1,142 @@
+//! `xp` — regenerate any figure of the paper.
+//!
+//! ```text
+//! xp <fig1|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|
+//!     classify|patel|belady|select|all> [--scale tiny|small|large] [--csv]
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+use unicache_experiments::figures;
+use unicache_experiments::{ExperimentTable, TraceStore};
+use unicache_workloads::{Scale, Workload};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: xp <experiment> [--scale tiny|small|large] [--csv]\n\
+         (fig1 also takes an optional workload name, e.g. `xp fig1 susan`)\n\
+         experiments: fig1 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
+                      classify patel belady generalize idx-amat assoc-sweep\n\
+                      hierarchy icache online workloads phases select all"
+    );
+    ExitCode::from(2)
+}
+
+fn emit(table: ExperimentTable, csv: bool) {
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{}", table.render());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut fig1_workload = Workload::Fft;
+    let mut scale = Scale::Small;
+    let mut csv = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("large") => Scale::Large,
+                    _ => return usage(),
+                };
+            }
+            "--csv" => csv = true,
+            a if which.is_none() && !a.starts_with('-') => which = Some(a.to_string()),
+            a if which.as_deref() == Some("fig1") && Workload::from_name(a).is_some() => {
+                fig1_workload = Workload::from_name(a).expect("checked above");
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let Some(which) = which else { return usage() };
+    let store = TraceStore::new(scale);
+
+    let run_one = |name: &str, store: &TraceStore, csv: bool| -> bool {
+        match name {
+            "fig1" => {
+                let r = figures::fig1::report(store, fig1_workload);
+                print!("{}", r.render());
+            }
+            "fig4" => emit(figures::indexing::fig4(store), csv),
+            "fig6" => emit(figures::assoc::fig6(store), csv),
+            "fig7" => emit(figures::assoc::fig7(store), csv),
+            "fig8" => emit(figures::hybrid::fig8(store), csv),
+            "fig9" => emit(figures::indexing::fig9(store), csv),
+            "fig10" => emit(figures::indexing::fig10(store), csv),
+            "fig11" => emit(figures::assoc::fig11(store), csv),
+            "fig12" => emit(figures::assoc::fig12(store), csv),
+            "fig13" => emit(figures::smt::fig13(store), csv),
+            "fig14" => emit(figures::smt::fig14(store), csv),
+            "classify" => emit(figures::extras::classification(store), csv),
+            "patel" => emit(figures::extras::patel(store, 10_000, 7), csv),
+            "belady" => emit(figures::extras::belady_bound(store), csv),
+            "generalize" => emit(figures::extras::givargis_generalization(store), csv),
+            "idx-amat" => emit(figures::extras::indexing_amat(store), csv),
+            "assoc-sweep" => emit(figures::sweeps::associativity(store), csv),
+            "online" => emit(figures::extras::online_selection(store), csv),
+            "workloads" => emit(figures::extras::workload_characterization(store), csv),
+            "phases" => emit(figures::extras::phase_stability(store), csv),
+            "hierarchy" => emit(figures::sweeps::hierarchy_cycles(store), csv),
+            "icache" => emit(figures::sweeps::icache(store), csv),
+            "select" => {
+                let t = figures::extras::scheme_selection(store);
+                emit(t.clone(), csv);
+                if !csv {
+                    println!("selected technique per application:");
+                    for (w, s, v) in figures::extras::winners(&t) {
+                        println!("  {w:12} -> {s} ({v:+.2}%)");
+                    }
+                }
+            }
+            _ => return false,
+        }
+        true
+    };
+
+    if which == "all" {
+        for name in [
+            "fig1",
+            "fig4",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "classify",
+            "patel",
+            "belady",
+            "generalize",
+            "idx-amat",
+            "assoc-sweep",
+            "hierarchy",
+            "icache",
+            "online",
+            "workloads",
+            "phases",
+            "select",
+        ] {
+            if !run_one(name, &store, csv) {
+                return usage();
+            }
+            println!();
+        }
+        ExitCode::SUCCESS
+    } else if run_one(&which, &store, csv) {
+        ExitCode::SUCCESS
+    } else {
+        usage()
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 8 — non-conventional indexing as the *primary* index of a
+//! column-associative cache, evaluated on the SPEC-like workloads.
+
+use crate::figures::paper_geom;
+use crate::{run_model, ExperimentTable, TraceStore};
+use rayon::prelude::*;
+use std::sync::Arc;
+use unicache_assoc::ColumnAssociativeCache;
+use unicache_core::{CacheStats, IndexFunction};
+use unicache_indexing::{ModuloIndex, OddMultiplierIndex, PrimeModuloIndex, XorIndex};
+use unicache_stats::percent_reduction;
+use unicache_workloads::Workload;
+
+/// Column labels in the paper's Fig. 8 legend order.
+pub const SCHEMES: [&str; 3] = [
+    "ColumnAssoc_XOR",
+    "ColumnAssoc_Odd_Multiplier",
+    "ColumnAssoc_Prime_Modulo",
+];
+
+fn column_with(trace: &unicache_trace::Trace, index: Arc<dyn IndexFunction>) -> CacheStats {
+    let mut cache =
+        ColumnAssociativeCache::with_index(paper_geom(), index).expect("valid hybrid cache");
+    run_model(trace, &mut cache)
+}
+
+/// **Figure 8** — % reduction in miss rate relative to a *plain*
+/// column-associative cache (conventional primary index), for XOR,
+/// odd-multiplier and prime-modulo primaries, over the SPEC-like suite.
+pub fn fig8(store: &TraceStore) -> ExperimentTable {
+    let workloads = Workload::spec();
+    store.prefetch(&workloads);
+    let geom = paper_geom();
+    let sets = geom.num_sets();
+    let rows: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
+    let values: Vec<Vec<f64>> = workloads
+        .par_iter()
+        .map(|&w| {
+            let trace = store.get(w);
+            let base = column_with(
+                &trace,
+                Arc::new(ModuloIndex::new(sets).expect("sets are pow2")),
+            );
+            let hybrids: Vec<CacheStats> = vec![
+                column_with(&trace, Arc::new(XorIndex::new(sets).expect("pow2"))),
+                column_with(
+                    &trace,
+                    Arc::new(OddMultiplierIndex::paper_default(sets).expect("pow2")),
+                ),
+                column_with(&trace, Arc::new(PrimeModuloIndex::new(sets).expect("pow2"))),
+            ];
+            hybrids
+                .iter()
+                .map(|h| percent_reduction(base.miss_rate(), h.miss_rate()))
+                .collect()
+        })
+        .collect();
+    ExperimentTable::new(
+        "Fig. 8: indexing schemes as the primary index of a column-associative cache",
+        "% reduction in miss-rate vs plain column-associative",
+        rows,
+        SCHEMES.iter().map(|s| s.to_string()).collect(),
+        values,
+    )
+    .with_average()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicache_workloads::Scale;
+
+    #[test]
+    fn fig8_shape_and_mixed_outcomes() {
+        let store = TraceStore::new(Scale::Tiny);
+        let t = fig8(&store);
+        assert_eq!(t.cols.len(), 3);
+        assert_eq!(t.rows.len(), 11); // 10 SPEC + Average
+                                      // Paper: hybrids help some programs and hurt others ("for some
+                                      // benchmarks the performance deteriorates").
+        let all: Vec<f64> = t
+            .values
+            .iter()
+            .take(10)
+            .flat_map(|r| r.iter().copied())
+            .filter(|v| v.is_finite())
+            .collect();
+        assert!(all.iter().any(|&v| v > 0.5), "nothing improved");
+        assert!(all.iter().any(|&v| v < -0.5), "nothing deteriorated");
+    }
+}

@@ -1,0 +1,181 @@
+//! Figures 4, 9 and 10 — the cache-indexing-scheme comparison.
+
+use crate::figures::{baseline_stats, paper_geom};
+use crate::{run_model, ExperimentTable, TraceStore};
+use rayon::prelude::*;
+use unicache_core::CacheStats;
+use unicache_indexing::IndexScheme;
+use unicache_sim::CacheBuilder;
+use unicache_stats::{percent_change, percent_reduction, Moments};
+use unicache_workloads::Workload;
+
+/// Runs one workload under every Fig. 4 indexing scheme, returning
+/// `(baseline stats, per-scheme stats in figure4_set order)`.
+fn run_schemes(store: &TraceStore, w: Workload) -> (CacheStats, Vec<CacheStats>) {
+    let geom = paper_geom();
+    let trace = store.get(w);
+    let base = baseline_stats(&trace, geom);
+    // Trace-trained schemes profile the same workload, like the paper's
+    // off-line profiling methodology (Fig. 5's "profiled off-line").
+    let unique = trace.unique_blocks(geom.line_bytes());
+    let per_scheme = IndexScheme::figure4_set()
+        .into_iter()
+        .map(|scheme| {
+            let f = scheme
+                .build(geom, Some(&unique))
+                .expect("scheme construction");
+            let mut cache = CacheBuilder::new(geom)
+                .index(f)
+                .build()
+                .expect("valid cache");
+            run_model(&trace, &mut cache)
+        })
+        .collect();
+    (base, per_scheme)
+}
+
+/// All per-workload runs, in parallel across workloads.
+fn all_runs(store: &TraceStore) -> Vec<(Workload, CacheStats, Vec<CacheStats>)> {
+    let workloads = Workload::mibench();
+    store.prefetch(&workloads);
+    workloads
+        .par_iter()
+        .map(|&w| {
+            let (b, s) = run_schemes(store, w);
+            (w, b, s)
+        })
+        .collect()
+}
+
+fn scheme_labels() -> Vec<String> {
+    IndexScheme::figure4_set()
+        .iter()
+        .map(|s| s.label())
+        .collect()
+}
+
+/// **Figure 4** — % reduction in miss rate vs the conventional
+/// direct-mapped baseline, for XOR / odd-multiplier / prime-modulo /
+/// Givargis / Givargis-XOR across the MiBench suite.
+pub fn fig4(store: &TraceStore) -> ExperimentTable {
+    let runs = all_runs(store);
+    let rows = runs.iter().map(|(w, _, _)| w.name().to_string()).collect();
+    let values = runs
+        .iter()
+        .map(|(_, base, schemes)| {
+            schemes
+                .iter()
+                .map(|s| percent_reduction(base.miss_rate(), s.miss_rate()))
+                .collect()
+        })
+        .collect();
+    ExperimentTable::new(
+        "Fig. 4: cache miss rates for different indexing methods",
+        "% reduction in miss-rate vs conventional direct-mapped",
+        rows,
+        scheme_labels(),
+        values,
+    )
+    .with_average()
+}
+
+/// Shared implementation of Figures 9 and 10.
+fn moment_increase_table(
+    store: &TraceStore,
+    title: &str,
+    metric: &str,
+    pick: fn(&Moments) -> f64,
+) -> ExperimentTable {
+    let runs = all_runs(store);
+    let rows = runs.iter().map(|(w, _, _)| w.name().to_string()).collect();
+    let values = runs
+        .iter()
+        .map(|(_, base, schemes)| {
+            let base_m = pick(&Moments::from_counts(&base.misses_per_set()));
+            schemes
+                .iter()
+                .map(|s| {
+                    let m = pick(&Moments::from_counts(&s.misses_per_set()));
+                    percent_change(base_m, m)
+                })
+                .collect()
+        })
+        .collect();
+    ExperimentTable::new(title, metric, rows, scheme_labels(), values).with_average()
+}
+
+/// **Figure 9** — % increase in kurtosis of per-set misses (negative =
+/// more uniform) for the indexing schemes.
+pub fn fig9(store: &TraceStore) -> ExperimentTable {
+    moment_increase_table(
+        store,
+        "Fig. 9: kurtosis of misses for different indexing schemes",
+        "% increase in kurtosis (misses); negative = more uniform",
+        |m| m.kurtosis,
+    )
+}
+
+/// **Figure 10** — % increase in skewness of per-set misses for the
+/// indexing schemes.
+pub fn fig10(store: &TraceStore) -> ExperimentTable {
+    moment_increase_table(
+        store,
+        "Fig. 10: skewness of misses for different indexing schemes",
+        "% increase in skewness (misses); negative = more uniform",
+        |m| m.skewness,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicache_workloads::Scale;
+
+    fn store() -> TraceStore {
+        TraceStore::new(Scale::Tiny)
+    }
+
+    #[test]
+    fn fig4_shape_and_headline_claims() {
+        let s = store();
+        let t = fig4(&s);
+        assert_eq!(t.cols.len(), 5);
+        assert_eq!(t.rows.len(), 12); // 11 workloads + Average
+        assert_eq!(t.rows.last().unwrap(), "Average");
+        // Paper claim: no scheme wins everywhere — every scheme must lose
+        // (negative or ~zero) on at least one workload.
+        for (c, col) in t.cols.iter().enumerate() {
+            let worst = t
+                .values
+                .iter()
+                .take(11)
+                .map(|r| r[c])
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                worst <= 5.0,
+                "{col} never loses (worst {worst:.1}) — contradicts the paper's claim"
+            );
+        }
+        // And some scheme helps some workload substantially.
+        let best = t
+            .values
+            .iter()
+            .take(11)
+            .flat_map(|r| r.iter().copied())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > 10.0, "no scheme ever helps (best {best:.1})");
+    }
+
+    #[test]
+    fn fig9_fig10_shapes() {
+        let s = store();
+        for t in [fig9(&s), fig10(&s)] {
+            assert_eq!(t.cols.len(), 5);
+            assert_eq!(t.rows.len(), 12);
+            // Values exist and at least one is finite per column.
+            for c in 0..5 {
+                assert!(t.values.iter().any(|r| r[c].is_finite()));
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! A memoizing workload-trace store shared across figure runners.
+//!
+//! Generating 21 instrumented workload traces is the dominant setup cost
+//! of `xp all`; the store generates each `(workload, scale)` trace once —
+//! in parallel across cores with rayon, per the hpc guides — and hands out
+//! shared references afterwards.
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use unicache_trace::Trace;
+use unicache_workloads::{Scale, Workload};
+
+/// Memoized trace generation.
+pub struct TraceStore {
+    scale: Scale,
+    traces: Mutex<HashMap<Workload, Arc<Trace>>>,
+}
+
+impl TraceStore {
+    /// A store generating at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        TraceStore {
+            scale,
+            traces: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The scale this store generates at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Returns the (possibly cached) trace of `w`.
+    pub fn get(&self, w: Workload) -> Arc<Trace> {
+        if let Some(t) = self.traces.lock().get(&w) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(w.generate(self.scale));
+        let mut guard = self.traces.lock();
+        Arc::clone(guard.entry(w).or_insert(t))
+    }
+
+    /// Pre-generates a set of workloads in parallel.
+    pub fn prefetch(&self, workloads: &[Workload]) {
+        let missing: Vec<Workload> = {
+            let guard = self.traces.lock();
+            workloads
+                .iter()
+                .copied()
+                .filter(|w| !guard.contains_key(w))
+                .collect()
+        };
+        let generated: Vec<(Workload, Arc<Trace>)> = missing
+            .par_iter()
+            .map(|&w| (w, Arc::new(w.generate(self.scale))))
+            .collect();
+        let mut guard = self.traces.lock();
+        for (w, t) in generated {
+            guard.entry(w).or_insert(t);
+        }
+    }
+
+    /// Number of traces currently cached.
+    pub fn cached(&self) -> usize {
+        self.traces.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_memoizes() {
+        let store = TraceStore::new(Scale::Tiny);
+        assert_eq!(store.cached(), 0);
+        let a = store.get(Workload::Crc);
+        assert_eq!(store.cached(), 1);
+        let b = store.get(Workload::Crc);
+        assert!(Arc::ptr_eq(&a, &b), "second get returns the cached arc");
+        assert_eq!(store.scale(), Scale::Tiny);
+    }
+
+    #[test]
+    fn prefetch_generates_in_parallel_and_is_idempotent() {
+        let store = TraceStore::new(Scale::Tiny);
+        let set = [Workload::Crc, Workload::Bitcount, Workload::Sha];
+        store.prefetch(&set);
+        assert_eq!(store.cached(), 3);
+        let before = store.get(Workload::Sha);
+        store.prefetch(&set);
+        assert_eq!(store.cached(), 3);
+        assert!(Arc::ptr_eq(&before, &store.get(Workload::Sha)));
+    }
+
+    #[test]
+    fn prefetched_equals_directly_generated() {
+        let store = TraceStore::new(Scale::Tiny);
+        store.prefetch(&[Workload::Qsort]);
+        let cached = store.get(Workload::Qsort);
+        let fresh = Workload::Qsort.generate(Scale::Tiny);
+        assert_eq!(*cached, fresh);
+    }
+}

@@ -1,0 +1,38 @@
+//! # unicache-indexing
+//!
+//! Cache set-index functions — the paper's Section II, "Optimal Cache
+//! Indexing Schemes".
+//!
+//! | Paper §  | Scheme | Type |
+//! |----------|--------|------|
+//! | Fig. 2   | conventional modulo-2^m | [`modulo::ModuloIndex`] |
+//! | II.A     | Givargis trace-trained bit selection | [`givargis::GivargisIndex`] |
+//! | II.B     | prime modulo | [`prime::PrimeModuloIndex`] |
+//! | II.C     | odd-multiplier displacement | [`oddmul::OddMultiplierIndex`] |
+//! | II.D     | exclusive-OR hashing | [`xor::XorIndex`] |
+//! | II.E     | Givargis-XOR hybrid (the paper's own proposal) | [`givargis::GivargisXorIndex`] |
+//! | II.F     | Patel optimal index search (Eq. 6/7) | [`patel::PatelSearch`] |
+//!
+//! All functions map *block addresses* to sets and implement
+//! [`unicache_core::IndexFunction`]; they can be attached to any cache in
+//! `unicache-sim`/`unicache-assoc`, including as the primary index of a
+//! column-associative cache (the paper's Fig. 8 hybrid study).
+
+pub mod bitselect;
+pub mod givargis;
+pub mod modulo;
+pub mod oddmul;
+pub mod patel;
+pub mod prime;
+pub mod primes;
+pub mod registry;
+pub mod xor;
+
+pub use bitselect::BitSelectIndex;
+pub use givargis::{GivargisIndex, GivargisTrainer, GivargisXorIndex};
+pub use modulo::ModuloIndex;
+pub use oddmul::{OddMultiplierIndex, RECOMMENDED_MULTIPLIERS};
+pub use patel::PatelSearch;
+pub use prime::PrimeModuloIndex;
+pub use registry::IndexScheme;
+pub use xor::XorIndex;

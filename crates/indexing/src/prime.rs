@@ -1,0 +1,155 @@
+//! Prime-modulo indexing (paper Section II.B, Eq. 3).
+//!
+//! `index = block_address mod p`, with `p` the largest prime not exceeding
+//! the set count. Prime moduli spread regular strides that power-of-two
+//! moduli fold onto a few sets. Costs: `p < sets` leaves `sets - p` sets
+//! unused (*cache fragmentation*, per the paper), and real hardware needs
+//! multi-cycle modulo units — both faithfully modeled here (fragmentation in
+//! the mapping, latency in `unicache-timing`).
+
+use crate::primes::largest_prime_leq;
+use unicache_core::{is_pow2, BlockAddr, ConfigError, IndexFunction, Result};
+
+/// Prime-modulo hashing.
+#[derive(Debug, Clone)]
+pub struct PrimeModuloIndex {
+    sets: usize,
+    prime: u64,
+    name: String,
+}
+
+impl PrimeModuloIndex {
+    /// Uses the largest prime `<= sets`.
+    pub fn new(sets: usize) -> Result<Self> {
+        if !is_pow2(sets as u64) {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "prime-modulo cache sets",
+                value: sets as u64,
+            });
+        }
+        let prime = largest_prime_leq(sets as u64).ok_or(ConfigError::OutOfRange {
+            what: "prime-modulo sets",
+            expected: ">= 2".into(),
+            got: sets as u64,
+        })?;
+        Ok(PrimeModuloIndex {
+            sets,
+            prime,
+            name: format!("prime_modulo({prime})"),
+        })
+    }
+
+    /// Uses an explicit prime `p <= sets` (for ablations with smaller
+    /// primes and more fragmentation).
+    pub fn with_prime(sets: usize, p: u64) -> Result<Self> {
+        if !is_pow2(sets as u64) {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "prime-modulo cache sets",
+                value: sets as u64,
+            });
+        }
+        if !crate::primes::is_prime(p) {
+            return Err(ConfigError::InvalidParameter {
+                what: format!("{p} is not prime"),
+            });
+        }
+        if p > sets as u64 {
+            return Err(ConfigError::OutOfRange {
+                what: "prime modulus",
+                expected: format!("<= {sets}"),
+                got: p,
+            });
+        }
+        Ok(PrimeModuloIndex {
+            sets,
+            prime: p,
+            name: format!("prime_modulo({p})"),
+        })
+    }
+
+    /// The modulus in use.
+    pub fn prime(&self) -> u64 {
+        self.prime
+    }
+
+    /// Number of sets this function can never produce (`sets - p`).
+    pub fn fragmented_sets(&self) -> usize {
+        self.sets - self.prime as usize
+    }
+}
+
+impl IndexFunction for PrimeModuloIndex {
+    #[inline]
+    fn index_block(&self, block: BlockAddr) -> usize {
+        (block % self.prime) as usize
+    }
+
+    fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_cache_uses_1021() {
+        let f = PrimeModuloIndex::new(1024).unwrap();
+        assert_eq!(f.prime(), 1021);
+        assert_eq!(f.fragmented_sets(), 3);
+        assert_eq!(f.name(), "prime_modulo(1021)");
+        assert_eq!(f.num_sets(), 1024);
+    }
+
+    #[test]
+    fn mapping_is_block_mod_p() {
+        let f = PrimeModuloIndex::new(1024).unwrap();
+        assert_eq!(f.index_block(0), 0);
+        assert_eq!(f.index_block(1021), 0);
+        assert_eq!(f.index_block(1022), 1);
+        assert_eq!(f.index_block(123_456_789), (123_456_789u64 % 1021) as usize);
+    }
+
+    #[test]
+    fn top_sets_are_never_used() {
+        let f = PrimeModuloIndex::new(1024).unwrap();
+        for block in 0..100_000u64 {
+            assert!(f.index_block(block) < 1021);
+        }
+    }
+
+    #[test]
+    fn explicit_prime_validation() {
+        assert!(PrimeModuloIndex::with_prime(1024, 509).is_ok());
+        assert!(PrimeModuloIndex::with_prime(1024, 1021).is_ok());
+        assert!(PrimeModuloIndex::with_prime(1024, 1022).is_err()); // composite
+        assert!(PrimeModuloIndex::with_prime(1024, 2039).is_err()); // > sets
+        assert!(PrimeModuloIndex::with_prime(1000, 509).is_err()); // sets not pow2
+    }
+
+    #[test]
+    fn spreads_power_of_two_strides() {
+        // Stride of exactly `sets` blocks: conventional indexing maps every
+        // reference to set 0; prime modulo spreads them.
+        let f = PrimeModuloIndex::new(1024).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100u64 {
+            seen.insert(f.index_block(i * 1024));
+        }
+        assert!(seen.len() > 90, "only {} distinct sets", seen.len());
+    }
+
+    proptest! {
+        #[test]
+        fn always_below_prime(block in proptest::num::u64::ANY) {
+            let f = PrimeModuloIndex::new(1024).unwrap();
+            prop_assert!(f.index_block(block) < 1021);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Small prime-number utilities for prime-modulo indexing.
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// Uses the known minimal witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+/// 31, 37} which is sufficient for every 64-bit integer.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^r with d odd
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue 'witness;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// `(a * b) mod m` without overflow.
+#[inline]
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `(base ^ exp) mod m` by square-and-multiply.
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// The largest prime `<= n`, or `None` if `n < 2`.
+pub fn largest_prime_leq(n: u64) -> Option<u64> {
+    if n < 2 {
+        return None;
+    }
+    let mut k = n;
+    loop {
+        if is_prime(k) {
+            return Some(k);
+        }
+        k -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_primes() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 1009, 1013, 1019, 1021];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        let composites = [0u64, 1, 4, 6, 9, 15, 1001, 1023, 1024];
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn large_known_values() {
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1, Mersenne
+        assert!(!is_prime(2_147_483_649));
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+                                                       // Carmichael numbers must not fool the test.
+        for carmichael in [561u64, 1105, 1729, 2465, 2821, 6601] {
+            assert!(!is_prime(carmichael), "{carmichael}");
+        }
+    }
+
+    #[test]
+    fn largest_prime_below_paper_set_counts() {
+        // The values prime-modulo indexing actually uses for common caches.
+        assert_eq!(largest_prime_leq(1024), Some(1021));
+        assert_eq!(largest_prime_leq(512), Some(509));
+        assert_eq!(largest_prime_leq(256), Some(251));
+        assert_eq!(largest_prime_leq(2048), Some(2039));
+        assert_eq!(largest_prime_leq(2), Some(2));
+        assert_eq!(largest_prime_leq(1), None);
+        assert_eq!(largest_prime_leq(0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn largest_prime_is_prime_and_maximal(n in 2u64..100_000) {
+            let p = largest_prime_leq(n).unwrap();
+            prop_assert!(p <= n);
+            prop_assert!(is_prime(p));
+            for k in p + 1..=n {
+                prop_assert!(!is_prime(k));
+            }
+        }
+
+        #[test]
+        fn miller_rabin_agrees_with_trial_division(n in 2u64..50_000) {
+            let trial = (2..).take_while(|d| d * d <= n).all(|d| n % d != 0);
+            prop_assert_eq!(is_prime(n), trial);
+        }
+    }
+}

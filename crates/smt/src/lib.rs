@@ -1,0 +1,24 @@
+//! # unicache-smt
+//!
+//! SMT-style shared-cache simulation — the substrate behind the paper's
+//! Section IV.E (Figs. 13 and 14), replacing M-Sim (see `DESIGN.md`).
+//!
+//! * [`interleave()`] — merges per-thread traces into one shared-cache
+//!   reference stream (round-robin fetch like an SMT front end, or
+//!   stochastically);
+//! * [`shared::PerThreadIndexCache`] — one shared direct-mapped L1 where
+//!   *each hardware thread applies its own index function* (the paper's
+//!   Fig. 5 design and the Fig. 13 experiment);
+//! * [`partition::PartitionedCache`] — static equal division of the sets
+//!   among threads (the Fig. 14 baseline);
+//! * [`partition::AdaptivePartitionedCache`] — the paper's proposal:
+//!   static partitions plus shared Peir-style SHT/OUT tables, letting a
+//!   thread's displaced blocks borrow *cold sets from any partition*.
+
+pub mod interleave;
+pub mod partition;
+pub mod shared;
+
+pub use interleave::{interleave, InterleavePolicy};
+pub use partition::{AdaptivePartitionedCache, PartitionedCache};
+pub use shared::PerThreadIndexCache;

@@ -1,0 +1,91 @@
+//! Percent-change helpers matching the paper's reporting conventions.
+
+/// Percent **reduction** from `baseline` to `value`:
+/// `100 * (baseline - value) / baseline`.
+///
+/// Positive means `value` improved (shrank) relative to the baseline — this
+/// is the y-axis of the paper's Figs. 4, 6, 7, 8, 13, 14. A zero baseline
+/// with a zero value reports 0; a zero baseline with a non-zero value
+/// reports negative infinity-like saturation at `-100.0 * value` is
+/// meaningless, so we report `f64::NEG_INFINITY` — callers clamp when
+/// rendering (the paper itself prints pathological bars like `-5e8%` for
+/// susan/Givargis, which is exactly this situation on a near-zero
+/// baseline).
+pub fn percent_reduction(baseline: f64, value: f64) -> f64 {
+    if baseline == 0.0 {
+        if value == 0.0 {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        100.0 * (baseline - value) / baseline
+    }
+}
+
+/// Percent **increase** from `baseline` to `value`:
+/// `100 * (value - baseline) / |baseline|`.
+///
+/// This is the y-axis of Figs. 9–12 ("% increase in kurtosis/skewness");
+/// negative values mean the technique made the distribution *more* uniform.
+/// Baselines can legitimately be negative (excess kurtosis of a flat
+/// distribution), hence the absolute value in the denominator.
+pub fn percent_change(baseline: f64, value: f64) -> f64 {
+    if baseline == 0.0 {
+        if value == 0.0 {
+            0.0
+        } else if value > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        100.0 * (value - baseline) / baseline.abs()
+    }
+}
+
+/// Clamps non-finite or extreme percentages for table rendering, the way
+/// the paper truncates its own chart axes.
+pub fn clamp_pct(pct: f64, limit: f64) -> f64 {
+    if pct.is_nan() {
+        0.0
+    } else {
+        pct.clamp(-limit, limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_basics() {
+        assert_eq!(percent_reduction(0.10, 0.05), 50.0);
+        assert_eq!(percent_reduction(0.10, 0.10), 0.0);
+        assert_eq!(percent_reduction(0.10, 0.20), -100.0);
+        assert_eq!(percent_reduction(0.0, 0.0), 0.0);
+        assert_eq!(percent_reduction(0.0, 0.01), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn change_basics() {
+        assert_eq!(percent_change(2.0, 3.0), 50.0);
+        assert_eq!(percent_change(2.0, 1.0), -50.0);
+        // Negative baseline: moving from -1.0 to -2.0 is a -100% change
+        // (more negative = more uniform for kurtosis).
+        assert_eq!(percent_change(-1.0, -2.0), -100.0);
+        assert_eq!(percent_change(-1.0, 0.0), 100.0);
+        assert_eq!(percent_change(0.0, 0.0), 0.0);
+        assert_eq!(percent_change(0.0, 5.0), f64::INFINITY);
+        assert_eq!(percent_change(0.0, -5.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(clamp_pct(f64::INFINITY, 1000.0), 1000.0);
+        assert_eq!(clamp_pct(f64::NEG_INFINITY, 1000.0), -1000.0);
+        assert_eq!(clamp_pct(f64::NAN, 1000.0), 0.0);
+        assert_eq!(clamp_pct(42.0, 1000.0), 42.0);
+        assert_eq!(clamp_pct(-1234.0, 1000.0), -1000.0);
+    }
+}

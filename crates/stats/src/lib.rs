@@ -1,0 +1,28 @@
+//! # unicache-stats
+//!
+//! Distribution statistics used to quantify *cache access uniformity*,
+//! reproducing Section IV.C/IV.D of the paper:
+//!
+//! * central moments — mean, variance, standard deviation, **skewness**
+//!   (third standardized moment) and **kurtosis** (fourth standardized
+//!   moment) of per-set access/miss distributions (paper Figs. 9–12);
+//! * Zhang's set classification — **FHS** (frequently hit), **FMS**
+//!   (frequently missed) and **LAS** (least accessed) sets;
+//! * additional uniformity indices (Gini coefficient, normalized Shannon
+//!   entropy) used by the ablation studies;
+//! * percent-change helpers matching how the paper reports every figure
+//!   ("% reduction in miss rate", "% increase in kurtosis").
+
+pub mod change;
+pub mod classify;
+pub mod histogram;
+pub mod moments;
+pub mod phases;
+pub mod uniformity;
+
+pub use change::{percent_change, percent_reduction};
+pub use classify::SetClassification;
+pub use histogram::Histogram;
+pub use moments::Moments;
+pub use phases::PhaseSeries;
+pub use uniformity::{gini, normalized_entropy};

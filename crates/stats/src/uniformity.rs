@@ -1,0 +1,135 @@
+//! Scalar uniformity indices beyond the paper's moments: Gini coefficient
+//! and normalized Shannon entropy of per-set count distributions.
+//!
+//! These are used by the extension/ablation experiments to cross-check the
+//! kurtosis/skewness story: a technique that genuinely spreads misses will
+//! simultaneously lower Gini and raise entropy.
+
+/// Gini coefficient of a count distribution, in `[0, 1]`.
+///
+/// 0 = perfectly uniform (every set receives the same count);
+/// → 1 = maximally concentrated (one set receives everything).
+/// Returns 0 for an empty slice or an all-zero distribution.
+pub fn gini(counts: &[u64]) -> f64 {
+    let n = counts.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: u128 = counts.iter().map(|&c| c as u128).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable();
+    // Gini = (2 * sum_i i*x_(i) ) / (n * sum x) - (n + 1) / n  with 1-based i
+    let mut weighted: u128 = 0;
+    for (i, &x) in sorted.iter().enumerate() {
+        weighted += (i as u128 + 1) * x as u128;
+    }
+    let nf = n as f64;
+    (2.0 * weighted as f64) / (nf * total as f64) - (nf + 1.0) / nf
+}
+
+/// Normalized Shannon entropy of a count distribution, in `[0, 1]`.
+///
+/// 1 = perfectly uniform, 0 = all mass on one set. Returns 1 for an empty
+/// or single-set distribution (trivially uniform) and for an all-zero one.
+pub fn normalized_entropy(counts: &[u64]) -> f64 {
+    let n = counts.len();
+    if n <= 1 {
+        return 1.0;
+    }
+    let total: u128 = counts.iter().map(|&c| c as u128).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let tf = total as f64;
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / tf;
+            h -= p * p.ln();
+        }
+    }
+    h / (n as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_distribution_extremes() {
+        let uniform = vec![5u64; 100];
+        assert!(gini(&uniform).abs() < 1e-12);
+        assert!((normalized_entropy(&uniform) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_distribution_extremes() {
+        let mut v = vec![0u64; 99];
+        v.push(1000);
+        assert!(gini(&v) > 0.98);
+        assert!(normalized_entropy(&v) < 0.01);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        assert_eq!(normalized_entropy(&[]), 1.0);
+        assert_eq!(normalized_entropy(&[7]), 1.0);
+        assert_eq!(normalized_entropy(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn two_point_gini() {
+        // [0, x]: Gini = 1/2 for n = 2.
+        assert!((gini(&[0, 10]) - 0.5).abs() < 1e-12);
+        // [x, x]: 0.
+        assert!(gini(&[10, 10]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spreading_reduces_gini_and_raises_entropy() {
+        let spike = {
+            let mut v = vec![1u64; 63];
+            v.push(1000);
+            v
+        };
+        let spread = vec![17u64; 64];
+        assert!(gini(&spike) > gini(&spread));
+        assert!(normalized_entropy(&spike) < normalized_entropy(&spread));
+    }
+
+    proptest! {
+        #[test]
+        fn gini_in_unit_interval(xs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+            let g = gini(&xs);
+            prop_assert!((0.0..=1.0).contains(&g), "gini {g}");
+        }
+
+        #[test]
+        fn entropy_in_unit_interval(xs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+            let h = normalized_entropy(&xs);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&h), "entropy {h}");
+        }
+
+        #[test]
+        fn gini_is_scale_invariant(
+            xs in proptest::collection::vec(0u64..10_000, 2..100),
+            k in 2u64..20
+        ) {
+            let scaled: Vec<u64> = xs.iter().map(|&x| x * k).collect();
+            prop_assert!((gini(&xs) - gini(&scaled)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn gini_permutation_invariant(mut xs in proptest::collection::vec(0u64..10_000, 2..100)) {
+            let g1 = gini(&xs);
+            xs.reverse();
+            prop_assert!((g1 - gini(&xs)).abs() < 1e-12);
+        }
+    }
+}

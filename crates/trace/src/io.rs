@@ -1,0 +1,330 @@
+//! Compact binary and CSV (de)serialization of traces.
+//!
+//! Binary layout (little-endian), chosen so a 10-byte fixed record keeps
+//! multi-million-reference traces small and `mmap`-friendly:
+//!
+//! ```text
+//! magic  "UCTR"            4 bytes
+//! version u16              2 bytes
+//! count   u64              8 bytes
+//! record: addr u64, kind u8 (0=R,1=W,2=I), tid u8     (count times)
+//! ```
+
+use crate::trace::Trace;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use unicache_core::{AccessKind, MemRecord};
+
+const MAGIC: &[u8; 4] = b"UCTR";
+const VERSION: u16 = 1;
+
+/// Errors raised when decoding a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer too short for the declared contents.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Unknown access-kind byte.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "trace buffer truncated"),
+            DecodeError::BadMagic => write!(f, "bad trace magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::BadKind(k) => write!(f, "unknown access kind byte {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn kind_to_byte(k: AccessKind) -> u8 {
+    match k {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::InstFetch => 2,
+    }
+}
+
+fn byte_to_kind(b: u8) -> Result<AccessKind, DecodeError> {
+    match b {
+        0 => Ok(AccessKind::Read),
+        1 => Ok(AccessKind::Write),
+        2 => Ok(AccessKind::InstFetch),
+        other => Err(DecodeError::BadKind(other)),
+    }
+}
+
+/// Serializes a trace to the compact binary format.
+pub fn encode(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(14 + trace.len() * 10);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(trace.len() as u64);
+    for r in trace {
+        buf.put_u64_le(r.addr);
+        buf.put_u8(kind_to_byte(r.kind));
+        buf.put_u8(r.tid);
+    }
+    buf.freeze()
+}
+
+/// Decodes a trace from the compact binary format.
+pub fn decode(mut buf: &[u8]) -> Result<Trace, DecodeError> {
+    if buf.len() < 14 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let count = buf.get_u64_le() as usize;
+    if buf.len() < count * 10 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let addr = buf.get_u64_le();
+        let kind = byte_to_kind(buf.get_u8())?;
+        let tid = buf.get_u8();
+        records.push(MemRecord { addr, kind, tid });
+    }
+    Ok(Trace::from_records(records))
+}
+
+/// Writes a trace as CSV (`addr,kind,tid`, hex addresses) — for eyeballing
+/// and external plotting.
+pub fn to_csv(trace: &Trace) -> String {
+    let mut s = String::with_capacity(trace.len() * 16 + 16);
+    s.push_str("addr,kind,tid\n");
+    for r in trace {
+        let k = match r.kind {
+            AccessKind::Read => 'R',
+            AccessKind::Write => 'W',
+            AccessKind::InstFetch => 'I',
+        };
+        s.push_str(&format!("{:#x},{},{}\n", r.addr, k, r.tid));
+    }
+    s
+}
+
+/// Parses the CSV produced by [`to_csv`].
+pub fn from_csv(csv: &str) -> Result<Trace, String> {
+    let mut records = Vec::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        if lineno == 0 && line.starts_with("addr") {
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let addr_s = parts
+            .next()
+            .ok_or_else(|| format!("line {lineno}: missing addr"))?;
+        let kind_s = parts
+            .next()
+            .ok_or_else(|| format!("line {lineno}: missing kind"))?;
+        let tid_s = parts
+            .next()
+            .ok_or_else(|| format!("line {lineno}: missing tid"))?;
+        let addr = if let Some(hex) = addr_s.trim().strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else {
+            addr_s.trim().parse()
+        }
+        .map_err(|e| format!("line {lineno}: bad addr: {e}"))?;
+        let kind = match kind_s.trim() {
+            "R" => AccessKind::Read,
+            "W" => AccessKind::Write,
+            "I" => AccessKind::InstFetch,
+            other => return Err(format!("line {lineno}: bad kind {other:?}")),
+        };
+        let tid = tid_s
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {lineno}: bad tid: {e}"))?;
+        records.push(MemRecord { addr, kind, tid });
+    }
+    Ok(Trace::from_records(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binary_round_trip() {
+        let t = synth::uniform_rw(3, 1000, 0x10_0000, 1 << 20, 0.25);
+        let bytes = encode(&t);
+        assert_eq!(bytes.len(), 14 + 1000 * 10);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn empty_trace_round_trip() {
+        let t = Trace::new();
+        let back = decode(&encode(&t)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode(b"XXXX0000000000"), Err(DecodeError::BadMagic));
+        let mut good = encode(&synth::uniform(1, 4, 0, 64)).to_vec();
+        // Flip version.
+        good[4] = 9;
+        assert_eq!(decode(&good), Err(DecodeError::BadVersion(9)));
+        // Truncate body.
+        let good = encode(&synth::uniform(1, 4, 0, 64));
+        assert_eq!(decode(&good[..20]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn decode_rejects_bad_kind() {
+        let mut buf = encode(&synth::uniform(1, 1, 0, 64)).to_vec();
+        buf[14 + 8] = 7; // kind byte of record 0
+        assert_eq!(decode(&buf), Err(DecodeError::BadKind(7)));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = synth::uniform_rw(5, 100, 0x4000, 4096, 0.5);
+        let csv = to_csv(&t);
+        assert!(csv.starts_with("addr,kind,tid\n"));
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn csv_parses_decimal_addresses_too() {
+        let t = from_csv("addr,kind,tid\n4096,R,0\n8192,W,1\n").unwrap();
+        assert_eq!(t.records()[0].addr, 4096);
+        assert_eq!(t.records()[1].tid, 1);
+    }
+
+    #[test]
+    fn csv_error_reporting() {
+        assert!(from_csv("addr,kind,tid\nzzz,R,0\n").is_err());
+        assert!(from_csv("addr,kind,tid\n1,Q,0\n").is_err());
+        assert!(from_csv("addr,kind,tid\n1,R,badtid\n").is_err());
+        assert!(from_csv("addr,kind,tid\n1\n").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn binary_round_trip_arbitrary(
+            recs in proptest::collection::vec(
+                (proptest::num::u64::ANY, 0u8..3, proptest::num::u8::ANY), 0..200)
+        ) {
+            let t: Trace = recs.iter().map(|&(addr, k, tid)| {
+                let kind = byte_to_kind(k).unwrap();
+                MemRecord { addr, kind, tid }
+            }).collect();
+            prop_assert_eq!(decode(&encode(&t)).unwrap(), t);
+        }
+    }
+}
+
+/// Writes the classic Dinero III "din" format: one `<label> <hex-addr>`
+/// pair per line with labels 0 = read, 1 = write, 2 = instruction fetch —
+/// so traces can be cross-checked against dineroIV and other classic
+/// cache simulators (thread ids are not representable and are dropped).
+pub fn to_dinero(trace: &Trace) -> String {
+    let mut s = String::with_capacity(trace.len() * 12);
+    for r in trace {
+        let label = match r.kind {
+            AccessKind::Read => '0',
+            AccessKind::Write => '1',
+            AccessKind::InstFetch => '2',
+        };
+        s.push(label);
+        s.push(' ');
+        s.push_str(&format!("{:x}\n", r.addr));
+    }
+    s
+}
+
+/// Parses the Dinero III format produced by [`to_dinero`] (and by other
+/// tools): whitespace-separated `<label> <hex-addr>` per line; blank lines
+/// are skipped.
+pub fn from_dinero(din: &str) -> Result<Trace, String> {
+    let mut records = Vec::new();
+    for (lineno, line) in din.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let label = parts
+            .next()
+            .ok_or_else(|| format!("line {lineno}: missing label"))?;
+        let addr_s = parts
+            .next()
+            .ok_or_else(|| format!("line {lineno}: missing address"))?;
+        let kind = match label {
+            "0" => AccessKind::Read,
+            "1" => AccessKind::Write,
+            "2" => AccessKind::InstFetch,
+            other => return Err(format!("line {lineno}: unknown label {other:?}")),
+        };
+        let addr = u64::from_str_radix(addr_s.trim_start_matches("0x"), 16)
+            .map_err(|e| format!("line {lineno}: bad address: {e}"))?;
+        records.push(MemRecord { addr, kind, tid: 0 });
+    }
+    Ok(Trace::from_records(records))
+}
+
+#[cfg(test)]
+mod dinero_tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn dinero_round_trip() {
+        let t = synth::uniform_rw(4, 500, 0x1000, 1 << 16, 0.4);
+        let din = to_dinero(&t);
+        let back = from_dinero(&din).unwrap();
+        assert_eq!(t.len(), back.len());
+        for (a, b) in t.iter().zip(back.iter()) {
+            assert_eq!(a.addr, b.addr);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn dinero_format_shape() {
+        let t = Trace::from_records(vec![
+            MemRecord::read(0xABC),
+            MemRecord::write(0x10),
+            MemRecord::fetch(0x400000),
+        ]);
+        let din = to_dinero(&t);
+        assert_eq!(din, "0 abc\n1 10\n2 400000\n");
+    }
+
+    #[test]
+    fn dinero_parses_foreign_variants() {
+        // 0x prefixes and extra whitespace are tolerated.
+        let t = from_dinero("0 0xff\n\n1   20\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records()[0].addr, 0xFF);
+        assert!(from_dinero("9 10\n").is_err());
+        assert!(from_dinero("0 zz\n").is_err());
+        assert!(from_dinero("0\n").is_err());
+    }
+}

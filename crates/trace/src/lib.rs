@@ -1,0 +1,31 @@
+//! # unicache-trace
+//!
+//! Memory-trace infrastructure for the unicache workspace.
+//!
+//! The paper obtains address traces by running MiBench binaries under
+//! SimpleScalar. We have no Alpha toolchain, so this crate provides the
+//! substitute substrate (documented in `DESIGN.md`):
+//!
+//! * [`vspace::VirtualSpace`] — a simulated process image with text, global,
+//!   heap and stack regions at realistic virtual addresses, plus a bump
+//!   allocator, so instrumented kernels touch addresses with the same
+//!   large-region structure a compiled binary would;
+//! * [`tracer::Tracer`] and [`mem::TracedVec`] — instrumented memory.
+//!   Workload kernels (crate `unicache-workloads`) compute real results on
+//!   real data while every load/store is appended to a [`trace::Trace`];
+//! * [`synth`] — parameterized synthetic reference generators (uniform,
+//!   strided, Zipfian, hotspot, pointer-chase) used by unit tests,
+//!   property tests and microbenches;
+//! * [`io`] — compact binary and CSV (de)serialization of traces.
+
+pub mod io;
+pub mod mem;
+pub mod synth;
+pub mod trace;
+pub mod tracer;
+pub mod vspace;
+
+pub use mem::{TracedMat, TracedVec};
+pub use trace::Trace;
+pub use tracer::Tracer;
+pub use vspace::{Region, VirtualSpace};

@@ -1,0 +1,290 @@
+//! Instrumented containers: real data + recorded addresses.
+//!
+//! A [`TracedVec<T>`] behaves like a `Vec<T>` whose every `get`/`set` emits
+//! a load/store record at the element's simulated virtual address. Workload
+//! kernels therefore compute *correct results* (verifiable in tests) while
+//! producing the address streams the cache simulators consume — the same
+//! dual role the instrumented SimpleScalar run plays in the paper.
+
+use crate::tracer::Tracer;
+use unicache_core::Addr;
+
+use crate::vspace::Region;
+
+/// An instrumented, fixed-stride array living in the simulated space.
+#[derive(Debug, Clone)]
+pub struct TracedVec<T: Copy> {
+    tracer: Tracer,
+    base: Addr,
+    stride: u64,
+    data: Vec<T>,
+}
+
+impl<T: Copy> TracedVec<T> {
+    /// Allocates an instrumented array in `region` initialized from `data`.
+    /// Element stride is `size_of::<T>()` (minimum 1).
+    pub fn new_in(tracer: &Tracer, region: Region, data: Vec<T>) -> Self {
+        let stride = std::mem::size_of::<T>().max(1) as u64;
+        let bytes = stride * data.len() as u64;
+        let base = tracer.alloc(region, bytes.max(1), stride.next_power_of_two().min(16));
+        TracedVec {
+            tracer: tracer.clone(),
+            base,
+            stride,
+            data,
+        }
+    }
+
+    /// Heap allocation via the simulated `malloc`.
+    pub fn malloc(tracer: &Tracer, data: Vec<T>) -> Self {
+        let stride = std::mem::size_of::<T>().max(1) as u64;
+        let bytes = stride * data.len() as u64;
+        let base = tracer.malloc(bytes.max(1));
+        TracedVec {
+            tracer: tracer.clone(),
+            base,
+            stride,
+            data,
+        }
+    }
+
+    /// Allocates a zero-filled instrumented array.
+    pub fn zeroed_in(tracer: &Tracer, region: Region, len: usize) -> Self
+    where
+        T: Default,
+    {
+        Self::new_in(tracer, region, vec![T::default(); len])
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Simulated base address.
+    #[inline]
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Simulated address of element `i`.
+    #[inline]
+    pub fn addr_of(&self, i: usize) -> Addr {
+        self.base + i as u64 * self.stride
+    }
+
+    /// Traced load of element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.tracer.load(self.addr_of(i));
+        self.data[i]
+    }
+
+    /// Traced store to element `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: T) {
+        self.tracer.store(self.addr_of(i));
+        self.data[i] = v;
+    }
+
+    /// Traced read-modify-write (one load + one store), e.g. `a[i] += x`.
+    #[inline]
+    pub fn update(&mut self, i: usize, f: impl FnOnce(T) -> T) {
+        let v = self.get(i);
+        self.set(i, f(v));
+    }
+
+    /// Traced swap of elements `i` and `j` (two loads + two stores).
+    pub fn swap(&mut self, i: usize, j: usize) {
+        let a = self.get(i);
+        let b = self.get(j);
+        self.set(i, b);
+        self.set(j, a);
+    }
+
+    /// Untraced peek — for test assertions and kernel setup, *not* for the
+    /// algorithm's own memory activity.
+    #[inline]
+    pub fn peek(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// Untraced write — for setup only.
+    #[inline]
+    pub fn poke(&mut self, i: usize, v: T) {
+        self.data[i] = v;
+    }
+
+    /// Untraced view of the whole buffer (for verifying kernel results).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+/// An instrumented row-major 2-D matrix.
+#[derive(Debug, Clone)]
+pub struct TracedMat<T: Copy> {
+    vec: TracedVec<T>,
+    cols: usize,
+}
+
+impl<T: Copy> TracedMat<T> {
+    /// Allocates a `rows × cols` matrix in `region`, initialized from
+    /// `data` (row-major; `data.len()` must equal `rows * cols`).
+    pub fn new_in(tracer: &Tracer, region: Region, rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix shape/data mismatch");
+        TracedMat {
+            vec: TracedVec::new_in(tracer, region, data),
+            cols,
+        }
+    }
+
+    /// Zero-filled matrix.
+    pub fn zeroed_in(tracer: &Tracer, region: Region, rows: usize, cols: usize) -> Self
+    where
+        T: Default,
+    {
+        Self::new_in(tracer, region, rows, cols, vec![T::default(); rows * cols])
+    }
+
+    /// Columns per row.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.vec.len().checked_div(self.cols).unwrap_or(0)
+    }
+
+    /// Traced load of `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        debug_assert!(c < self.cols);
+        self.vec.get(r * self.cols + c)
+    }
+
+    /// Traced store to `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        debug_assert!(c < self.cols);
+        self.vec.set(r * self.cols + c, v);
+    }
+
+    /// Untraced peek.
+    #[inline]
+    pub fn peek(&self, r: usize, c: usize) -> T {
+        self.vec.peek(r * self.cols + c)
+    }
+
+    /// Untraced poke (setup only).
+    #[inline]
+    pub fn poke(&mut self, r: usize, c: usize, v: T) {
+        self.vec.poke(r * self.cols + c, v);
+    }
+
+    /// Simulated address of `(r, c)`.
+    #[inline]
+    pub fn addr_of(&self, r: usize, c: usize) -> Addr {
+        self.vec.addr_of(r * self.cols + c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicache_core::AccessKind;
+
+    #[test]
+    fn traced_vec_records_loads_and_stores() {
+        let t = Tracer::new();
+        let mut v = TracedVec::new_in(&t, Region::Heap, vec![10i32, 20, 30]);
+        assert_eq!(v.get(1), 20);
+        v.set(2, 99);
+        assert_eq!(v.peek(2), 99);
+        let tr = t.finish();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.records()[0].kind, AccessKind::Read);
+        assert_eq!(tr.records()[0].addr, v.base() + 4);
+        assert_eq!(tr.records()[1].kind, AccessKind::Write);
+        assert_eq!(tr.records()[1].addr, v.base() + 8);
+    }
+
+    #[test]
+    fn stride_matches_type_size() {
+        let t = Tracer::new();
+        let v8 = TracedVec::new_in(&t, Region::Heap, vec![0u8; 4]);
+        let v64 = TracedVec::new_in(&t, Region::Heap, vec![0u64; 4]);
+        assert_eq!(v8.addr_of(1) - v8.addr_of(0), 1);
+        assert_eq!(v64.addr_of(1) - v64.addr_of(0), 8);
+    }
+
+    #[test]
+    fn update_and_swap_trace_counts() {
+        let t = Tracer::new();
+        let mut v = TracedVec::new_in(&t, Region::Heap, vec![1i64, 2]);
+        v.update(0, |x| x + 10); // 1 load + 1 store
+        v.swap(0, 1); // 2 loads + 2 stores
+        assert_eq!(v.peek(0), 2);
+        assert_eq!(v.peek(1), 11);
+        let tr = t.finish();
+        assert_eq!(tr.len(), 6);
+        assert_eq!(tr.read_count(), 3);
+        assert_eq!(tr.write_count(), 3);
+    }
+
+    #[test]
+    fn peek_poke_do_not_trace() {
+        let t = Tracer::new();
+        let mut v = TracedVec::zeroed_in(&t, Region::Global, 8);
+        v.poke(3, 42u32);
+        assert_eq!(v.peek(3), 42);
+        assert_eq!(v.as_slice()[3], 42);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn matrix_addressing_is_row_major() {
+        let t = Tracer::new();
+        let mut m = TracedMat::zeroed_in(&t, Region::Heap, 3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        m.set(1, 2, 7.0f64);
+        assert_eq!(m.peek(1, 2), 7.0);
+        assert_eq!(m.get(1, 2), 7.0);
+        // Row stride = cols * size_of::<f64>()
+        assert_eq!(m.addr_of(1, 0) - m.addr_of(0, 0), 32);
+        assert_eq!(m.addr_of(0, 1) - m.addr_of(0, 0), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn matrix_shape_mismatch_panics() {
+        let t = Tracer::new();
+        TracedMat::new_in(&t, Region::Heap, 2, 2, vec![1u8; 5]);
+    }
+
+    #[test]
+    fn distinct_vecs_get_distinct_addresses() {
+        let t = Tracer::new();
+        let a = TracedVec::new_in(&t, Region::Heap, vec![0u32; 100]);
+        let b = TracedVec::new_in(&t, Region::Heap, vec![0u32; 100]);
+        let a_end = a.addr_of(99) + 4;
+        assert!(
+            b.base() >= a_end,
+            "b {:#x} overlaps a end {:#x}",
+            b.base(),
+            a_end
+        );
+    }
+}

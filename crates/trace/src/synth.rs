@@ -1,0 +1,283 @@
+//! Parameterized synthetic reference generators.
+//!
+//! These are not paper workloads — the paper's workloads are instrumented
+//! kernels in `unicache-workloads` — but the test suites and ablation
+//! benches need address streams with *known* statistical structure:
+//! a uniform stream must produce near-zero kurtosis, a single-hotspot
+//! stream must produce extreme kurtosis, a power-of-two stride must slam a
+//! subset of sets, and so on.
+
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unicache_core::{Addr, MemRecord};
+
+/// Uniformly random reads over `[base, base + span)`.
+pub fn uniform(seed: u64, n: usize, base: Addr, span: u64) -> Trace {
+    assert!(span > 0, "span must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| MemRecord::read(base + rng.gen_range(0..span)))
+        .collect()
+}
+
+/// A constant-stride sweep: `base, base+stride, base+2*stride, ...`,
+/// wrapping after `footprint` bytes. Power-of-two strides larger than the
+/// line size exercise only a fraction of a conventionally indexed cache —
+/// the canonical conflict-miss generator.
+pub fn strided(n: usize, base: Addr, stride: u64, footprint: u64) -> Trace {
+    assert!(footprint > 0, "footprint must be positive");
+    (0..n as u64)
+        .map(|i| MemRecord::read(base + (i * stride) % footprint))
+        .collect()
+}
+
+/// Zipfian-distributed reads over `items` line-sized objects: item `k`
+/// (1-based rank) is chosen with probability ∝ `1 / k^s`. Models the
+/// few-hot-many-cold pattern behind the paper's Figure 1.
+pub fn zipfian(seed: u64, n: usize, base: Addr, items: usize, line: u64, s: f64) -> Trace {
+    assert!(items > 0, "need at least one item");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Precompute the CDF once; sampling is a binary search.
+    let mut cdf = Vec::with_capacity(items);
+    let mut acc = 0.0f64;
+    for k in 1..=items {
+        acc += 1.0 / (k as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..total);
+            let idx = cdf.partition_point(|&c| c < u).min(items - 1);
+            MemRecord::read(base + idx as u64 * line)
+        })
+        .collect()
+}
+
+/// A two-population stream: `hot_frac` of references hit a small hot
+/// region of `hot_bytes`, the rest spread uniformly over `cold_bytes`.
+pub fn hotspot(
+    seed: u64,
+    n: usize,
+    base: Addr,
+    hot_bytes: u64,
+    cold_bytes: u64,
+    hot_frac: f64,
+) -> Trace {
+    assert!(hot_bytes > 0 && cold_bytes > 0);
+    assert!((0.0..=1.0).contains(&hot_frac));
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(hot_frac) {
+                MemRecord::read(base + rng.gen_range(0..hot_bytes))
+            } else {
+                MemRecord::read(base + hot_bytes + rng.gen_range(0..cold_bytes))
+            }
+        })
+        .collect()
+}
+
+/// A pointer-chase over a random Hamiltonian cycle of `nodes` records of
+/// `node_bytes` each — dependent loads with no spatial locality, the
+/// classic linked-list traversal pattern (mcf-like).
+pub fn pointer_chase(seed: u64, n: usize, base: Addr, nodes: usize, node_bytes: u64) -> Trace {
+    assert!(nodes > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sattolo's algorithm: a uniform random single cycle.
+    let mut next: Vec<usize> = (0..nodes).collect();
+    for i in (1..nodes).rev() {
+        let j = rng.gen_range(0..i);
+        next.swap(i, j);
+    }
+    let mut cur = 0usize;
+    (0..n)
+        .map(|_| {
+            let r = MemRecord::read(base + cur as u64 * node_bytes);
+            cur = next[cur];
+            r
+        })
+        .collect()
+}
+
+/// Mixed read/write uniform stream with the given write ratio — used to
+/// exercise write-allocation and write-back paths.
+pub fn uniform_rw(seed: u64, n: usize, base: Addr, span: u64, write_ratio: f64) -> Trace {
+    assert!(span > 0);
+    assert!((0.0..=1.0).contains(&write_ratio));
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let addr = base + rng.gen_range(0..span);
+            if rng.gen_bool(write_ratio) {
+                MemRecord::write(addr)
+            } else {
+                MemRecord::read(addr)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform(7, 100, 0, 4096), uniform(7, 100, 0, 4096));
+        assert_ne!(uniform(7, 100, 0, 4096), uniform(8, 100, 0, 4096));
+        assert_eq!(
+            zipfian(1, 50, 0, 64, 32, 1.0),
+            zipfian(1, 50, 0, 64, 32, 1.0)
+        );
+        assert_eq!(
+            pointer_chase(3, 50, 0, 16, 64),
+            pointer_chase(3, 50, 0, 16, 64)
+        );
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let t = uniform(1, 1000, 0x1000, 256);
+        assert_eq!(t.len(), 1000);
+        for r in &t {
+            assert!(r.addr >= 0x1000 && r.addr < 0x1100);
+        }
+    }
+
+    #[test]
+    fn stride_wraps_at_footprint() {
+        let t = strided(10, 0, 64, 256);
+        let addrs: Vec<Addr> = t.iter().map(|r| r.addr).collect();
+        assert_eq!(addrs[..5], [0, 64, 128, 192, 0]);
+    }
+
+    #[test]
+    fn zipf_concentrates_on_low_ranks() {
+        let t = zipfian(42, 20_000, 0, 1000, 32, 1.2);
+        let first_item = t.iter().filter(|r| r.addr == 0).count();
+        // Rank-1 probability for s=1.2 over 1000 items is ≈ 0.27; the count
+        // must dwarf the uniform expectation of 20.
+        assert!(first_item > 2000, "rank-1 hits: {first_item}");
+    }
+
+    #[test]
+    fn hotspot_ratio_approximate() {
+        let t = hotspot(5, 50_000, 0, 64, 1 << 20, 0.9);
+        let hot = t.iter().filter(|r| r.addr < 64).count();
+        let frac = hot as f64 / t.len() as f64;
+        assert!((frac - 0.9).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn pointer_chase_visits_every_node() {
+        let nodes = 64;
+        let t = pointer_chase(9, nodes, 0, nodes, 128);
+        let distinct: HashSet<Addr> = t.iter().map(|r| r.addr).collect();
+        // One full lap of a Hamiltonian cycle touches every node exactly
+        // once.
+        assert_eq!(distinct.len(), nodes);
+    }
+
+    #[test]
+    fn rw_ratio_approximate() {
+        let t = uniform_rw(11, 20_000, 0, 1 << 16, 0.3);
+        let frac = t.write_count() as f64 / t.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "write fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_span_panics() {
+        uniform(0, 1, 0, 0);
+    }
+}
+
+/// A synthetic instruction-fetch stream: `functions` routines laid out in
+/// the text segment, executed as mostly-sequential fetches with taken
+/// branches (loop back-edges) and call/return transfers driven by an
+/// explicit call stack — the access structure an L1I cache sees.
+///
+/// Knobs follow typical integer-code statistics: ~70% fall-through, ~20%
+/// short backward branch (loops), ~10% call or return.
+pub fn instruction_stream(seed: u64, n: usize, functions: usize, func_bytes: u64) -> Trace {
+    assert!(functions > 0 && func_bytes >= 64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let text_base: Addr = 0x0040_0000;
+    let func_base = |f: usize| text_base + f as u64 * func_bytes;
+    let mut stack: Vec<(usize, Addr)> = Vec::new(); // (function, return pc)
+    let mut func = 0usize;
+    let mut pc = func_base(0);
+    (0..n)
+        .map(|_| {
+            let rec = MemRecord::fetch(pc);
+            let roll: f64 = rng.gen();
+            if roll < 0.70 {
+                pc += 4;
+            } else if roll < 0.90 {
+                // Loop back-edge: jump back a short distance.
+                let back = rng.gen_range(1..=16) * 4;
+                pc = pc.saturating_sub(back).max(func_base(func));
+            } else if roll < 0.97 && stack.len() < 64 {
+                // Call a random function.
+                stack.push((func, pc + 4));
+                func = rng.gen_range(0..functions);
+                pc = func_base(func);
+            } else if let Some((f, ret)) = stack.pop() {
+                func = f;
+                pc = ret;
+            } else {
+                pc += 4;
+            }
+            // Keep the pc inside the function body.
+            if pc >= func_base(func) + func_bytes {
+                pc = func_base(func);
+            }
+            rec
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod instruction_tests {
+    use super::*;
+    use unicache_core::AccessKind;
+
+    #[test]
+    fn stream_is_all_fetches_in_text() {
+        let t = instruction_stream(1, 5000, 16, 1024);
+        assert_eq!(t.len(), 5000);
+        for r in &t {
+            assert_eq!(r.kind, AccessKind::InstFetch);
+            assert!(r.addr >= 0x40_0000);
+            assert!(r.addr < 0x40_0000 + 16 * 1024);
+            assert_eq!(r.addr % 4, 0, "instruction alignment");
+        }
+    }
+
+    #[test]
+    fn stream_is_mostly_sequential() {
+        let t = instruction_stream(2, 20_000, 8, 2048);
+        let seq = t
+            .records()
+            .windows(2)
+            .filter(|w| w[1].addr == w[0].addr + 4)
+            .count();
+        let frac = seq as f64 / (t.len() - 1) as f64;
+        assert!((0.5..0.9).contains(&frac), "sequential fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_and_covers_functions() {
+        assert_eq!(
+            instruction_stream(3, 1000, 4, 512),
+            instruction_stream(3, 1000, 4, 512)
+        );
+        let t = instruction_stream(4, 50_000, 8, 1024);
+        let funcs: std::collections::HashSet<u64> =
+            t.iter().map(|r| (r.addr - 0x40_0000) / 1024).collect();
+        assert!(funcs.len() >= 6, "only {} functions visited", funcs.len());
+    }
+}

@@ -1,0 +1,162 @@
+//! The [`Tracer`]: shared recording handle used by instrumented kernels.
+//!
+//! A `Tracer` owns the growing record list and the simulated address space.
+//! It is `Clone` (cheap `Rc` copy) so every [`crate::mem::TracedVec`] in a
+//! kernel can append to the same trace without threading `&mut` through the
+//! whole algorithm — workload code then reads almost like the original C.
+
+use crate::trace::Trace;
+use crate::vspace::{Region, VirtualSpace};
+use std::cell::RefCell;
+use std::rc::Rc;
+use unicache_core::{Addr, MemRecord, ThreadId};
+
+#[derive(Debug)]
+struct Inner {
+    records: Vec<MemRecord>,
+    vspace: VirtualSpace,
+    tid: ThreadId,
+}
+
+/// Shared handle for building one workload's trace.
+///
+/// Single-threaded by design (workload kernels are sequential programs, as
+/// in MiBench); SMT mixes are produced later by interleaving finished
+/// traces (`unicache-smt`).
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer with a pristine virtual space, recording as thread 0.
+    pub fn new() -> Self {
+        Tracer {
+            inner: Rc::new(RefCell::new(Inner {
+                records: Vec::new(),
+                vspace: VirtualSpace::new(),
+                tid: 0,
+            })),
+        }
+    }
+
+    /// Sets the thread id stamped on subsequent records.
+    pub fn set_tid(&self, tid: ThreadId) {
+        self.inner.borrow_mut().tid = tid;
+    }
+
+    /// Records a data load at `addr`.
+    #[inline]
+    pub fn load(&self, addr: Addr) {
+        let mut i = self.inner.borrow_mut();
+        let tid = i.tid;
+        i.records.push(MemRecord::read(addr).with_tid(tid));
+    }
+
+    /// Records a data store at `addr`.
+    #[inline]
+    pub fn store(&self, addr: Addr) {
+        let mut i = self.inner.borrow_mut();
+        let tid = i.tid;
+        i.records.push(MemRecord::write(addr).with_tid(tid));
+    }
+
+    /// Records an instruction fetch at `pc`.
+    #[inline]
+    pub fn ifetch(&self, pc: Addr) {
+        let mut i = self.inner.borrow_mut();
+        let tid = i.tid;
+        i.records.push(MemRecord::fetch(pc).with_tid(tid));
+    }
+
+    /// Allocates from the simulated address space.
+    pub fn alloc(&self, region: Region, bytes: u64, align: u64) -> Addr {
+        self.inner.borrow_mut().vspace.alloc(region, bytes, align)
+    }
+
+    /// Heap allocation with malloc-like alignment and header gap.
+    pub fn malloc(&self, bytes: u64) -> Addr {
+        self.inner.borrow_mut().vspace.malloc(bytes)
+    }
+
+    /// Number of records captured so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().records.len()
+    }
+
+    /// True if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finishes tracing and returns the captured trace.
+    ///
+    /// Works even while other clones of the handle are alive (the records
+    /// are drained, not moved out of the `Rc`), so kernels can keep their
+    /// `TracedVec`s in scope.
+    pub fn finish(&self) -> Trace {
+        let mut i = self.inner.borrow_mut();
+        Trace::from_records(std::mem::take(&mut i.records))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicache_core::AccessKind;
+
+    #[test]
+    fn records_in_program_order() {
+        let t = Tracer::new();
+        t.load(0x10);
+        t.store(0x20);
+        t.ifetch(0x400000);
+        let tr = t.finish();
+        assert_eq!(tr.len(), 3);
+        let r = tr.records();
+        assert_eq!(r[0].addr, 0x10);
+        assert_eq!(r[0].kind, AccessKind::Read);
+        assert_eq!(r[1].kind, AccessKind::Write);
+        assert_eq!(r[2].kind, AccessKind::InstFetch);
+    }
+
+    #[test]
+    fn clones_share_the_same_trace() {
+        let t = Tracer::new();
+        let t2 = t.clone();
+        t.load(1);
+        t2.load(2);
+        t.store(3);
+        assert_eq!(t2.len(), 3);
+        let tr = t2.finish();
+        assert_eq!(tr.records()[1].addr, 2);
+        // After finish, both handles see an empty buffer.
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn tid_stamping() {
+        let t = Tracer::new();
+        t.load(1);
+        t.set_tid(4);
+        t.load(2);
+        let tr = t.finish();
+        assert_eq!(tr.records()[0].tid, 0);
+        assert_eq!(tr.records()[1].tid, 4);
+    }
+
+    #[test]
+    fn allocation_delegates_to_vspace() {
+        let t = Tracer::new();
+        let a = t.alloc(Region::Global, 64, 8);
+        let b = t.malloc(100);
+        assert!(a < b); // globals below heap
+        assert_eq!(b % 16, 0);
+    }
+}

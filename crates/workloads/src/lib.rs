@@ -1,0 +1,28 @@
+//! # unicache-workloads
+//!
+//! Instrumented workload kernels that generate the memory traces the
+//! experiments run on — the substitute for the paper's MiBench-on-
+//! SimpleScalar and SPEC CPU2006 traces (see `DESIGN.md`).
+//!
+//! Every kernel:
+//!
+//! 1. computes a *real* result (verified by its unit tests — a broken FFT
+//!    or AES would produce a pretty but meaningless access pattern), and
+//! 2. performs all array traffic through [`unicache_trace::TracedVec`] /
+//!    [`unicache_trace::TracedMat`], so each load/store lands in the trace
+//!    at a realistic simulated virtual address.
+//!
+//! The [`registry::Workload`] enum exposes the full suite:
+//!
+//! * **MiBench-like** (Figs. 1, 4, 6, 7, 9–12): adpcm, basicmath,
+//!   bitcount, crc, dijkstra, fft, patricia, qsort, rijndael, sha, susan;
+//! * **SPEC-like** (Fig. 8): astar, bzip2, calculix, gromacs, hmmer,
+//!   libquantum, mcf, milc, namd, sjeng.
+
+pub mod mibench;
+pub mod params;
+pub mod registry;
+pub mod spec;
+
+pub use params::Scale;
+pub use registry::Workload;

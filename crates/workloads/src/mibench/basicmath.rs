@@ -1,0 +1,150 @@
+//! Basicmath kernel (MiBench automotive/basicmath).
+//!
+//! The original loops over cubic-equation solving (Cardano), integer
+//! square roots and angle conversions, writing results to output arrays —
+//! mostly sequential traffic over several parallel arrays plus stack
+//! temporaries.
+
+use crate::params::Scale;
+use std::f64::consts::PI;
+use unicache_trace::{Region, Trace, TracedVec, Tracer};
+
+/// Solves `x^3 + a x^2 + b x + c = 0`, returning the real roots
+/// (1 or 3 of them), matching the MiBench `SolveCubic` routine.
+pub fn solve_cubic(a: f64, b: f64, c: f64) -> Vec<f64> {
+    let a2 = a * a;
+    let q = (a2 - 3.0 * b) / 9.0;
+    let r = (a * (2.0 * a2 - 9.0 * b) + 27.0 * c) / 54.0;
+    let r2 = r * r;
+    let q3 = q * q * q;
+    if r2 < q3 {
+        let t = (r / q3.sqrt()).clamp(-1.0, 1.0).acos();
+        let sq = -2.0 * q.sqrt();
+        vec![
+            sq * (t / 3.0).cos() - a / 3.0,
+            sq * ((t + 2.0 * PI) / 3.0).cos() - a / 3.0,
+            sq * ((t - 2.0 * PI) / 3.0).cos() - a / 3.0,
+        ]
+    } else {
+        let mut s = (r.abs() + (r2 - q3).sqrt()).powf(1.0 / 3.0);
+        if r > 0.0 {
+            s = -s;
+        }
+        let t = if s == 0.0 { 0.0 } else { q / s };
+        vec![s + t - a / 3.0]
+    }
+}
+
+/// Newton integer square root (the original's `usqrt`).
+pub fn usqrt(x: u64) -> u64 {
+    if x < 2 {
+        return x;
+    }
+    let mut r = x;
+    let mut next = (r + x / r) / 2;
+    while next < r {
+        r = next;
+        next = (r + x / r) / 2;
+    }
+    r
+}
+
+/// Runs the three sub-kernels over traced arrays; returns a checksum.
+pub fn run(tracer: &Tracer, iterations: usize) -> f64 {
+    // Coefficient sweeps like the original's nested loops.
+    let n = iterations;
+    let coeffs: Vec<f64> = (0..3 * n).map(|i| (i as f64) * 0.37 - 15.0).collect();
+    let coeffs = TracedVec::new_in(tracer, Region::Global, coeffs);
+    let mut roots_out = TracedVec::zeroed_in(tracer, Region::Heap, 3 * n);
+    let mut checksum = 0.0f64;
+    for i in 0..n {
+        let a = coeffs.get(3 * i);
+        let b = coeffs.get(3 * i + 1);
+        let c = coeffs.get(3 * i + 2);
+        let roots = solve_cubic(a, b, c);
+        for (k, &root) in roots.iter().enumerate().take(3) {
+            roots_out.set(3 * i + k, root);
+            checksum += root;
+        }
+    }
+    // Integer square roots over a sequential range.
+    let mut sq_out = TracedVec::zeroed_in(tracer, Region::Heap, n);
+    for i in 0..n {
+        let v = usqrt((i as u64) * 1000 + 1);
+        sq_out.set(i, v);
+        checksum += v as f64;
+    }
+    // Degree/radian conversions through a small stack buffer.
+    let mut angles = TracedVec::zeroed_in(tracer, Region::Stack, 360usize);
+    for rep in 0..n.div_ceil(360).max(1) {
+        for d in 0..360usize {
+            let rad = (d as f64 + rep as f64) * PI / 180.0;
+            angles.set(d, rad);
+        }
+        for d in 0..360usize {
+            checksum += angles.get(d) * 180.0 / PI;
+        }
+    }
+    checksum
+}
+
+/// Standard entry point.
+pub fn trace(scale: Scale) -> Trace {
+    let iters = scale.pick(500, 10_000, 50_000);
+    let tracer = Tracer::new();
+    let _ = run(&tracer, iters);
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn eval(a: f64, b: f64, c: f64, x: f64) -> f64 {
+        x * x * x + a * x * x + b * x + c
+    }
+
+    #[test]
+    fn cubic_known_roots() {
+        // (x-1)(x-2)(x-3) = x^3 -6x^2 +11x -6
+        let mut roots = solve_cubic(-6.0, 11.0, -6.0);
+        roots.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        assert_eq!(roots.len(), 3);
+        for (r, expect) in roots.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((r - expect).abs() < 1e-9, "{r} vs {expect}");
+        }
+        // x^3 + x + 1 has a single real root.
+        let roots = solve_cubic(0.0, 1.0, 1.0);
+        assert_eq!(roots.len(), 1);
+        assert!(eval(0.0, 1.0, 1.0, roots[0]).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn cubic_roots_satisfy_equation(
+            a in -20.0f64..20.0, b in -20.0f64..20.0, c in -20.0f64..20.0
+        ) {
+            for r in solve_cubic(a, b, c) {
+                let scale = 1.0 + r.abs().powi(3);
+                prop_assert!(eval(a, b, c, r).abs() / scale < 1e-6,
+                    "root {r} of ({a},{b},{c}) residual {}", eval(a, b, c, r));
+            }
+        }
+
+        #[test]
+        fn usqrt_is_floor_sqrt(x in 0u64..1_000_000_000_000) {
+            let r = usqrt(x);
+            prop_assert!(r * r <= x);
+            prop_assert!((r + 1) * (r + 1) > x);
+        }
+    }
+
+    #[test]
+    fn trace_shape() {
+        let t = trace(Scale::Tiny);
+        assert!(t.len() > 2_500, "len {}", t.len());
+        assert!(t.write_count() > 0);
+        assert_eq!(trace(Scale::Tiny).len(), t.len());
+    }
+}

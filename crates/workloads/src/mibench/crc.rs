@@ -1,0 +1,81 @@
+//! CRC-32 kernel (MiBench telecomm/CRC32).
+//!
+//! Table-driven CRC over a byte stream: a 256-entry lookup table in the
+//! global region plus a long sequential buffer scan — the archetypal
+//! *uniform* access pattern (the paper singles out CRC as a benchmark
+//! where no technique helps because accesses are already spread evenly).
+
+use crate::params::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unicache_trace::{Region, Trace, TracedVec, Tracer};
+
+/// The standard reflected CRC-32 (IEEE 802.3) polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Builds the byte-indexed CRC table.
+fn make_table() -> Vec<u32> {
+    (0u32..256)
+        .map(|i| {
+            let mut c = i;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            c
+        })
+        .collect()
+}
+
+/// CRC-32 of `data` computed through traced memory.
+pub fn crc32_traced(tracer: &Tracer, data: &[u8]) -> u32 {
+    let table = TracedVec::new_in(tracer, Region::Global, make_table());
+    let buf = TracedVec::malloc(tracer, data.to_vec());
+    let mut crc = 0xFFFF_FFFFu32;
+    for i in 0..buf.len() {
+        let byte = buf.get(i);
+        crc = table.get(((crc ^ byte as u32) & 0xFF) as usize) ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Runs CRC-32 over deterministic pseudo-random buffers.
+pub fn trace(scale: Scale) -> Trace {
+    let bytes = scale.pick(16 * 1024, 256 * 1024, 1024 * 1024);
+    let tracer = Tracer::new();
+    let mut rng = StdRng::seed_from_u64(0xC4C3_2021);
+    let data: Vec<u8> = (0..bytes).map(|_| rng.gen()).collect();
+    let _ = crc32_traced(&tracer, &data);
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        // CRC-32("123456789") = 0xCBF43926 — the standard check value.
+        let tracer = Tracer::new();
+        assert_eq!(crc32_traced(&tracer, b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        let tracer = Tracer::new();
+        assert_eq!(crc32_traced(&tracer, b""), 0);
+    }
+
+    #[test]
+    fn trace_is_two_loads_per_byte() {
+        let t = trace(Scale::Tiny);
+        // One buffer load + one table load per byte (no stores in the
+        // steady loop).
+        assert_eq!(t.len(), 2 * 16 * 1024);
+        assert_eq!(t.write_count(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(trace(Scale::Tiny), trace(Scale::Tiny));
+    }
+}

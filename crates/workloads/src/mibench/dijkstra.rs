@@ -1,0 +1,137 @@
+//! Dijkstra kernel (MiBench network/dijkstra).
+//!
+//! Repeated single-source shortest paths over a dense adjacency matrix,
+//! exactly like the MiBench original (which runs Dijkstra over a 100×100
+//! matrix read from `input.dat`): row scans of the matrix plus a linear
+//! min-selection over the distance array.
+
+use crate::params::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unicache_trace::{Region, Trace, TracedMat, TracedVec, Tracer};
+
+/// "Infinite" distance marker (the original uses 9999).
+pub const INF: u32 = u32::MAX / 4;
+
+/// Builds a random dense digraph (weights 1..=10, ~full density like the
+/// MiBench input matrix).
+pub fn random_graph(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = vec![0u32; n * n];
+    for (i, w) in m.iter_mut().enumerate() {
+        let (r, c) = (i / n, i % n);
+        *w = if r == c { 0 } else { rng.gen_range(1..=10) };
+    }
+    m
+}
+
+/// Dijkstra from `src` over a traced adjacency matrix; returns the traced
+/// distance vector.
+pub fn shortest_paths(tracer: &Tracer, adj: &TracedMat<u32>, src: usize) -> TracedVec<u32> {
+    let n = adj.rows();
+    let mut dist = TracedVec::new_in(tracer, Region::Stack, vec![INF; n]);
+    let mut done = TracedVec::new_in(tracer, Region::Stack, vec![0u8; n]);
+    dist.set(src, 0);
+    for _ in 0..n {
+        // Linear min-scan (the original has no heap).
+        let mut best = usize::MAX;
+        let mut best_d = INF;
+        for v in 0..n {
+            if done.get(v) == 0 && dist.get(v) < best_d {
+                best_d = dist.get(v);
+                best = v;
+            }
+        }
+        if best == usize::MAX {
+            break;
+        }
+        done.set(best, 1);
+        for v in 0..n {
+            let w = adj.get(best, v);
+            if w > 0 && done.get(v) == 0 {
+                let nd = best_d.saturating_add(w);
+                if nd < dist.get(v) {
+                    dist.set(v, nd);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Runs `pairs` source queries over a random graph.
+pub fn trace(scale: Scale) -> Trace {
+    let n = scale.pick(40, 100, 160);
+    let pairs = scale.pick(4, 20, 60);
+    let tracer = Tracer::new();
+    let adj = TracedMat::new_in(&tracer, Region::Heap, n, n, random_graph(n, 0xD1));
+    for q in 0..pairs {
+        let d = shortest_paths(&tracer, &adj, q % n);
+        let _ = d.peek(n - 1);
+    }
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_small_graph() {
+        //     0 →1→ 1 →1→ 2
+        //     0 ——5——————→ 2
+        let tracer = Tracer::new();
+        #[rustfmt::skip]
+        let m = vec![
+            0, 1, 5,
+            0, 0, 1,
+            0, 0, 0,
+        ];
+        let adj = TracedMat::new_in(&tracer, Region::Heap, 3, 3, m);
+        let d = shortest_paths(&tracer, &adj, 0);
+        assert_eq!(d.as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let tracer = Tracer::new();
+        #[rustfmt::skip]
+        let m = vec![
+            0, 1, 0,
+            0, 0, 0,
+            0, 0, 0,
+        ];
+        let adj = TracedMat::new_in(&tracer, Region::Heap, 3, 3, m);
+        let d = shortest_paths(&tracer, &adj, 0);
+        assert_eq!(d.peek(2), INF);
+    }
+
+    #[test]
+    fn triangle_inequality_on_random_graph() {
+        let tracer = Tracer::new();
+        let n = 30;
+        let adj = TracedMat::new_in(&tracer, Region::Heap, n, n, random_graph(n, 7));
+        let d0 = shortest_paths(&tracer, &adj, 0);
+        // d(0, v) <= d(0, u) + w(u, v) for every edge.
+        for u in 0..n {
+            for v in 0..n {
+                let w = adj.peek(u, v);
+                if w > 0 {
+                    assert!(
+                        d0.peek(v) <= d0.peek(u).saturating_add(w),
+                        "relaxation violated at ({u},{v})"
+                    );
+                }
+            }
+        }
+        assert_eq!(d0.peek(0), 0);
+    }
+
+    #[test]
+    fn trace_shape() {
+        let t = trace(Scale::Tiny);
+        assert!(t.len() > 10_000);
+        assert!(t.write_count() > 0);
+        assert_eq!(trace(Scale::Tiny).len(), t.len());
+    }
+}

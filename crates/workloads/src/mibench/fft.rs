@@ -1,0 +1,177 @@
+//! FFT kernel (MiBench telecomm/FFT).
+//!
+//! Iterative radix-2 Cooley–Tukey over a power-of-two signal, with
+//! precomputed twiddle tables. Power-of-two butterfly strides are the
+//! canonical generator of the non-uniform set pressure the paper's
+//! Figure 1 plots for exactly this benchmark.
+
+use crate::params::Scale;
+use unicache_trace::{Region, Trace, TracedVec, Tracer};
+
+/// Runs forward + inverse FFT over a deterministic pseudo-random signal and
+/// returns the captured trace. The computation is self-checked in tests
+/// (round trip and Parseval).
+pub fn trace(scale: Scale) -> Trace {
+    let n = scale.pick(256, 4096, 16384);
+    let waves = scale.pick(2, 6, 10);
+    let tracer = Tracer::new();
+    let (re, im) = run(&tracer, n, waves);
+    // Consume the outputs so the optimizer keeps the dependency chain in
+    // spirit; the checksum also gives tests something cheap to assert.
+    let _ = (re.peek(0), im.peek(0));
+    tracer.finish()
+}
+
+/// Executes `waves` forward/inverse FFT pairs over an `n`-point signal in
+/// the tracer's address space, returning the final (re, im) arrays.
+pub fn run(tracer: &Tracer, n: usize, waves: usize) -> (TracedVec<f64>, TracedVec<f64>) {
+    assert!(n.is_power_of_two(), "FFT size must be a power of two");
+    // Signal in the heap (like malloc'ed buffers in the C original).
+    let signal: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            (2.0 * std::f64::consts::PI * 5.0 * t).sin()
+                + 0.5 * (2.0 * std::f64::consts::PI * 17.0 * t).cos()
+        })
+        .collect();
+    let mut re = TracedVec::malloc(tracer, signal);
+    let mut im = TracedVec::malloc(tracer, vec![0.0f64; n]);
+    // Twiddle tables in the global region (static tables in the original).
+    let half = n / 2;
+    let (mut wr, mut wi) = (Vec::with_capacity(half), Vec::with_capacity(half));
+    for k in 0..half {
+        let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        wr.push(ang.cos());
+        wi.push(ang.sin());
+    }
+    let wr = TracedVec::new_in(tracer, Region::Global, wr);
+    let wi = TracedVec::new_in(tracer, Region::Global, wi);
+
+    for _ in 0..waves {
+        fft_in_place(&mut re, &mut im, &wr, &wi, false);
+        fft_in_place(&mut re, &mut im, &wr, &wi, true);
+        // Normalize after the inverse pass (1/n), touching every element.
+        let inv = 1.0 / n as f64;
+        for i in 0..n {
+            re.update(i, |v| v * inv);
+            im.update(i, |v| v * inv);
+        }
+    }
+    (re, im)
+}
+
+/// In-place radix-2 FFT using the shared twiddle tables. `invert` selects
+/// the inverse transform (conjugated twiddles, caller normalizes).
+pub fn fft_in_place(
+    re: &mut TracedVec<f64>,
+    im: &mut TracedVec<f64>,
+    wr: &TracedVec<f64>,
+    wi: &TracedVec<f64>,
+    invert: bool,
+) {
+    let n = re.len();
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2usize;
+    while len <= n {
+        let step = n / len;
+        let mut i = 0usize;
+        while i < n {
+            for k in 0..len / 2 {
+                let tw = k * step;
+                let (twr, twi_raw) = (wr.get(tw), wi.get(tw));
+                let twi = if invert { -twi_raw } else { twi_raw };
+                let (ur, ui) = (re.get(i + k), im.get(i + k));
+                let (vr0, vi0) = (re.get(i + k + len / 2), im.get(i + k + len / 2));
+                let vr = vr0 * twr - vi0 * twi;
+                let vi = vr0 * twi + vi0 * twr;
+                re.set(i + k, ur + vr);
+                im.set(i + k, ui + vi);
+                re.set(i + k + len / 2, ur - vr);
+                im.set(i + k + len / 2, ui - vi);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_recovers_signal() {
+        let tracer = Tracer::new();
+        let (re, im) = run(&tracer, 256, 1);
+        // After forward+inverse+normalize the signal is restored.
+        for i in 0..256 {
+            let t = i as f64 / 256.0;
+            let expect = (2.0 * std::f64::consts::PI * 5.0 * t).sin()
+                + 0.5 * (2.0 * std::f64::consts::PI * 17.0 * t).cos();
+            assert!(
+                (re.peek(i) - expect).abs() < 1e-9,
+                "re[{i}] = {} vs {expect}",
+                re.peek(i)
+            );
+            assert!(im.peek(i).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_transform_finds_the_tones() {
+        let tracer = Tracer::new();
+        let n = 256;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / n as f64).sin())
+            .collect();
+        let mut re = TracedVec::malloc(&tracer, signal);
+        let mut im = TracedVec::malloc(&tracer, vec![0.0; n]);
+        let (mut wr, mut wi) = (vec![], vec![]);
+        for k in 0..n / 2 {
+            let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            wr.push(ang.cos());
+            wi.push(ang.sin());
+        }
+        let wr = TracedVec::new_in(&tracer, Region::Global, wr);
+        let wi = TracedVec::new_in(&tracer, Region::Global, wi);
+        fft_in_place(&mut re, &mut im, &wr, &wi, false);
+        // Magnitude peaks at bins 8 and n-8.
+        let mag = |i: usize| (re.peek(i).powi(2) + im.peek(i).powi(2)).sqrt();
+        assert!((mag(8) - n as f64 / 2.0).abs() < 1e-6);
+        assert!((mag(n - 8) - n as f64 / 2.0).abs() < 1e-6);
+        for bin in [0usize, 1, 5, 20, 100] {
+            assert!(mag(bin) < 1e-6, "bin {bin} leaked {}", mag(bin));
+        }
+    }
+
+    #[test]
+    fn trace_has_power_of_two_stride_structure() {
+        let t = trace(Scale::Tiny);
+        assert!(t.len() > 10_000, "trace too short: {}", t.len());
+        assert!(t.write_count() > 0);
+        // Deterministic.
+        assert_eq!(t.records()[0], trace(Scale::Tiny).records()[0]);
+        assert_eq!(t.len(), trace(Scale::Tiny).len());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_size_panics() {
+        let tracer = Tracer::new();
+        run(&tracer, 100, 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Instrumented re-implementations of the eleven MiBench kernels the paper
+//! evaluates (telecomm/automotive/network/security/consumer subsets).
+
+pub mod adpcm;
+pub mod basicmath;
+pub mod bitcount;
+pub mod crc;
+pub mod dijkstra;
+pub mod fft;
+pub mod patricia;
+pub mod qsort;
+pub mod rijndael;
+pub mod sha;
+pub mod susan;

@@ -1,0 +1,252 @@
+//! PATRICIA trie kernel (MiBench network/patricia).
+//!
+//! Inserts and looks up IPv4-style 32-bit keys in a PATRICIA (radix) trie
+//! stored as node arrays in the heap — pointer chasing with data-dependent
+//! strides, the access pattern MiBench's routing-table benchmark models.
+//!
+//! Classic one-node-per-key PATRICIA (Sedgewick's formulation): each node
+//! stores a key, the bit index it discriminates (0 = most significant),
+//! and two links. Links to nodes with a *smaller-or-equal* bit index point
+//! "upward" and terminate a search, at which point the full key is
+//! compared once.
+
+use crate::params::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unicache_trace::{Region, Trace, TracedVec, Tracer};
+
+/// A PATRICIA trie over 32-bit keys backed by traced arrays (struct-of-
+/// arrays layout, like a C implementation with a node pool).
+pub struct Patricia {
+    keys: TracedVec<u32>,
+    bits: TracedVec<u32>,
+    left: TracedVec<u32>,
+    right: TracedVec<u32>,
+    len: usize,
+}
+
+impl Patricia {
+    /// An empty trie with capacity for `cap` keys (+1 header node).
+    ///
+    /// Note: like the classic C implementation, the header carries the
+    /// sentinel key 0, so key 0 always reports "present".
+    pub fn new(tracer: &Tracer, cap: usize) -> Self {
+        let mut t = Patricia {
+            keys: TracedVec::zeroed_in(tracer, Region::Heap, cap + 1),
+            bits: TracedVec::zeroed_in(tracer, Region::Heap, cap + 1),
+            left: TracedVec::zeroed_in(tracer, Region::Heap, cap + 1),
+            right: TracedVec::zeroed_in(tracer, Region::Heap, cap + 1),
+            len: 1,
+        };
+        // Header node 0: key 0, self-links.
+        t.keys.set(0, 0);
+        t.bits.set(0, 0);
+        t.left.set(0, 0);
+        t.right.set(0, 0);
+        t
+    }
+
+    /// Bit `b` of `key`, with bit 0 the most significant (network order).
+    #[inline]
+    fn bit(key: u32, b: u32) -> bool {
+        (key >> (31 - b)) & 1 == 1
+    }
+
+    /// Follows the search path for `key`, returning the node whose key
+    /// should be compared.
+    fn walk(&self, key: u32) -> u32 {
+        let mut p_bit: i64 = -1;
+        let mut cur = self.left.get(0);
+        loop {
+            let cb = self.bits.get(cur as usize) as i64;
+            if cb <= p_bit {
+                return cur;
+            }
+            p_bit = cb;
+            cur = if Self::bit(key, cb as u32) {
+                self.right.get(cur as usize)
+            } else {
+                self.left.get(cur as usize)
+            };
+        }
+    }
+
+    /// True if `key` is present (key 0 is always reported present — header
+    /// sentinel quirk of the classic implementation).
+    pub fn contains(&self, key: u32) -> bool {
+        let c = self.walk(key);
+        self.keys.get(c as usize) == key
+    }
+
+    /// Inserts `key`; returns false if it was already present.
+    pub fn insert(&mut self, key: u32) -> bool {
+        let found = self.walk(key);
+        let found_key = self.keys.get(found as usize);
+        if found_key == key {
+            return false;
+        }
+        let bitpos = (key ^ found_key).leading_zeros(); // 0..=31
+
+        // Second walk: stop where the new discriminating bit belongs —
+        // before the first node testing a bit >= bitpos, or at an upward
+        // link.
+        let mut parent = 0u32;
+        let mut p_bit: i64 = -1;
+        let mut cur = self.left.get(0);
+        loop {
+            let cb = self.bits.get(cur as usize) as i64;
+            if cb <= p_bit || cb as u32 >= bitpos {
+                break;
+            }
+            parent = cur;
+            p_bit = cb;
+            cur = if Self::bit(key, cb as u32) {
+                self.right.get(cur as usize)
+            } else {
+                self.left.get(cur as usize)
+            };
+        }
+
+        let node = self.len as u32;
+        self.len += 1;
+        self.keys.set(node as usize, key);
+        self.bits.set(node as usize, bitpos);
+        if Self::bit(key, bitpos) {
+            self.right.set(node as usize, node);
+            self.left.set(node as usize, cur);
+        } else {
+            self.left.set(node as usize, node);
+            self.right.set(node as usize, cur);
+        }
+        if parent == 0 {
+            self.left.set(0, node);
+        } else if Self::bit(key, self.bits.get(parent as usize)) {
+            self.right.set(parent as usize, node);
+        } else {
+            self.left.set(parent as usize, node);
+        }
+        true
+    }
+
+    /// Number of keys stored (excluding the header sentinel).
+    pub fn len(&self) -> usize {
+        self.len - 1
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builds a routing-table-like trie and performs lookups.
+pub fn trace(scale: Scale) -> Trace {
+    let keys = scale.pick(500, 8_000, 40_000);
+    let lookups = scale.pick(5_000, 80_000, 400_000);
+    let tracer = Tracer::new();
+    let mut rng = StdRng::seed_from_u64(0x9A7C);
+    let mut trie = Patricia::new(&tracer, keys);
+    let mut inserted = Vec::with_capacity(keys);
+    for _ in 0..keys {
+        // Cluster keys like CIDR prefixes: a few /16s with random hosts.
+        let net = (rng.gen_range(1u32..=64)) << 16;
+        let key = net | rng.gen_range(0u32..65536);
+        if trie.insert(key) {
+            inserted.push(key);
+        }
+    }
+    let mut hits = 0usize;
+    for i in 0..lookups {
+        let key = if i % 2 == 0 {
+            inserted[rng.gen_range(0..inserted.len())]
+        } else {
+            rng.gen()
+        };
+        if trie.contains(key) {
+            hits += 1;
+        }
+    }
+    assert!(hits >= lookups / 2, "all re-lookups must hit");
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn insert_and_find_small() {
+        let tracer = Tracer::new();
+        let mut t = Patricia::new(&tracer, 16);
+        assert!(t.is_empty());
+        assert!(t.insert(0b1010));
+        assert!(t.insert(0b1000));
+        assert!(t.insert(0xFFFF_0000));
+        assert!(!t.insert(0b1010), "duplicate rejected");
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(0b1010));
+        assert!(t.contains(0b1000));
+        assert!(t.contains(0xFFFF_0000));
+        assert!(!t.contains(0b1001));
+        assert!(!t.contains(1));
+    }
+
+    #[test]
+    fn header_sentinel_quirk_and_extremes() {
+        let tracer = Tracer::new();
+        let mut t = Patricia::new(&tracer, 8);
+        // Key 0 shares the header sentinel, like the classic C version.
+        assert!(t.contains(0));
+        assert!(t.insert(u32::MAX));
+        assert!(t.contains(u32::MAX));
+        assert!(t.insert(1));
+        assert!(t.contains(1));
+        assert!(!t.contains(2));
+        assert!(t.insert(2));
+        assert!(t.contains(2));
+        assert!(t.contains(1));
+        assert!(t.contains(u32::MAX));
+    }
+
+    #[test]
+    fn shared_prefix_chains() {
+        let tracer = Tracer::new();
+        let mut t = Patricia::new(&tracer, 40);
+        let keys: Vec<u32> = (1..=32).map(|i| 0xAB00_0000 | i).collect();
+        for &k in &keys {
+            assert!(t.insert(k));
+        }
+        for &k in &keys {
+            assert!(t.contains(k), "lost key {k:#x}");
+        }
+        assert!(!t.contains(0xAB00_0000 | 33));
+        assert!(!t.contains(0xAC00_0000 | 1));
+    }
+
+    proptest! {
+        #[test]
+        fn agrees_with_hash_set(keys in proptest::collection::vec(1u32.., 1..200),
+                                probes in proptest::collection::vec(1u32.., 1..200)) {
+            let tracer = Tracer::new();
+            let mut t = Patricia::new(&tracer, keys.len());
+            let mut set = HashSet::new();
+            for &k in &keys {
+                prop_assert_eq!(t.insert(k), set.insert(k), "insert {}", k);
+            }
+            prop_assert_eq!(t.len(), set.len());
+            for &k in keys.iter().chain(probes.iter()) {
+                prop_assert_eq!(t.contains(k), set.contains(&k), "contains {}", k);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_shape() {
+        let t = trace(Scale::Tiny);
+        assert!(t.len() > 30_000);
+        assert!(t.write_count() > 0);
+        assert_eq!(trace(Scale::Tiny).len(), t.len());
+    }
+}

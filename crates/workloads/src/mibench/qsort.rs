@@ -1,0 +1,146 @@
+//! Quicksort kernel (MiBench automotive/qsort).
+//!
+//! In-place quicksort with median-of-three pivoting over a heap array,
+//! driving an explicit stack of subranges in the simulated stack region —
+//! the recursion pattern of the C original without host recursion depth
+//! concerns.
+
+use crate::params::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unicache_trace::{Region, Trace, TracedVec, Tracer};
+
+/// Sorts `data` in traced memory; returns the sorted traced array.
+pub fn sort(tracer: &Tracer, data: Vec<u64>) -> TracedVec<u64> {
+    let mut a = TracedVec::malloc(tracer, data);
+    if a.len() < 2 {
+        return a;
+    }
+    // Explicit range stack in the stack region: pairs of (lo, hi).
+    let mut stack = TracedVec::zeroed_in(tracer, Region::Stack, 2 * 256usize);
+    let mut top = 0usize;
+    let push = |s: &mut TracedVec<u64>, t: &mut usize, lo: usize, hi: usize| {
+        s.set(*t, lo as u64);
+        s.set(*t + 1, hi as u64);
+        *t += 2;
+    };
+    push(&mut stack, &mut top, 0, a.len() - 1);
+    while top > 0 {
+        top -= 2;
+        let lo = stack.get(top) as usize;
+        let hi = stack.get(top + 1) as usize;
+        if lo >= hi {
+            continue;
+        }
+        if hi - lo < 8 {
+            // Insertion sort for small ranges (as real qsorts do).
+            for i in lo + 1..=hi {
+                let mut j = i;
+                while j > lo && a.get(j - 1) > a.get(j) {
+                    a.swap(j - 1, j);
+                    j -= 1;
+                }
+            }
+            continue;
+        }
+        // Median-of-three pivot.
+        let mid = lo + (hi - lo) / 2;
+        if a.get(mid) < a.get(lo) {
+            a.swap(mid, lo);
+        }
+        if a.get(hi) < a.get(lo) {
+            a.swap(hi, lo);
+        }
+        if a.get(hi) < a.get(mid) {
+            a.swap(hi, mid);
+        }
+        let pivot = a.get(mid);
+        let (mut i, mut j) = (lo, hi);
+        while i <= j {
+            while a.get(i) < pivot {
+                i += 1;
+            }
+            while a.get(j) > pivot {
+                j -= 1;
+            }
+            if i <= j {
+                a.swap(i, j);
+                i += 1;
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+        }
+        if lo < j {
+            push(&mut stack, &mut top, lo, j);
+        }
+        if i < hi {
+            push(&mut stack, &mut top, i, hi);
+        }
+    }
+    a
+}
+
+/// Sorts a deterministic pseudo-random array.
+pub fn trace(scale: Scale) -> Trace {
+    let n = scale.pick(2_000, 40_000, 200_000);
+    let tracer = Tracer::new();
+    let mut rng = StdRng::seed_from_u64(0x5047_2011);
+    let data: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+    let sorted = sort(&tracer, data);
+    let _ = sorted.peek(0);
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sorts_known_arrays() {
+        let tracer = Tracer::new();
+        let a = sort(&tracer, vec![5, 3, 9, 1, 4, 4, 0, 7]);
+        assert_eq!(a.as_slice(), &[0, 1, 3, 4, 4, 5, 7, 9]);
+        let a = sort(&tracer, vec![]);
+        assert!(a.is_empty());
+        let a = sort(&tracer, vec![1]);
+        assert_eq!(a.as_slice(), &[1]);
+        let a = sort(&tracer, vec![2, 1]);
+        assert_eq!(a.as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn sorts_adversarial_inputs() {
+        let tracer = Tracer::new();
+        let descending: Vec<u64> = (0..2000).rev().collect();
+        let a = sort(&tracer, descending);
+        assert!(a.as_slice().windows(2).all(|w| w[0] <= w[1]));
+        let constant = vec![7u64; 1000];
+        let a = sort(&tracer, constant);
+        assert!(a.as_slice().iter().all(|&x| x == 7));
+        let organ_pipe: Vec<u64> = (0..500).chain((0..500).rev()).collect();
+        let a = sort(&tracer, organ_pipe);
+        assert!(a.as_slice().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    proptest! {
+        #[test]
+        fn sorts_arbitrary(data in proptest::collection::vec(proptest::num::u64::ANY, 0..300)) {
+            let tracer = Tracer::new();
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            let a = sort(&tracer, data);
+            prop_assert_eq!(a.as_slice(), &expect[..]);
+        }
+    }
+
+    #[test]
+    fn trace_shape() {
+        let t = trace(Scale::Tiny);
+        assert!(t.len() > 20_000);
+        assert!(t.write_count() > 0);
+        assert_eq!(trace(Scale::Tiny).len(), t.len());
+    }
+}

@@ -1,0 +1,139 @@
+//! SHA-1 kernel (MiBench security/sha).
+//!
+//! Full SHA-1 over a buffer: sequential input scan plus the 80-word message
+//! schedule repeatedly cycled per block — small hot footprint, long cold
+//! streak, like the original.
+
+use crate::params::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unicache_trace::{Region, Trace, TracedVec, Tracer};
+
+/// SHA-1 digest of `data` computed through traced memory.
+pub fn sha1_traced(tracer: &Tracer, data: &[u8]) -> [u32; 5] {
+    // Padded message in the heap.
+    let bit_len = (data.len() as u64) * 8;
+    let mut padded = data.to_vec();
+    padded.push(0x80);
+    while padded.len() % 64 != 56 {
+        padded.push(0);
+    }
+    padded.extend_from_slice(&bit_len.to_be_bytes());
+    let msg = TracedVec::malloc(tracer, padded);
+    // 80-word schedule on the stack (a local array in the C original).
+    let mut w = TracedVec::zeroed_in(tracer, Region::Stack, 80usize);
+    let mut h: [u32; 5] = [
+        0x6745_2301,
+        0xEFCD_AB89,
+        0x98BA_DCFE,
+        0x1032_5476,
+        0xC3D2_E1F0,
+    ];
+    let blocks = msg.len() / 64;
+    for b in 0..blocks {
+        for t in 0..16 {
+            let base = b * 64 + t * 4;
+            let word = u32::from_be_bytes([
+                msg.get(base),
+                msg.get(base + 1),
+                msg.get(base + 2),
+                msg.get(base + 3),
+            ]);
+            w.set(t, word);
+        }
+        for t in 16..80 {
+            let x = w.get(t - 3) ^ w.get(t - 8) ^ w.get(t - 14) ^ w.get(t - 16);
+            w.set(t, x.rotate_left(1));
+        }
+        let (mut a, mut bb, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for t in 0..80 {
+            let (f, k) = match t {
+                0..=19 => ((bb & c) | ((!bb) & d), 0x5A82_7999u32),
+                20..=39 => (bb ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((bb & c) | (bb & d) | (c & d), 0x8F1B_BCDC),
+                _ => (bb ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(w.get(t));
+            e = d;
+            d = c;
+            c = bb.rotate_left(30);
+            bb = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(bb);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    h
+}
+
+/// Hashes a deterministic pseudo-random buffer.
+pub fn trace(scale: Scale) -> Trace {
+    let bytes = scale.pick(8 * 1024, 128 * 1024, 512 * 1024);
+    let tracer = Tracer::new();
+    let mut rng = StdRng::seed_from_u64(0x5AA1_2011);
+    let data: Vec<u8> = (0..bytes).map(|_| rng.gen()).collect();
+    let _ = sha1_traced(&tracer, &data);
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_180_test_vectors() {
+        let tracer = Tracer::new();
+        // SHA1("abc")
+        assert_eq!(
+            sha1_traced(&tracer, b"abc"),
+            [
+                0xA999_3E36,
+                0x4706_816A,
+                0xBA3E_2571,
+                0x7850_C26C,
+                0x9CD0_D89D
+            ]
+        );
+        // SHA1("")
+        assert_eq!(
+            sha1_traced(&tracer, b""),
+            [
+                0xDA39_A3EE,
+                0x5E6B_4B0D,
+                0x3255_BFEF,
+                0x9560_1890,
+                0xAFD8_0709
+            ]
+        );
+        // SHA1("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+        assert_eq!(
+            sha1_traced(
+                &tracer,
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            ),
+            [
+                0x8498_3E44,
+                0x1C3B_D26E,
+                0xBAAE_4AA1,
+                0xF951_29E5,
+                0xE546_70F1
+            ]
+        );
+    }
+
+    #[test]
+    fn trace_shape() {
+        let t = trace(Scale::Tiny);
+        assert!(t.len() > 50_000);
+        assert!(t.write_count() > 0);
+        assert_eq!(trace(Scale::Tiny), trace(Scale::Tiny));
+    }
+}

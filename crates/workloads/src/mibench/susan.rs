@@ -1,0 +1,168 @@
+//! SUSAN kernel (MiBench automotive/susan).
+//!
+//! SUSAN smoothing: for every pixel, a circular mask of neighbours is
+//! weighted by a precomputed brightness-similarity LUT and a spatial
+//! Gaussian, then normalized. Row-major image sweeps with a 2-D stencil —
+//! the consumer/vision access pattern of the original (which also made it
+//! the paper's most pathological Givargis data point).
+
+use crate::params::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unicache_trace::{Region, Trace, TracedMat, TracedVec, Tracer};
+
+/// Builds the brightness-difference LUT `exp(-(d/t)^2)` in fixed point
+/// (0..=100), like SUSAN's `bp` table.
+fn brightness_lut(threshold: f64) -> Vec<u32> {
+    (0..512)
+        .map(|i| {
+            let d = i as f64 - 256.0;
+            let w = (-(d / threshold).powi(2)).exp();
+            (w * 100.0).round() as u32
+        })
+        .collect()
+}
+
+/// SUSAN-style smoothing of `img` with a `(2r+1)²` mask (circular cut).
+/// Returns the smoothed image.
+pub fn smooth(tracer: &Tracer, img: &TracedMat<u8>, radius: i64, threshold: f64) -> TracedMat<u8> {
+    let lut = TracedVec::new_in(tracer, Region::Global, brightness_lut(threshold));
+    let (h, w) = (img.rows() as i64, img.cols() as i64);
+    let mut out = TracedMat::zeroed_in(tracer, Region::Heap, h as usize, w as usize);
+    for y in 0..h {
+        for x in 0..w {
+            let center = img.get(y as usize, x as usize) as i64;
+            let mut num = 0u64;
+            let mut den = 0u64;
+            let mut neighbours: Vec<u8> = Vec::new();
+            for dy in -radius..=radius {
+                for dx in -radius..=radius {
+                    if dx * dx + dy * dy > radius * radius {
+                        continue; // circular mask
+                    }
+                    if dx == 0 && dy == 0 {
+                        continue; // SUSAN excludes the nucleus itself
+                    }
+                    let (yy, xx) = (y + dy, x + dx);
+                    if yy < 0 || yy >= h || xx < 0 || xx >= w {
+                        continue;
+                    }
+                    let p = img.get(yy as usize, xx as usize) as i64;
+                    let wgt = lut.get((p - center + 256) as usize) as u64;
+                    num += wgt * p as u64;
+                    den += wgt;
+                    neighbours.push(p as u8);
+                }
+            }
+            // No similar neighbour at all (an isolated outlier): fall back
+            // to the neighbourhood median, as the original does.
+            let v = match (num + den / 2).checked_div(den) {
+                Some(mean) => mean,
+                None if neighbours.is_empty() => center as u64,
+                None => {
+                    neighbours.sort_unstable();
+                    neighbours[neighbours.len() / 2] as u64
+                }
+            };
+            out.set(y as usize, x as usize, v.min(255) as u8);
+        }
+    }
+    out
+}
+
+/// Synthetic test card: gradient + rectangles + salt-and-pepper noise.
+pub fn test_image(h: usize, w: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut img = vec![0u8; h * w];
+    for y in 0..h {
+        for x in 0..w {
+            let mut v = ((x * 255) / w.max(1)) as i32;
+            if (h / 4..h / 2).contains(&y) && (w / 4..w / 2).contains(&x) {
+                v = 220;
+            }
+            if rng.gen_bool(0.02) {
+                v = if rng.gen_bool(0.5) { 0 } else { 255 };
+            }
+            img[y * w + x] = v.clamp(0, 255) as u8;
+        }
+    }
+    img
+}
+
+/// Smooths a synthetic image (two passes, like running the tool twice).
+pub fn trace(scale: Scale) -> Trace {
+    let (h, w) = scale.pick((32, 48), (96, 128), (240, 320));
+    let tracer = Tracer::new();
+    let img = TracedMat::new_in(&tracer, Region::Heap, h, w, test_image(h, w, 0x5054));
+    let pass1 = smooth(&tracer, &img, 3, 27.0);
+    let pass2 = smooth(&tracer, &pass1, 3, 27.0);
+    let _ = pass2.peek(0, 0);
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_image_is_fixed_point() {
+        let tracer = Tracer::new();
+        let img = TracedMat::new_in(&tracer, Region::Heap, 8, 8, vec![77u8; 64]);
+        let out = smooth(&tracer, &img, 2, 27.0);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(out.peek(y, x), 77);
+            }
+        }
+    }
+
+    #[test]
+    fn smoothing_removes_salt_and_pepper() {
+        let tracer = Tracer::new();
+        let mut raw = vec![100u8; 15 * 15];
+        raw[7 * 15 + 7] = 255; // single outlier
+        let img = TracedMat::new_in(&tracer, Region::Heap, 15, 15, raw);
+        let out = smooth(&tracer, &img, 3, 27.0);
+        let v = out.peek(7, 7) as i32;
+        assert!(
+            (v - 100).abs() <= 12,
+            "outlier not suppressed: {v} (SUSAN's USAN weighting rejects it)"
+        );
+        // Flat background untouched.
+        assert_eq!(out.peek(0, 0), 100);
+    }
+
+    #[test]
+    fn edges_are_preserved_better_than_box_blur() {
+        // Step edge: left 50, right 200. SUSAN must not average across it.
+        let tracer = Tracer::new();
+        let mut raw = vec![0u8; 16 * 16];
+        for y in 0..16 {
+            for x in 0..16 {
+                raw[y * 16 + x] = if x < 8 { 50 } else { 200 };
+            }
+        }
+        let img = TracedMat::new_in(&tracer, Region::Heap, 16, 16, raw);
+        let out = smooth(&tracer, &img, 3, 27.0);
+        // Pixels adjacent to the edge stay near their side's value.
+        assert!(
+            (out.peek(8, 6) as i32 - 50).abs() < 12,
+            "{}",
+            out.peek(8, 6)
+        );
+        assert!(
+            (out.peek(8, 9) as i32 - 200).abs() < 12,
+            "{}",
+            out.peek(8, 9)
+        );
+    }
+
+    #[test]
+    fn output_in_range_and_deterministic() {
+        let t1 = trace(Scale::Tiny);
+        let t2 = trace(Scale::Tiny);
+        assert_eq!(t1.len(), t2.len());
+        assert!(t1.len() > 100_000, "stencil traffic expected: {}", t1.len());
+        assert!(t1.write_count() > 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! astar-like kernel: A* grid pathfinding (SPEC 473.astar idiom).
+//!
+//! Open list as a binary heap over traced arrays, closed/gscore grids,
+//! 8-neighbour expansion — mixed regular (grid rows) and irregular (heap
+//! sift) traffic.
+
+use crate::params::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unicache_trace::{Region, Trace, TracedVec, Tracer};
+
+/// Grid cell cost of blocked cells.
+const BLOCKED: u32 = u32::MAX;
+
+/// Builds a random grid with obstacle probability `p_block`, keeping the
+/// top row and the right column open so a start→goal corridor always
+/// exists regardless of the obstacle draw.
+pub fn random_grid(h: usize, w: usize, p_block: f64, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = vec![1u32; h * w];
+    for y in 0..h {
+        for x in 0..w {
+            let on_corridor = y == 0 || x == w - 1;
+            if !on_corridor && rng.gen_bool(p_block) {
+                g[y * w + x] = BLOCKED;
+            } else if rng.gen_bool(0.3) {
+                g[y * w + x] = rng.gen_range(1..5); // varied terrain cost
+            }
+        }
+    }
+    g
+}
+
+/// A* from (0,0) to (h-1,w-1) with Chebyshev-times-min-cost heuristic
+/// (admissible for unit diagonal steps). Returns the path cost, or `None`.
+pub fn astar(tracer: &Tracer, grid_raw: Vec<u32>, h: usize, w: usize) -> Option<u64> {
+    let grid = TracedVec::malloc(tracer, grid_raw);
+    let mut gscore = TracedVec::new_in(tracer, Region::Heap, vec![u64::MAX; h * w]);
+    let mut closed = TracedVec::zeroed_in(tracer, Region::Heap, h * w);
+    // Binary heap of (f, cell) pairs in two parallel traced arrays.
+    let mut heap_f = TracedVec::zeroed_in(tracer, Region::Heap, h * w * 4);
+    let mut heap_c = TracedVec::zeroed_in(tracer, Region::Heap, h * w * 4);
+    let mut heap_len = 0usize;
+
+    let hx = |cell: usize| -> u64 {
+        let (y, x) = (cell / w, cell % w);
+        ((h - 1 - y).max(w - 1 - x)) as u64
+    };
+    let push =
+        |hf: &mut TracedVec<u64>, hc: &mut TracedVec<u64>, len: &mut usize, f: u64, cell: usize| {
+            let mut i = *len;
+            hf.set(i, f);
+            hc.set(i, cell as u64);
+            *len += 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if hf.get(parent) <= hf.get(i) {
+                    break;
+                }
+                hf.swap(parent, i);
+                hc.swap(parent, i);
+                i = parent;
+            }
+        };
+    let pop = |hf: &mut TracedVec<u64>, hc: &mut TracedVec<u64>, len: &mut usize| -> (u64, usize) {
+        let top = (hf.get(0), hc.get(0) as usize);
+        *len -= 1;
+        if *len > 0 {
+            let last_f = hf.get(*len);
+            let last_c = hc.get(*len);
+            hf.set(0, last_f);
+            hc.set(0, last_c);
+            let mut i = 0usize;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut m = i;
+                if l < *len && hf.get(l) < hf.get(m) {
+                    m = l;
+                }
+                if r < *len && hf.get(r) < hf.get(m) {
+                    m = r;
+                }
+                if m == i {
+                    break;
+                }
+                hf.swap(m, i);
+                hc.swap(m, i);
+                i = m;
+            }
+        }
+        top
+    };
+
+    gscore.set(0, 0);
+    push(&mut heap_f, &mut heap_c, &mut heap_len, hx(0), 0);
+    let goal = h * w - 1;
+    while heap_len > 0 {
+        let (_, cell) = pop(&mut heap_f, &mut heap_c, &mut heap_len);
+        if cell == goal {
+            return Some(gscore.get(goal));
+        }
+        if closed.get(cell) == 1 {
+            continue;
+        }
+        closed.set(cell, 1);
+        let (y, x) = (cell / w, cell % w);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                if dy == 0 && dx == 0 {
+                    continue;
+                }
+                let (ny, nx) = (y as i64 + dy, x as i64 + dx);
+                if ny < 0 || nx < 0 || ny >= h as i64 || nx >= w as i64 {
+                    continue;
+                }
+                let n = ny as usize * w + nx as usize;
+                let cost = grid.get(n);
+                if cost == BLOCKED || closed.get(n) == 1 {
+                    continue;
+                }
+                let cand = gscore.get(cell) + cost as u64;
+                if cand < gscore.get(n) {
+                    gscore.set(n, cand);
+                    if heap_len < heap_f.len() {
+                        push(&mut heap_f, &mut heap_c, &mut heap_len, cand + hx(n), n);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Runs several searches over random maps.
+pub fn trace(scale: Scale) -> Trace {
+    let (h, w, runs) = scale.pick((24, 24, 2), (80, 80, 6), (160, 160, 12));
+    let tracer = Tracer::new();
+    for r in 0..runs {
+        let cost = astar(&tracer, random_grid(h, w, 0.25, r as u64), h, w);
+        assert!(cost.is_some(), "random grid must stay solvable");
+    }
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_on_open_grid() {
+        // 4x4 all-ones: diagonal path costs 3 moves × 1.
+        let tracer = Tracer::new();
+        let cost = astar(&tracer, vec![1; 16], 4, 4).unwrap();
+        assert_eq!(cost, 3);
+    }
+
+    #[test]
+    fn routes_around_walls() {
+        // 3x3 with centre column blocked except bottom row.
+        let tracer = Tracer::new();
+        #[rustfmt::skip]
+        let g = vec![
+            1, BLOCKED, 1,
+            1, BLOCKED, 1,
+            1, 1,       1,
+        ];
+        let cost = astar(&tracer, g, 3, 3).unwrap();
+        // Path 0,0 -> 1,0 -> 2,1 -> 2,2 = 3 steps of cost 1.
+        assert_eq!(cost, 3);
+    }
+
+    #[test]
+    fn unsolvable_returns_none() {
+        let tracer = Tracer::new();
+        #[rustfmt::skip]
+        let g = vec![
+            1, BLOCKED,
+            BLOCKED, 1,
+        ];
+        // Diagonal is allowed in this variant, so block it fully:
+        #[rustfmt::skip]
+        let g2 = vec![
+            1, BLOCKED, 1,
+            BLOCKED, BLOCKED, BLOCKED,
+            1, BLOCKED, 1,
+        ];
+        assert!(astar(&tracer, g, 2, 2).is_some()); // diagonal step
+        assert!(astar(&tracer, g2, 3, 3).is_none());
+    }
+
+    #[test]
+    fn cost_respects_terrain() {
+        let tracer = Tracer::new();
+        // 1x5 corridor with an expensive middle cell: cost sums.
+        let g = vec![1, 1, 9, 1, 1];
+        let cost = astar(&tracer, g, 1, 5).unwrap();
+        assert_eq!(cost, 1 + 9 + 1 + 1);
+    }
+
+    #[test]
+    fn trace_shape() {
+        let t = trace(Scale::Tiny);
+        assert!(t.len() > 10_000);
+        assert_eq!(trace(Scale::Tiny).len(), t.len());
+    }
+}

@@ -1,0 +1,175 @@
+//! gromacs-like kernel: Lennard-Jones pairwise forces with a cutoff (SPEC
+//! 435.gromacs inner-loop idiom).
+//!
+//! Struct-of-arrays particle data swept pairwise; force accumulation makes
+//! read-modify-write traffic on both particles of each pair.
+
+use crate::params::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unicache_trace::{Trace, TracedVec, Tracer};
+
+/// Particle system in traced memory.
+pub struct System {
+    pub x: TracedVec<f64>,
+    pub y: TracedVec<f64>,
+    pub z: TracedVec<f64>,
+    pub fx: TracedVec<f64>,
+    pub fy: TracedVec<f64>,
+    pub fz: TracedVec<f64>,
+}
+
+impl System {
+    /// Random particles in a `box_len³` box.
+    pub fn random(tracer: &Tracer, n: usize, box_len: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coord =
+            |_: usize| -> Vec<f64> { (0..n).map(|_| rng.gen_range(0.0..box_len)).collect() };
+        System {
+            x: TracedVec::malloc(tracer, coord(0)),
+            y: TracedVec::malloc(tracer, coord(1)),
+            z: TracedVec::malloc(tracer, coord(2)),
+            fx: TracedVec::malloc(tracer, vec![0.0; n]),
+            fy: TracedVec::malloc(tracer, vec![0.0; n]),
+            fz: TracedVec::malloc(tracer, vec![0.0; n]),
+        }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// One all-pairs LJ force evaluation with cutoff `rc`; returns the total
+/// potential energy.
+pub fn compute_forces(sys: &mut System, rc: f64) -> f64 {
+    let n = sys.len();
+    let rc2 = rc * rc;
+    let mut energy = 0.0;
+    for i in 0..n {
+        let (xi, yi, zi) = (sys.x.get(i), sys.y.get(i), sys.z.get(i));
+        for j in i + 1..n {
+            let dx = xi - sys.x.get(j);
+            let dy = yi - sys.y.get(j);
+            let dz = zi - sys.z.get(j);
+            let r2 = dx * dx + dy * dy + dz * dz;
+            if r2 >= rc2 || r2 < 1e-12 {
+                continue;
+            }
+            let inv2 = 1.0 / r2;
+            let inv6 = inv2 * inv2 * inv2;
+            let inv12 = inv6 * inv6;
+            energy += 4.0 * (inv12 - inv6);
+            let fmag = 24.0 * (2.0 * inv12 - inv6) * inv2;
+            // Newton's third law: equal and opposite accumulation.
+            sys.fx.update(i, |f| f + fmag * dx);
+            sys.fy.update(i, |f| f + fmag * dy);
+            sys.fz.update(i, |f| f + fmag * dz);
+            sys.fx.update(j, |f| f - fmag * dx);
+            sys.fy.update(j, |f| f - fmag * dy);
+            sys.fz.update(j, |f| f - fmag * dz);
+        }
+    }
+    energy
+}
+
+/// Several force evaluations with small position jitters between them.
+pub fn trace(scale: Scale) -> Trace {
+    let (n, steps) = scale.pick((64, 2), (256, 4), (640, 8));
+    let tracer = Tracer::new();
+    let mut sys = System::random(&tracer, n, 12.0, 0x960);
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..steps {
+        let _ = compute_forces(&mut sys, 3.0);
+        for i in 0..n {
+            sys.x.update(i, |v| v + rng.gen_range(-0.01..0.01));
+            sys.y.update(i, |v| v + rng.gen_range(-0.01..0.01));
+            sys.z.update(i, |v| v + rng.gen_range(-0.01..0.01));
+        }
+    }
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forces_sum_to_zero() {
+        // Momentum conservation: pairwise equal-and-opposite forces cancel.
+        let tracer = Tracer::new();
+        let mut sys = System::random(&tracer, 50, 8.0, 3);
+        compute_forces(&mut sys, 4.0);
+        let (mut sx, mut sy, mut sz) = (0.0, 0.0, 0.0);
+        for i in 0..sys.len() {
+            sx += sys.fx.peek(i);
+            sy += sys.fy.peek(i);
+            sz += sys.fz.peek(i);
+        }
+        assert!(sx.abs() < 1e-9, "sum fx = {sx}");
+        assert!(sy.abs() < 1e-9);
+        assert!(sz.abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_particles_at_lj_minimum_have_zero_force() {
+        let tracer = Tracer::new();
+        let r_min = 2.0f64.powf(1.0 / 6.0);
+        let mut sys = System {
+            x: TracedVec::malloc(&tracer, vec![0.0, r_min]),
+            y: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+            z: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+            fx: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+            fy: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+            fz: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+        };
+        let e = compute_forces(&mut sys, 5.0);
+        assert!(sys.fx.peek(0).abs() < 1e-9, "{}", sys.fx.peek(0));
+        assert!((e - -1.0).abs() < 1e-9, "energy at minimum is -eps: {e}");
+    }
+
+    #[test]
+    fn close_pair_repels() {
+        let tracer = Tracer::new();
+        let mut sys = System {
+            x: TracedVec::malloc(&tracer, vec![0.0, 0.9]),
+            y: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+            z: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+            fx: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+            fy: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+            fz: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+        };
+        compute_forces(&mut sys, 5.0);
+        assert!(sys.fx.peek(0) < 0.0, "particle 0 pushed left");
+        assert!(sys.fx.peek(1) > 0.0, "particle 1 pushed right");
+    }
+
+    #[test]
+    fn cutoff_suppresses_distant_pairs() {
+        let tracer = Tracer::new();
+        let mut sys = System {
+            x: TracedVec::malloc(&tracer, vec![0.0, 10.0]),
+            y: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+            z: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+            fx: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+            fy: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+            fz: TracedVec::malloc(&tracer, vec![0.0, 0.0]),
+        };
+        let e = compute_forces(&mut sys, 3.0);
+        assert_eq!(e, 0.0);
+        assert_eq!(sys.fx.peek(0), 0.0);
+    }
+
+    #[test]
+    fn trace_shape() {
+        let t = trace(Scale::Tiny);
+        assert!(t.len() > 10_000, "len {}", t.len());
+        assert_eq!(trace(Scale::Tiny).len(), t.len());
+    }
+}

@@ -1,0 +1,244 @@
+//! hmmer-like kernel: profile-HMM Viterbi dynamic programming (SPEC
+//! 456.hmmer idiom).
+//!
+//! Three DP matrices (match/insert/delete) filled row by row against a
+//! residue sequence — the long stride-1 sweeps with per-cell table lookups
+//! that dominate hmmsearch.
+
+use crate::params::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unicache_trace::{Region, Trace, TracedMat, TracedVec, Tracer};
+
+/// Scores are integer log-odds like HMMER's (scaled ×100); this is
+/// effectively -infinity.
+pub const NEG_INF: i64 = i64::MIN / 4;
+
+/// A toy profile HMM over a 4-letter alphabet.
+pub struct Profile {
+    /// match-emission score, indexed `[state][residue]`
+    pub match_emit: Vec<[i64; 4]>,
+    /// insert-emission score, indexed `[residue]`
+    pub insert_emit: [i64; 4],
+    /// transition scores, HMMER order: MM, MI, MD, IM, II, DM, DD
+    pub trans: Vec<[i64; 7]>,
+}
+
+impl Profile {
+    /// A deterministic random profile with `m` match states.
+    pub fn random(m: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Profile {
+            match_emit: (0..m)
+                .map(|_| {
+                    let mut e = [0i64; 4];
+                    // One preferred residue per state, like a real motif.
+                    let fav = rng.gen_range(0..4);
+                    for (r, s) in e.iter_mut().enumerate() {
+                        *s = if r == fav {
+                            rng.gen_range(100..300)
+                        } else {
+                            rng.gen_range(-200..-50)
+                        };
+                    }
+                    e
+                })
+                .collect(),
+            insert_emit: [-30, -30, -30, -30],
+            trans: (0..m)
+                .map(|_| {
+                    [
+                        rng.gen_range(-20..0),     // MM
+                        rng.gen_range(-300..-100), // MI
+                        rng.gen_range(-300..-100), // MD
+                        rng.gen_range(-150..-50),  // IM
+                        rng.gen_range(-200..-80),  // II
+                        rng.gen_range(-150..-50),  // DM
+                        rng.gen_range(-200..-80),  // DD
+                    ]
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Viterbi over traced DP matrices; returns the best alignment score of
+/// the full sequence against the full model (global-ish: ends in the last
+/// match state).
+pub fn viterbi(tracer: &Tracer, profile: &Profile, seq: &[u8]) -> i64 {
+    let m = profile.match_emit.len();
+    let n = seq.len();
+    let seq_t = TracedVec::malloc(tracer, seq.to_vec());
+    let mut vm = TracedMat::new_in(
+        tracer,
+        Region::Heap,
+        n + 1,
+        m + 1,
+        vec![NEG_INF; (n + 1) * (m + 1)],
+    );
+    let mut vi = TracedMat::new_in(
+        tracer,
+        Region::Heap,
+        n + 1,
+        m + 1,
+        vec![NEG_INF; (n + 1) * (m + 1)],
+    );
+    let mut vd = TracedMat::new_in(
+        tracer,
+        Region::Heap,
+        n + 1,
+        m + 1,
+        vec![NEG_INF; (n + 1) * (m + 1)],
+    );
+    vm.set(0, 0, 0);
+    // Delete chain along row 0 (consume model states without residues).
+    for k in 1..=m {
+        let prev = if k == 1 {
+            vm.get(0, 0)
+        } else {
+            vd.get(0, k - 1)
+        };
+        let t = if k == 1 {
+            profile.trans[0][2] // MD
+        } else {
+            profile.trans[k - 1][6] // DD
+        };
+        vd.set(0, k, prev.saturating_add(t));
+    }
+    for i in 1..=n {
+        let res = seq_t.get(i - 1) as usize;
+        // Insert state 0 models unaligned prefix residues.
+        let prev_i0 = vi.get(i - 1, 0).max(vm.get(i - 1, 0));
+        vi.set(
+            i,
+            0,
+            prev_i0
+                .saturating_add(profile.insert_emit[res])
+                .saturating_add(profile.trans[0][4]), // II
+        );
+        if i == 1 {
+            vi.set(1, 0, vi.get(1, 0).max(profile.insert_emit[res]));
+        }
+        for k in 1..=m {
+            let tr = &profile.trans[k - 1];
+            // Match.
+            let from_m = vm.get(i - 1, k - 1).saturating_add(tr[0]);
+            let from_i = vi.get(i - 1, k - 1).saturating_add(tr[3]);
+            let from_d = vd.get(i - 1, k - 1).saturating_add(tr[5]);
+            let start = if k == 1 {
+                // Entering the model from the prefix.
+                vm.get(i - 1, 0).max(vi.get(i - 1, 0))
+            } else {
+                NEG_INF
+            };
+            let best = from_m.max(from_i).max(from_d).max(start);
+            vm.set(i, k, best.saturating_add(profile.match_emit[k - 1][res]));
+            // Insert (consumes a residue, stays at state k).
+            let im = vm.get(i - 1, k).saturating_add(tr[1]); // MI
+            let ii = vi.get(i - 1, k).saturating_add(tr[4]); // II
+            vi.set(i, k, im.max(ii).saturating_add(profile.insert_emit[res]));
+            // Delete (consumes a model state, no residue).
+            let dm = vm.get(i, k - 1).saturating_add(tr[2]); // MD
+            let dd = vd.get(i, k - 1).saturating_add(tr[6]); // DD
+            vd.set(i, k, dm.max(dd));
+        }
+    }
+    vm.get(n, m)
+}
+
+/// Emits a sequence that follows the profile's favourite residues with
+/// some noise (so scores are solidly positive for matching sequences).
+pub fn consensus_with_noise(profile: &Profile, noise: f64, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    profile
+        .match_emit
+        .iter()
+        .map(|e| {
+            if rng.gen_bool(noise) {
+                rng.gen_range(0..4) as u8
+            } else {
+                e.iter().enumerate().max_by_key(|(_, &s)| s).unwrap().0 as u8
+            }
+        })
+        .collect()
+}
+
+/// Scores several sequences against a random profile.
+pub fn trace(scale: Scale) -> Trace {
+    let (m, seqs) = scale.pick((40, 3), (120, 8), (240, 16));
+    let tracer = Tracer::new();
+    let profile = Profile::random(m, 0x4A3);
+    for s in 0..seqs {
+        let seq = consensus_with_noise(&profile, 0.2, s as u64);
+        let _ = viterbi(&tracer, &profile, &seq);
+    }
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consensus_scores_higher_than_random() {
+        let tracer = Tracer::new();
+        let profile = Profile::random(30, 7);
+        let good = consensus_with_noise(&profile, 0.0, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let junk: Vec<u8> = (0..30).map(|_| rng.gen_range(0..4)).collect();
+        let s_good = viterbi(&tracer, &profile, &good);
+        let s_junk = viterbi(&tracer, &profile, &junk);
+        assert!(
+            s_good > s_junk,
+            "consensus {s_good} must beat random {s_junk}"
+        );
+        assert!(s_good > 0, "consensus alignment should be positive");
+    }
+
+    #[test]
+    fn single_state_single_residue() {
+        let tracer = Tracer::new();
+        let profile = Profile {
+            match_emit: vec![[50, -100, -100, -100]],
+            insert_emit: [-10; 4],
+            trans: vec![[0, -50, -50, -20, -30, -20, -30]],
+        };
+        // One residue 0 against one match state: score = emit = 50
+        // (start transition from vm[0][0] = 0).
+        assert_eq!(viterbi(&tracer, &profile, &[0]), 50);
+        assert_eq!(viterbi(&tracer, &profile, &[1]), -100);
+    }
+
+    #[test]
+    fn deletions_allow_short_sequences() {
+        let tracer = Tracer::new();
+        let profile = Profile::random(10, 3);
+        let seq = consensus_with_noise(&profile, 0.0, 1);
+        // Score a truncated sequence: must stay finite (delete states
+        // absorb the missing model columns)... note the final cell requires
+        // ending in match m, so drop only interior residues.
+        let mut short = seq.clone();
+        short.remove(4);
+        let s = viterbi(&tracer, &profile, &short);
+        assert!(s > NEG_INF / 2, "deletion path should exist: {s}");
+    }
+
+    #[test]
+    fn deterministic_and_monotone_in_noise() {
+        let tracer = Tracer::new();
+        let profile = Profile::random(50, 11);
+        let clean = consensus_with_noise(&profile, 0.0, 5);
+        let noisy = consensus_with_noise(&profile, 0.8, 5);
+        let s_clean = viterbi(&tracer, &profile, &clean);
+        let s_noisy = viterbi(&tracer, &profile, &noisy);
+        assert!(s_clean >= s_noisy);
+        assert_eq!(s_clean, viterbi(&tracer, &profile, &clean));
+    }
+
+    #[test]
+    fn trace_shape() {
+        let t = trace(Scale::Tiny);
+        assert!(t.len() > 20_000);
+        assert_eq!(trace(Scale::Tiny).len(), t.len());
+    }
+}

@@ -1,0 +1,201 @@
+//! libquantum-like kernel: quantum register simulation (SPEC 462.libquantum
+//! idiom).
+//!
+//! A state vector of 2^q amplitudes swept with power-of-two strides per
+//! gate — libquantum's signature long, perfectly regular, conflict-heavy
+//! sweeps.
+
+use crate::params::Scale;
+use unicache_trace::{Trace, TracedVec, Tracer};
+
+/// A q-qubit register with traced amplitude arrays (re/im split, like the
+/// C struct-of-arrays layout).
+pub struct Register {
+    pub re: TracedVec<f64>,
+    pub im: TracedVec<f64>,
+}
+
+impl Register {
+    /// |0...0> basis state.
+    pub fn zero(tracer: &Tracer, qubits: u32) -> Self {
+        let n = 1usize << qubits;
+        let mut re = vec![0.0; n];
+        re[0] = 1.0;
+        Register {
+            re: TracedVec::malloc(tracer, re),
+            im: TracedVec::malloc(tracer, vec![0.0; n]),
+        }
+    }
+
+    /// Number of amplitudes.
+    pub fn len(&self) -> usize {
+        self.re.len()
+    }
+
+    /// True if the register has no amplitudes (never for a valid one).
+    pub fn is_empty(&self) -> bool {
+        self.re.is_empty()
+    }
+
+    /// Squared norm (must stay 1 under unitary gates).
+    pub fn norm2(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.len() {
+            acc += self.re.get(i).powi(2) + self.im.get(i).powi(2);
+        }
+        acc
+    }
+
+    /// Hadamard on qubit `t`: pairs (i, i|bit) mixed with 1/√2 weights —
+    /// a stride-2^t sweep over the whole state vector.
+    pub fn hadamard(&mut self, t: u32) {
+        let bit = 1usize << t;
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let n = self.len();
+        let mut i = 0usize;
+        while i < n {
+            if i & bit == 0 {
+                let j = i | bit;
+                let (ar, ai) = (self.re.get(i), self.im.get(i));
+                let (br, bi) = (self.re.get(j), self.im.get(j));
+                self.re.set(i, s * (ar + br));
+                self.im.set(i, s * (ai + bi));
+                self.re.set(j, s * (ar - br));
+                self.im.set(j, s * (ai - bi));
+            }
+            i += 1;
+        }
+    }
+
+    /// Controlled-NOT: swaps amplitude pairs where the control bit is set.
+    pub fn cnot(&mut self, control: u32, target: u32) {
+        let (cb, tb) = (1usize << control, 1usize << target);
+        let n = self.len();
+        for i in 0..n {
+            if i & cb != 0 && i & tb == 0 {
+                let j = i | tb;
+                self.re.swap(i, j);
+                self.im.swap(i, j);
+            }
+        }
+    }
+
+    /// Phase-flip (Z) on qubit `t`.
+    pub fn pauli_z(&mut self, t: u32) {
+        let bit = 1usize << t;
+        for i in 0..self.len() {
+            if i & bit != 0 {
+                self.re.update(i, |v| -v);
+                self.im.update(i, |v| -v);
+            }
+        }
+    }
+
+    /// Probability that qubit `t` measures 1.
+    pub fn prob_one(&self, t: u32) -> f64 {
+        let bit = 1usize << t;
+        let mut acc = 0.0;
+        for i in 0..self.len() {
+            if i & bit != 0 {
+                acc += self.re.get(i).powi(2) + self.im.get(i).powi(2);
+            }
+        }
+        acc
+    }
+}
+
+/// Builds a GHZ state and runs gate sweeps over every qubit repeatedly.
+pub fn trace(scale: Scale) -> Trace {
+    let (qubits, rounds) = scale.pick((10u32, 2), (14u32, 4), (17u32, 6));
+    let tracer = Tracer::new();
+    let mut reg = Register::zero(&tracer, qubits);
+    // GHZ preparation: H(0), then CNOT chain.
+    reg.hadamard(0);
+    for q in 1..qubits {
+        reg.cnot(q - 1, q);
+    }
+    for _ in 0..rounds {
+        for q in 0..qubits {
+            reg.hadamard(q);
+        }
+        for q in 0..qubits {
+            reg.pauli_z(q);
+        }
+        for q in 0..qubits {
+            reg.hadamard(q);
+        }
+    }
+    let n2 = reg.norm2();
+    assert!((n2 - 1.0).abs() < 1e-6, "norm drifted to {n2}");
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hadamard_creates_uniform_superposition() {
+        let tracer = Tracer::new();
+        let mut reg = Register::zero(&tracer, 3);
+        for q in 0..3 {
+            reg.hadamard(q);
+        }
+        let expect = 1.0 / (8.0f64).sqrt();
+        for i in 0..8 {
+            assert!((reg.re.peek(i) - expect).abs() < 1e-12);
+            assert!(reg.im.peek(i).abs() < 1e-12);
+        }
+        assert!((reg.norm2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_is_self_inverse() {
+        let tracer = Tracer::new();
+        let mut reg = Register::zero(&tracer, 4);
+        reg.hadamard(2);
+        reg.hadamard(2);
+        assert!((reg.re.peek(0) - 1.0).abs() < 1e-12);
+        assert!((reg.prob_one(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_has_two_equal_peaks() {
+        let tracer = Tracer::new();
+        let q = 5;
+        let mut reg = Register::zero(&tracer, q);
+        reg.hadamard(0);
+        for i in 1..q {
+            reg.cnot(i - 1, i);
+        }
+        let n = 1usize << q;
+        let half = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((reg.re.peek(0) - half).abs() < 1e-12);
+        assert!((reg.re.peek(n - 1) - half).abs() < 1e-12);
+        for i in 1..n - 1 {
+            assert!(reg.re.peek(i).abs() < 1e-12, "amp[{i}]");
+        }
+        // Every qubit measures 1 with probability 1/2.
+        for t in 0..q {
+            assert!((reg.prob_one(t) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn z_flips_phase_only() {
+        let tracer = Tracer::new();
+        let mut reg = Register::zero(&tracer, 2);
+        reg.hadamard(0);
+        reg.pauli_z(0);
+        assert!((reg.re.peek(0) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((reg.re.peek(1) + std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((reg.norm2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_shape() {
+        let t = trace(Scale::Tiny);
+        assert!(t.len() > 100_000);
+        assert_eq!(trace(Scale::Tiny).len(), t.len());
+    }
+}

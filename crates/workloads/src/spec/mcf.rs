@@ -1,0 +1,188 @@
+//! mcf-like kernel: shortest-path relaxation over an arc-list network
+//! (SPEC 429.mcf idiom).
+//!
+//! mcf's network simplex is dominated by pointer-chasing over node and arc
+//! structures; we reproduce that traffic with Bellman–Ford over a sparse
+//! random network stored as struct-of-arrays arc lists.
+
+use crate::params::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unicache_trace::{Region, Trace, TracedVec, Tracer};
+
+/// Unreached distance marker.
+pub const INF: i64 = i64::MAX / 4;
+
+/// A sparse directed network in traced memory (head/tail/cost arc arrays
+/// plus a first-arc index, like MCF's data layout).
+pub struct Network {
+    pub first_arc: TracedVec<u32>,
+    pub arc_head: TracedVec<u32>,
+    pub arc_cost: TracedVec<i64>,
+    pub nodes: usize,
+}
+
+impl Network {
+    /// Random network with `nodes` nodes, out-degree `deg`, non-negative
+    /// costs, with a guaranteed 0→1→2→… chain for reachability.
+    pub fn random(tracer: &Tracer, nodes: usize, deg: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut first = Vec::with_capacity(nodes + 1);
+        let mut heads = Vec::new();
+        let mut costs = Vec::new();
+        for u in 0..nodes {
+            first.push(heads.len() as u32);
+            // Chain arc keeps everything reachable.
+            if u + 1 < nodes {
+                heads.push((u + 1) as u32);
+                costs.push(rng.gen_range(1..100));
+            }
+            for _ in 0..deg {
+                heads.push(rng.gen_range(0..nodes as u32));
+                costs.push(rng.gen_range(1..1000));
+            }
+        }
+        first.push(heads.len() as u32);
+        Network {
+            first_arc: TracedVec::malloc(tracer, first),
+            arc_head: TracedVec::malloc(tracer, heads),
+            arc_cost: TracedVec::malloc(tracer, costs),
+            nodes,
+        }
+    }
+}
+
+/// Bellman–Ford from `src`; returns traced distances. Sweeps all arcs up
+/// to `nodes` times with early exit — the relaxations are the pointer-
+/// chasing reads.
+pub fn bellman_ford(tracer: &Tracer, net: &Network, src: usize) -> TracedVec<i64> {
+    let mut dist = TracedVec::new_in(tracer, Region::Heap, vec![INF; net.nodes]);
+    dist.set(src, 0);
+    for _round in 0..net.nodes {
+        let mut changed = false;
+        for u in 0..net.nodes {
+            let du = dist.get(u);
+            if du == INF {
+                continue;
+            }
+            let lo = net.first_arc.get(u) as usize;
+            let hi = net.first_arc.get(u + 1) as usize;
+            for a in lo..hi {
+                let v = net.arc_head.get(a) as usize;
+                let w = net.arc_cost.get(a);
+                if du + w < dist.get(v) {
+                    dist.set(v, du + w);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// Shortest paths from several sources over a random network.
+pub fn trace(scale: Scale) -> Trace {
+    let (nodes, deg, sources) = scale.pick((200, 3, 2), (1_500, 4, 4), (6_000, 5, 6));
+    let tracer = Tracer::new();
+    let net = Network::random(&tracer, nodes, deg, 0x3CF);
+    for s in 0..sources {
+        let d = bellman_ford(&tracer, &net, s * 7 % nodes);
+        let _ = d.peek(nodes - 1);
+    }
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_network(tracer: &Tracer, costs: &[i64]) -> Network {
+        // Node i --costs[i]--> node i+1.
+        let n = costs.len() + 1;
+        let mut first = Vec::new();
+        let mut heads = Vec::new();
+        let mut cs = Vec::new();
+        for u in 0..n {
+            first.push(heads.len() as u32);
+            if u < costs.len() {
+                heads.push((u + 1) as u32);
+                cs.push(costs[u]);
+            }
+        }
+        first.push(heads.len() as u32);
+        Network {
+            first_arc: TracedVec::malloc(tracer, first),
+            arc_head: TracedVec::malloc(tracer, heads),
+            arc_cost: TracedVec::malloc(tracer, cs),
+            nodes: n,
+        }
+    }
+
+    #[test]
+    fn line_distances_accumulate() {
+        let tracer = Tracer::new();
+        let net = line_network(&tracer, &[5, 3, 7]);
+        let d = bellman_ford(&tracer, &net, 0);
+        assert_eq!(d.as_slice(), &[0, 5, 8, 15]);
+    }
+
+    #[test]
+    fn shortcut_wins() {
+        // 0 -> 1 -> 2 with costs 10+10, plus a direct 0 -> 2 cost 5.
+        let tracer = Tracer::new();
+        let first = vec![0u32, 2, 3, 3];
+        let heads = vec![1u32, 2, 2];
+        let costs = vec![10i64, 5, 10];
+        let net = Network {
+            first_arc: TracedVec::malloc(&tracer, first),
+            arc_head: TracedVec::malloc(&tracer, heads),
+            arc_cost: TracedVec::malloc(&tracer, costs),
+            nodes: 3,
+        };
+        let d = bellman_ford(&tracer, &net, 0);
+        assert_eq!(d.as_slice(), &[0, 10, 5]);
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_inf() {
+        let tracer = Tracer::new();
+        let net = line_network(&tracer, &[1, 1]);
+        let d = bellman_ford(&tracer, &net, 2); // start at the sink
+        assert_eq!(d.peek(2), 0);
+        assert_eq!(d.peek(0), INF);
+        assert_eq!(d.peek(1), INF);
+    }
+
+    #[test]
+    fn random_network_satisfies_relaxation_invariant() {
+        let tracer = Tracer::new();
+        let net = Network::random(&tracer, 100, 3, 9);
+        let d = bellman_ford(&tracer, &net, 0);
+        // No arc can still be relaxable.
+        for u in 0..net.nodes {
+            let du = d.peek(u);
+            if du == INF {
+                continue;
+            }
+            let lo = net.first_arc.peek(u) as usize;
+            let hi = net.first_arc.peek(u + 1) as usize;
+            for a in lo..hi {
+                let v = net.arc_head.peek(a) as usize;
+                let w = net.arc_cost.peek(a);
+                assert!(d.peek(v) <= du + w, "arc {u}->{v} relaxable");
+            }
+        }
+        // Chain guarantees everything is reachable from 0.
+        assert!((0..net.nodes).all(|v| d.peek(v) < INF));
+    }
+
+    #[test]
+    fn trace_shape() {
+        let t = trace(Scale::Tiny);
+        assert!(t.len() > 10_000);
+        assert_eq!(trace(Scale::Tiny).len(), t.len());
+    }
+}

@@ -1,0 +1,15 @@
+//! Synthetic SPEC CPU2006-like kernels for the paper's Fig. 8 workload set.
+//!
+//! Each kernel captures the dominant memory idiom of its namesake (see
+//! `DESIGN.md`'s substitution table) rather than the full program.
+
+pub mod astar;
+pub mod bzip2;
+pub mod calculix;
+pub mod gromacs;
+pub mod hmmer;
+pub mod libquantum;
+pub mod mcf;
+pub mod milc;
+pub mod namd;
+pub mod sjeng;

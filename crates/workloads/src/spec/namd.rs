@@ -1,0 +1,257 @@
+//! namd-like kernel: molecular dynamics with cell lists (SPEC 444.namd
+//! idiom).
+//!
+//! Unlike the all-pairs gromacs kernel, namd's signature is *spatial
+//! binning*: particles are bucketed into cells and forces are computed
+//! only between neighbouring cells — gather/scatter traffic through an
+//! indirection layer.
+
+use crate::params::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unicache_trace::{Region, Trace, TracedVec, Tracer};
+
+/// Particle system + cell-list state.
+pub struct CellSystem {
+    pub x: TracedVec<f64>,
+    pub y: TracedVec<f64>,
+    pub z: TracedVec<f64>,
+    pub fx: TracedVec<f64>,
+    pub fy: TracedVec<f64>,
+    pub fz: TracedVec<f64>,
+    /// particle index, sorted by cell
+    pub order: TracedVec<u32>,
+    /// first entry in `order` per cell (cells³+1 entries)
+    pub cell_start: TracedVec<u32>,
+    pub cells: usize,
+    pub box_len: f64,
+}
+
+impl CellSystem {
+    /// Random particles binned into `cells³` cells.
+    pub fn random(tracer: &Tracer, n: usize, cells: usize, box_len: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..box_len)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..box_len)).collect();
+        let zs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..box_len)).collect();
+        let mut sys = CellSystem {
+            x: TracedVec::malloc(tracer, xs),
+            y: TracedVec::malloc(tracer, ys),
+            z: TracedVec::malloc(tracer, zs),
+            fx: TracedVec::malloc(tracer, vec![0.0; n]),
+            fy: TracedVec::malloc(tracer, vec![0.0; n]),
+            fz: TracedVec::malloc(tracer, vec![0.0; n]),
+            order: TracedVec::new_in(tracer, Region::Heap, vec![0u32; n]),
+            cell_start: TracedVec::new_in(
+                tracer,
+                Region::Heap,
+                vec![0u32; cells * cells * cells + 1],
+            ),
+            cells,
+            box_len,
+        };
+        sys.rebuild_cells();
+        sys
+    }
+
+    fn cell_of(&self, i: usize) -> usize {
+        let scale = self.cells as f64 / self.box_len;
+        let cx = ((self.x.get(i) * scale) as usize).min(self.cells - 1);
+        let cy = ((self.y.get(i) * scale) as usize).min(self.cells - 1);
+        let cz = ((self.z.get(i) * scale) as usize).min(self.cells - 1);
+        (cx * self.cells + cy) * self.cells + cz
+    }
+
+    /// Counting-sort particles into cells (the cell-list build).
+    pub fn rebuild_cells(&mut self) {
+        let n = self.x.len();
+        let ncells = self.cells * self.cells * self.cells;
+        let mut counts = vec![0u32; ncells];
+        let mut cell_idx = vec![0usize; n];
+        for (i, slot) in cell_idx.iter_mut().enumerate() {
+            let c = self.cell_of(i);
+            *slot = c;
+            counts[c] += 1;
+        }
+        let mut acc = 0u32;
+        for (c, &count) in counts.iter().enumerate() {
+            self.cell_start.set(c, acc);
+            acc += count;
+        }
+        self.cell_start.set(ncells, acc);
+        let mut cursor: Vec<u32> = (0..ncells).map(|c| self.cell_start.get(c)).collect();
+        for (i, &c) in cell_idx.iter().enumerate() {
+            self.order.set(cursor[c] as usize, i as u32);
+            cursor[c] += 1;
+        }
+    }
+
+    /// Cell-list force pass (LJ, cutoff = one cell width); returns the
+    /// number of interacting pairs.
+    pub fn compute_forces(&mut self) -> usize {
+        let rc = self.box_len / self.cells as f64;
+        let rc2 = rc * rc;
+        let c = self.cells as i64;
+        let mut pairs = 0usize;
+        for cx in 0..c {
+            for cy in 0..c {
+                for cz in 0..c {
+                    let home = ((cx * c + cy) * c + cz) as usize;
+                    let h_lo = self.cell_start.get(home) as usize;
+                    let h_hi = self.cell_start.get(home + 1) as usize;
+                    // Half the neighbour stencil to avoid double counting.
+                    for (dx, dy, dz) in [
+                        (0, 0, 0),
+                        (1, 0, 0),
+                        (0, 1, 0),
+                        (0, 0, 1),
+                        (1, 1, 0),
+                        (1, 0, 1),
+                        (0, 1, 1),
+                        (1, 1, 1),
+                        (1, -1, 0),
+                        (1, 0, -1),
+                        (0, 1, -1),
+                        (1, -1, -1),
+                        (1, 1, -1),
+                        (1, -1, 1),
+                    ] {
+                        let (nx, ny, nz) = (cx + dx, cy + dy, cz + dz);
+                        if nx < 0 || ny < 0 || nz < 0 || nx >= c || ny >= c || nz >= c {
+                            continue;
+                        }
+                        let nbr = ((nx * c + ny) * c + nz) as usize;
+                        let n_lo = self.cell_start.get(nbr) as usize;
+                        let n_hi = self.cell_start.get(nbr + 1) as usize;
+                        for a in h_lo..h_hi {
+                            let i = self.order.get(a) as usize;
+                            let start = if home == nbr { a + 1 } else { n_lo };
+                            for b in start..n_hi {
+                                let j = self.order.get(b) as usize;
+                                let ddx = self.x.get(i) - self.x.get(j);
+                                let ddy = self.y.get(i) - self.y.get(j);
+                                let ddz = self.z.get(i) - self.z.get(j);
+                                let r2 = ddx * ddx + ddy * ddy + ddz * ddz;
+                                if r2 >= rc2 || r2 < 1e-12 {
+                                    continue;
+                                }
+                                pairs += 1;
+                                let inv2 = 1.0 / r2;
+                                let inv6 = inv2 * inv2 * inv2;
+                                let f = 24.0 * (2.0 * inv6 * inv6 - inv6) * inv2;
+                                self.fx.update(i, |v| v + f * ddx);
+                                self.fy.update(i, |v| v + f * ddy);
+                                self.fz.update(i, |v| v + f * ddz);
+                                self.fx.update(j, |v| v - f * ddx);
+                                self.fy.update(j, |v| v - f * ddy);
+                                self.fz.update(j, |v| v - f * ddz);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// Cell-list MD steps.
+pub fn trace(scale: Scale) -> Trace {
+    let (n, cells, steps) = scale.pick((128, 3, 2), (1_024, 5, 3), (4_096, 8, 4));
+    let tracer = Tracer::new();
+    let mut sys = CellSystem::random(&tracer, n, cells, 10.0, 0x4A8D);
+    for _ in 0..steps {
+        sys.rebuild_cells();
+        let _ = sys.compute_forces();
+    }
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_starts_partition_all_particles() {
+        let tracer = Tracer::new();
+        let sys = CellSystem::random(&tracer, 200, 4, 10.0, 1);
+        let ncells = 64;
+        assert_eq!(sys.cell_start.peek(ncells) as usize, 200);
+        // Starts are monotone.
+        for c in 0..ncells {
+            assert!(sys.cell_start.peek(c) <= sys.cell_start.peek(c + 1));
+        }
+        // Every particle appears exactly once in `order`.
+        let mut seen = [false; 200];
+        for i in 0..200 {
+            let p = sys.order.peek(i) as usize;
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn particles_are_in_their_claimed_cells() {
+        let tracer = Tracer::new();
+        let sys = CellSystem::random(&tracer, 300, 4, 10.0, 2);
+        for c in 0..64usize {
+            let lo = sys.cell_start.peek(c) as usize;
+            let hi = sys.cell_start.peek(c + 1) as usize;
+            for a in lo..hi {
+                let i = sys.order.peek(a) as usize;
+                assert_eq!(sys.cell_of(i), c, "particle {i} misfiled");
+            }
+        }
+    }
+
+    #[test]
+    fn forces_sum_to_zero() {
+        let tracer = Tracer::new();
+        let mut sys = CellSystem::random(&tracer, 400, 4, 8.0, 3);
+        let pairs = sys.compute_forces();
+        assert!(pairs > 0, "dense box must interact");
+        let (mut sx, mut sy, mut sz) = (0.0f64, 0.0f64, 0.0f64);
+        let mut fmax = 0.0f64;
+        for i in 0..400 {
+            sx += sys.fx.peek(i);
+            sy += sys.fy.peek(i);
+            sz += sys.fz.peek(i);
+            fmax = fmax.max(sys.fx.peek(i).abs()).max(sys.fy.peek(i).abs());
+        }
+        // Individual LJ forces can reach 1e15+ for random close pairs, so
+        // the cancellation check must be relative to the force scale.
+        let tol = 1e-10 * fmax.max(1.0);
+        assert!(sx.abs() < tol, "sum fx {sx} vs scale {fmax}");
+        assert!(sy.abs() < tol);
+        assert!(sz.abs() < tol);
+    }
+
+    #[test]
+    fn cell_list_finds_same_close_pairs_as_brute_force() {
+        let tracer = Tracer::new();
+        let mut sys = CellSystem::random(&tracer, 60, 3, 6.0, 4);
+        let rc = 2.0;
+        let pairs = sys.compute_forces();
+        // Brute-force count of pairs within the cutoff.
+        let mut brute = 0usize;
+        for i in 0..60 {
+            for j in i + 1..60 {
+                let dx = sys.x.peek(i) - sys.x.peek(j);
+                let dy = sys.y.peek(i) - sys.y.peek(j);
+                let dz = sys.z.peek(i) - sys.z.peek(j);
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if r2 < rc * rc && r2 > 1e-12 {
+                    brute += 1;
+                }
+            }
+        }
+        assert_eq!(pairs, brute);
+    }
+
+    #[test]
+    fn trace_shape() {
+        let t = trace(Scale::Tiny);
+        assert!(t.len() > 10_000);
+        assert_eq!(trace(Scale::Tiny).len(), t.len());
+    }
+}

@@ -1,0 +1,167 @@
+//! sjeng-like kernel: alpha-beta game-tree search with a Zobrist-hashed
+//! transposition table (SPEC 458.sjeng idiom).
+//!
+//! The game is deliberately small (multi-heap Nim) so the search is exactly
+//! verifiable against Sprague–Grundy theory, while the memory behaviour —
+//! random-looking transposition-table probes against a large hash array,
+//! plus stack-like move lists — mirrors a chess engine's.
+
+use crate::params::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unicache_trace::{Region, Trace, TracedVec, Tracer};
+
+/// Transposition-table entry states.
+const EMPTY: u64 = u64::MAX;
+
+/// Alpha-beta searcher with a traced transposition table.
+pub struct Searcher {
+    /// Zobrist keys: `zobrist[heap][count]`.
+    zobrist: Vec<Vec<u64>>,
+    /// Hash-indexed table: key per slot.
+    tt_keys: TracedVec<u64>,
+    /// Stored score per slot (+1 win for side to move, -1 loss).
+    tt_vals: TracedVec<i8>,
+    /// Statistics: table probes / hits.
+    pub probes: u64,
+    pub hits: u64,
+}
+
+impl Searcher {
+    /// A searcher for up to `heaps` heaps of at most `max_stones` stones,
+    /// with a `table_bits`-bit transposition table.
+    pub fn new(
+        tracer: &Tracer,
+        heaps: usize,
+        max_stones: usize,
+        table_bits: u32,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let zobrist: Vec<Vec<u64>> = (0..heaps)
+            .map(|_| (0..=max_stones).map(|_| rng.gen()).collect())
+            .collect();
+        let slots = 1usize << table_bits;
+        Searcher {
+            zobrist,
+            tt_keys: TracedVec::new_in(tracer, Region::Heap, vec![EMPTY; slots]),
+            tt_vals: TracedVec::zeroed_in(tracer, Region::Heap, slots),
+            probes: 0,
+            hits: 0,
+        }
+    }
+
+    fn hash(&self, heaps: &[usize]) -> u64 {
+        heaps
+            .iter()
+            .enumerate()
+            .fold(0u64, |h, (i, &c)| h ^ self.zobrist[i][c])
+    }
+
+    /// Negamax with transposition table: returns +1 if the side to move
+    /// wins (normal-play Nim), -1 otherwise.
+    pub fn search(&mut self, heaps: &mut Vec<usize>) -> i8 {
+        if heaps.iter().all(|&c| c == 0) {
+            return -1; // no move available: previous player took the last stone
+        }
+        let key = self.hash(heaps);
+        let slot = (key & (self.tt_keys.len() as u64 - 1)) as usize;
+        self.probes += 1;
+        if self.tt_keys.get(slot) == key {
+            self.hits += 1;
+            return self.tt_vals.get(slot);
+        }
+        let mut best = -1i8;
+        'outer: for h in 0..heaps.len() {
+            let stones = heaps[h];
+            for take in 1..=stones {
+                heaps[h] = stones - take;
+                let score = -self.search(heaps);
+                heaps[h] = stones;
+                if score > best {
+                    best = score;
+                    if best == 1 {
+                        break 'outer; // beta cutoff
+                    }
+                }
+            }
+        }
+        self.tt_keys.set(slot, key);
+        self.tt_vals.set(slot, best);
+        best
+    }
+}
+
+/// Searches a set of random positions.
+pub fn trace(scale: Scale) -> Trace {
+    let (heaps, max_stones, positions, table_bits) =
+        scale.pick((3, 8, 6, 12), (4, 10, 6, 15), (4, 14, 10, 17));
+    let tracer = Tracer::new();
+    let mut rng = StdRng::seed_from_u64(0x53E4);
+    let mut s = Searcher::new(&tracer, heaps, max_stones, table_bits, 0x0B);
+    for _ in 0..positions {
+        let mut pos: Vec<usize> = (0..heaps).map(|_| rng.gen_range(0..=max_stones)).collect();
+        let got = s.search(&mut pos);
+        // Sprague–Grundy ground truth for normal-play Nim.
+        let xor = pos.iter().fold(0usize, |a, &b| a ^ b);
+        let expect = if xor != 0 { 1 } else { -1 };
+        assert_eq!(got, expect, "search disagrees with Nim theory at {pos:?}");
+    }
+    tracer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_position_loses() {
+        let tracer = Tracer::new();
+        let mut s = Searcher::new(&tracer, 2, 5, 8, 1);
+        assert_eq!(s.search(&mut vec![0, 0]), -1);
+    }
+
+    #[test]
+    fn single_heap_wins() {
+        let tracer = Tracer::new();
+        let mut s = Searcher::new(&tracer, 1, 5, 8, 1);
+        for n in 1..=5 {
+            assert_eq!(s.search(&mut vec![n]), 1, "take all {n} stones");
+        }
+    }
+
+    #[test]
+    fn matches_nim_theory_exhaustively() {
+        let tracer = Tracer::new();
+        let mut s = Searcher::new(&tracer, 3, 6, 12, 2);
+        for a in 0..=6usize {
+            for b in 0..=6usize {
+                for c in 0..=6usize {
+                    let got = s.search(&mut vec![a, b, c]);
+                    let expect = if a ^ b ^ c != 0 { 1 } else { -1 };
+                    assert_eq!(got, expect, "({a},{b},{c})");
+                }
+            }
+        }
+        assert!(s.hits > 0, "transpositions must be reused");
+    }
+
+    #[test]
+    fn transposition_table_accelerates() {
+        let tracer = Tracer::new();
+        let mut with_tt = Searcher::new(&tracer, 4, 8, 14, 3);
+        with_tt.search(&mut vec![8, 7, 6, 5]);
+        let full = with_tt.probes;
+        // Re-searching the same position is a single table hit.
+        with_tt.search(&mut vec![8, 7, 6, 5]);
+        assert_eq!(with_tt.probes, full + 1);
+        assert!(with_tt.hits >= 1);
+    }
+
+    #[test]
+    fn trace_shape() {
+        let t = trace(Scale::Tiny);
+        assert!(t.len() > 1_500, "len {}", t.len());
+        assert_eq!(trace(Scale::Tiny).len(), t.len());
+    }
+}

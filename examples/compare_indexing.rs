@@ -1,0 +1,46 @@
+//! Reproduces the paper's indexing-scheme story end to end: Figure 4
+//! (miss-rate reductions) plus the Figure 9/10 uniformity view, for the
+//! whole MiBench-like suite.
+//!
+//! ```sh
+//! cargo run --release --example compare_indexing
+//! ```
+
+use unicache::experiments::figures::{fig1, indexing};
+use unicache::prelude::*;
+
+fn main() {
+    let store = TraceStore::new(Scale::Small);
+
+    // Figure 1: why any of this matters — FFT hammers a few sets.
+    let report = fig1::report(&store, Workload::Fft);
+    print!("{}", report.render());
+    println!();
+
+    // Figure 4: who actually wins, per workload.
+    let fig4 = indexing::fig4(&store);
+    println!("{}", fig4.render());
+
+    // The paper's conclusion, computed live: does any scheme win
+    // everywhere?
+    let mut universal: Vec<&String> = Vec::new();
+    for (c, col) in fig4.cols.iter().enumerate() {
+        let always_wins = fig4
+            .values
+            .iter()
+            .take(fig4.rows.len() - 1) // skip Average
+            .all(|row| row[c] >= 0.0);
+        if always_wins {
+            universal.push(col);
+        }
+    }
+    if universal.is_empty() {
+        println!("no indexing scheme wins universally — each application needs its own\n");
+    } else {
+        println!("schemes that never lost on this run: {universal:?}\n");
+    }
+
+    // Figures 9/10: uniformity of misses.
+    println!("{}", indexing::fig9(&store).render());
+    println!("{}", indexing::fig10(&store).render());
+}

@@ -1,0 +1,95 @@
+//! Quickstart: measure how each technique changes the miss rate of one
+//! workload on the paper's cache configuration.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [workload]
+//! ```
+
+use std::sync::Arc;
+use unicache::prelude::*;
+
+fn main() {
+    let workload = std::env::args()
+        .nth(1)
+        .and_then(|n| Workload::from_name(&n))
+        .unwrap_or(Workload::Fft);
+    println!(
+        "workload: {}  (32 KB direct-mapped L1, 32 B lines)",
+        workload.name()
+    );
+
+    let trace = workload.generate(Scale::Small);
+    println!(
+        "trace: {} references, {} unique blocks\n",
+        trace.len(),
+        trace.unique_blocks(32).len()
+    );
+
+    let geom = CacheGeometry::paper_l1();
+    let sets = geom.num_sets();
+
+    // Baseline.
+    let mut baseline = CacheBuilder::new(geom)
+        .name("conventional")
+        .build()
+        .unwrap();
+    baseline.run(trace.records());
+    let base_rate = baseline.stats().miss_rate();
+    println!(
+        "{:<24} miss rate {:>7.3}%",
+        "conventional",
+        100.0 * base_rate
+    );
+
+    // Every technique the paper evaluates, one call each.
+    let unique = trace.unique_blocks(geom.line_bytes());
+    let mut models: Vec<Box<dyn CacheModel>> = vec![
+        Box::new(
+            CacheBuilder::new(geom)
+                .index(Arc::new(XorIndex::new(sets).unwrap()))
+                .name("xor")
+                .build()
+                .unwrap(),
+        ),
+        Box::new(
+            CacheBuilder::new(geom)
+                .index(Arc::new(OddMultiplierIndex::paper_default(sets).unwrap()))
+                .name("odd_multiplier")
+                .build()
+                .unwrap(),
+        ),
+        Box::new(
+            CacheBuilder::new(geom)
+                .index(Arc::new(PrimeModuloIndex::new(sets).unwrap()))
+                .name("prime_modulo")
+                .build()
+                .unwrap(),
+        ),
+        Box::new(
+            CacheBuilder::new(geom)
+                .index(Arc::new(GivargisIndex::train(&unique, geom, 28).unwrap()))
+                .name("givargis")
+                .build()
+                .unwrap(),
+        ),
+        Box::new(ColumnAssociativeCache::new(geom).unwrap()),
+        Box::new(AdaptiveGroupCache::new(geom).unwrap()),
+        Box::new(BCache::new(geom).unwrap()),
+        Box::new(PartnerIndexCache::new(geom).unwrap()),
+    ];
+
+    for model in &mut models {
+        model.run(trace.records());
+        let rate = model.stats().miss_rate();
+        let delta = if base_rate > 0.0 {
+            100.0 * (base_rate - rate) / base_rate
+        } else {
+            0.0
+        };
+        println!(
+            "{:<24} miss rate {:>7.3}%   ({delta:+.1}% vs conventional)",
+            model.name(),
+            100.0 * rate,
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Trace interop: capture a workload trace, round-trip it through every
+//! supported serialization (compact binary, CSV, Dinero III), and verify
+//! the simulation results are bit-identical — the workflow for exchanging
+//! traces with external cache simulators (dineroIV etc.).
+//!
+//! ```sh
+//! cargo run --release --example trace_interop [workload]
+//! ```
+
+use unicache::prelude::*;
+use unicache::trace::io;
+
+fn simulate(trace: &Trace) -> (u64, u64) {
+    let mut cache = CacheBuilder::new(CacheGeometry::paper_l1())
+        .build()
+        .unwrap();
+    cache.run(trace.records());
+    (cache.stats().hits(), cache.stats().misses())
+}
+
+fn main() {
+    let workload = std::env::args()
+        .nth(1)
+        .and_then(|n| Workload::from_name(&n))
+        .unwrap_or(Workload::Sha);
+    let trace = workload.generate(Scale::Tiny);
+    println!(
+        "workload {}: {} references ({} writes)",
+        workload.name(),
+        trace.len(),
+        trace.write_count()
+    );
+    let reference = simulate(&trace);
+    println!(
+        "reference simulation: {} hits / {} misses\n",
+        reference.0, reference.1
+    );
+
+    // Binary.
+    let bin = io::encode(&trace);
+    let from_bin = io::decode(&bin).expect("binary decode");
+    println!(
+        "binary:  {:>9} bytes ({:.1} B/record)  results match: {}",
+        bin.len(),
+        bin.len() as f64 / trace.len() as f64,
+        simulate(&from_bin) == reference
+    );
+
+    // CSV.
+    let csv = io::to_csv(&trace);
+    let from_csv = io::from_csv(&csv).expect("csv parse");
+    println!(
+        "csv:     {:>9} bytes ({:.1} B/record)  results match: {}",
+        csv.len(),
+        csv.len() as f64 / trace.len() as f64,
+        simulate(&from_csv) == reference
+    );
+
+    // Dinero III (for dineroIV and friends; drops thread ids).
+    let din = io::to_dinero(&trace);
+    let from_din = io::from_dinero(&din).expect("dinero parse");
+    println!(
+        "dinero:  {:>9} bytes ({:.1} B/record)  results match: {}",
+        din.len(),
+        din.len() as f64 / trace.len() as f64,
+        simulate(&from_din) == reference
+    );
+
+    println!(
+        "\nwrite e.g. `io::encode(&trace)` to a file to hand this workload\n\
+         to an external simulator, or `io::from_dinero` to replay foreign\n\
+         traces through every technique in this workspace."
+    );
+}

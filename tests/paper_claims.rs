@@ -1,0 +1,98 @@
+//! End-to-end checks of the paper's headline claims, through the public
+//! facade, at test scale.
+
+use unicache::experiments::figures::{assoc, extras, fig1, hybrid, indexing, smt};
+use unicache::prelude::*;
+
+fn store() -> TraceStore {
+    TraceStore::new(Scale::Tiny)
+}
+
+#[test]
+fn figure1_fft_hammers_few_sets() {
+    let r = fig1::report(&store(), Workload::Fft);
+    // The paper's motivating observation, shape-level: most sets cold, a
+    // few hot.
+    assert!(r.pct_below_half_avg > 50.0);
+    assert!(r.pct_above_twice_avg > 0.0);
+    assert!(r.moments.kurtosis > 0.0, "leptokurtic access distribution");
+}
+
+#[test]
+fn figure4_no_universal_indexing_winner() {
+    let t = indexing::fig4(&store());
+    // "None of the techniques perform consistently well."
+    let workload_rows = t.rows.len() - 1;
+    for (c, col) in t.cols.iter().enumerate() {
+        let wins = t
+            .values
+            .iter()
+            .take(workload_rows)
+            .filter(|r| r[c] > 1.0)
+            .count();
+        assert!(
+            wins < workload_rows,
+            "{col} won on every workload — contradicts the paper"
+        );
+    }
+    // "Some specific applications benefit from a specific indexing
+    // scheme": fft gains substantially somewhere.
+    let fft_best = t
+        .cols
+        .iter()
+        .map(|c| t.get("fft", c).unwrap())
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(fft_best > 30.0, "fft best gain only {fft_best:.1}%");
+}
+
+#[test]
+fn figure6_and_7_programmable_associativity_helps() {
+    let s = store();
+    let t6 = assoc::fig6(&s);
+    for col in &t6.cols {
+        let avg = t6.get("Average", col).unwrap();
+        assert!(avg > 0.0, "{col} fig6 average {avg:.2}");
+    }
+    let t7 = assoc::fig7(&s);
+    let col_assoc = t7.get("Average", "Column_associative").unwrap();
+    assert!(col_assoc > 0.0, "column-assoc AMAT average {col_assoc:.2}");
+}
+
+#[test]
+fn figure8_hybrids_are_application_dependent() {
+    let t = hybrid::fig8(&store());
+    let vals: Vec<f64> = t
+        .values
+        .iter()
+        .take(t.rows.len() - 1)
+        .flat_map(|r| r.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    assert!(vals.iter().any(|&v| v > 0.0), "no hybrid ever helped");
+    assert!(vals.iter().any(|&v| v < 0.0), "no hybrid ever hurt");
+}
+
+#[test]
+fn figure13_and_14_smt_improvements() {
+    let s = store();
+    let t13 = smt::fig13(&s);
+    assert!(t13.get("Average", "PerThread_Odd_Multiplier").unwrap() > 0.0);
+    let t14 = smt::fig14(&s);
+    assert!(t14.get("Average", "Adaptive_Partitioned").unwrap() > 0.0);
+}
+
+#[test]
+fn per_application_selection_beats_any_fixed_technique() {
+    // The paper's research direction: selecting the best technique per
+    // application dominates every single fixed choice.
+    let t = extras::scheme_selection(&store());
+    let winners = extras::winners(&t);
+    let oracle_avg: f64 = winners.iter().map(|(_, _, v)| *v).sum::<f64>() / winners.len() as f64;
+    for (c, col) in t.cols.iter().enumerate() {
+        let fixed_avg: f64 = t.values.iter().map(|r| r[c]).sum::<f64>() / t.values.len() as f64;
+        assert!(
+            oracle_avg >= fixed_avg - 1e-9,
+            "oracle {oracle_avg:.2} < fixed {col} {fixed_avg:.2}"
+        );
+    }
+}

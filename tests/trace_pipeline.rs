@@ -1,0 +1,91 @@
+//! Integration of the trace pipeline: workload generation → serialization
+//! → interleaving → simulation, across crate boundaries.
+
+use unicache::prelude::*;
+use unicache::trace::io;
+
+#[test]
+fn workload_traces_survive_binary_round_trip() {
+    for w in [Workload::Crc, Workload::Qsort, Workload::Sjeng] {
+        let t = w.generate(Scale::Tiny);
+        let bytes = io::encode(&t);
+        let back = io::decode(&bytes).unwrap();
+        assert_eq!(t, back, "{}", w.name());
+    }
+}
+
+#[test]
+fn csv_round_trip_preserves_simulation_results() {
+    let t = Workload::Bitcount.generate(Scale::Tiny);
+    let csv = io::to_csv(&t);
+    let back = io::from_csv(&csv).unwrap();
+    let geom = CacheGeometry::paper_l1();
+    let mut a = CacheBuilder::new(geom).build().unwrap();
+    let mut b = CacheBuilder::new(geom).build().unwrap();
+    a.run(t.records());
+    b.run(back.records());
+    assert_eq!(a.stats(), b.stats());
+}
+
+#[test]
+fn interleaving_conserves_per_thread_miss_behaviour_in_partitioned_cache() {
+    // In a statically partitioned cache, each thread's misses must be
+    // identical to running it alone on a cache of its partition's size.
+    let wa = Workload::Crc.generate(Scale::Tiny);
+    let wb = Workload::Bitcount.generate(Scale::Tiny);
+    let merged = interleave(&[wa.clone(), wb.clone()], InterleavePolicy::RoundRobin);
+
+    let full = CacheGeometry::paper_l1(); // 1024 sets
+    let mut part = PartitionedCache::new(full, 2).unwrap();
+    part.run(merged.records());
+    let merged_misses = part.stats().misses();
+
+    // Each thread alone on a 512-set direct-mapped cache.
+    let half = CacheGeometry::from_sets(512, 32, 1).unwrap();
+    let mut solo_total = 0u64;
+    for t in [&wa, &wb] {
+        let mut c = CacheBuilder::new(half).build().unwrap();
+        c.run(t.records());
+        solo_total += c.stats().misses();
+    }
+    assert_eq!(merged_misses, solo_total, "partitioning must isolate");
+}
+
+#[test]
+fn shared_cache_interference_is_real_and_order_dependent() {
+    // Two copies of the same workload thrash a shared conventional cache
+    // far more than one alone — the phenomenon Figs. 13/14 address.
+    let solo = Workload::Fft.generate(Scale::Tiny);
+    let merged = interleave(&[solo.clone(), solo.clone()], InterleavePolicy::RoundRobin);
+    let geom = CacheGeometry::paper_l1();
+    let mut alone = CacheBuilder::new(geom).build().unwrap();
+    alone.run(solo.records());
+    let alone_rate = alone.stats().miss_rate();
+
+    let fns: Vec<std::sync::Arc<dyn IndexFunction>> = vec![
+        std::sync::Arc::new(ModuloIndex::new(1024).unwrap()),
+        std::sync::Arc::new(ModuloIndex::new(1024).unwrap()),
+    ];
+    let mut shared = PerThreadIndexCache::new(geom, fns).unwrap();
+    shared.run(merged.records());
+    let shared_rate = shared.stats().miss_rate();
+    assert!(
+        shared_rate > alone_rate,
+        "no interference: shared {shared_rate} vs alone {alone_rate}"
+    );
+}
+
+#[test]
+fn tid_relabeling_and_filtering_compose() {
+    let t = Workload::Sha.generate(Scale::Tiny).with_tid(3);
+    assert!(t.iter().all(|r| r.tid == 3));
+    assert_eq!(t.filter_tid(3).len(), t.len());
+    assert_eq!(t.filter_tid(0).len(), 0);
+    let merged = interleave(
+        &[t.clone(), t.clone()],
+        InterleavePolicy::Stochastic { seed: 1 },
+    );
+    // interleave() re-stamps tids by position.
+    assert_eq!(merged.filter_tid(0).len(), t.len());
+    assert_eq!(merged.filter_tid(1).len(), t.len());
+}
