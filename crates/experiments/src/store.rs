@@ -4,18 +4,24 @@
 //! of `xp all`; the store generates each `(workload, scale)` trace once —
 //! in parallel across cores with rayon, per the hpc guides — and hands out
 //! shared references afterwards.
+//!
+//! Exactly-once generation is enforced with a per-workload `OnceLock`
+//! cell: the map lock is only held long enough to fetch or insert the
+//! cell, and the (expensive) generation runs inside `get_or_init` outside
+//! that lock. Two threads racing on the same workload therefore cannot
+//! both generate it — one generates, the other blocks on the cell — and
+//! racing on *different* workloads never serializes their generation.
 
-use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use unicache_trace::Trace;
 use unicache_workloads::{Scale, Workload};
 
 /// Memoized trace generation.
 pub struct TraceStore {
     scale: Scale,
-    traces: Mutex<HashMap<Workload, Arc<Trace>>>,
+    cells: Mutex<HashMap<Workload, Arc<OnceLock<Arc<Trace>>>>>,
 }
 
 impl TraceStore {
@@ -23,7 +29,7 @@ impl TraceStore {
     pub fn new(scale: Scale) -> Self {
         TraceStore {
             scale,
-            traces: Mutex::new(HashMap::new()),
+            cells: Mutex::new(HashMap::new()),
         }
     }
 
@@ -32,39 +38,33 @@ impl TraceStore {
         self.scale
     }
 
-    /// Returns the (possibly cached) trace of `w`.
+    /// The once-cell for `w`, creating it if absent (brief lock).
+    fn cell(&self, w: Workload) -> Arc<OnceLock<Arc<Trace>>> {
+        let mut guard = self.cells.lock().unwrap();
+        Arc::clone(guard.entry(w).or_default())
+    }
+
+    /// Returns the (possibly cached) trace of `w`, generating it at most
+    /// once across all threads.
     pub fn get(&self, w: Workload) -> Arc<Trace> {
-        if let Some(t) = self.traces.lock().get(&w) {
-            return Arc::clone(t);
-        }
-        let t = Arc::new(w.generate(self.scale));
-        let mut guard = self.traces.lock();
-        Arc::clone(guard.entry(w).or_insert(t))
+        let cell = self.cell(w);
+        Arc::clone(cell.get_or_init(|| Arc::new(w.generate(self.scale))))
     }
 
     /// Pre-generates a set of workloads in parallel.
     pub fn prefetch(&self, workloads: &[Workload]) {
-        let missing: Vec<Workload> = {
-            let guard = self.traces.lock();
-            workloads
-                .iter()
-                .copied()
-                .filter(|w| !guard.contains_key(w))
-                .collect()
-        };
-        let generated: Vec<(Workload, Arc<Trace>)> = missing
+        let _: Vec<()> = workloads
             .par_iter()
-            .map(|&w| (w, Arc::new(w.generate(self.scale))))
+            .map(|&w| {
+                self.get(w);
+            })
             .collect();
-        let mut guard = self.traces.lock();
-        for (w, t) in generated {
-            guard.entry(w).or_insert(t);
-        }
     }
 
     /// Number of traces currently cached.
     pub fn cached(&self) -> usize {
-        self.traces.lock().len()
+        let guard = self.cells.lock().unwrap();
+        guard.values().filter(|c| c.get().is_some()).count()
     }
 }
 
@@ -102,5 +102,22 @@ mod tests {
         let cached = store.get(Workload::Qsort);
         let fresh = Workload::Qsort.generate(Scale::Tiny);
         assert_eq!(*cached, fresh);
+    }
+
+    #[test]
+    fn concurrent_gets_generate_exactly_once() {
+        let store = TraceStore::new(Scale::Tiny);
+        let arcs: Vec<Arc<Trace>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| store.get(Workload::Fft)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Every caller observed the same allocation — nobody generated a
+        // duplicate trace and dropped it (the old double-checked-lock bug).
+        for a in &arcs[1..] {
+            assert!(Arc::ptr_eq(&arcs[0], a));
+        }
+        assert_eq!(store.cached(), 1);
     }
 }

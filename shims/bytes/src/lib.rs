@@ -1,0 +1,194 @@
+//! Offline stand-in for the subset of the `bytes` crate this workspace
+//! uses: `BytesMut` as an appendable little-endian writer, `Bytes` as a
+//! frozen read-only buffer (deref to `[u8]`), and the advancing [`Buf`]
+//! reader impl on `&[u8]`. Backed by plain `Vec<u8>` — no refcounted
+//! slices; the trace codec only ever builds and consumes whole buffers.
+
+use std::ops::Deref;
+
+/// Immutable byte buffer (stand-in for `bytes::Bytes`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+/// Growable byte buffer (stand-in for `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Appending writer methods (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian u16.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Advancing reader methods (subset of `bytes::Buf`). Implemented on
+/// `&[u8]` so `let mut buf: &[u8] = ...; buf.get_u64_le()` consumes the
+/// front of the slice, exactly like upstream. Panics when the buffer is
+/// too short, matching upstream's contract (callers bounds-check first).
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out, advancing past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian u16.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian u32.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian u64.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "Buf: advance past end");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_round_trip() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_slice(b"HDR!");
+        w.put_u16_le(0xBEEF);
+        w.put_u64_le(0x0123_4567_89AB_CDEF);
+        w.put_u8(0x7F);
+        let frozen = w.freeze();
+        assert_eq!(frozen.len(), 4 + 2 + 8 + 1);
+
+        let mut r: &[u8] = &frozen;
+        let mut hdr = [0u8; 4];
+        r.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"HDR!");
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_u8(), 0x7F);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_slices_and_to_vec() {
+        let b: Bytes = BytesMut::with_capacity(0).freeze();
+        assert!(b.is_empty());
+        let mut w = BytesMut::with_capacity(4);
+        w.put_u32_le(0xA1B2_C3D4);
+        let b = w.freeze();
+        assert_eq!(b.to_vec(), vec![0xD4, 0xC3, 0xB2, 0xA1]);
+        assert_eq!(&b[..2], &[0xD4, 0xC3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn reading_past_end_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u64_le();
+    }
+}

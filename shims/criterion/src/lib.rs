@@ -1,0 +1,365 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `criterion_group!`/`criterion_main!`, `Criterion::{bench_function,
+//! benchmark_group}`, `BenchmarkGroup::{throughput, sample_size,
+//! bench_function, bench_with_input, finish}`, `BenchmarkId`,
+//! `Throughput::Elements` and `Bencher::iter`.
+//!
+//! It is a real (small) measuring harness, not a no-op: each benchmark is
+//! warmed up, then timed over enough iterations to fill a fixed budget,
+//! and the mean time per iteration (plus derived throughput) is printed.
+//! `-- --test` runs every benchmark body exactly once and skips
+//! measurement — that is what CI's smoke step uses. Positional CLI args
+//! act as substring filters on benchmark ids, like upstream.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration work units, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (function name and/or parameter string).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id that is just the parameter (grouped under the group name).
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Conversion of the id forms `bench_function` accepts.
+pub trait IntoBenchmarkId {
+    /// The id string to report under.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    /// Measured mean nanoseconds per iteration (test mode: 0).
+    mean_ns: f64,
+    iters: u64,
+}
+
+const WARMUP: Duration = Duration::from_millis(30);
+const BUDGET: Duration = Duration::from_millis(150);
+
+impl Bencher {
+    /// Times `f`, storing the mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iters = 1;
+            self.mean_ns = 0.0;
+            return;
+        }
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size the measured run to the budget (at least 10 iterations).
+        let target = ((BUDGET.as_secs_f64() / est.max(1e-9)) as u64).clamp(10, 50_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.iters = target;
+        self.mean_ns = total.as_nanos() as f64 / target as f64;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:9.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:9.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:9.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:9.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:8.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:8.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:8.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:8.3} {unit}/s")
+    }
+}
+
+fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.test_mode {
+        println!("test {id} ... ok (ran once, --test)");
+        return;
+    }
+    let mut line = format!("{id:<48} time: {}  ({} iters)", human_time(b.mean_ns), b.iters);
+    if let Some(tp) = throughput {
+        let (n, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if b.mean_ns > 0.0 {
+            let per_sec = n as f64 / (b.mean_ns * 1e-9);
+            line.push_str(&format!("  thrpt: {}", human_rate(per_sec, unit)));
+        }
+    }
+    println!("{line}");
+}
+
+/// Shared runner state: CLI mode and id filters.
+#[derive(Debug, Clone)]
+struct RunnerConfig {
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl RunnerConfig {
+    fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion pass that we accept and ignore.
+                s if s.starts_with('-') => {}
+                s => filters.push(s.to_string()),
+            }
+        }
+        RunnerConfig { test_mode, filters }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+/// The benchmark manager handed to each target function.
+pub struct Criterion {
+    config: RunnerConfig,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: RunnerConfig::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        run_one(&self.config, &id, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: &self.config,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+fn run_one<F>(config: &RunnerConfig, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !config.selected(id) {
+        return;
+    }
+    let mut b = Bencher {
+        test_mode: config.test_mode,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    report(id, &b, throughput);
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    config: &'c RunnerConfig,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_one(self.config, &id, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark that borrows a setup input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_one(self.config, &id, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each target with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> RunnerConfig {
+        RunnerConfig {
+            test_mode: true,
+            filters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let cfg = test_config();
+        let mut count = 0;
+        run_one(&cfg, "x", None, |b| {
+            b.iter(|| count += 1);
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn measurement_produces_positive_mean() {
+        let cfg = RunnerConfig {
+            test_mode: false,
+            filters: Vec::new(),
+        };
+        let mut observed = 0.0;
+        run_one(&cfg, "spin", None, |b| {
+            b.iter(|| black_box(17u64.wrapping_mul(31)));
+            observed = b.mean_ns;
+            assert!(b.iters >= 10);
+        });
+        assert!(observed > 0.0);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let cfg = RunnerConfig {
+            test_mode: true,
+            filters: vec!["match".into()],
+        };
+        let mut ran = false;
+        run_one(&cfg, "no", None, |_| ran = true);
+        assert!(!ran);
+        run_one(&cfg, "does_match_here", None, |_| ran = true);
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_and_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).into_id(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("lru").into_id(), "lru");
+        assert!(human_time(12.5).contains("ns"));
+        assert!(human_time(12_500.0).contains("µs"));
+        assert!(human_rate(2.5e6, "elem").contains("Melem/s"));
+    }
+}

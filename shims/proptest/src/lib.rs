@@ -1,0 +1,498 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Implements the same surface syntax — `proptest! { #[test] fn f(x in
+//! strategy) { ... } }`, `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`,
+//! `Just`, range strategies, `proptest::collection::{vec, hash_set}`,
+//! `proptest::num::*::ANY`, `proptest::bool::ANY`, and
+//! `ProptestConfig::with_cases` — over a small deterministic runner.
+//!
+//! Differences from upstream, none of which the workspace's tests rely on:
+//! no shrinking (a failing case reports its inputs via the assertion
+//! message instead of a minimized counterexample), no persisted failure
+//! seeds (every run replays the same deterministic case sequence), and a
+//! default of 64 cases per property rather than 256.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies while generating one test case.
+pub type TestRng = StdRng;
+
+/// Test-case generators.
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A generator of values of type `Value` (shim of upstream's trait of
+    /// the same name; `generate` plays the role of `new_tree` + current —
+    /// there is no shrinking).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (backs [`prop_oneof!`]).
+    pub struct OneOf<T> {
+        choices: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    /// Builds a [`OneOf`]; used by the `prop_oneof!` expansion.
+    pub fn one_of<T>(choices: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { choices }
+    }
+
+    /// Erases a strategy's concrete type; used by the `prop_oneof!`
+    /// expansion so element types unify without relying on unsized
+    /// coercion through inference variables.
+    pub fn box_strategy<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.choices.len());
+            self.choices[i].generate(rng)
+        }
+    }
+
+    /// Whole-domain generator behind `proptest::num::*::ANY` and
+    /// `proptest::bool::ANY`.
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    macro_rules! impl_any {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.start..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_strategy_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_float!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:ident $idx:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, hash_set}`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// `Vec` of `size` elements drawn from `elem` (half-open size range,
+    /// matching every call site in this workspace).
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { elem, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `HashSet` of `size` *distinct* elements drawn from `elem`. The
+    /// element domain must be able to supply the requested number of
+    /// distinct values; generation retries duplicates a bounded number of
+    /// times, like upstream's local-rejection sampling.
+    pub fn hash_set<S>(elem: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        assert!(size.start < size.end, "collection::hash_set: empty size range");
+        HashSetStrategy { elem, size }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = rng.gen_range(self.size.clone());
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+                assert!(
+                    attempts < target * 100 + 1000,
+                    "hash_set strategy could not reach {target} distinct elements"
+                );
+            }
+            out
+        }
+    }
+}
+
+/// Numeric `ANY` markers (`proptest::num::u64::ANY`, ...).
+pub mod num {
+    macro_rules! any_mod {
+        ($($m:ident: $t:ty),*) => {$(
+            /// Whole-domain strategy for the primitive of the same name.
+            pub mod $m {
+                use crate::strategy::Any;
+                use std::marker::PhantomData;
+                /// Uniform over the full domain.
+                pub const ANY: Any<$t> = Any(PhantomData);
+            }
+        )*};
+    }
+    any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
+             i8: i8, i16: i16, i32: i32, i64: i64, isize: isize);
+}
+
+/// `proptest::bool::ANY`.
+pub mod bool {
+    use crate::strategy::Any;
+    use std::marker::PhantomData;
+    /// Fair coin.
+    pub const ANY: Any<::core::primitive::bool> = Any(PhantomData);
+}
+
+/// Runner types (`proptest::test_runner`).
+pub mod test_runner {
+    use super::{SeedableRng, StdRng};
+
+    /// Per-property configuration (subset: case count).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed test case (what `prop_assert!` returns early with).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Drives `body` over `config.cases` deterministic cases, panicking on
+    /// the first failure (no shrinking).
+    pub fn run<F>(config: ProptestConfig, mut body: F)
+    where
+        F: FnMut(&mut super::TestRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            // Deterministic, well-separated seeds so every run replays the
+            // identical case sequence.
+            let mut rng = StdRng::seed_from_u64(
+                0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1) ^ 0x5EED,
+            );
+            if let Err(e) = body(&mut rng) {
+                panic!("proptest: case {case}/{} failed: {e}", config.cases);
+            }
+        }
+    }
+}
+
+/// Everything the workspace imports via `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each `fn name(pat in
+/// strategy, ...) { body }` into a zero-arg test running the shared runner.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run($cfg, |__proptest_rng| {
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                let __proptest_result: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                __proptest_result
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts within a [`proptest!`] body, failing the case (not the whole
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(
+                    ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+                ),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(
+                    ::std::format!(
+                        "assertion failed: {}: {}",
+                        ::std::stringify!($cond),
+                        ::std::format!($($fmt)+),
+                    ),
+                ),
+            );
+        }
+    };
+}
+
+/// Equality assertion within a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    __l,
+                    __r,
+                )),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!(
+                    "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    ::std::format!($($fmt)+),
+                    __l,
+                    __r,
+                )),
+            );
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(::std::vec![
+            $($crate::strategy::box_strategy($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_and_collections_respect_bounds() {
+        use rand::SeedableRng;
+        let mut rng = crate::TestRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let v = (0u64..10).generate(&mut rng);
+            assert!(v < 10);
+            let xs = crate::collection::vec(0u32..5, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 5));
+            let set = crate::collection::hash_set(0u32..40, 1..12).generate(&mut rng);
+            assert!(!set.is_empty() && set.len() < 12);
+            let (a, b, c) =
+                (crate::num::u64::ANY, 0u8..3, crate::num::u8::ANY).generate(&mut rng);
+            let _ = (a, c);
+            assert!(b < 3);
+            let fr = (1u32..).generate(&mut rng);
+            assert!(fr >= 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro surface itself: metas, multiple args, trailing comma,
+        /// `mut` patterns, prop_assert forms, prop_oneof.
+        #[test]
+        fn macro_surface_works(
+            mut xs in crate::collection::vec(0u64..100, 1..20),
+            flag in crate::bool::ANY,
+            pick in prop_oneof![Just(1u8), Just(2u8), Just(3u8),],
+        ) {
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(matches!(pick, 1..=3), "pick was {}", pick);
+            prop_assert_eq!(flag, flag);
+            prop_assert_eq!(xs.len(), xs.len(), "length {}", xs.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest: case")]
+    fn failing_property_panics_with_case_number() {
+        crate::test_runner::run(ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::fail("forced"))
+        });
+    }
+}

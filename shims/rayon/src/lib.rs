@@ -1,0 +1,184 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses:
+//! `slice.par_iter().map(f).collect::<C>()`.
+//!
+//! Implemented with `std::thread::scope` — the input slice is split into
+//! one contiguous chunk per available core, each chunk is mapped on its own
+//! OS thread, and the per-chunk results are concatenated in order, so the
+//! observable behaviour (ordering included) matches rayon's indexed
+//! parallel iterators for the patterns the experiments use. This is not a
+//! work-stealing pool; for the coarse per-workload tasks the experiment
+//! runners fan out, a chunk-per-core split is within noise of rayon.
+
+use std::num::NonZeroUsize;
+
+/// Everything the workspace imports from `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Number of worker threads to fan out to.
+fn parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// `.par_iter()` on slice-like containers (subset of rayon's trait of the
+/// same name).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data, const N: usize> IntoParallelRefIterator<'data> for [T; N] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps every element through `f`, in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of elements (rayon: `IndexedParallelIterator::len`).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of [`ParIter::map`], consumed by `collect`.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, F, R> ParMap<'data, T, F>
+where
+    T: Sync,
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    /// Runs the map on a chunk-per-core thread fan-out and collects the
+    /// results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_mapped(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Maps `items` through `f` on scoped threads, returning results in order.
+fn run_mapped<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = parallelism().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let mut out_rest: &mut [Option<R>] = &mut out;
+    std::thread::scope(|scope| {
+        for piece in items.chunks(chunk) {
+            let (head, tail) = out_rest.split_at_mut(piece.len());
+            out_rest = tail;
+            scope.spawn(move || {
+                for (slot, item) in head.iter_mut().zip(piece) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn maps_in_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        let out: Vec<u32> = none.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let xs: Vec<usize> = (0..256).collect();
+        let _out: Vec<usize> = xs
+            .par_iter()
+            .map(|&x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                x
+            })
+            .collect();
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
+            assert!(seen.lock().unwrap().len() > 1, "no parallelism observed");
+        }
+    }
+
+    #[test]
+    fn collects_into_other_containers() {
+        let xs = [1u32, 2, 3];
+        let set: std::collections::HashSet<u32> = xs.par_iter().map(|&x| x * 10).collect();
+        assert_eq!(set, [10, 20, 30].into_iter().collect());
+    }
+}

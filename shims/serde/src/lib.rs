@@ -1,0 +1,18 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` on plain data
+//! types — no serializer is ever instantiated — so this shim provides the
+//! trait names (empty marker traits, matching upstream's namespacing) and
+//! re-exports the no-op derive macros from `serde_derive`. `#[serde(...)]`
+//! container attributes are accepted and ignored by the derives.
+
+/// Marker stand-in for `serde::Serialize`; never used as a bound here.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; never used as a bound here.
+pub trait Deserialize<'de> {}
+
+// Same-name re-export into the macro namespace, exactly as upstream serde
+// does with its `derive` feature: `use serde::{Serialize, Deserialize}`
+// picks up both the trait and the derive macro.
+pub use serde_derive::{Deserialize, Serialize};
