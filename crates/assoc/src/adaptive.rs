@@ -29,10 +29,9 @@
 //! that actually holds its block.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
 use unicache_core::{
-    AccessResult, BlockAddr, CacheGeometry, CacheModel, CacheStats, ConfigError, HitWhere,
-    MemRecord, Result,
+    AccessResult, BlockAddr, CacheGeometry, CacheModel, CacheStats, ConfigError, HitWhere, LruDir,
+    LruSet, MemRecord, Result,
 };
 
 /// Sizing knobs for the SHT and OUT tables.
@@ -78,104 +77,12 @@ impl Line {
     }
 }
 
-/// LRU set-reference history table.
-#[derive(Debug)]
-struct Sht {
-    order: VecDeque<usize>,
-    member: Vec<bool>,
-    capacity: usize,
-}
+/// LRU set-reference history table, with O(1) touch (see [`LruSet`]).
+type Sht = LruSet;
 
-impl Sht {
-    fn new(num_sets: usize, capacity: usize) -> Self {
-        Sht {
-            order: VecDeque::with_capacity(capacity + 1),
-            member: vec![false; num_sets],
-            capacity: capacity.max(1),
-        }
-    }
-
-    fn contains(&self, set: usize) -> bool {
-        self.member[set]
-    }
-
-    fn touch(&mut self, set: usize) {
-        if self.member[set] {
-            if let Some(pos) = self.order.iter().position(|&s| s == set) {
-                self.order.remove(pos);
-            }
-        } else {
-            self.member[set] = true;
-        }
-        self.order.push_front(set);
-        if self.order.len() > self.capacity {
-            if let Some(old) = self.order.pop_back() {
-                self.member[old] = false;
-            }
-        }
-    }
-
-    fn clear(&mut self) {
-        self.order.clear();
-        self.member.iter_mut().for_each(|m| *m = false);
-    }
-}
-
-/// LRU out-of-position directory: block -> set.
-#[derive(Debug)]
-struct OutDir {
-    map: HashMap<BlockAddr, (usize, u64)>,
-    clock: u64,
-    capacity: usize,
-}
-
-impl OutDir {
-    fn new(capacity: usize) -> Self {
-        OutDir {
-            map: HashMap::with_capacity(capacity * 2),
-            clock: 0,
-            capacity: capacity.max(1),
-        }
-    }
-
-    fn get(&mut self, block: BlockAddr) -> Option<usize> {
-        self.clock += 1;
-        let clock = self.clock;
-        self.map.get_mut(&block).map(|e| {
-            e.1 = clock;
-            e.0
-        })
-    }
-
-    fn remove(&mut self, block: BlockAddr) -> Option<usize> {
-        self.map.remove(&block).map(|e| e.0)
-    }
-
-    /// Inserts, returning the evicted `(block, set)` if the directory was
-    /// full.
-    fn insert(&mut self, block: BlockAddr, set: usize) -> Option<(BlockAddr, usize)> {
-        self.clock += 1;
-        let mut evicted = None;
-        if !self.map.contains_key(&block) && self.map.len() >= self.capacity {
-            // Evict the LRU entry (linear scan: the directory is small).
-            if let Some((&b, &(s, _))) = self.map.iter().min_by_key(|(_, &(_, stamp))| stamp) {
-                self.map.remove(&b);
-                evicted = Some((b, s));
-            }
-        }
-        self.map.insert(block, (set, self.clock));
-        evicted
-    }
-
-    fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    fn clear(&mut self) {
-        self.map.clear();
-        self.clock = 0;
-    }
-}
+/// LRU out-of-position directory: block -> set, with O(log n)
+/// eviction (see [`LruDir`]).
+type OutDir = LruDir<BlockAddr>;
 
 /// The adaptive group-associative cache.
 pub struct AdaptiveGroupCache {
@@ -281,8 +188,10 @@ impl CacheModel for AdaptiveGroupCache {
     }
 
     fn access(&mut self, rec: MemRecord) -> AccessResult {
-        let block = self.geom.block_addr(rec.addr);
-        let is_write = rec.kind.is_write();
+        self.access_block(self.geom.block_addr(rec.addr), rec.kind.is_write())
+    }
+
+    fn access_block(&mut self, block: u64, is_write: bool) -> AccessResult {
         if is_write {
             self.stats.record_write();
         }
@@ -523,7 +432,7 @@ mod tests {
             }
         }
         // Every OUT entry points at a line holding its block.
-        let entries: Vec<(u64, usize)> = c.out.map.iter().map(|(&b, &(s, _))| (b, s)).collect();
+        let entries: Vec<(u64, usize)> = c.out.entries().collect();
         for (b, s) in entries {
             assert!(c.lines[s].valid && c.lines[s].block == b && c.lines[s].out_of_position);
         }

@@ -173,8 +173,10 @@ impl CacheModel for BCache {
     }
 
     fn access(&mut self, rec: MemRecord) -> AccessResult {
-        let block = self.geom.block_addr(rec.addr);
-        let is_write = rec.kind.is_write();
+        self.access_block(self.geom.block_addr(rec.addr), rec.kind.is_write())
+    }
+
+    fn access_block(&mut self, block: u64, is_write: bool) -> AccessResult {
         if is_write {
             self.stats.record_write();
         }

@@ -8,43 +8,49 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::sync::OnceLock;
 use unicache_experiments::figures::{assoc, extras, fig1, hybrid, indexing, smt};
-use unicache_experiments::TraceStore;
+use unicache_experiments::{SimStore, TraceStore};
 use unicache_workloads::{Scale, Workload};
 
-fn store() -> &'static TraceStore {
-    static STORE: OnceLock<TraceStore> = OnceLock::new();
-    STORE.get_or_init(|| {
+/// Traces are generated once and shared; each bench iteration gets a
+/// *fresh* result cache so the timing measures real simulation work, not
+/// memoized-read speed.
+fn traces() -> Arc<TraceStore> {
+    static STORE: OnceLock<Arc<TraceStore>> = OnceLock::new();
+    Arc::clone(STORE.get_or_init(|| {
         let s = TraceStore::new(Scale::Tiny);
         s.prefetch(&Workload::all());
-        s
-    })
+        Arc::new(s)
+    }))
+}
+
+fn store() -> SimStore {
+    SimStore::with_traces(traces())
 }
 
 macro_rules! fig_bench {
     ($fn_name:ident, $id:literal, $runner:expr) => {
         fn $fn_name(c: &mut Criterion) {
-            let s = store();
             // Print the reproduced table once.
-            let table = $runner(s);
+            let table = $runner(&store());
             eprintln!("{}", table.render());
             let mut g = c.benchmark_group("figures");
             g.sample_size(10);
-            g.bench_function($id, |b| b.iter(|| black_box($runner(s))));
+            g.bench_function($id, |b| b.iter(|| black_box($runner(&store()))));
             g.finish();
         }
     };
 }
 
 fn bench_fig1(c: &mut Criterion) {
-    let s = store();
-    let report = fig1::report(s, Workload::Fft);
+    let report = fig1::report(&store(), Workload::Fft);
     eprintln!("{}", report.render());
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
     g.bench_function("fig01_nonuniformity", |b| {
-        b.iter(|| black_box(fig1::report(s, Workload::Fft)))
+        b.iter(|| black_box(fig1::report(&store(), Workload::Fft)))
     });
     g.finish();
 }
@@ -67,13 +73,12 @@ fig_bench!(
 fig_bench!(bench_belady, "belady_lower_bound", extras::belady_bound);
 
 fn bench_patel(c: &mut Criterion) {
-    let s = store();
-    let table = extras::patel(s, 5_000, 6);
+    let table = extras::patel(&store(), 5_000, 6);
     eprintln!("{}", table.render());
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
     g.bench_function("patel_bounded_search", |b| {
-        b.iter(|| black_box(extras::patel(s, 5_000, 6)))
+        b.iter(|| black_box(extras::patel(&store(), 5_000, 6)))
     });
     g.finish();
 }

@@ -8,7 +8,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 use unicache_assoc::{AdaptiveGroupCache, BCache, ColumnAssociativeCache, PartnerIndexCache};
 use unicache_bench::geom;
-use unicache_core::{CacheModel, IndexFunction, MemRecord};
+use unicache_core::{run_batch_many, BlockStream, CacheModel, IndexFunction, MemRecord};
 use unicache_indexing::{
     GivargisIndex, ModuloIndex, OddMultiplierIndex, PrimeModuloIndex, XorIndex,
 };
@@ -73,6 +73,56 @@ fn model_access(c: &mut Criterion) {
     grp.finish();
 }
 
+/// Legacy per-record `run` vs the pre-decoded `run_batch` engine, on the
+/// same trace and models — the per-record decode + dispatch overhead the
+/// batched path removes.
+fn batched_engine(c: &mut Criterion) {
+    let g = geom();
+    let trace = synth::zipfian(7, 100_000, 0x10000, 4096, 32, 1.1);
+    let stream = BlockStream::from_records(trace.records(), g.line_bytes());
+    let mut grp = c.benchmark_group("batched_engine");
+    grp.throughput(Throughput::Elements(trace.len() as u64));
+    grp.sample_size(20);
+
+    let mut model = CacheBuilder::new(g).build().unwrap();
+    grp.bench_function("legacy_run", |b| {
+        b.iter(|| {
+            model.flush();
+            model.run(black_box(trace.records()));
+            black_box(model.stats().misses())
+        })
+    });
+    grp.bench_function("run_batch", |b| {
+        b.iter(|| {
+            model.flush();
+            model.run_batch(black_box(&stream));
+            black_box(model.stats().misses())
+        })
+    });
+
+    // The SimStore driver shape: one decoded stream, a fleet of models.
+    let mut fleet: Vec<Box<dyn CacheModel>> = vec![
+        Box::new(CacheBuilder::new(g).name("direct_mapped").build().unwrap()),
+        Box::new(ColumnAssociativeCache::new(g).unwrap()),
+        Box::new(BCache::new(g).unwrap()),
+        Box::new(PartnerIndexCache::new(g).unwrap()),
+    ];
+    grp.bench_function("run_batch_many_x4", |b| {
+        b.iter(|| {
+            let mut refs: Vec<&mut dyn CacheModel> = fleet
+                .iter_mut()
+                .map(|m| {
+                    m.flush();
+                    &mut **m as &mut dyn CacheModel
+                })
+                .collect();
+            run_batch_many(&mut refs, black_box(&stream));
+            black_box(fleet.iter().map(|m| m.stats().misses()).sum::<u64>())
+        })
+    });
+    grp.finish();
+}
+
 fn trace_generation(c: &mut Criterion) {
     use unicache_workloads::{Scale, Workload};
     let mut grp = c.benchmark_group("trace_generation");
@@ -101,6 +151,7 @@ criterion_group!(
     micro,
     index_functions,
     model_access,
+    batched_engine,
     trace_generation,
     access_single
 );

@@ -47,9 +47,11 @@ impl CacheModel for VictimCache {
     }
 
     fn access(&mut self, rec: MemRecord) -> AccessResult {
-        let geom = self.main.geometry();
-        let block = geom.block_addr(rec.addr);
-        let is_write = rec.kind.is_write();
+        let block = self.main.geometry().block_addr(rec.addr);
+        self.access_block(block, rec.kind.is_write())
+    }
+
+    fn access_block(&mut self, block: u64, is_write: bool) -> AccessResult {
         if is_write {
             self.stats.record_write();
         }
@@ -58,7 +60,7 @@ impl CacheModel for VictimCache {
         let set = self.main.index_fn().index_block(block);
         if self.main.contains_block(block) {
             // Delegate to keep recency metadata right.
-            self.main.access(rec);
+            self.main.access_block(block, is_write);
             self.stats.record(set, HitWhere::Primary);
             return AccessResult {
                 where_hit: HitWhere::Primary,
@@ -72,7 +74,8 @@ impl CacheModel for VictimCache {
             if let Some(w) = self.victims.probe(block) {
                 self.victims.invalidate_way(w);
             }
-            let r = self.main.access(rec); // fills into main (counts a miss internally)
+            // Fills into main (counts a miss internally).
+            let r = self.main.access_block(block, is_write);
             if let Some(ev) = r.evicted {
                 self.victims.fill(ev, false);
             }
@@ -85,7 +88,7 @@ impl CacheModel for VictimCache {
             };
         }
         // True miss: fill main; stash any victim.
-        let r = self.main.access(rec);
+        let r = self.main.access_block(block, is_write);
         if let Some(ev) = r.evicted {
             self.victims.fill(ev, false);
             self.stats.record_eviction(set);

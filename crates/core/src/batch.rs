@@ -1,0 +1,185 @@
+//! Batched single-pass simulation: pre-decoded block streams.
+//!
+//! Every cache model in the workspace begins its `access` with the same
+//! two decodes — `geom.block_addr(rec.addr)` (a shift by the line-offset
+//! bits) and `rec.kind.is_write()`. When the same trace is replayed
+//! through many models at the same line size — which is exactly what the
+//! figure runners do — that decode is repeated per (model × record), and
+//! the 16-byte `MemRecord`s are re-streamed from memory every time.
+//!
+//! [`BlockStream`] hoists the decode out of the loop: each record becomes
+//! one packed `u64` — `(block_address << 1) | is_write` — computed once
+//! per (trace, line size). Models are then driven with
+//! [`CacheModel::run_batch`], whose per-record work starts directly at
+//! the index function, and which devirtualizes the inner loop: driving a
+//! `&mut dyn CacheModel` costs one virtual call per *batch*, after which
+//! the default `run_batch` body is the monomorphized one compiled for the
+//! concrete model, so its `access_block` calls inline.
+//!
+//! The pre-decoded form carries no thread ids: SMT models (figs. 13/14)
+//! consume `MemRecord`s directly and are not batched.
+
+use crate::model::CacheModel;
+use crate::record::MemRecord;
+use crate::BlockAddr;
+
+/// A trace pre-decoded to `(block address, is_write)` pairs for one line
+/// size, packed one record per `u64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockStream {
+    line_bytes: u64,
+    packed: Vec<u64>,
+}
+
+impl BlockStream {
+    /// Decodes `records` for caches with `line_bytes`-byte lines.
+    ///
+    /// # Panics
+    /// If `line_bytes` is not a power of two, or an address is so high
+    /// that its block number needs all 64 bits (block numbers must fit in
+    /// 63 bits to leave room for the write flag).
+    pub fn from_records(records: &[MemRecord], line_bytes: u64) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size {line_bytes} not a power of two"
+        );
+        let shift = line_bytes.trailing_zeros();
+        let mut seen: u64 = 0;
+        let packed = records
+            .iter()
+            .map(|r| {
+                let block = r.addr >> shift;
+                seen |= block;
+                (block << 1) | u64::from(r.kind.is_write())
+            })
+            .collect();
+        assert!(
+            seen < (1 << 63),
+            "block addresses exceed 63 bits; cannot pack write flag"
+        );
+        BlockStream { line_bytes, packed }
+    }
+
+    /// The line size this stream was decoded for.
+    #[inline]
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Number of references.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// True when the stream holds no references.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Iterates `(block, is_write)` pairs in trace order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, bool)> + '_ {
+        self.packed.iter().map(|&p| (p >> 1, p & 1 == 1))
+    }
+}
+
+/// Drives several models over `stream` in one traversal (record-outer,
+/// model-inner). Equivalent to calling [`CacheModel::run_batch`] on each
+/// model; preferable when the stream is too large to stay cache-resident
+/// across repeated traversals.
+///
+/// # Panics
+/// If any model's line size differs from the stream's (the pre-decoded
+/// block addresses would be wrong for it).
+pub fn run_batch_many(models: &mut [&mut dyn CacheModel], stream: &BlockStream) {
+    for m in models.iter() {
+        assert_eq!(
+            m.geometry().line_bytes(),
+            stream.line_bytes(),
+            "model '{}' line size does not match stream",
+            m.name()
+        );
+    }
+    for (block, is_write) in stream.iter() {
+        for m in models.iter_mut() {
+            m.access_block(block, is_write);
+        }
+    }
+}
+
+/// Drives several models over raw `records` in one traversal
+/// (record-outer, model-inner). Equivalent to calling [`CacheModel::run`]
+/// on each model, but streams the trace through memory once. This is the
+/// multi-model driver for models that *cannot* be batched — SMT caches
+/// need the thread id, so they take full [`MemRecord`]s.
+pub fn run_many(models: &mut [&mut dyn CacheModel], records: &[MemRecord]) {
+    for rec in records {
+        for m in models.iter_mut() {
+            m.access(*rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AccessKind;
+
+    fn recs() -> Vec<MemRecord> {
+        vec![
+            MemRecord::read(0x1000),
+            MemRecord::write(0x101F),
+            MemRecord::fetch(0x2040),
+        ]
+    }
+
+    #[test]
+    fn packs_blocks_and_write_flags() {
+        let s = BlockStream::from_records(&recs(), 32);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.line_bytes(), 32);
+        let v: Vec<(u64, bool)> = s.iter().collect();
+        assert_eq!(
+            v,
+            vec![
+                (0x1000 >> 5, false),
+                (0x101F >> 5, true),
+                (0x2040 >> 5, false),
+            ]
+        );
+        // 0x1000 and 0x101F share a 32-byte line.
+        assert_eq!(v[0].0, v[1].0);
+    }
+
+    #[test]
+    fn kind_maps_to_write_flag_only_for_stores() {
+        for (kind, expect) in [
+            (AccessKind::Read, false),
+            (AccessKind::Write, true),
+            (AccessKind::InstFetch, false),
+        ] {
+            let r = MemRecord {
+                addr: 0x40,
+                kind,
+                tid: 0,
+            };
+            let s = BlockStream::from_records(&[r], 32);
+            assert_eq!(s.iter().next().unwrap().1, expect);
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = BlockStream::from_records(&[], 64);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn rejects_bad_line_size() {
+        let _ = BlockStream::from_records(&recs(), 48);
+    }
+}

@@ -20,16 +20,20 @@
 //! Concrete indexing functions live in `unicache-indexing`, concrete cache
 //! organisations in `unicache-sim` and `unicache-assoc`.
 
+pub mod batch;
 pub mod error;
 pub mod geometry;
 pub mod index;
+pub mod lru;
 pub mod model;
 pub mod record;
 pub mod stats;
 
+pub use batch::{run_batch_many, run_many, BlockStream};
 pub use error::{ConfigError, Result};
 pub use geometry::CacheGeometry;
 pub use index::IndexFunction;
+pub use lru::{LruDir, LruSet};
 pub use model::{AccessResult, CacheModel, HitWhere};
 pub use record::{AccessKind, MemRecord, ThreadId};
 pub use stats::{CacheStats, SetStats};

@@ -3,8 +3,9 @@
 //! direct-mapped baseline to the programmable-associativity schemes of the
 //! paper's Section III.
 
+use crate::batch::BlockStream;
 use crate::geometry::CacheGeometry;
-use crate::record::MemRecord;
+use crate::record::{AccessKind, MemRecord};
 use crate::stats::CacheStats;
 use crate::BlockAddr;
 use serde::{Deserialize, Serialize};
@@ -71,6 +72,30 @@ pub trait CacheModel: Send {
     /// Simulates one reference and returns its outcome.
     fn access(&mut self, rec: MemRecord) -> AccessResult;
 
+    /// Simulates one *pre-decoded* reference: `block` is the line address
+    /// (`addr >> offset_bits`) and `is_write` the store flag.
+    ///
+    /// The default reconstructs a `MemRecord` and forwards to
+    /// [`CacheModel::access`]; models on the batched hot path override
+    /// this with their real implementation (and implement `access` as the
+    /// decode + delegate) so [`CacheModel::run_batch`] never re-decodes.
+    ///
+    /// The pre-decoded form has no thread id (`tid` 0) and folds
+    /// instruction fetches into reads; models sensitive to either — the
+    /// SMT caches — must be driven through `access`/`run` instead.
+    fn access_block(&mut self, block: BlockAddr, is_write: bool) -> AccessResult {
+        let kind = if is_write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        self.access(MemRecord {
+            addr: block << self.geometry().offset_bits(),
+            kind,
+            tid: 0,
+        })
+    }
+
     /// Statistics accumulated since construction or the last
     /// [`CacheModel::reset_stats`].
     fn stats(&self) -> &CacheStats;
@@ -91,6 +116,30 @@ pub trait CacheModel: Send {
             self.access(rec);
         }
     }
+
+    /// Drives a pre-decoded [`BlockStream`] through the cache.
+    ///
+    /// This is the batched engine's entry point: the stream's per-record
+    /// decode already happened (once, shared across every model at this
+    /// line size), and calling `run_batch` through `&mut dyn CacheModel`
+    /// costs one virtual dispatch per *batch* — the body that then runs
+    /// is the monomorphized default compiled for the concrete model, so
+    /// the `access_block` calls in the loop inline.
+    ///
+    /// # Panics
+    /// If the stream was decoded for a different line size than this
+    /// model's geometry uses.
+    fn run_batch(&mut self, stream: &BlockStream) {
+        assert_eq!(
+            self.geometry().line_bytes(),
+            stream.line_bytes(),
+            "model '{}' line size does not match stream",
+            self.name()
+        );
+        for (block, is_write) in stream.iter() {
+            self.access_block(block, is_write);
+        }
+    }
 }
 
 /// Blanket impl so `Box<dyn CacheModel>` is itself usable as a model — the
@@ -101,6 +150,12 @@ impl<T: CacheModel + ?Sized> CacheModel for Box<T> {
     }
     fn access(&mut self, rec: MemRecord) -> AccessResult {
         (**self).access(rec)
+    }
+    fn access_block(&mut self, block: BlockAddr, is_write: bool) -> AccessResult {
+        (**self).access_block(block, is_write)
+    }
+    fn run_batch(&mut self, stream: &BlockStream) {
+        (**self).run_batch(stream)
     }
     fn stats(&self) -> &CacheStats {
         (**self).stats()

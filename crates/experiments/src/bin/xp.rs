@@ -3,17 +3,24 @@
 //! ```text
 //! xp <fig1|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|
 //!     classify|patel|belady|select|all> [--scale tiny|small|large] [--csv]
+//!    [--timing] [--timing-json FILE]
 //! ```
+//!
+//! `--timing` prints per-experiment wall-clock to stderr plus a summary
+//! of the [`SimStore`]'s work: simulations run vs served from cache, and
+//! aggregate records/sec through the batched engine. `--timing-json`
+//! additionally writes the same numbers as JSON (the CI perf artifact).
 
 use std::env;
 use std::process::ExitCode;
+use std::time::Instant;
 use unicache_experiments::figures;
-use unicache_experiments::{ExperimentTable, TraceStore};
+use unicache_experiments::{tune_allocator_for_traces, ExperimentTable, SimStore};
 use unicache_workloads::{Scale, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: xp <experiment> [--scale tiny|small|large] [--csv]\n\
+        "usage: xp <experiment> [--scale tiny|small|large] [--csv] [--timing] [--timing-json FILE]\n\
          (fig1 also takes an optional workload name, e.g. `xp fig1 susan`)\n\
          experiments: fig1 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
                       classify patel belady generalize idx-amat assoc-sweep\n\
@@ -30,12 +37,61 @@ fn emit(table: ExperimentTable, csv: bool) {
     }
 }
 
+/// One `--timing` sample: an experiment name and its wall-clock seconds.
+struct Phase {
+    name: String,
+    secs: f64,
+}
+
+/// Renders the timing report (stderr text + optional JSON file).
+fn report_timing(store: &SimStore, phases: &[Phase], total_secs: f64, json_path: Option<&str>) {
+    let records = store.records_simulated();
+    let sims = store.sims_run();
+    let hits = store.hits();
+    let rps = if total_secs > 0.0 {
+        records as f64 / total_secs
+    } else {
+        0.0
+    };
+    eprintln!("-- timing --");
+    for p in phases {
+        eprintln!("{:>24}  {:8.3}s", p.name, p.secs);
+    }
+    eprintln!("{:>24}  {total_secs:8.3}s", "total");
+    eprintln!(
+        "simulations: {sims} run, {hits} served from cache; \
+         {records} records simulated ({rps:.0} records/sec overall)"
+    );
+    if let Some(path) = json_path {
+        // Hand-rolled JSON: the serde shim does not serialize.
+        let mut out = String::from("{\n  \"phases\": [\n");
+        for (i, p) in phases.iter().enumerate() {
+            let comma = if i + 1 < phases.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"seconds\": {:.6}}}{comma}\n",
+                p.name, p.secs
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"total_seconds\": {total_secs:.6},\n  \"sims_run\": {sims},\n  \
+             \"cache_hits\": {hits},\n  \"records_simulated\": {records},\n  \
+             \"records_per_sec\": {rps:.0}\n}}\n"
+        ));
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("xp: cannot write {path}: {e}");
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    tune_allocator_for_traces();
     let args: Vec<String> = env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut fig1_workload = Workload::Fft;
     let mut scale = Scale::Small;
     let mut csv = false;
+    let mut timing = false;
+    let mut timing_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -49,6 +105,14 @@ fn main() -> ExitCode {
                 };
             }
             "--csv" => csv = true,
+            "--timing" => timing = true,
+            "--timing-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => timing_json = Some(p.clone()),
+                    None => return usage(),
+                }
+            }
             a if which.is_none() && !a.starts_with('-') => which = Some(a.to_string()),
             a if which.as_deref() == Some("fig1") && Workload::from_name(a).is_some() => {
                 fig1_workload = Workload::from_name(a).expect("checked above");
@@ -58,9 +122,9 @@ fn main() -> ExitCode {
         i += 1;
     }
     let Some(which) = which else { return usage() };
-    let store = TraceStore::new(scale);
+    let store = SimStore::new(scale);
 
-    let run_one = |name: &str, store: &TraceStore, csv: bool| -> bool {
+    let run_one = |name: &str, store: &SimStore, csv: bool| -> bool {
         match name {
             "fig1" => {
                 let r = figures::fig1::report(store, fig1_workload);
@@ -102,6 +166,20 @@ fn main() -> ExitCode {
         true
     };
 
+    let started = Instant::now();
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut timed_run = |name: &str| -> bool {
+        let t0 = Instant::now();
+        let ok = run_one(name, &store, csv);
+        if ok {
+            phases.push(Phase {
+                name: name.to_string(),
+                secs: t0.elapsed().as_secs_f64(),
+            });
+        }
+        ok
+    };
+
     if which == "all" {
         for name in [
             "fig1",
@@ -128,15 +206,21 @@ fn main() -> ExitCode {
             "phases",
             "select",
         ] {
-            if !run_one(name, &store, csv) {
+            if !timed_run(name) {
                 return usage();
             }
             println!();
         }
-        ExitCode::SUCCESS
-    } else if run_one(&which, &store, csv) {
-        ExitCode::SUCCESS
-    } else {
-        usage()
+    } else if !timed_run(&which) {
+        return usage();
     }
+    if timing || timing_json.is_some() {
+        report_timing(
+            &store,
+            &phases,
+            started.elapsed().as_secs_f64(),
+            timing_json.as_deref(),
+        );
+    }
+    ExitCode::SUCCESS
 }

@@ -1,9 +1,8 @@
 //! Figures 6, 7, 11 and 12 — the programmable-associativity comparison.
 
-use crate::figures::{baseline_stats, paper_geom};
-use crate::{run_model, ExperimentTable, TraceStore};
-use rayon::prelude::*;
-use unicache_assoc::{AdaptiveGroupCache, BCache, ColumnAssociativeCache};
+use crate::figures::paper_geom;
+use crate::{run_model, ExperimentTable, SchemeId, SimStore};
+use std::sync::Arc;
 use unicache_core::{CacheModel, CacheStats};
 use unicache_stats::{percent_change, percent_reduction, Moments};
 use unicache_timing::{amat_adaptive, amat_column_associative, amat_conventional, LatencyModel};
@@ -14,32 +13,35 @@ pub const SCHEMES: [&str; 3] = ["Adaptive_Cache", "B_Cache", "Column_associative
 
 struct Run {
     workload: Workload,
-    base: CacheStats,
-    adaptive: CacheStats,
-    bcache: CacheStats,
-    column: CacheStats,
+    base: Arc<CacheStats>,
+    adaptive: Arc<CacheStats>,
+    bcache: Arc<CacheStats>,
+    column: Arc<CacheStats>,
 }
 
-fn run_one(store: &TraceStore, w: Workload) -> Run {
+fn all_runs(store: &SimStore) -> Vec<Run> {
     let geom = paper_geom();
-    let trace = store.get(w);
-    let base = baseline_stats(&trace, geom);
-    let mut adaptive = AdaptiveGroupCache::new(geom).expect("valid adaptive cache");
-    let mut bcache = BCache::new(geom).expect("valid b-cache");
-    let mut column = ColumnAssociativeCache::new(geom).expect("valid column cache");
-    Run {
-        workload: w,
-        adaptive: run_model(&trace, &mut adaptive),
-        bcache: run_model(&trace, &mut bcache),
-        column: run_model(&trace, &mut column),
-        base,
-    }
-}
-
-fn all_runs(store: &TraceStore) -> Vec<Run> {
     let workloads = Workload::mibench();
-    store.prefetch(&workloads);
-    workloads.par_iter().map(|&w| run_one(store, w)).collect()
+    store.prefetch(
+        &workloads,
+        &[
+            SchemeId::Baseline,
+            SchemeId::Adaptive,
+            SchemeId::BCache,
+            SchemeId::ColumnAssoc,
+        ],
+        geom,
+    );
+    workloads
+        .iter()
+        .map(|&w| Run {
+            workload: w,
+            base: store.stats(w, SchemeId::Baseline, geom),
+            adaptive: store.stats(w, SchemeId::Adaptive, geom),
+            bcache: store.stats(w, SchemeId::BCache, geom),
+            column: store.stats(w, SchemeId::ColumnAssoc, geom),
+        })
+        .collect()
 }
 
 fn labels() -> Vec<String> {
@@ -48,7 +50,7 @@ fn labels() -> Vec<String> {
 
 /// **Figure 6** — % reduction in miss rate for the adaptive cache,
 /// B-cache and column-associative cache vs the direct-mapped baseline.
-pub fn fig6(store: &TraceStore) -> ExperimentTable {
+pub fn fig6(store: &SimStore) -> ExperimentTable {
     let runs = all_runs(store);
     let rows = runs.iter().map(|r| r.workload.name().to_string()).collect();
     let values = runs
@@ -73,7 +75,7 @@ pub fn fig6(store: &TraceStore) -> ExperimentTable {
 /// **Figure 7** — % reduction in AMAT using the paper's Eq. 8 (adaptive)
 /// and Eq. 9 (column-associative); the B-cache keeps a direct-mapped
 /// access path, so the conventional formula applies.
-pub fn fig7(store: &TraceStore) -> ExperimentTable {
+pub fn fig7(store: &SimStore) -> ExperimentTable {
     let lat = LatencyModel::default();
     let runs = all_runs(store);
     let rows = runs.iter().map(|r| r.workload.name().to_string()).collect();
@@ -99,7 +101,7 @@ pub fn fig7(store: &TraceStore) -> ExperimentTable {
 }
 
 fn moment_increase_table(
-    store: &TraceStore,
+    store: &SimStore,
     title: &str,
     metric: &str,
     pick: fn(&Moments) -> f64,
@@ -121,7 +123,7 @@ fn moment_increase_table(
 
 /// **Figure 11** — % increase in kurtosis of per-set misses for the
 /// programmable-associativity schemes (the paper finds solid reductions).
-pub fn fig11(store: &TraceStore) -> ExperimentTable {
+pub fn fig11(store: &SimStore) -> ExperimentTable {
     moment_increase_table(
         store,
         "Fig. 11: kurtosis of misses for programmable associativities",
@@ -132,7 +134,7 @@ pub fn fig11(store: &TraceStore) -> ExperimentTable {
 
 /// **Figure 12** — % increase in skewness of per-set misses for the
 /// programmable-associativity schemes.
-pub fn fig12(store: &TraceStore) -> ExperimentTable {
+pub fn fig12(store: &SimStore) -> ExperimentTable {
     moment_increase_table(
         store,
         "Fig. 12: skewness of misses for programmable associativities",
@@ -143,7 +145,7 @@ pub fn fig12(store: &TraceStore) -> ExperimentTable {
 
 /// Drives any boxed model for ablation sweeps (exposed for the bench
 /// crate).
-pub fn run_boxed(store: &TraceStore, w: Workload, model: &mut dyn CacheModel) -> CacheStats {
+pub fn run_boxed(store: &SimStore, w: Workload, model: &mut dyn CacheModel) -> CacheStats {
     let trace = store.get(w);
     run_model(&trace, model)
 }
@@ -153,8 +155,8 @@ mod tests {
     use super::*;
     use unicache_workloads::Scale;
 
-    fn store() -> TraceStore {
-        TraceStore::new(Scale::Tiny)
+    fn store() -> SimStore {
+        SimStore::new(Scale::Tiny)
     }
 
     #[test]

@@ -9,25 +9,23 @@
 //! * the per-application scheme-selection table realizing Fig. 5.
 
 use crate::figures::{baseline_stats, paper_geom};
-use crate::{run_model, ExperimentTable, TraceStore};
+use crate::{run_model, ExperimentTable, SchemeId, SimStore};
 use rayon::prelude::*;
-use unicache_assoc::{AdaptiveGroupCache, BCache, ColumnAssociativeCache};
 use unicache_indexing::{IndexScheme, PatelSearch};
 use unicache_sim::{belady, CacheBuilder};
 use unicache_stats::SetClassification;
 use unicache_workloads::Workload;
 
 /// §IV.C — FHS/FMS/LAS percentages for the baseline cache, per workload.
-pub fn classification(store: &TraceStore) -> ExperimentTable {
+pub fn classification(store: &SimStore) -> ExperimentTable {
     let workloads = Workload::mibench();
-    store.prefetch(&workloads);
     let geom = paper_geom();
+    store.prefetch(&workloads, &[SchemeId::Baseline], geom);
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
     let values: Vec<Vec<f64>> = workloads
-        .par_iter()
+        .iter()
         .map(|&w| {
-            let trace = store.get(w);
-            let stats = baseline_stats(&trace, geom);
+            let stats = store.stats(w, SchemeId::Baseline, geom);
             let c = SetClassification::from_stats(&stats);
             vec![c.fhs_pct, c.fms_pct, c.las_pct, c.hot_pct]
         })
@@ -43,9 +41,9 @@ pub fn classification(store: &TraceStore) -> ExperimentTable {
 
 /// §II.F — bounded Patel search on truncated traces: misses of the found
 /// index vs conventional and XOR on the same truncated trace.
-pub fn patel(store: &TraceStore, trace_cap: usize, index_bits: usize) -> ExperimentTable {
+pub fn patel(store: &SimStore, trace_cap: usize, index_bits: usize) -> ExperimentTable {
     let workloads = Workload::mibench();
-    store.prefetch(&workloads);
+    store.prefetch_traces(&workloads);
     let geom = paper_geom();
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
     let values: Vec<Vec<f64>> = workloads
@@ -91,18 +89,21 @@ pub fn patel(store: &TraceStore, trace_cap: usize, index_bits: usize) -> Experim
 
 /// §III — the fully-associative MIN (Belady) lower bound vs the baseline
 /// and the best Section III scheme, per workload.
-pub fn belady_bound(store: &TraceStore) -> ExperimentTable {
+pub fn belady_bound(store: &SimStore) -> ExperimentTable {
     let workloads = Workload::mibench();
-    store.prefetch(&workloads);
     let geom = paper_geom();
+    store.prefetch(
+        &workloads,
+        &[SchemeId::Baseline, SchemeId::ColumnAssoc],
+        geom,
+    );
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
     let values: Vec<Vec<f64>> = workloads
         .par_iter()
         .map(|&w| {
             let trace = store.get(w);
-            let base = baseline_stats(&trace, geom);
-            let mut column = ColumnAssociativeCache::new(geom).expect("valid");
-            let col = run_model(&trace, &mut column);
+            let base = store.stats(w, SchemeId::Baseline, geom);
+            let col = store.stats(w, SchemeId::ColumnAssoc, geom);
             let min_rate =
                 belady::min_miss_rate(trace.records(), geom.num_lines(), geom.line_bytes());
             vec![
@@ -128,10 +129,19 @@ pub fn belady_bound(store: &TraceStore) -> ExperimentTable {
 /// Fig. 5 realization — for each workload, which technique (indexing *or*
 /// programmable associativity) minimizes the miss rate; the table an
 /// OS/loader would consult in the paper's proposed design.
-pub fn scheme_selection(store: &TraceStore) -> ExperimentTable {
+pub fn scheme_selection(store: &SimStore) -> ExperimentTable {
     let workloads = Workload::mibench();
-    store.prefetch(&workloads);
     let geom = paper_geom();
+    // Every candidate lives in the shared pool — this whole table costs
+    // nothing after Figs. 4 and 6 have run.
+    let mut candidates: Vec<SchemeId> = IndexScheme::figure4_set()
+        .into_iter()
+        .map(SchemeId::Index)
+        .collect();
+    candidates.extend([SchemeId::Adaptive, SchemeId::BCache, SchemeId::ColumnAssoc]);
+    let mut all: Vec<SchemeId> = vec![SchemeId::Baseline];
+    all.extend(&candidates);
+    store.prefetch(&workloads, &all, geom);
     let rows: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
     // Columns: all candidate techniques; cells: % reduction vs baseline.
     let mut cols: Vec<String> = IndexScheme::figure4_set()
@@ -144,35 +154,16 @@ pub fn scheme_selection(store: &TraceStore) -> ExperimentTable {
             .map(|s| s.to_string()),
     );
     let values: Vec<Vec<f64>> = workloads
-        .par_iter()
+        .iter()
         .map(|&w| {
-            let trace = store.get(w);
-            let base = baseline_stats(&trace, geom);
-            let unique = trace.unique_blocks(geom.line_bytes());
-            let mut row = Vec::new();
-            for scheme in IndexScheme::figure4_set() {
-                let f = scheme.build(geom, Some(&unique)).expect("scheme");
-                let mut cache = CacheBuilder::new(geom).index(f).build().expect("cache");
-                let s = run_model(&trace, &mut cache);
-                row.push(unicache_stats::percent_reduction(
-                    base.miss_rate(),
-                    s.miss_rate(),
-                ));
-            }
-            let mut adaptive = AdaptiveGroupCache::new(geom).expect("valid");
-            let mut bcache = BCache::new(geom).expect("valid");
-            let mut column = ColumnAssociativeCache::new(geom).expect("valid");
-            for s in [
-                run_model(&trace, &mut adaptive),
-                run_model(&trace, &mut bcache),
-                run_model(&trace, &mut column),
-            ] {
-                row.push(unicache_stats::percent_reduction(
-                    base.miss_rate(),
-                    s.miss_rate(),
-                ));
-            }
-            row
+            let base = store.stats(w, SchemeId::Baseline, geom);
+            candidates
+                .iter()
+                .map(|&c| {
+                    let s = store.stats(w, c, geom);
+                    unicache_stats::percent_reduction(base.miss_rate(), s.miss_rate())
+                })
+                .collect()
         })
         .collect();
     ExperimentTable::new(
@@ -206,8 +197,8 @@ mod tests {
     use super::*;
     use unicache_workloads::Scale;
 
-    fn store() -> TraceStore {
-        TraceStore::new(Scale::Tiny)
+    fn store() -> SimStore {
+        SimStore::new(Scale::Tiny)
     }
 
     #[test]
@@ -267,10 +258,10 @@ mod tests {
 /// the *second half*, and compare with the oracle variant trained on the
 /// evaluation half itself. Small gaps mean off-line profiling (as the
 /// paper's proposed OS/loader flow assumes) is viable.
-pub fn givargis_generalization(store: &TraceStore) -> ExperimentTable {
+pub fn givargis_generalization(store: &SimStore) -> ExperimentTable {
     use unicache_indexing::GivargisIndex;
     let workloads = Workload::mibench();
-    store.prefetch(&workloads);
+    store.prefetch_traces(&workloads);
     let geom = paper_geom();
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
     let values: Vec<Vec<f64>> = workloads
@@ -320,7 +311,7 @@ mod generalization_tests {
 
     #[test]
     fn profiled_index_generalizes() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let t = givargis_generalization(&store);
         assert_eq!(t.cols.len(), 4);
         for (w, row) in t.rows.iter().zip(&t.values) {
@@ -342,27 +333,25 @@ mod generalization_tests {
 /// AMAT with its index-computation latency charged per access
 /// (conventional/XOR/odd-multiplier ≈ free; prime-modulo pays
 /// `LatencyModel::prime_modulo_extra`).
-pub fn indexing_amat(store: &TraceStore) -> ExperimentTable {
+pub fn indexing_amat(store: &SimStore) -> ExperimentTable {
     use unicache_timing::{amat_conventional, LatencyModel};
     let workloads = Workload::mibench();
-    store.prefetch(&workloads);
     let geom = paper_geom();
     let lat = LatencyModel::default();
     let schemes = IndexScheme::figure4_set();
+    let mut ids: Vec<SchemeId> = vec![SchemeId::Baseline];
+    ids.extend(schemes.iter().map(|&s| SchemeId::Index(s)));
+    store.prefetch(&workloads, &ids, geom);
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
     let values: Vec<Vec<f64>> = workloads
-        .par_iter()
+        .iter()
         .map(|&w| {
-            let trace = store.get(w);
-            let base = baseline_stats(&trace, geom);
+            let base = store.stats(w, SchemeId::Baseline, geom);
             let base_amat = amat_conventional(&base, &lat);
-            let unique = trace.unique_blocks(geom.line_bytes());
             schemes
                 .iter()
                 .map(|scheme| {
-                    let f = scheme.build(geom, Some(&unique)).expect("scheme");
-                    let mut cache = CacheBuilder::new(geom).index(f).build().expect("cache");
-                    let s = run_model(&trace, &mut cache);
+                    let s = store.stats(w, SchemeId::Index(*scheme), geom);
                     let extra = match scheme {
                         IndexScheme::PrimeModulo => lat.prime_modulo_extra,
                         _ => 0.0,
@@ -390,7 +379,7 @@ mod indexing_amat_tests {
 
     #[test]
     fn prime_modulo_pays_its_latency() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let t = indexing_amat(&store);
         assert_eq!(t.rows.len(), 12);
         // On the uniform workloads (crc), prime-modulo cannot win once its
@@ -407,31 +396,30 @@ mod indexing_amat_tests {
 /// conventional fixed, the [`crate::OnlineSelector`] (profiling the first
 /// 10% of the trace, max 100k refs), and the off-line oracle (best fixed
 /// technique from [`scheme_selection`]), all as overall miss rates.
-pub fn online_selection(store: &TraceStore) -> ExperimentTable {
+pub fn online_selection(store: &SimStore) -> ExperimentTable {
     let workloads = Workload::mibench();
-    store.prefetch(&workloads);
     let geom = paper_geom();
+    // Fixed baseline and the oracle's candidates come from the shared
+    // pool (the oracle re-uses Fig. 6's runs); only the online selector
+    // itself — stateful reconfiguration mid-trace — simulates here.
+    let oracle_ids = [SchemeId::ColumnAssoc, SchemeId::Adaptive, SchemeId::BCache];
+    let mut ids = vec![SchemeId::Baseline];
+    ids.extend(oracle_ids);
+    store.prefetch(&workloads, &ids, geom);
     let rows: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
     let values: Vec<Vec<f64>> = workloads
         .par_iter()
         .map(|&w| {
             let trace = store.get(w);
             let profile = (trace.len() / 10).clamp(1, 100_000);
-            let mut fixed = CacheBuilder::new(geom).build().expect("cache");
-            let fixed_stats = run_model(&trace, &mut fixed);
+            let fixed_stats = store.stats(w, SchemeId::Baseline, geom);
             let mut online = crate::OnlineSelector::paper_menu(geom, profile).expect("selector");
             let online_stats = run_model(&trace, &mut online);
             // Oracle: best single technique over the whole trace.
-            let mut oracle = f64::INFINITY;
-            for mut candidate in [
-                Box::new(ColumnAssociativeCache::new(geom).expect("v"))
-                    as Box<dyn unicache_core::CacheModel>,
-                Box::new(AdaptiveGroupCache::new(geom).expect("v")),
-                Box::new(BCache::new(geom).expect("v")),
-            ] {
-                oracle = oracle.min(run_model(&trace, &mut candidate).miss_rate());
+            let mut oracle = fixed_stats.miss_rate();
+            for &c in &oracle_ids {
+                oracle = oracle.min(store.stats(w, c, geom).miss_rate());
             }
-            oracle = oracle.min(fixed_stats.miss_rate());
             vec![
                 100.0 * fixed_stats.miss_rate(),
                 100.0 * online_stats.miss_rate(),
@@ -455,7 +443,7 @@ mod online_tests {
 
     #[test]
     fn online_lands_between_fixed_and_oracle() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let t = online_selection(&store);
         let mut wins = 0;
         for (w, row) in t.rows.iter().zip(&t.values) {
@@ -479,17 +467,17 @@ mod online_tests {
 /// Workload characterization: trace length, unique blocks (footprint),
 /// write ratio, and baseline cache behaviour for all 21 kernels — the
 /// substrate documentation for DESIGN.md's substitution argument.
-pub fn workload_characterization(store: &TraceStore) -> ExperimentTable {
+pub fn workload_characterization(store: &SimStore) -> ExperimentTable {
     let workloads = Workload::all();
-    store.prefetch(&workloads);
     let geom = paper_geom();
+    store.prefetch(&workloads, &[SchemeId::Baseline], geom);
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
     let values: Vec<Vec<f64>> = workloads
         .par_iter()
         .map(|&w| {
             let trace = store.get(w);
-            let unique = trace.unique_blocks(geom.line_bytes());
-            let stats = baseline_stats(&trace, geom);
+            let unique = store.unique_blocks(w, geom.line_bytes());
+            let stats = store.stats(w, SchemeId::Baseline, geom);
             let accesses = stats.accesses_per_set();
             vec![
                 trace.len() as f64,
@@ -524,7 +512,7 @@ mod characterization_tests {
 
     #[test]
     fn all_21_workloads_characterized() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let t = workload_characterization(&store);
         assert_eq!(t.rows.len(), 21);
         for (w, row) in t.rows.iter().zip(&t.values) {
@@ -548,11 +536,11 @@ mod characterization_tests {
 /// Phase-stability study: windowed miss-rate series per workload on the
 /// baseline cache. High stability justifies the paper's Fig. 5 assumption
 /// that one per-application technique choice holds for the whole run.
-pub fn phase_stability(store: &TraceStore) -> ExperimentTable {
+pub fn phase_stability(store: &SimStore) -> ExperimentTable {
     use unicache_core::CacheModel;
     use unicache_stats::PhaseSeries;
     let workloads = Workload::mibench();
-    store.prefetch(&workloads);
+    store.prefetch_traces(&workloads);
     let geom = paper_geom();
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
     let values: Vec<Vec<f64>> = workloads
@@ -597,7 +585,7 @@ mod phase_tests {
 
     #[test]
     fn most_workloads_are_phase_stable() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let t = phase_stability(&store);
         assert_eq!(t.rows.len(), 11);
         let stable = t.values.iter().filter(|r| r[3] >= 80.0).count();

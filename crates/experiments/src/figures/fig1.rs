@@ -4,8 +4,8 @@
 //! that "about 90.43% of the cache sets get less than half of the average
 //! accesses while 6.641% get twice the average accesses".
 
-use crate::figures::{baseline_stats, paper_geom};
-use crate::TraceStore;
+use crate::figures::paper_geom;
+use crate::{SchemeId, SimStore};
 use serde::{Deserialize, Serialize};
 use unicache_stats::{gini, normalized_entropy, Histogram, Moments, SetClassification};
 use unicache_workloads::Workload;
@@ -31,9 +31,8 @@ pub struct Fig1Report {
 }
 
 /// Regenerates Figure 1 for any workload (the paper uses FFT).
-pub fn report(store: &TraceStore, workload: Workload) -> Fig1Report {
-    let trace = store.get(workload);
-    let stats = baseline_stats(&trace, paper_geom());
+pub fn report(store: &SimStore, workload: Workload) -> Fig1Report {
+    let stats = store.stats(workload, SchemeId::Baseline, paper_geom());
     let accesses = stats.accesses_per_set();
     let class = SetClassification::from_accesses(&accesses);
     Fig1Report {
@@ -85,7 +84,7 @@ mod tests {
 
     #[test]
     fn fft_is_markedly_non_uniform() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let r = report(&store, Workload::Fft);
         assert_eq!(r.accesses_per_set.len(), 1024);
         // The paper's qualitative claim: a majority of sets are cold while
@@ -108,7 +107,7 @@ mod tests {
 
     #[test]
     fn crc_is_far_more_uniform_than_fft() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let fft = report(&store, Workload::Fft);
         let crc = report(&store, Workload::Crc);
         assert!(

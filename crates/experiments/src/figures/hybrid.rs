@@ -2,12 +2,8 @@
 //! column-associative cache, evaluated on the SPEC-like workloads.
 
 use crate::figures::paper_geom;
-use crate::{run_model, ExperimentTable, TraceStore};
-use rayon::prelude::*;
-use std::sync::Arc;
-use unicache_assoc::ColumnAssociativeCache;
-use unicache_core::{CacheStats, IndexFunction};
-use unicache_indexing::{ModuloIndex, OddMultiplierIndex, PrimeModuloIndex, XorIndex};
+use crate::{ExperimentTable, SchemeId, SimStore};
+use unicache_indexing::IndexScheme;
 use unicache_stats::percent_reduction;
 use unicache_workloads::Workload;
 
@@ -18,40 +14,35 @@ pub const SCHEMES: [&str; 3] = [
     "ColumnAssoc_Prime_Modulo",
 ];
 
-fn column_with(trace: &unicache_trace::Trace, index: Arc<dyn IndexFunction>) -> CacheStats {
-    let mut cache =
-        ColumnAssociativeCache::with_index(paper_geom(), index).expect("valid hybrid cache");
-    run_model(trace, &mut cache)
+/// The hybrid primaries of Fig. 8, in [`SCHEMES`] order.
+fn hybrid_ids() -> [SchemeId; 3] {
+    [
+        SchemeId::ColumnAssocWith(IndexScheme::Xor),
+        SchemeId::ColumnAssocWith(IndexScheme::OddMultiplier(21)),
+        SchemeId::ColumnAssocWith(IndexScheme::PrimeModulo),
+    ]
 }
 
 /// **Figure 8** — % reduction in miss rate relative to a *plain*
 /// column-associative cache (conventional primary index), for XOR,
 /// odd-multiplier and prime-modulo primaries, over the SPEC-like suite.
-pub fn fig8(store: &TraceStore) -> ExperimentTable {
+pub fn fig8(store: &SimStore) -> ExperimentTable {
     let workloads = Workload::spec();
-    store.prefetch(&workloads);
     let geom = paper_geom();
-    let sets = geom.num_sets();
+    let mut schemes = vec![SchemeId::ColumnAssoc];
+    schemes.extend(hybrid_ids());
+    store.prefetch(&workloads, &schemes, geom);
     let rows: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
     let values: Vec<Vec<f64>> = workloads
-        .par_iter()
+        .iter()
         .map(|&w| {
-            let trace = store.get(w);
-            let base = column_with(
-                &trace,
-                Arc::new(ModuloIndex::new(sets).expect("sets are pow2")),
-            );
-            let hybrids: Vec<CacheStats> = vec![
-                column_with(&trace, Arc::new(XorIndex::new(sets).expect("pow2"))),
-                column_with(
-                    &trace,
-                    Arc::new(OddMultiplierIndex::paper_default(sets).expect("pow2")),
-                ),
-                column_with(&trace, Arc::new(PrimeModuloIndex::new(sets).expect("pow2"))),
-            ];
-            hybrids
+            let base = store.stats(w, SchemeId::ColumnAssoc, geom);
+            hybrid_ids()
                 .iter()
-                .map(|h| percent_reduction(base.miss_rate(), h.miss_rate()))
+                .map(|&h| {
+                    let s = store.stats(w, h, geom);
+                    percent_reduction(base.miss_rate(), s.miss_rate())
+                })
                 .collect()
         })
         .collect();
@@ -72,7 +63,7 @@ mod tests {
 
     #[test]
     fn fig8_shape_and_mixed_outcomes() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let t = fig8(&store);
         assert_eq!(t.cols.len(), 3);
         assert_eq!(t.rows.len(), 11); // 10 SPEC + Average

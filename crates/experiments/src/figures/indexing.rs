@@ -1,48 +1,38 @@
 //! Figures 4, 9 and 10 — the cache-indexing-scheme comparison.
 
-use crate::figures::{baseline_stats, paper_geom};
-use crate::{run_model, ExperimentTable, TraceStore};
-use rayon::prelude::*;
+use crate::figures::paper_geom;
+use crate::{ExperimentTable, SchemeId, SimStore};
+use std::sync::Arc;
 use unicache_core::CacheStats;
 use unicache_indexing::IndexScheme;
-use unicache_sim::CacheBuilder;
 use unicache_stats::{percent_change, percent_reduction, Moments};
 use unicache_workloads::Workload;
 
-/// Runs one workload under every Fig. 4 indexing scheme, returning
-/// `(baseline stats, per-scheme stats in figure4_set order)`.
-fn run_schemes(store: &TraceStore, w: Workload) -> (CacheStats, Vec<CacheStats>) {
-    let geom = paper_geom();
-    let trace = store.get(w);
-    let base = baseline_stats(&trace, geom);
-    // Trace-trained schemes profile the same workload, like the paper's
-    // off-line profiling methodology (Fig. 5's "profiled off-line").
-    let unique = trace.unique_blocks(geom.line_bytes());
-    let per_scheme = IndexScheme::figure4_set()
-        .into_iter()
-        .map(|scheme| {
-            let f = scheme
-                .build(geom, Some(&unique))
-                .expect("scheme construction");
-            let mut cache = CacheBuilder::new(geom)
-                .index(f)
-                .build()
-                .expect("valid cache");
-            run_model(&trace, &mut cache)
-        })
-        .collect();
-    (base, per_scheme)
+/// The [`SimStore`] keys of Figs. 4/9/10: the baseline plus every
+/// figure4 indexing scheme. (The trace-trained schemes profile the same
+/// workload, like the paper's off-line profiling methodology — the store
+/// supplies each workload's unique-block list as training input.)
+fn scheme_ids() -> Vec<SchemeId> {
+    std::iter::once(SchemeId::Baseline)
+        .chain(IndexScheme::figure4_set().into_iter().map(SchemeId::Index))
+        .collect()
 }
 
-/// All per-workload runs, in parallel across workloads.
-fn all_runs(store: &TraceStore) -> Vec<(Workload, CacheStats, Vec<CacheStats>)> {
+/// All per-workload runs, drawn from the shared simulation pool (the
+/// prefetch simulates anything missing, batched, in parallel).
+fn all_runs(store: &SimStore) -> Vec<(Workload, Arc<CacheStats>, Vec<Arc<CacheStats>>)> {
+    let geom = paper_geom();
     let workloads = Workload::mibench();
-    store.prefetch(&workloads);
+    store.prefetch(&workloads, &scheme_ids(), geom);
     workloads
-        .par_iter()
+        .iter()
         .map(|&w| {
-            let (b, s) = run_schemes(store, w);
-            (w, b, s)
+            let base = store.stats(w, SchemeId::Baseline, geom);
+            let per_scheme = IndexScheme::figure4_set()
+                .into_iter()
+                .map(|s| store.stats(w, SchemeId::Index(s), geom))
+                .collect();
+            (w, base, per_scheme)
         })
         .collect()
 }
@@ -57,7 +47,7 @@ fn scheme_labels() -> Vec<String> {
 /// **Figure 4** — % reduction in miss rate vs the conventional
 /// direct-mapped baseline, for XOR / odd-multiplier / prime-modulo /
 /// Givargis / Givargis-XOR across the MiBench suite.
-pub fn fig4(store: &TraceStore) -> ExperimentTable {
+pub fn fig4(store: &SimStore) -> ExperimentTable {
     let runs = all_runs(store);
     let rows = runs.iter().map(|(w, _, _)| w.name().to_string()).collect();
     let values = runs
@@ -81,7 +71,7 @@ pub fn fig4(store: &TraceStore) -> ExperimentTable {
 
 /// Shared implementation of Figures 9 and 10.
 fn moment_increase_table(
-    store: &TraceStore,
+    store: &SimStore,
     title: &str,
     metric: &str,
     pick: fn(&Moments) -> f64,
@@ -106,7 +96,7 @@ fn moment_increase_table(
 
 /// **Figure 9** — % increase in kurtosis of per-set misses (negative =
 /// more uniform) for the indexing schemes.
-pub fn fig9(store: &TraceStore) -> ExperimentTable {
+pub fn fig9(store: &SimStore) -> ExperimentTable {
     moment_increase_table(
         store,
         "Fig. 9: kurtosis of misses for different indexing schemes",
@@ -117,7 +107,7 @@ pub fn fig9(store: &TraceStore) -> ExperimentTable {
 
 /// **Figure 10** — % increase in skewness of per-set misses for the
 /// indexing schemes.
-pub fn fig10(store: &TraceStore) -> ExperimentTable {
+pub fn fig10(store: &SimStore) -> ExperimentTable {
     moment_increase_table(
         store,
         "Fig. 10: skewness of misses for different indexing schemes",
@@ -131,8 +121,8 @@ mod tests {
     use super::*;
     use unicache_workloads::Scale;
 
-    fn store() -> TraceStore {
-        TraceStore::new(Scale::Tiny)
+    fn store() -> SimStore {
+        SimStore::new(Scale::Tiny)
     }
 
     #[test]

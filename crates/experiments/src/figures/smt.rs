@@ -1,13 +1,14 @@
 //! Figures 13 and 14 — the multithreaded (SMT) experiments.
 
 use crate::figures::paper_geom;
-use crate::{run_model, ExperimentTable, TraceStore};
+use crate::{ExperimentTable, SimStore};
 use rayon::prelude::*;
 use std::sync::Arc;
-use unicache_core::IndexFunction;
+use unicache_core::{run_many, CacheModel, IndexFunction};
 use unicache_indexing::{ModuloIndex, OddMultiplierIndex, RECOMMENDED_MULTIPLIERS};
 use unicache_smt::{
-    interleave, AdaptivePartitionedCache, InterleavePolicy, PartitionedCache, PerThreadIndexCache,
+    for_each_interleaved, AdaptivePartitionedCache, InterleavePolicy, PartitionedCache,
+    PerThreadIndexCache,
 };
 use unicache_stats::percent_reduction;
 use unicache_timing::{amat_adaptive, amat_conventional, LatencyModel};
@@ -51,40 +52,59 @@ fn mix_label(mix: &[Workload]) -> String {
     mix.iter().map(|w| w.name()).collect::<Vec<_>>().join("_")
 }
 
-fn merged_trace(store: &TraceStore, mix: &[Workload]) -> unicache_trace::Trace {
-    let traces: Vec<unicache_trace::Trace> = mix.iter().map(|&w| (*store.get(w)).clone()).collect();
-    interleave(&traces, InterleavePolicy::RoundRobin)
+/// Replays the interleaved `mix` through every model in one traversal.
+/// The round-robin merge is streamed straight out of the per-thread
+/// traces (no merged copy is ever allocated); other policies materialize
+/// through the store's memoized merge.
+fn drive_mix(
+    store: &SimStore,
+    mix: &[Workload],
+    policy: InterleavePolicy,
+    models: &mut [&mut dyn CacheModel],
+) {
+    match policy {
+        InterleavePolicy::RoundRobin => {
+            let traces: Vec<Arc<unicache_trace::Trace>> =
+                mix.iter().map(|&w| store.get(w)).collect();
+            let refs: Vec<&unicache_trace::Trace> = traces.iter().map(|t| &**t).collect();
+            for_each_interleaved(&refs, |rec| {
+                for m in models.iter_mut() {
+                    m.access(rec);
+                }
+            });
+        }
+        _ => {
+            let merged = store.merged_trace(mix, policy);
+            run_many(models, merged.records());
+        }
+    }
 }
 
 /// **Figure 13** — % reduction in misses when each thread of a shared
 /// direct-mapped L1 uses a *different odd multiplier* for its index,
 /// relative to every thread using the conventional index.
-pub fn fig13(store: &TraceStore) -> ExperimentTable {
+pub fn fig13(store: &SimStore) -> ExperimentTable {
     fig13_with(store, InterleavePolicy::RoundRobin)
 }
 
 /// [`fig13`] with an explicit interleaving policy (the ablation DESIGN.md
 /// calls out: stochastic fetch interleaving vs the round-robin default).
-pub fn fig13_with(store: &TraceStore, policy: InterleavePolicy) -> ExperimentTable {
+pub fn fig13_with(store: &SimStore, policy: InterleavePolicy) -> ExperimentTable {
     let mixes = fig13_mixes();
     let all: Vec<Workload> = mixes.iter().flatten().copied().collect();
-    store.prefetch(&all);
+    store.prefetch_traces(&all);
     let geom = paper_geom();
     let sets = geom.num_sets();
     let rows: Vec<String> = mixes.iter().map(|m| mix_label(m)).collect();
     let values: Vec<Vec<f64>> = mixes
         .par_iter()
         .map(|mix| {
-            let traces: Vec<unicache_trace::Trace> =
-                mix.iter().map(|&w| (*store.get(w)).clone()).collect();
-            let trace = interleave(&traces, policy);
             // Baseline: every thread conventional.
             let conventional: Vec<Arc<dyn IndexFunction>> = (0..mix.len())
                 .map(|_| Arc::new(ModuloIndex::new(sets).expect("pow2")) as Arc<dyn IndexFunction>)
                 .collect();
             let mut base =
                 PerThreadIndexCache::new(geom, conventional).expect("valid shared cache");
-            let base_stats = run_model(&trace, &mut base);
             // Treatment: per-thread odd multipliers (9, 21, 31, 61, ...).
             let per_thread: Vec<Arc<dyn IndexFunction>> = (0..mix.len())
                 .map(|t| {
@@ -94,10 +114,10 @@ pub fn fig13_with(store: &TraceStore, policy: InterleavePolicy) -> ExperimentTab
                 })
                 .collect();
             let mut treat = PerThreadIndexCache::new(geom, per_thread).expect("valid shared cache");
-            let treat_stats = run_model(&trace, &mut treat);
+            drive_mix(store, mix, policy, &mut [&mut base, &mut treat]);
             vec![percent_reduction(
-                base_stats.miss_rate(),
-                treat_stats.miss_rate(),
+                base.stats().miss_rate(),
+                treat.stats().miss_rate(),
             )]
         })
         .collect();
@@ -114,23 +134,26 @@ pub fn fig13_with(store: &TraceStore, policy: InterleavePolicy) -> ExperimentTab
 /// **Figure 14** — % improvement in AMAT of the adaptive *partitioned*
 /// cache (equal partitions + shared SHT/OUT spill) over plain equal
 /// partitioning.
-pub fn fig14(store: &TraceStore) -> ExperimentTable {
+pub fn fig14(store: &SimStore) -> ExperimentTable {
     let mixes = fig14_mixes();
     let all: Vec<Workload> = mixes.iter().flatten().copied().collect();
-    store.prefetch(&all);
+    store.prefetch_traces(&all);
     let geom = paper_geom();
     let lat = LatencyModel::default();
     let rows: Vec<String> = mixes.iter().map(|m| mix_label(m)).collect();
     let values: Vec<Vec<f64>> = mixes
         .par_iter()
         .map(|mix| {
-            let trace = merged_trace(store, mix);
             let mut stat = PartitionedCache::new(geom, mix.len()).expect("divisible");
-            let stat_stats = run_model(&trace, &mut stat);
             let mut adpt = AdaptivePartitionedCache::new(geom, mix.len()).expect("divisible");
-            let adpt_stats = run_model(&trace, &mut adpt);
-            let base_amat = amat_conventional(&stat_stats, &lat);
-            let adpt_amat = amat_adaptive(&adpt_stats, &lat);
+            drive_mix(
+                store,
+                mix,
+                InterleavePolicy::RoundRobin,
+                &mut [&mut stat, &mut adpt],
+            );
+            let base_amat = amat_conventional(stat.stats(), &lat);
+            let adpt_amat = amat_adaptive(adpt.stats(), &lat);
             vec![percent_reduction(base_amat, adpt_amat)]
         })
         .collect();
@@ -160,7 +183,7 @@ mod tests {
 
     #[test]
     fn fig13_reduces_misses_on_average() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let t = fig13(&store);
         assert_eq!(t.rows.len(), 10); // 9 mixes + Average
         let avg = t.get("Average", "PerThread_Odd_Multiplier").unwrap();
@@ -172,7 +195,7 @@ mod tests {
 
     #[test]
     fn fig14_improves_amat_on_average() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let t = fig14(&store);
         assert_eq!(t.rows.len(), 12); // 11 mixes + Average
         let avg = t.get("Average", "Adaptive_Partitioned").unwrap();
@@ -190,7 +213,7 @@ mod interleave_policy_tests {
 
     #[test]
     fn stochastic_interleaving_preserves_the_fig13_story() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let rr = fig13_with(&store, InterleavePolicy::RoundRobin);
         let st = fig13_with(&store, InterleavePolicy::Stochastic { seed: 17 });
         // The headline (positive average reduction) must be robust to the

@@ -9,9 +9,9 @@
 //!   hierarchy (the paper reports AMAT from closed-form formulas only).
 
 use crate::figures::paper_geom;
-use crate::{run_model, ExperimentTable, TraceStore};
+use crate::{run_model, ExperimentTable, SchemeId, SimStore};
 use rayon::prelude::*;
-use unicache_assoc::{AdaptiveGroupCache, BCache, ColumnAssociativeCache, SkewedCache};
+use unicache_assoc::{AdaptiveGroupCache, BCache, ColumnAssociativeCache};
 use unicache_core::{CacheGeometry, CacheModel};
 use unicache_sim::CacheBuilder;
 use unicache_stats::Moments;
@@ -20,9 +20,20 @@ use unicache_workloads::Workload;
 
 /// Miss rate and miss-kurtosis for 1/2/4/8-way conventional caches (same
 /// 32 KB capacity) next to the B-cache, per workload.
-pub fn associativity(store: &TraceStore) -> ExperimentTable {
+pub fn associativity(store: &SimStore) -> ExperimentTable {
     let workloads = Workload::mibench();
-    store.prefetch(&workloads);
+    let way_geoms: Vec<CacheGeometry> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&ways| CacheGeometry::new(32 * 1024, 32, ways).expect("pow2"))
+        .collect();
+    for &g in &way_geoms {
+        store.prefetch(&workloads, &[SchemeId::Baseline], g);
+    }
+    store.prefetch(
+        &workloads,
+        &[SchemeId::BCache, SchemeId::Skewed],
+        paper_geom(),
+    );
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
     let cols: Vec<String> = vec![
         "1way_miss%".into(),
@@ -36,26 +47,21 @@ pub fn associativity(store: &TraceStore) -> ExperimentTable {
         "BCache_kurt".into(),
     ];
     let values: Vec<Vec<f64>> = workloads
-        .par_iter()
+        .iter()
         .map(|&w| {
-            let trace = store.get(w);
             let mut rates = Vec::new();
             let mut kurts = Vec::new();
-            for ways in [1u32, 2, 4, 8] {
-                let geom = CacheGeometry::new(32 * 1024, 32, ways).expect("pow2");
-                let mut c = CacheBuilder::new(geom).build().expect("cache");
-                let s = run_model(&trace, &mut c);
+            for &geom in &way_geoms {
+                let s = store.stats(w, SchemeId::Baseline, geom);
                 rates.push(100.0 * s.miss_rate());
-                if ways == 1 || ways == 8 {
+                if geom.ways() == 1 || geom.ways() == 8 {
                     kurts.push(Moments::from_counts(&s.misses_per_set()).kurtosis);
                 }
             }
-            let mut b = BCache::new(paper_geom()).expect("bcache");
-            let s = run_model(&trace, &mut b);
+            let s = store.stats(w, SchemeId::BCache, paper_geom());
             let b_rate = 100.0 * s.miss_rate();
             let b_kurt = Moments::from_counts(&s.misses_per_set()).kurtosis;
-            let mut sk = SkewedCache::new(paper_geom()).expect("skewed");
-            let s = run_model(&trace, &mut sk);
+            let s = store.stats(w, SchemeId::Skewed, paper_geom());
             let sk_rate = 100.0 * s.miss_rate();
             vec![
                 rates[0], rates[1], rates[2], rates[3], b_rate, sk_rate, kurts[0], kurts[1], b_kurt,
@@ -73,9 +79,9 @@ pub fn associativity(store: &TraceStore) -> ExperimentTable {
 
 /// End-to-end cycles through the paper's two-level hierarchy for the
 /// baseline and the three Section III schemes, per workload.
-pub fn hierarchy_cycles(store: &TraceStore) -> ExperimentTable {
+pub fn hierarchy_cycles(store: &SimStore) -> ExperimentTable {
     let workloads = Workload::mibench();
-    store.prefetch(&workloads);
+    store.prefetch_traces(&workloads);
     let geom = paper_geom();
     let lat = LatencyModel::default();
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
@@ -136,7 +142,7 @@ mod tests {
 
     #[test]
     fn associativity_mitigates_but_does_not_eliminate_nonuniformity() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let t = associativity(&store);
         // Miss rates are monotone non-increasing in ways for nearly every
         // workload (LRU inclusion makes true violations rare; allow small
@@ -166,7 +172,7 @@ mod tests {
     #[test]
     fn bcache_matches_8way_miss_rate() {
         // Zhang's claim, quoted in the paper's Section IV.B.
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let t = associativity(&store);
         for (w, row) in t.rows.iter().zip(&t.values) {
             let (eight, bc) = (row[3], row[4]);
@@ -179,7 +185,7 @@ mod tests {
 
     #[test]
     fn hierarchy_gains_survive_the_l2() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let t = hierarchy_cycles(&store);
         // On fft (conflict-dominated) every scheme cuts measured cycles.
         for col in ["Adaptive_%", "BCache_%", "Column_%"] {
@@ -199,7 +205,7 @@ mod tests {
 /// reports only data-side figures. This sweep runs synthetic instruction
 /// streams (mostly-sequential fetch with loops and calls) of growing code
 /// footprint through the L1I under each indexing scheme.
-pub fn icache(store: &TraceStore) -> ExperimentTable {
+pub fn icache(store: &SimStore) -> ExperimentTable {
     use std::sync::Arc;
     use unicache_core::IndexFunction;
     use unicache_indexing::{ModuloIndex, OddMultiplierIndex, PrimeModuloIndex, XorIndex};
@@ -261,7 +267,7 @@ mod icache_tests {
 
     #[test]
     fn icache_study_shapes() {
-        let store = TraceStore::new(Scale::Tiny);
+        let store = SimStore::new(Scale::Tiny);
         let t = icache(&store);
         assert_eq!(t.cols.len(), 4);
         assert_eq!(t.rows.len(), 4);

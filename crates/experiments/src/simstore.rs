@@ -1,0 +1,427 @@
+//! A memoizing *simulation-result* store shared across figure runners.
+//!
+//! The paper's figures overlap heavily: Fig. 4 and Figs. 9/10 run the
+//! same five indexing schemes; the scheme-selection table re-runs all of
+//! Fig. 4 *and* Fig. 6; the online-selection oracle re-runs Fig. 6's
+//! three caches; nearly everything re-runs the direct-mapped baseline.
+//! Before this store existed, `xp all` simulated each of those
+//! combinations once *per figure*.
+//!
+//! [`SimStore`] memoizes final [`CacheStats`] under the key
+//! `(workload, scheme, geometry)` — the scale is fixed per store, like
+//! [`crate::TraceStore`] — so every figure that needs "fft under XOR
+//! indexing at the paper L1" shares one simulation. Two further levels
+//! are memoized beneath the results because they are shared *inputs* to
+//! the simulations:
+//!
+//! * the pre-decoded [`BlockStream`] per `(workload, line size)` — the
+//!   per-record decode is hoisted out of every model's inner loop and
+//!   paid once (see `unicache_core::batch`);
+//! * the sorted unique block list per `(workload, line size)` — the
+//!   training input of the Givargis schemes.
+//!
+//! Exactly-once simulation is enforced the same way [`crate::TraceStore`]
+//! enforces exactly-once generation: results live in per-key `OnceLock`
+//! cells, and all simulation for a `(workload, geometry)` group runs
+//! under that group's mutex, re-checking cell emptiness after acquiring
+//! it. [`SimStore::prefetch`] simulates every still-missing scheme of a
+//! group in one batched traversal of the stream ([`run_batch_many`]),
+//! in parallel across workloads with rayon.
+//!
+//! The [`SimStore::hits`]/[`SimStore::sims_run`] counters make the
+//! exactly-once property observable (and testable): after any sequence
+//! of figure runs, `sims_run` equals the number of *distinct* keys ever
+//! requested, no matter how often each was requested.
+
+use crate::TraceStore;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use unicache_assoc::{AdaptiveGroupCache, BCache, ColumnAssociativeCache, SkewedCache};
+use unicache_core::{
+    run_batch_many, BlockAddr, BlockStream, CacheGeometry, CacheModel, CacheStats,
+};
+use unicache_indexing::IndexScheme;
+use unicache_sim::CacheBuilder;
+use unicache_smt::{interleave_refs, InterleavePolicy};
+use unicache_trace::Trace;
+use unicache_workloads::{Scale, Workload};
+
+/// Identity of one simulated cache organisation — the scheme axis of the
+/// [`SimStore`] key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeId {
+    /// Conventional direct-mapped baseline (modulo index, LRU).
+    Baseline,
+    /// Conventional cache with a Section II indexing scheme attached.
+    Index(IndexScheme),
+    /// Column-associative cache, conventional primary index.
+    ColumnAssoc,
+    /// Column-associative cache with a custom primary index (Fig. 8).
+    ColumnAssocWith(IndexScheme),
+    /// Adaptive group-associative cache.
+    Adaptive,
+    /// Balanced cache (programmable decoders).
+    BCache,
+    /// Two-way skewed-associative cache.
+    Skewed,
+}
+
+impl SchemeId {
+    /// Does building this scheme require the workload's unique-block
+    /// training list (the Givargis family)?
+    fn needs_training(self) -> bool {
+        matches!(
+            self,
+            SchemeId::Index(IndexScheme::Givargis)
+                | SchemeId::Index(IndexScheme::GivargisXor)
+                | SchemeId::ColumnAssocWith(IndexScheme::Givargis)
+                | SchemeId::ColumnAssocWith(IndexScheme::GivargisXor)
+        )
+    }
+
+    /// Instantiates the model this id names.
+    ///
+    /// `training` must be `Some` for the Givargis schemes (callers go
+    /// through [`SimStore`], which supplies it automatically).
+    pub fn build_model(
+        self,
+        geom: CacheGeometry,
+        training: Option<&[BlockAddr]>,
+    ) -> Box<dyn CacheModel> {
+        match self {
+            SchemeId::Baseline => Box::new(
+                CacheBuilder::new(geom)
+                    .name("baseline")
+                    .build()
+                    .expect("baseline geometry is valid"),
+            ),
+            SchemeId::Index(scheme) => {
+                let f = scheme.build(geom, training).expect("scheme construction");
+                Box::new(
+                    CacheBuilder::new(geom)
+                        .index(f)
+                        .build()
+                        .expect("valid cache"),
+                )
+            }
+            SchemeId::ColumnAssoc => {
+                Box::new(ColumnAssociativeCache::new(geom).expect("valid column cache"))
+            }
+            SchemeId::ColumnAssocWith(scheme) => {
+                let f = scheme.build(geom, training).expect("scheme construction");
+                Box::new(ColumnAssociativeCache::with_index(geom, f).expect("valid hybrid cache"))
+            }
+            SchemeId::Adaptive => Box::new(AdaptiveGroupCache::new(geom).expect("valid adaptive")),
+            SchemeId::BCache => Box::new(BCache::new(geom).expect("valid b-cache")),
+            SchemeId::Skewed => Box::new(SkewedCache::new(geom).expect("valid skewed cache")),
+        }
+    }
+}
+
+type Cell<T> = Arc<OnceLock<Arc<T>>>;
+type StreamKey = (Workload, u64);
+type ResultKey = (Workload, SchemeId, CacheGeometry);
+type GroupKey = (Workload, CacheGeometry);
+type MergedKey = (Vec<Workload>, InterleavePolicy);
+
+/// Memoized simulation results (plus their shared inputs), one scale per
+/// store.
+pub struct SimStore {
+    traces: Arc<TraceStore>,
+    streams: Mutex<HashMap<StreamKey, Cell<BlockStream>>>,
+    uniques: Mutex<HashMap<StreamKey, Cell<Vec<BlockAddr>>>>,
+    merged: Mutex<HashMap<MergedKey, Cell<Trace>>>,
+    results: Mutex<HashMap<ResultKey, Cell<CacheStats>>>,
+    groups: Mutex<HashMap<GroupKey, Arc<Mutex<()>>>>,
+    hits: AtomicU64,
+    sims_run: AtomicU64,
+    records_simulated: AtomicU64,
+}
+
+impl SimStore {
+    /// A store simulating workloads generated at `scale`.
+    pub fn new(scale: Scale) -> Self {
+        Self::with_traces(Arc::new(TraceStore::new(scale)))
+    }
+
+    /// A store drawing traces from an existing (possibly shared) trace
+    /// store — lets benchmarks re-simulate with fresh result caches
+    /// without regenerating traces.
+    pub fn with_traces(traces: Arc<TraceStore>) -> Self {
+        SimStore {
+            traces,
+            streams: Mutex::new(HashMap::new()),
+            uniques: Mutex::new(HashMap::new()),
+            merged: Mutex::new(HashMap::new()),
+            results: Mutex::new(HashMap::new()),
+            groups: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            sims_run: AtomicU64::new(0),
+            records_simulated: AtomicU64::new(0),
+        }
+    }
+
+    /// The scale this store generates and simulates at.
+    pub fn scale(&self) -> Scale {
+        self.traces.scale()
+    }
+
+    /// The underlying trace store (for runners that consume raw records:
+    /// Belady, Patel, phase analysis, SMT mixes, hierarchies).
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
+    }
+
+    /// The (possibly cached) trace of `w` — delegates to the trace store.
+    pub fn get(&self, w: Workload) -> Arc<Trace> {
+        self.traces.get(w)
+    }
+
+    /// Pre-generates traces in parallel — delegates to the trace store.
+    pub fn prefetch_traces(&self, workloads: &[Workload]) {
+        self.traces.prefetch(workloads);
+    }
+
+    fn cell_of<K: std::hash::Hash + Eq, T>(map: &Mutex<HashMap<K, Cell<T>>>, key: K) -> Cell<T> {
+        let mut guard = map.lock().unwrap();
+        Arc::clone(guard.entry(key).or_default())
+    }
+
+    fn group_lock(&self, key: GroupKey) -> Arc<Mutex<()>> {
+        let mut guard = self.groups.lock().unwrap();
+        Arc::clone(guard.entry(key).or_default())
+    }
+
+    /// The pre-decoded block stream of `w` at `line_bytes`, decoded at
+    /// most once.
+    pub fn stream(&self, w: Workload, line_bytes: u64) -> Arc<BlockStream> {
+        let cell = Self::cell_of(&self.streams, (w, line_bytes));
+        Arc::clone(cell.get_or_init(|| {
+            let trace = self.traces.get(w);
+            Arc::new(BlockStream::from_records(trace.records(), line_bytes))
+        }))
+    }
+
+    /// The sorted unique block list of `w` at `line_bytes` (Givargis
+    /// training input), computed at most once.
+    pub fn unique_blocks(&self, w: Workload, line_bytes: u64) -> Arc<Vec<BlockAddr>> {
+        let cell = Self::cell_of(&self.uniques, (w, line_bytes));
+        Arc::clone(cell.get_or_init(|| {
+            let trace = self.traces.get(w);
+            Arc::new(trace.unique_blocks(line_bytes))
+        }))
+    }
+
+    /// The interleaved shared-cache stream of `mix`, merged at most once
+    /// per (mix, policy) — figures 13 and 14 replay mostly the same mixes.
+    pub fn merged_trace(&self, mix: &[Workload], policy: InterleavePolicy) -> Arc<Trace> {
+        let cell = Self::cell_of(&self.merged, (mix.to_vec(), policy));
+        Arc::clone(cell.get_or_init(|| {
+            let traces: Vec<Arc<Trace>> = mix.iter().map(|&w| self.traces.get(w)).collect();
+            let refs: Vec<&Trace> = traces.iter().map(|t| &**t).collect();
+            Arc::new(interleave_refs(&refs, policy))
+        }))
+    }
+
+    /// Simulates every scheme of the `(w, geom)` group whose result cell
+    /// is still empty, in one batched traversal, under the group lock.
+    fn simulate_group(&self, w: Workload, schemes: &[SchemeId], geom: CacheGeometry) {
+        let cells: Vec<(SchemeId, Cell<CacheStats>)> = schemes
+            .iter()
+            .map(|&s| (s, Self::cell_of(&self.results, (w, s, geom))))
+            .collect();
+        let lock = self.group_lock((w, geom));
+        let _guard = lock.lock().unwrap();
+        let pending: Vec<&(SchemeId, Cell<CacheStats>)> = cells
+            .iter()
+            .filter(|(_, cell)| cell.get().is_none())
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        let training = if pending.iter().any(|(s, _)| s.needs_training()) {
+            Some(self.unique_blocks(w, geom.line_bytes()))
+        } else {
+            None
+        };
+        let stream = self.stream(w, geom.line_bytes());
+        let mut models: Vec<Box<dyn CacheModel>> = pending
+            .iter()
+            .map(|(s, _)| s.build_model(geom, training.as_ref().map(|u| u.as_slice())))
+            .collect();
+        {
+            let mut refs: Vec<&mut dyn CacheModel> = models
+                .iter_mut()
+                .map(|m| m.as_mut() as &mut dyn CacheModel)
+                .collect();
+            run_batch_many(&mut refs, &stream);
+        }
+        for ((_, cell), model) in pending.iter().zip(&models) {
+            // set() can only fail if someone else initialized the cell,
+            // which the group lock rules out.
+            cell.set(Arc::new(model.stats().clone()))
+                .expect("group lock guarantees sole initializer");
+        }
+        self.sims_run
+            .fetch_add(pending.len() as u64, Ordering::Relaxed);
+        self.records_simulated.fetch_add(
+            stream.len() as u64 * pending.len() as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The final statistics of `w` simulated under `scheme` at `geom`,
+    /// simulating at most once per distinct key across all threads and
+    /// figures.
+    pub fn stats(&self, w: Workload, scheme: SchemeId, geom: CacheGeometry) -> Arc<CacheStats> {
+        let cell = Self::cell_of(&self.results, (w, scheme, geom));
+        if let Some(v) = cell.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        self.simulate_group(w, &[scheme], geom);
+        Arc::clone(cell.get().expect("simulate_group filled the cell"))
+    }
+
+    /// Pre-simulates `workloads × schemes` at `geom`: traces generate in
+    /// parallel, then each workload's still-missing schemes run in one
+    /// batched traversal, workloads in parallel across cores.
+    pub fn prefetch(&self, workloads: &[Workload], schemes: &[SchemeId], geom: CacheGeometry) {
+        self.traces.prefetch(workloads);
+        let _: Vec<()> = workloads
+            .par_iter()
+            .map(|&w| self.simulate_group(w, schemes, geom))
+            .collect();
+    }
+
+    /// Result-cache hits: `stats` calls served from an already-populated
+    /// cell.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of simulations actually executed (one per distinct key).
+    pub fn sims_run(&self) -> u64 {
+        self.sims_run.load(Ordering::Relaxed)
+    }
+
+    /// Total references driven through models (`Σ stream length × models
+    /// simulated`) — the denominator of `--timing`'s records/sec.
+    pub fn records_simulated(&self) -> u64 {
+        self.records_simulated.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct results currently cached.
+    pub fn cached_results(&self) -> usize {
+        let guard = self.results.lock().unwrap();
+        guard.values().filter(|c| c.get().is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_model;
+    use unicache_core::CacheGeometry;
+
+    fn paper() -> CacheGeometry {
+        CacheGeometry::paper_l1()
+    }
+
+    #[test]
+    fn stats_memoizes_and_counts() {
+        let store = SimStore::new(Scale::Tiny);
+        let a = store.stats(Workload::Crc, SchemeId::Baseline, paper());
+        assert_eq!(store.sims_run(), 1);
+        assert_eq!(store.hits(), 0);
+        let b = store.stats(Workload::Crc, SchemeId::Baseline, paper());
+        assert!(Arc::ptr_eq(&a, &b), "second request returns the cached arc");
+        assert_eq!(store.sims_run(), 1, "no re-simulation");
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.records_simulated(), a.accesses());
+    }
+
+    #[test]
+    fn batched_result_equals_legacy_run() {
+        let store = SimStore::new(Scale::Tiny);
+        let geom = paper();
+        let batched = store.stats(Workload::Fft, SchemeId::Baseline, geom);
+        let trace = store.get(Workload::Fft);
+        let mut legacy = SchemeId::Baseline.build_model(geom, None);
+        let legacy_stats = run_model(&trace, legacy.as_mut());
+        assert_eq!(
+            *batched, legacy_stats,
+            "batched engine must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn prefetch_is_exactly_once_and_shared_with_stats() {
+        let store = SimStore::new(Scale::Tiny);
+        let geom = paper();
+        let ws = [Workload::Crc, Workload::Sha];
+        let schemes = [
+            SchemeId::Baseline,
+            SchemeId::ColumnAssoc,
+            SchemeId::Adaptive,
+        ];
+        store.prefetch(&ws, &schemes, geom);
+        assert_eq!(store.sims_run(), 6);
+        assert_eq!(store.cached_results(), 6);
+        // Re-prefetching (any overlap) simulates nothing new.
+        store.prefetch(&ws, &schemes[..2], geom);
+        assert_eq!(store.sims_run(), 6);
+        // And stats() serves from the pool.
+        for &w in &ws {
+            for &s in &schemes {
+                store.stats(w, s, geom);
+            }
+        }
+        assert_eq!(store.sims_run(), 6, "every stats call was a cache hit");
+        assert_eq!(store.hits(), 6);
+    }
+
+    #[test]
+    fn concurrent_stats_simulate_exactly_once() {
+        let store = SimStore::new(Scale::Tiny);
+        let geom = paper();
+        let arcs: Vec<Arc<CacheStats>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| store.stats(Workload::Fft, SchemeId::BCache, geom)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for a in &arcs[1..] {
+            assert!(Arc::ptr_eq(&arcs[0], a));
+        }
+        assert_eq!(store.sims_run(), 1);
+    }
+
+    #[test]
+    fn givargis_training_is_supplied_and_memoized() {
+        let store = SimStore::new(Scale::Tiny);
+        let geom = paper();
+        let s = store.stats(
+            Workload::Qsort,
+            SchemeId::Index(IndexScheme::Givargis),
+            geom,
+        );
+        assert!(s.accesses() > 0);
+        let u1 = store.unique_blocks(Workload::Qsort, geom.line_bytes());
+        let u2 = store.unique_blocks(Workload::Qsort, geom.line_bytes());
+        assert!(Arc::ptr_eq(&u1, &u2));
+    }
+
+    #[test]
+    fn distinct_geometries_are_distinct_keys() {
+        let store = SimStore::new(Scale::Tiny);
+        let g1 = CacheGeometry::from_sets(8, 32, 1).unwrap();
+        let g2 = CacheGeometry::from_sets(8, 32, 2).unwrap();
+        let a = store.stats(Workload::Crc, SchemeId::Baseline, g1);
+        let b = store.stats(Workload::Crc, SchemeId::Baseline, g2);
+        assert_eq!(store.sims_run(), 2);
+        assert!(b.misses() <= a.misses(), "2-way no worse than 1-way here");
+    }
+}

@@ -15,6 +15,7 @@
 //! on truncated traces as the extension study DESIGN.md calls out.
 
 use crate::bitselect::BitSelectIndex;
+use std::collections::HashMap;
 use unicache_core::{BlockAddr, ConfigError, Result};
 
 /// Configurable optimal-index search.
@@ -40,6 +41,73 @@ pub struct SearchOutcome {
     pub cost: u64,
     /// True if every combination was evaluated (optimal over candidates).
     pub exhaustive: bool,
+}
+
+/// A trace compiled against a candidate set, shared by every combination
+/// the search evaluates: consecutive duplicate blocks are collapsed (the
+/// second reference hits under *every* bit selection, so it can never
+/// change a combination's cost), blocks are renamed to dense ids, and each
+/// unique block's candidate bits are packed into one signature word.
+/// Evaluating a combination then costs one small table build over the
+/// unique blocks plus a linear pass over the compacted sequence, instead
+/// of re-extracting `m` bits from every raw reference.
+struct CompiledTrace {
+    /// Per unique block: bit `j` holds the value of candidate bit `j`.
+    sigs: Vec<u64>,
+    /// The reference stream as unique-block ids, consecutive duplicates
+    /// removed.
+    seq: Vec<u32>,
+}
+
+impl CompiledTrace {
+    fn new(candidates: &[u32], blocks: &[BlockAddr]) -> Self {
+        let mut ids: HashMap<BlockAddr, u32> = HashMap::new();
+        let mut sigs: Vec<u64> = Vec::new();
+        let mut seq: Vec<u32> = Vec::with_capacity(blocks.len());
+        let mut prev: Option<BlockAddr> = None;
+        for &b in blocks {
+            if prev == Some(b) {
+                continue;
+            }
+            prev = Some(b);
+            let next = sigs.len() as u32;
+            let id = *ids.entry(b).or_insert_with(|| {
+                let sig = candidates
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (j, &bit)| acc | (((b >> bit) & 1) << j));
+                sigs.push(sig);
+                next
+            });
+            seq.push(id);
+        }
+        CompiledTrace { sigs, seq }
+    }
+
+    /// Misses of the direct-mapped cache indexed by the candidate
+    /// *positions* `pos` — exactly [`PatelSearch::cost`] of the
+    /// corresponding bit set over the original trace. `idx_of` and
+    /// `resident` are caller-owned scratch so the hot search loops do not
+    /// reallocate per combination.
+    fn cost(&self, pos: &[usize], idx_of: &mut Vec<u32>, resident: &mut Vec<u32>) -> u64 {
+        idx_of.clear();
+        idx_of.extend(self.sigs.iter().map(|&sig| {
+            pos.iter().enumerate().fold(0u32, |acc, (out, &p)| {
+                acc | ((((sig >> p) & 1) as u32) << out)
+            })
+        }));
+        resident.clear();
+        resident.resize(1usize << pos.len(), u32::MAX);
+        let mut misses = 0u64;
+        for &id in &self.seq {
+            let slot = idx_of[id as usize] as usize;
+            if resident[slot] != id {
+                misses += 1;
+                resident[slot] = id;
+            }
+        }
+        misses
+    }
 }
 
 impl PatelSearch {
@@ -111,19 +179,22 @@ impl PatelSearch {
 
     /// Runs the search over an ordered block-address trace.
     pub fn search(&self, blocks: &[BlockAddr]) -> SearchOutcome {
+        let compiled = CompiledTrace::new(&self.candidates, blocks);
         if self.combination_count() <= self.max_combinations {
-            self.search_exhaustive(blocks)
+            self.search_exhaustive(&compiled)
         } else {
-            self.search_greedy(blocks)
+            self.search_greedy(&compiled)
         }
     }
 
-    fn search_exhaustive(&self, blocks: &[BlockAddr]) -> SearchOutcome {
+    fn search_exhaustive(&self, ct: &CompiledTrace) -> SearchOutcome {
         let n = self.candidates.len();
         let m = self.m;
+        let mut idx_of = Vec::new();
+        let mut resident = Vec::new();
         let mut idx: Vec<usize> = (0..m).collect();
-        let mut best_bits: Vec<u32> = idx.iter().map(|&i| self.candidates[i]).collect();
-        let mut best_cost = Self::cost(&best_bits, blocks);
+        let mut best_pos = idx.clone();
+        let mut best_cost = ct.cost(&idx, &mut idx_of, &mut resident);
         loop {
             // Advance to the next m-combination of 0..n in lexicographic
             // order.
@@ -131,7 +202,7 @@ impl PatelSearch {
             loop {
                 if i == 0 {
                     return SearchOutcome {
-                        bits: best_bits,
+                        bits: best_pos.iter().map(|&i| self.candidates[i]).collect(),
                         cost: best_cost,
                         exhaustive: true,
                     };
@@ -145,25 +216,26 @@ impl PatelSearch {
             for j in i + 1..m {
                 idx[j] = idx[j - 1] + 1;
             }
-            let bits: Vec<u32> = idx.iter().map(|&i| self.candidates[i]).collect();
-            let cost = Self::cost(&bits, blocks);
+            let cost = ct.cost(&idx, &mut idx_of, &mut resident);
             if cost < best_cost {
                 best_cost = cost;
-                best_bits = bits;
+                best_pos.copy_from_slice(&idx);
             }
         }
     }
 
-    fn search_greedy(&self, blocks: &[BlockAddr]) -> SearchOutcome {
-        let mut selected: Vec<u32> = Vec::with_capacity(self.m);
-        let mut remaining: Vec<u32> = self.candidates.clone();
+    fn search_greedy(&self, ct: &CompiledTrace) -> SearchOutcome {
+        let mut idx_of = Vec::new();
+        let mut resident = Vec::new();
+        let mut selected: Vec<usize> = Vec::with_capacity(self.m);
+        let mut remaining: Vec<usize> = (0..self.candidates.len()).collect();
         while selected.len() < self.m {
             let mut best: Option<(usize, u64)> = None;
             for (pos, &cand) in remaining.iter().enumerate() {
                 let mut trial = selected.clone();
                 trial.push(cand);
                 trial.sort_unstable();
-                let cost = Self::cost(&trial, blocks);
+                let cost = ct.cost(&trial, &mut idx_of, &mut resident);
                 match best {
                     None => best = Some((pos, cost)),
                     Some((_, c)) if cost < c => best = Some((pos, cost)),
@@ -174,9 +246,9 @@ impl PatelSearch {
             selected.push(remaining.remove(pos));
             selected.sort_unstable();
         }
-        let cost = Self::cost(&selected, blocks);
+        let cost = ct.cost(&selected, &mut idx_of, &mut resident);
         SearchOutcome {
-            bits: selected,
+            bits: selected.iter().map(|&i| self.candidates[i]).collect(),
             cost,
             exhaustive: false,
         }

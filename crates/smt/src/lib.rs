@@ -19,6 +19,6 @@ pub mod interleave;
 pub mod partition;
 pub mod shared;
 
-pub use interleave::{interleave, InterleavePolicy};
+pub use interleave::{for_each_interleaved, interleave, interleave_refs, InterleavePolicy};
 pub use partition::{AdaptivePartitionedCache, PartitionedCache};
 pub use shared::PerThreadIndexCache;

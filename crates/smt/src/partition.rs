@@ -1,10 +1,9 @@
 //! Cache partitioning for multiprogrammed threads, with and without the
 //! paper's adaptive spill mechanism (Section IV.E, Fig. 14).
 
-use std::collections::{HashMap, VecDeque};
 use unicache_core::{
-    AccessResult, BlockAddr, CacheGeometry, CacheModel, CacheStats, ConfigError, HitWhere,
-    MemRecord, Result,
+    AccessResult, BlockAddr, CacheGeometry, CacheModel, CacheStats, ConfigError, HitWhere, LruDir,
+    LruSet, MemRecord, Result,
 };
 
 #[derive(Debug, Clone, Copy)]
@@ -146,44 +145,9 @@ impl CacheModel for PartitionedCache {
 // ---------------------------------------------------------------------------
 
 /// LRU table of recently used set indexes (shared across partitions).
-#[derive(Debug)]
-struct Sht {
-    order: VecDeque<usize>,
-    member: Vec<bool>,
-    capacity: usize,
-}
-
-impl Sht {
-    fn new(num_sets: usize, capacity: usize) -> Self {
-        Sht {
-            order: VecDeque::new(),
-            member: vec![false; num_sets],
-            capacity: capacity.max(1),
-        }
-    }
-    fn contains(&self, set: usize) -> bool {
-        self.member[set]
-    }
-    fn touch(&mut self, set: usize) {
-        if self.member[set] {
-            if let Some(p) = self.order.iter().position(|&s| s == set) {
-                self.order.remove(p);
-            }
-        } else {
-            self.member[set] = true;
-        }
-        self.order.push_front(set);
-        if self.order.len() > self.capacity {
-            if let Some(old) = self.order.pop_back() {
-                self.member[old] = false;
-            }
-        }
-    }
-    fn clear(&mut self) {
-        self.order.clear();
-        self.member.iter_mut().for_each(|m| *m = false);
-    }
-}
+/// Set-reference history table: the LRU set of recently-touched cache
+/// sets, with O(1) touch (see [`LruSet`]).
+type Sht = LruSet;
 
 /// The paper's **adaptive partitioned** scheme (Fig. 14): equal static
 /// partitions for isolation, plus shared SHT/OUT tables so that a
@@ -197,11 +161,9 @@ pub struct AdaptivePartitionedCache {
     threads: usize,
     part_sets: usize,
     sht: Sht,
-    /// (tid, block) -> (set, lru stamp); keyed per thread because two
-    /// threads may cache the same block address privately.
-    out: HashMap<(u8, BlockAddr), (usize, u64)>,
-    out_capacity: usize,
-    out_clock: u64,
+    /// (tid, block) -> set; keyed per thread because two threads may
+    /// cache the same block address privately.
+    out: LruDir<(u8, BlockAddr)>,
     name: String,
 }
 
@@ -229,9 +191,7 @@ impl AdaptivePartitionedCache {
             threads,
             part_sets: n / threads,
             sht: Sht::new(n, (n * 3 / 8).max(1)),
-            out: HashMap::new(),
-            out_capacity: (n / 4).max(1),
-            out_clock: 0,
+            out: LruDir::new((n / 4).max(1)),
             name: format!("adaptive_partitioned({threads} threads)"),
         })
     }
@@ -248,28 +208,18 @@ impl AdaptivePartitionedCache {
     }
 
     fn out_get(&mut self, tid: u8, block: BlockAddr) -> Option<usize> {
-        self.out_clock += 1;
-        let clock = self.out_clock;
-        self.out.get_mut(&(tid, block)).map(|e| {
-            e.1 = clock;
-            e.0
-        })
+        self.out.get((tid, block))
     }
 
     fn out_insert(&mut self, tid: u8, block: BlockAddr, set: usize) {
-        self.out_clock += 1;
-        if !self.out.contains_key(&(tid, block)) && self.out.len() >= self.out_capacity {
-            if let Some((&k, &(s, _))) = self.out.iter().min_by_key(|(_, &(_, stamp))| stamp) {
-                self.out.remove(&k);
-                // The line the evicted entry pointed at becomes
-                // unreachable; invalidate to preserve single residency.
-                let l = &mut self.lines[s];
-                if l.valid && l.out_of_position && l.block == k.1 && l.tid == k.0 {
-                    *l = Line::empty();
-                }
+        if let Some(((etid, eb), s)) = self.out.insert((tid, block), set) {
+            // The line the evicted entry pointed at becomes unreachable;
+            // invalidate to preserve single residency.
+            let l = &mut self.lines[s];
+            if l.valid && l.out_of_position && l.block == eb && l.tid == etid {
+                *l = Line::empty();
             }
         }
-        self.out.insert((tid, block), (set, self.out_clock));
     }
 
     /// Global cold-set search: any invalid line, or any line whose set is
@@ -331,7 +281,7 @@ impl CacheModel for AdaptivePartitionedCache {
                     incoming.dirty = true;
                 }
                 let outgoing = self.lines[p];
-                self.out.remove(&(rec.tid, block));
+                self.out.remove((rec.tid, block));
                 self.lines[p] = incoming;
                 if outgoing.valid {
                     self.lines[alt] = Line {
@@ -351,7 +301,7 @@ impl CacheModel for AdaptivePartitionedCache {
                     evicted: None,
                 };
             }
-            self.out.remove(&(rec.tid, block));
+            self.out.remove((rec.tid, block));
         }
 
         // Miss.
@@ -362,7 +312,7 @@ impl CacheModel for AdaptivePartitionedCache {
         if resident.valid {
             if disposable {
                 if resident.out_of_position {
-                    self.out.remove(&(resident.tid, resident.block));
+                    self.out.remove((resident.tid, resident.block));
                 }
                 evicted = Some(resident.block);
                 self.stats.record_eviction(p);
@@ -372,7 +322,7 @@ impl CacheModel for AdaptivePartitionedCache {
                     let hosted = self.lines[host];
                     if hosted.valid {
                         if hosted.out_of_position {
-                            self.out.remove(&(hosted.tid, hosted.block));
+                            self.out.remove((hosted.tid, hosted.block));
                         }
                         evicted = Some(hosted.block);
                         self.stats.record_eviction(host);
@@ -419,7 +369,6 @@ impl CacheModel for AdaptivePartitionedCache {
         }
         self.sht.clear();
         self.out.clear();
-        self.out_clock = 0;
         self.stats.reset();
     }
 
@@ -534,7 +483,7 @@ mod tests {
             }
         }
         // OUT entries must point at lines that hold their block.
-        for (&(tid, b), &(s, _)) in &c.out {
+        for ((tid, b), s) in c.out.entries() {
             let l = &c.lines[s];
             assert!(l.valid && l.block == b && l.tid == tid && l.out_of_position);
         }

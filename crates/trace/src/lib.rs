@@ -26,6 +26,6 @@ pub mod tracer;
 pub mod vspace;
 
 pub use mem::{TracedMat, TracedVec};
-pub use trace::Trace;
+pub use trace::{AccessMix, Trace};
 pub use tracer::Tracer;
 pub use vspace::{Region, VirtualSpace};

@@ -1,8 +1,19 @@
 //! The [`Trace`] container: an in-memory sequence of memory references.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 use unicache_core::{AccessKind, Addr, MemRecord, ThreadId};
+
+/// Per-kind reference counts, computed in one traversal (see
+/// [`Trace::access_mix`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessMix {
+    /// Load references.
+    pub reads: usize,
+    /// Store references.
+    pub writes: usize,
+    /// Instruction fetches.
+    pub fetches: usize,
+}
 
 /// An ordered memory-reference trace.
 ///
@@ -61,42 +72,55 @@ impl Trace {
         self.records.iter()
     }
 
+    /// Read/write/fetch counts in a single traversal. Callers needing
+    /// more than one of the counts should take the mix once instead of
+    /// paying one pass per counter.
+    pub fn access_mix(&self) -> AccessMix {
+        let mut mix = AccessMix::default();
+        for r in &self.records {
+            match r.kind {
+                AccessKind::Read => mix.reads += 1,
+                AccessKind::Write => mix.writes += 1,
+                AccessKind::InstFetch => mix.fetches += 1,
+            }
+        }
+        mix
+    }
+
     /// Number of store references.
     pub fn write_count(&self) -> usize {
-        self.records.iter().filter(|r| r.kind.is_write()).count()
+        self.access_mix().writes
     }
 
     /// Number of load references.
     pub fn read_count(&self) -> usize {
-        self.records
-            .iter()
-            .filter(|r| r.kind == AccessKind::Read)
-            .count()
+        self.access_mix().reads
     }
 
     /// The set of unique byte addresses touched. Givargis' algorithm is
     /// defined over the *unique* addresses of a program (paper Section
     /// II.A).
+    ///
+    /// Sort-dedup rather than a hash set: the output must be sorted
+    /// anyway, and sorting a dense `Vec<u64>` then deduping in place
+    /// avoids the per-insert hashing and the scattered heap of a
+    /// `HashSet` (multi-million-record traces make this a measurable
+    /// part of Givargis training setup).
     pub fn unique_addrs(&self) -> Vec<Addr> {
-        let mut set: HashSet<Addr> = HashSet::with_capacity(self.records.len() / 4 + 1);
-        for r in &self.records {
-            set.insert(r.addr);
-        }
-        let mut v: Vec<Addr> = set.into_iter().collect();
+        let mut v: Vec<Addr> = self.records.iter().map(|r| r.addr).collect();
         v.sort_unstable();
+        v.dedup();
         v
     }
 
-    /// The set of unique *block* addresses for a given line size.
+    /// The set of unique *block* addresses for a given line size (same
+    /// sort-dedup strategy as [`Trace::unique_addrs`]).
     pub fn unique_blocks(&self, line_bytes: u64) -> Vec<Addr> {
         debug_assert!(line_bytes.is_power_of_two());
         let shift = line_bytes.trailing_zeros();
-        let mut set: HashSet<Addr> = HashSet::with_capacity(self.records.len() / 4 + 1);
-        for r in &self.records {
-            set.insert(r.addr >> shift);
-        }
-        let mut v: Vec<Addr> = set.into_iter().collect();
+        let mut v: Vec<Addr> = self.records.iter().map(|r| r.addr >> shift).collect();
         v.sort_unstable();
+        v.dedup();
         v
     }
 
@@ -190,6 +214,16 @@ mod tests {
         assert!(!t.is_empty());
         assert_eq!(t.read_count(), 3);
         assert_eq!(t.write_count(), 1);
+        let mix = t.access_mix();
+        assert_eq!(
+            mix,
+            AccessMix {
+                reads: 3,
+                writes: 1,
+                fetches: 1
+            }
+        );
+        assert_eq!(mix.reads + mix.writes + mix.fetches, t.len());
         assert_eq!(t.data_only().len(), 4);
         assert_eq!(t.filter_tid(1).len(), 1);
         assert_eq!(t.filter_tid(0).len(), 4);

@@ -119,9 +119,18 @@ mod tests {
         // Tolerance relative to the total force magnitude: random close
         // pairs make LJ forces arbitrarily large, and the cancellation
         // error of the sum scales with them.
-        assert!(sx.abs() <= 1e-12 * mx.max(1.0), "sum fx = {sx} (|f| = {mx})");
-        assert!(sy.abs() <= 1e-12 * my.max(1.0), "sum fy = {sy} (|f| = {my})");
-        assert!(sz.abs() <= 1e-12 * mz.max(1.0), "sum fz = {sz} (|f| = {mz})");
+        assert!(
+            sx.abs() <= 1e-12 * mx.max(1.0),
+            "sum fx = {sx} (|f| = {mx})"
+        );
+        assert!(
+            sy.abs() <= 1e-12 * my.max(1.0),
+            "sum fy = {sy} (|f| = {my})"
+        );
+        assert!(
+            sz.abs() <= 1e-12 * mz.max(1.0),
+            "sum fz = {sz} (|f| = {mz})"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use unicache::experiments::figures::{fig1, indexing};
 use unicache::prelude::*;
 
 fn main() {
-    let store = TraceStore::new(Scale::Small);
+    let store = SimStore::new(Scale::Small);
 
     // Figure 1: why any of this matters — FFT hammers a few sets.
     let report = fig1::report(&store, Workload::Fft);

@@ -139,7 +139,11 @@ fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
         println!("test {id} ... ok (ran once, --test)");
         return;
     }
-    let mut line = format!("{id:<48} time: {}  ({} iters)", human_time(b.mean_ns), b.iters);
+    let mut line = format!(
+        "{id:<48} time: {}  ({} iters)",
+        human_time(b.mean_ns),
+        b.iters
+    );
     if let Some(tp) = throughput {
         let (n, unit) = match tp {
             Throughput::Elements(n) => (n, "elem"),
@@ -265,12 +269,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark that borrows a setup input.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),

@@ -199,7 +199,10 @@ pub mod collection {
         S: Strategy,
         S::Value: Eq + Hash,
     {
-        assert!(size.start < size.end, "collection::hash_set: empty size range");
+        assert!(
+            size.start < size.end,
+            "collection::hash_set: empty size range"
+        );
         HashSetStrategy { elem, size }
     }
 
@@ -460,8 +463,7 @@ mod tests {
             assert!(xs.iter().all(|&x| x < 5));
             let set = crate::collection::hash_set(0u32..40, 1..12).generate(&mut rng);
             assert!(!set.is_empty() && set.len() < 12);
-            let (a, b, c) =
-                (crate::num::u64::ANY, 0u8..3, crate::num::u8::ANY).generate(&mut rng);
+            let (a, b, c) = (crate::num::u64::ANY, 0u8..3, crate::num::u8::ANY).generate(&mut rng);
             let _ = (a, c);
             assert!(b < 3);
             let fr = (1u32..).generate(&mut rng);

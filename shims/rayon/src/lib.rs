@@ -170,7 +170,11 @@ mod tests {
                 x
             })
             .collect();
-        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            > 1
+        {
             assert!(seen.lock().unwrap().len() > 1, "no parallelism observed");
         }
     }

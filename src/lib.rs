@@ -69,11 +69,12 @@ pub mod prelude {
         AdaptiveGroupCache, BCache, ColumnAssociativeCache, PartnerChainCache, PartnerIndexCache,
         SkewedCache,
     };
+    pub use unicache_core::{run_batch_many, BlockStream};
     pub use unicache_core::{
         AccessKind, AccessResult, Addr, CacheGeometry, CacheModel, CacheStats, HitWhere,
         IndexFunction, MemRecord,
     };
-    pub use unicache_experiments::{ExperimentTable, TraceStore};
+    pub use unicache_experiments::{ExperimentTable, SchemeId, SimStore, TraceStore};
     pub use unicache_indexing::{
         GivargisIndex, GivargisXorIndex, IndexScheme, ModuloIndex, OddMultiplierIndex, PatelSearch,
         PrimeModuloIndex, XorIndex,

@@ -1,0 +1,120 @@
+//! The batched engine must be a pure optimisation: for every scheme
+//! family, driving a model through [`BlockStream`]/`run_batch` must leave
+//! *identical* statistics to the legacy per-record `run` — same aggregate
+//! counters, same per-set histograms, same hit-location split. The figure
+//! runners rely on this equivalence: `SimStore` memoizes results produced
+//! by the batched path and serves them to code written against the
+//! record-at-a-time semantics.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use unicache::prelude::*;
+use unicache::trace::synth;
+
+/// One representative per scheme family: conventional direct-mapped,
+/// the indexing schemes (Section II), and each programmable-associativity
+/// organisation (Section III).
+fn model_pairs(geom: CacheGeometry) -> Vec<(Box<dyn CacheModel>, Box<dyn CacheModel>)> {
+    let sets = geom.num_sets();
+    let fresh: Vec<Box<dyn Fn() -> Box<dyn CacheModel>>> = vec![
+        Box::new(move || Box::new(CacheBuilder::new(geom).build().unwrap())),
+        Box::new(move || {
+            Box::new(
+                CacheBuilder::new(geom)
+                    .index(Arc::new(XorIndex::new(sets).unwrap()))
+                    .build()
+                    .unwrap(),
+            )
+        }),
+        Box::new(move || {
+            Box::new(
+                CacheBuilder::new(geom)
+                    .index(Arc::new(OddMultiplierIndex::new(sets, 21).unwrap()))
+                    .build()
+                    .unwrap(),
+            )
+        }),
+        Box::new(move || {
+            Box::new(
+                CacheBuilder::new(geom)
+                    .index(Arc::new(PrimeModuloIndex::new(sets).unwrap()))
+                    .build()
+                    .unwrap(),
+            )
+        }),
+        Box::new(move || Box::new(ColumnAssociativeCache::new(geom).unwrap())),
+        Box::new(move || Box::new(AdaptiveGroupCache::new(geom).unwrap())),
+        Box::new(move || Box::new(BCache::new(geom).unwrap())),
+        Box::new(move || Box::new(PartnerIndexCache::new(geom).unwrap())),
+        Box::new(move || Box::new(SkewedCache::new(geom).unwrap())),
+        Box::new(move || Box::new(VictimCache::new(CacheBuilder::new(geom), 8).unwrap())),
+    ];
+    fresh.iter().map(|mk| (mk(), mk())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `run_batch` == `run`, record for record, for every scheme family,
+    /// across read/write mixes.
+    #[test]
+    fn run_batch_matches_per_record_run(seed in 0u64..4000) {
+        let geom = CacheGeometry::from_sets(64, 32, 1).unwrap();
+        let trace = synth::uniform_rw(seed, 4000, 0x1000, 1 << 18, 0.3);
+        let stream = BlockStream::from_records(trace.records(), geom.line_bytes());
+        for (mut legacy, mut batched) in model_pairs(geom) {
+            for rec in trace.records() {
+                legacy.access(*rec);
+            }
+            batched.run_batch(&stream);
+            prop_assert_eq!(
+                legacy.stats(),
+                batched.stats(),
+                "batched engine diverged for {}",
+                legacy.name()
+            );
+        }
+    }
+
+    /// Same equivalence on a skewed (hot-set-heavy) reference pattern,
+    /// which exercises the adaptive schemes' SHT/OUT machinery far more
+    /// than a uniform mix does.
+    #[test]
+    fn run_batch_matches_on_hotspot_traces(seed in 0u64..4000) {
+        let geom = CacheGeometry::from_sets(32, 32, 1).unwrap();
+        let trace = synth::hotspot(seed, 3000, 0, 128, 1 << 14, 0.8);
+        let stream = BlockStream::from_records(trace.records(), geom.line_bytes());
+        for (mut legacy, mut batched) in model_pairs(geom) {
+            legacy.run(trace.records());
+            batched.run_batch(&stream);
+            prop_assert_eq!(
+                legacy.stats(),
+                batched.stats(),
+                "batched engine diverged for {}",
+                legacy.name()
+            );
+        }
+    }
+
+    /// `run_batch_many` (the SimStore driver: one stream, many models)
+    /// leaves every model exactly as if it had run alone.
+    #[test]
+    fn run_batch_many_is_isolation_preserving(seed in 0u64..2000) {
+        let geom = CacheGeometry::from_sets(64, 32, 1).unwrap();
+        let trace = synth::zipfian(seed, 2500, 0x8000, 1024, 32, 1.1);
+        let stream = BlockStream::from_records(trace.records(), geom.line_bytes());
+        let pairs = model_pairs(geom);
+        let (mut solo, mut fleet): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        for m in &mut solo {
+            m.run_batch(&stream);
+        }
+        {
+            let mut refs: Vec<&mut dyn CacheModel> =
+                fleet.iter_mut().map(|m| &mut **m as &mut dyn CacheModel).collect();
+            run_batch_many(&mut refs, &stream);
+        }
+        for (s, f) in solo.iter().zip(&fleet) {
+            prop_assert_eq!(s.stats(), f.stats(), "{} diverged in fleet", s.name());
+        }
+    }
+}

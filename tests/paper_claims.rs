@@ -4,8 +4,30 @@
 use unicache::experiments::figures::{assoc, extras, fig1, hybrid, indexing, smt};
 use unicache::prelude::*;
 
-fn store() -> TraceStore {
-    TraceStore::new(Scale::Tiny)
+fn store() -> SimStore {
+    SimStore::new(Scale::Tiny)
+}
+
+#[test]
+fn figure_runners_share_one_simulation_per_key() {
+    // The SimStore contract the figure table depends on: across any
+    // sequence of figure runs, each distinct (workload, scheme, geometry)
+    // simulates exactly once. Figs. 4 and 9 read the same simulations
+    // (miss reduction vs kurtosis of the same schemes), so the second
+    // runner — and a repeat of the first — must be served entirely from
+    // the cache.
+    let store = store();
+    indexing::fig4(&store);
+    let sims_after_fig4 = store.sims_run();
+    assert!(sims_after_fig4 > 0);
+    indexing::fig9(&store);
+    indexing::fig4(&store);
+    assert_eq!(
+        store.sims_run(),
+        sims_after_fig4,
+        "a later figure re-ran a simulation the store had already done"
+    );
+    assert!(store.hits() > 0);
 }
 
 #[test]
