@@ -1,0 +1,131 @@
+//! `uca` — the unicache static-analysis driver.
+//!
+//! ```text
+//! uca check [--json PATH]    verify scheme invariants, optionally
+//!                            writing the JSON report to PATH
+//! uca lint [--root PATH]     lint crates/*/src for determinism rules
+//!                            (PATH defaults to the current directory)
+//! uca lint --self-test       verify the linter detects seeded
+//!                            violations and honours uca:allow escapes
+//! ```
+//!
+//! Exit status: 0 on success, 1 when any invariant or lint fails, 2 on
+//! usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use unicache_analysis::{check, lint};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("lint") => run_lint(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: uca check [--json PATH] | uca lint [--root PATH] | uca lint --self-test"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut json_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("uca check: --json requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("uca check: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = check::run_all();
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("uca check: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("report written to {}", path.display());
+    }
+    for e in &report.entries {
+        if !e.passed {
+            eprintln!(
+                "FAIL {} [{}] {}: {}",
+                e.scheme, e.geometry, e.invariant, e.details
+            );
+        }
+    }
+    println!(
+        "uca check: {} invariants, {} failures",
+        report.entries.len(),
+        report.failures()
+    );
+    if report.all_passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut self_test = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--self-test" => self_test = true,
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("uca lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("uca lint: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if self_test {
+        return match lint::self_test() {
+            Ok(()) => {
+                println!("uca lint --self-test: all seeded violations detected");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("uca lint --self-test FAILED:\n{e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    let violations = match lint::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("uca lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    println!("uca lint: {} violations", violations.len());
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

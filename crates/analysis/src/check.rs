@@ -1,0 +1,704 @@
+//! Layer 1 — the scheme verifier behind `uca check`.
+//!
+//! Every indexing scheme in `unicache_indexing::IndexScheme::all()` and
+//! every `unicache-assoc` relocation policy is checked against the
+//! algebraic invariant the paper's argument rests on:
+//!
+//! * **XOR** — the index is a GF(2) linear map of the block address; full
+//!   rank (verified by Gaussian elimination over the tap-mask rows) means
+//!   each tag group is permuted across all sets, the analysis "Cracking
+//!   Intel Sandy Bridge's Cache Hash Function" applies to hardware hashes.
+//! * **Odd multiplier** — `p` odd implies `p` is invertible mod `2^m`
+//!   (inverse computed by Newton iteration and verified by multiplication),
+//!   so tag displacement is a bijection.
+//! * **Prime modulo** — surjective onto `0..p` with exactly `sets - p`
+//!   dead (fragmented) sets, the paper's stated cost of the scheme.
+//! * **Givargis / bit-select** — chosen bit positions are distinct and the
+//!   gather is surjective (a witness block is constructed per target set).
+//! * **Column-associative** — the rehash mapping is a fixed-point-free
+//!   involution (hence a permutation) of the sets.
+//! * **Partner-index** — after adversarial traffic, the hot/cold links
+//!   form a fixed-point-free partial matching.
+//! * **B-cache** — the NPI/PI split covers every physical line
+//!   (`clusters × BAS == lines`) and a dense drive makes each cluster hold
+//!   `BAS` simultaneously-resident blocks.
+//! * **Skewed** — both bank hashes are surjective within every tag group.
+//!
+//! Checks run on the paper geometry (1024 sets × 32 B) plus a small
+//! 64-set geometry, and are pure computation: no trace files, no I/O.
+
+use crate::report::Report;
+use unicache_assoc::{
+    BCache, ColumnAssociativeCache, PartnerConfig, PartnerIndexCache, SkewedCache,
+};
+use unicache_core::{CacheGeometry, CacheModel, IndexFunction};
+use unicache_indexing::{
+    GivargisIndex, GivargisXorIndex, IndexScheme, OddMultiplierIndex, PrimeModuloIndex, XorIndex,
+};
+
+/// Rank of a GF(2) matrix given as row bitmasks, by Gaussian elimination.
+pub fn gf2_rank(rows: &[u64]) -> usize {
+    let mut pivots: Vec<u64> = Vec::new();
+    for &row in rows {
+        let mut x = row;
+        for &p in &pivots {
+            let high = 63 - p.leading_zeros();
+            if (x >> high) & 1 == 1 {
+                x ^= p;
+            }
+        }
+        if x != 0 {
+            pivots.push(x);
+            pivots.sort_unstable_by(|a, b| b.cmp(a));
+        }
+    }
+    pivots.len()
+}
+
+/// The inverse of `p` modulo `2^m` (`None` if `p` is even, which has no
+/// inverse). Newton iteration doubles the number of correct low bits each
+/// step: `inv = p` is correct mod 2^3 for odd `p`, so five steps reach 64
+/// bits.
+pub fn inverse_mod_pow2(p: u64, m: u32) -> Option<u64> {
+    if p & 1 == 0 || m == 0 || m > 64 {
+        return None;
+    }
+    let mut inv = p;
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(p.wrapping_mul(inv)));
+    }
+    let mask = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+    Some(inv & mask)
+}
+
+fn geometry_label(geom: CacheGeometry) -> String {
+    format!(
+        "{} sets x {} way x {} B",
+        geom.num_sets(),
+        geom.ways(),
+        geom.line_bytes()
+    )
+}
+
+/// Deterministic pseudo-random training blocks for the trace-trained
+/// schemes (an LCG over a 24-bit block space — no RNG dependency, same
+/// sequence every run).
+pub fn training_blocks(count: usize) -> Vec<u64> {
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let mut blocks: Vec<u64> = (0..count)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) & 0xFF_FFFF
+        })
+        .collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+    blocks
+}
+
+/// Runs every check and returns the combined report.
+pub fn run_all() -> Report {
+    let mut report = Report::default();
+    for geom in [
+        CacheGeometry::paper_l1(),
+        small_geometry(), // cross-validates on a brute-forceable size
+    ] {
+        check_index_schemes(&mut report, geom);
+    }
+    check_assoc_schemes(&mut report);
+    report
+}
+
+/// The small geometry used for brute-force cross-validation (64 sets).
+pub fn small_geometry() -> CacheGeometry {
+    match CacheGeometry::from_sets(64, 32, 1) {
+        Ok(g) => g,
+        Err(e) => unreachable!("64-set geometry is valid: {e}"),
+    }
+}
+
+/// Checks every registered indexing scheme at one geometry.
+pub fn check_index_schemes(report: &mut Report, geom: CacheGeometry) {
+    let glabel = geometry_label(geom);
+    let sets = geom.num_sets();
+    let m = geom.index_bits();
+    let training = training_blocks(16 * sets);
+
+    for scheme in IndexScheme::all() {
+        let label = scheme.label();
+        let built = scheme.build(geom, Some(&training));
+        let f = match built {
+            Ok(f) => f,
+            Err(e) => {
+                report.push(&label, &glabel, "constructible", false, format!("{e}"));
+                continue;
+            }
+        };
+        report.push(
+            &label,
+            &glabel,
+            "constructible",
+            true,
+            format!("built '{}'", f.name()),
+        );
+
+        // Universal invariant: indexes stay in range over a dense sweep
+        // and over the (high-entropy) training blocks.
+        let sweep = 16 * sets as u64;
+        let in_range = (0..sweep)
+            .chain(training.iter().copied())
+            .all(|block| f.index_block(block) < sets);
+        report.push(
+            &label,
+            &glabel,
+            "in-range",
+            in_range,
+            format!("dense sweep of {sweep} blocks plus training blocks stayed below {sets}"),
+        );
+        // Set coverage for the untrained schemes: a dense sweep must reach
+        // every set (exactly `p` of them for prime-modulo). The trained
+        // schemes pick arbitrary address bits, so their surjectivity is
+        // proven by the dedicated witness-based checks below instead.
+        if !scheme.needs_training() {
+            let expected_coverage = match scheme {
+                IndexScheme::PrimeModulo => match PrimeModuloIndex::new(sets) {
+                    Ok(p) => sets - p.fragmented_sets(),
+                    Err(_) => sets,
+                },
+                _ => sets,
+            };
+            let mut seen = vec![false; sets];
+            for block in 0..sweep {
+                let s = f.index_block(block);
+                if s < sets {
+                    seen[s] = true;
+                }
+            }
+            let covered = seen.iter().filter(|&&s| s).count();
+            report.push(
+                &label,
+                &glabel,
+                "set-coverage",
+                covered == expected_coverage,
+                format!("covered {covered} of {sets} sets, expected {expected_coverage}"),
+            );
+        }
+
+        match scheme {
+            IndexScheme::Conventional => {
+                // Dense identity: blocks 0..sets hit each set exactly once.
+                let bijective = (0..sets as u64).all(|b| f.index_block(b) == b as usize);
+                report.push(
+                    &label,
+                    &glabel,
+                    "dense-bijection",
+                    bijective,
+                    format!("blocks 0..{sets} map to their own set"),
+                );
+            }
+            IndexScheme::Xor => check_xor(report, &label, &glabel, sets, m),
+            IndexScheme::OddMultiplier(p) => {
+                check_oddmul(report, &label, &glabel, sets, m, p);
+            }
+            IndexScheme::PrimeModulo => check_prime(report, &label, &glabel, sets),
+            IndexScheme::Givargis => check_givargis(report, &label, &glabel, geom, &training),
+            IndexScheme::GivargisXor => {
+                check_givargis_xor(report, &label, &glabel, geom, &training);
+            }
+        }
+    }
+}
+
+fn check_xor(report: &mut Report, label: &str, glabel: &str, sets: usize, m: u32) {
+    let f = match XorIndex::new(sets) {
+        Ok(f) => f,
+        Err(e) => {
+            report.push(label, glabel, "gf2-full-rank", false, format!("{e}"));
+            return;
+        }
+    };
+    // Restricted to the bits that can influence the index (the index field
+    // plus the XORed tag slice), the map must have rank m *in its output
+    // space*: eliminate over the m output rows directly.
+    let rows = f.gf2_rows();
+    let rank = gf2_rank(&rows);
+    report.push(
+        label,
+        glabel,
+        "gf2-full-rank",
+        rank == m as usize,
+        format!("GF(2) rank {rank}, need {m} (rows = per-output-bit tap masks)"),
+    );
+    // Cross-validate the algebra against the implementation: within a tag
+    // group the map must permute the sets.
+    let mut ok = true;
+    for tag in [0u64, 1, 3, 0xAB] {
+        let mut seen = vec![false; sets];
+        for i in 0..sets as u64 {
+            let s = f.index_block((tag << (m + f.tag_skip())) | i);
+            if seen[s] {
+                ok = false;
+            }
+            seen[s] = true;
+        }
+        if !seen.iter().all(|&s| s) {
+            ok = false;
+        }
+    }
+    report.push(
+        label,
+        glabel,
+        "tag-group-permutation",
+        ok,
+        "each sampled tag group permutes all sets".to_string(),
+    );
+}
+
+fn check_oddmul(report: &mut Report, label: &str, glabel: &str, sets: usize, m: u32, p: u64) {
+    report.push(
+        label,
+        glabel,
+        "odd-multiplier",
+        p & 1 == 1,
+        format!("multiplier {p} is odd"),
+    );
+    match inverse_mod_pow2(p, m) {
+        Some(inv) => {
+            let mask = sets as u64 - 1;
+            let product = p.wrapping_mul(inv) & mask;
+            report.push(
+                label,
+                glabel,
+                "invertible-mod-2m",
+                product == 1,
+                format!("p * p^-1 = {p} * {inv} = {product} (mod 2^{m})"),
+            );
+        }
+        None => {
+            report.push(
+                label,
+                glabel,
+                "invertible-mod-2m",
+                false,
+                format!("{p} has no inverse mod 2^{m}"),
+            );
+        }
+    }
+    // Cross-validate: the displacement tag -> p*tag (mod 2^m) is a
+    // bijection, so index-0 blocks with tags 0..sets land in all sets.
+    match OddMultiplierIndex::new(sets, p) {
+        Ok(f) => {
+            let mut seen = vec![false; sets];
+            for tag in 0..sets as u64 {
+                seen[f.index_block(tag << f.index_bits())] = true;
+            }
+            let covered = seen.iter().filter(|&&s| s).count();
+            report.push(
+                label,
+                glabel,
+                "tag-displacement-bijective",
+                covered == sets,
+                format!("tags 0..{sets} displaced onto {covered} distinct sets"),
+            );
+        }
+        Err(e) => {
+            report.push(
+                label,
+                glabel,
+                "tag-displacement-bijective",
+                false,
+                format!("{e}"),
+            );
+        }
+    }
+}
+
+fn check_prime(report: &mut Report, label: &str, glabel: &str, sets: usize) {
+    let f = match PrimeModuloIndex::new(sets) {
+        Ok(f) => f,
+        Err(e) => {
+            report.push(label, glabel, "prime-surjective", false, format!("{e}"));
+            return;
+        }
+    };
+    let p = f.prime() as usize;
+    // Surjective onto 0..p (blocks 0..p are their own residues) and the
+    // top `sets - p` sets are dead: no block in a full residue cycle ever
+    // reaches them.
+    let surjective = (0..p as u64).all(|b| f.index_block(b) == b as usize);
+    report.push(
+        label,
+        glabel,
+        "prime-surjective",
+        surjective,
+        format!("residues 0..{p} all reachable"),
+    );
+    let mut dead = vec![true; sets];
+    for b in 0..(4 * sets as u64) {
+        dead[f.index_block(b)] = false;
+    }
+    let dead_count = dead.iter().filter(|&&d| d).count();
+    report.push(
+        label,
+        glabel,
+        "dead-set-count",
+        dead_count == f.fragmented_sets() && dead[p..].iter().all(|&d| d),
+        format!(
+            "{dead_count} dead sets (all at indexes >= {p}), fragmented_sets() = {}",
+            f.fragmented_sets()
+        ),
+    );
+}
+
+fn bits_distinct(bits: &[u32]) -> bool {
+    let mut sorted = bits.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len() == bits.len()
+}
+
+fn check_givargis(
+    report: &mut Report,
+    label: &str,
+    glabel: &str,
+    geom: CacheGeometry,
+    training: &[u64],
+) {
+    let f = match GivargisIndex::train(training, geom, 28) {
+        Ok(f) => f,
+        Err(e) => {
+            report.push(label, glabel, "bits-distinct", false, format!("{e}"));
+            return;
+        }
+    };
+    let bits = f.bits();
+    let m = geom.index_bits() as usize;
+    report.push(
+        label,
+        glabel,
+        "bits-distinct",
+        bits.len() == m && bits_distinct(bits),
+        format!("selected {:?} ({} of {m} needed)", bits, bits.len()),
+    );
+    // Exact surjectivity: for every target set, scattering its bits into
+    // the selected positions yields a block that indexes to it.
+    let sets = geom.num_sets();
+    let surjective = (0..sets).all(|t| {
+        let block = bits
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (j, &b)| acc | ((((t >> j) & 1) as u64) << b));
+        f.index_block(block) == t
+    });
+    report.push(
+        label,
+        glabel,
+        "gather-surjective",
+        surjective,
+        format!("witness block found for each of {sets} sets"),
+    );
+}
+
+fn check_givargis_xor(
+    report: &mut Report,
+    label: &str,
+    glabel: &str,
+    geom: CacheGeometry,
+    training: &[u64],
+) {
+    let f = match GivargisXorIndex::train(training, geom, 28) {
+        Ok(f) => f,
+        Err(e) => {
+            report.push(label, glabel, "tag-bits-distinct", false, format!("{e}"));
+            return;
+        }
+    };
+    let m = geom.index_bits();
+    let bits = f.tag_bit_positions();
+    report.push(
+        label,
+        glabel,
+        "tag-bits-distinct",
+        bits.len() == m as usize && bits_distinct(bits) && bits.iter().all(|&b| b >= m),
+        format!("tag bits {:?} (need {m} distinct positions >= {m})", bits),
+    );
+    // With an all-zero tag region the gathered value is 0 and the hybrid
+    // reduces to the conventional index, so blocks 0..sets witness
+    // surjectivity directly.
+    let sets = geom.num_sets();
+    let surjective = (0..sets as u64).all(|b| f.index_block(b) == b as usize);
+    report.push(
+        label,
+        glabel,
+        "zero-tag-identity",
+        surjective,
+        format!("blocks 0..{sets} (zero tag) map to their own set"),
+    );
+}
+
+/// Checks every associativity policy at the paper L1 shape.
+pub fn check_assoc_schemes(report: &mut Report) {
+    let geom = CacheGeometry::paper_l1();
+    let glabel = geometry_label(geom);
+
+    check_column(report, &glabel, geom);
+    check_partner(report, &glabel, geom);
+    check_bcache(report, &glabel, geom);
+    check_skewed(report, &glabel, geom);
+}
+
+fn check_column(report: &mut Report, glabel: &str, geom: CacheGeometry) {
+    let label = "column_associative";
+    let c = match ColumnAssociativeCache::new(geom) {
+        Ok(c) => c,
+        Err(e) => {
+            report.push(label, glabel, "rehash-involution", false, format!("{e}"));
+            return;
+        }
+    };
+    let sets = geom.num_sets();
+    let mut fixed_point_free = true;
+    let mut involution = true;
+    let mut seen = vec![false; sets];
+    for s in 0..sets {
+        let a = c.alternate_of(s);
+        if a == s {
+            fixed_point_free = false;
+        }
+        if c.alternate_of(a) != s {
+            involution = false;
+        }
+        seen[a] = true;
+    }
+    let permutation = seen.iter().all(|&s| s);
+    report.push(
+        label,
+        glabel,
+        "rehash-involution",
+        fixed_point_free && involution && permutation,
+        format!(
+            "alternate_of over {sets} sets: fixed-point-free={fixed_point_free}, \
+             involution={involution}, permutation={permutation}"
+        ),
+    );
+}
+
+fn check_partner(report: &mut Report, glabel: &str, geom: CacheGeometry) {
+    let label = "partner_index";
+    let cfg = PartnerConfig {
+        epoch: 2048,
+        max_pairs: 64,
+    };
+    let mut c = match PartnerIndexCache::with_config(geom, cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            report.push(label, glabel, "partner-matching", false, format!("{e}"));
+            return;
+        }
+    };
+    // Adversarial traffic: hammer a few sets with conflicting tags (hot,
+    // all misses), leave the upper half untouched (cold) so repartnering
+    // has material to link.
+    let sets = geom.num_sets() as u64;
+    for round in 0..3 * cfg.epoch {
+        let hot_set = round % 8;
+        let tag = round % 7;
+        c.access_block((tag << 10) | hot_set, false);
+    }
+    let pairs = c.pairs();
+    report.push(
+        label,
+        glabel,
+        "pairs-formed",
+        !pairs.is_empty(),
+        format!("{} hot/cold links after adversarial epochs", pairs.len()),
+    );
+    let mut used = vec![0u32; sets as usize];
+    let mut fixed_point_free = true;
+    let mut lent_consistent = true;
+    for &(hot, cold) in &pairs {
+        if hot == cold {
+            fixed_point_free = false;
+        }
+        used[hot] += 1;
+        used[cold] += 1;
+        if !c.is_lent(cold) || c.is_lent(hot) {
+            lent_consistent = false;
+        }
+        if c.partner_of(hot) != Some(cold) {
+            lent_consistent = false;
+        }
+    }
+    let matching = used.iter().all(|&u| u <= 1);
+    report.push(
+        label,
+        glabel,
+        "partner-matching",
+        fixed_point_free && matching && lent_consistent,
+        format!(
+            "fixed-point-free={fixed_point_free}, each set in at most one pair={matching}, \
+             lent/linked flags consistent={lent_consistent}"
+        ),
+    );
+}
+
+fn check_bcache(report: &mut Report, glabel: &str, geom: CacheGeometry) {
+    let label = "b_cache";
+    let mut b = match BCache::new(geom) {
+        Ok(b) => b,
+        Err(e) => {
+            report.push(label, glabel, "npi-pi-split", false, format!("{e}"));
+            return;
+        }
+    };
+    let lines = geom.num_lines();
+    let oi = unicache_core::log2(lines as u64);
+    let shape_ok =
+        b.clusters() * b.bas() == lines && b.npi_bits() + unicache_core::log2(b.bas() as u64) == oi;
+    report.push(
+        label,
+        glabel,
+        "npi-pi-split",
+        shape_ok,
+        format!(
+            "{} clusters x BAS {} = {} lines; NPI {} + log2(BAS {}) = OI {oi}",
+            b.clusters(),
+            b.bas(),
+            lines,
+            b.npi_bits(),
+            b.bas(),
+        ),
+    );
+    // Coverage: for every cluster, BAS blocks sharing the NPI bits but
+    // with distinct PI values must be simultaneously resident — i.e. the
+    // programmable decoders let the cluster's full line complement hold
+    // them (all physical lines reachable).
+    let clusters = b.clusters() as u64;
+    let mut covered = true;
+    for cluster in 0..clusters {
+        let blocks: Vec<u64> = (0..b.bas() as u64)
+            .map(|k| cluster | (k << b.npi_bits()))
+            .collect();
+        for &blk in &blocks {
+            if b.cluster_of(blk) != cluster as usize {
+                covered = false;
+            }
+            b.access_block(blk, false);
+        }
+        if !blocks.iter().all(|&blk| b.contains_block(blk)) {
+            covered = false;
+        }
+        let distinct_pi: std::collections::BTreeSet<u64> =
+            blocks.iter().map(|&blk| b.pi_of(blk)).collect();
+        if distinct_pi.len() != b.bas() {
+            covered = false;
+        }
+    }
+    report.push(
+        label,
+        glabel,
+        "cluster-coverage",
+        covered,
+        format!(
+            "every cluster holds {} blocks with distinct PI simultaneously",
+            b.bas()
+        ),
+    );
+}
+
+fn check_skewed(report: &mut Report, glabel: &str, geom: CacheGeometry) {
+    let label = "skewed_2way";
+    let c = match SkewedCache::new(geom) {
+        Ok(c) => c,
+        Err(e) => {
+            report.push(label, glabel, "bank-hash-surjective", false, format!("{e}"));
+            return;
+        }
+    };
+    let bank_sets = geom.num_sets() / 2;
+    let bank_bits = unicache_core::log2(bank_sets as u64);
+    let mut ok = true;
+    for tag in [0u64, 1, 5] {
+        let mut seen0 = vec![false; bank_sets];
+        let mut seen1 = vec![false; bank_sets];
+        for i in 0..bank_sets as u64 {
+            let block = (tag << bank_bits) | i;
+            seen0[c.f0(block)] = true;
+            seen1[c.f1(block)] = true;
+        }
+        if !seen0.iter().all(|&s| s) || !seen1.iter().all(|&s| s) {
+            ok = false;
+        }
+    }
+    report.push(
+        label,
+        glabel,
+        "bank-hash-surjective",
+        ok,
+        format!("f0 and f1 cover all {bank_sets} bank sets in each sampled tag group"),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf2_rank_basics() {
+        assert_eq!(gf2_rank(&[]), 0);
+        assert_eq!(gf2_rank(&[0]), 0);
+        assert_eq!(gf2_rank(&[1, 2, 4]), 3);
+        // Third row is the XOR of the first two: rank 2.
+        assert_eq!(gf2_rank(&[0b011, 0b101, 0b110]), 2);
+        assert_eq!(gf2_rank(&[u64::MAX, 1]), 2);
+    }
+
+    #[test]
+    fn newton_inverse_matches_brute_force() {
+        for m in 1..=12u32 {
+            let modulus = 1u64 << m;
+            for p in (1..64u64).step_by(2) {
+                let inv = inverse_mod_pow2(p, m).unwrap();
+                assert_eq!(
+                    p.wrapping_mul(inv) % modulus,
+                    1 % modulus,
+                    "p={p} m={m} inv={inv}"
+                );
+            }
+        }
+        assert!(inverse_mod_pow2(4, 10).is_none());
+        assert!(inverse_mod_pow2(3, 0).is_none());
+    }
+
+    #[test]
+    fn full_run_passes_every_invariant() {
+        let report = run_all();
+        let failed: Vec<String> = report
+            .entries
+            .iter()
+            .filter(|e| !e.passed)
+            .map(|e| format!("{}/{}/{}: {}", e.scheme, e.geometry, e.invariant, e.details))
+            .collect();
+        assert!(failed.is_empty(), "failing invariants: {failed:#?}");
+        // Sanity: the run actually covered the registry and the assoc set.
+        assert!(report.entries.len() > 40, "unexpectedly few checks");
+        for needle in ["XOR", "Prime_Modulo", "column_associative", "b_cache"] {
+            assert!(
+                report.entries.iter().any(|e| e.scheme == needle),
+                "missing {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_blocks_are_unique_and_deterministic() {
+        let a = training_blocks(4096);
+        let b = training_blocks(4096);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len());
+    }
+}

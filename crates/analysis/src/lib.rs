@@ -1,0 +1,22 @@
+//! Offline static analysis for the unicache workspace.
+//!
+//! Two layers, both pure computation (no traces, no network, no clock):
+//!
+//! * [`check`] — verifies the algebraic invariants behind every indexing
+//!   scheme and associativity policy (GF(2) rank, modular invertibility,
+//!   surjectivity, involution/matching structure, NPI/PI coverage).
+//! * [`lint`] — a lexer-based scanner enforcing the workspace's
+//!   determinism rules (no default hashers, no hot-path panics, no raw
+//!   narrowing casts in address math, no wall-clock reads outside
+//!   `crates/timing`).
+//!
+//! Both are exposed through the `uca` binary (`uca check`, `uca lint`)
+//! and gate CI; [`report`] holds the machine-readable verdict format.
+
+pub mod check;
+pub mod lint;
+pub mod report;
+
+pub use check::run_all;
+pub use lint::{lint_workspace, Violation};
+pub use report::{CheckEntry, Report};

@@ -1,0 +1,680 @@
+//! Layer 2 — the determinism linter behind `uca lint`.
+//!
+//! A lexer-based scanner over `crates/*/src/**/*.rs` enforcing the
+//! workspace's reproducibility rules:
+//!
+//! * **`default-hasher`** — no `std::collections::HashMap`/`HashSet` with
+//!   the default (randomly seeded) hasher in simulation crates; use the
+//!   FNV-based `unicache_core::DetHashMap`/`DetHashSet` so iteration
+//!   order, and therefore every byte of experiment output, is stable.
+//! * **`no-unwrap`** — no `.unwrap()`/`.expect(` in the hot-path crates
+//!   (`core`, `assoc`, `indexing`, `cachesim`); fallible paths return
+//!   `Result` or destructure explicitly.
+//! * **`narrowing-cast`** — no raw `as` integer casts in
+//!   `core/src/geometry.rs` and `core/src/index.rs` (the address-math
+//!   kernels); use the `unicache_core::cast` checked helpers.
+//! * **`wallclock`** — no `Instant`/`SystemTime` outside `crates/timing`;
+//!   simulated results must not depend on the host clock.
+//!
+//! A trailing `// uca:allow(rule)` comment suppresses a rule on that line
+//! (used where wall-clock time is the *point*, e.g. `xp --timing`).
+//! The lexer strips comments and string/char literals and blanks
+//! `#[cfg(test)]` modules before matching, so doc text and test-only code
+//! never trip a rule. [`self_test`] seeds one violation per rule into
+//! in-memory fixtures and asserts each is detected and each allow-escape
+//! suppresses it.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path, e.g. `crates/core/src/lru.rs`.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name, e.g. `default-hasher`.
+    pub rule: &'static str,
+    /// What was matched and what to use instead.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Crates where the default std hasher is banned (everything whose output
+/// feeds the experiment pipeline; `bench`/`timing` measure the host,
+/// `analysis` is this tool).
+const DEFAULT_HASHER_CRATES: &[&str] = &[
+    "assoc",
+    "cachesim",
+    "core",
+    "experiments",
+    "indexing",
+    "smt",
+    "stats",
+    "trace",
+    "workloads",
+];
+
+/// Hot-path crates where `.unwrap()`/`.expect(` are banned.
+const NO_UNWRAP_CRATES: &[&str] = &["assoc", "cachesim", "core", "indexing"];
+
+/// Address-math kernels where raw `as` integer casts are banned.
+const NARROWING_CAST_FILES: &[&str] = &["crates/core/src/geometry.rs", "crates/core/src/index.rs"];
+
+/// The only crate allowed to read the host clock.
+const WALLCLOCK_CRATE: &str = "timing";
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Lints every `crates/*/src/**/*.rs` file under `root` (the workspace
+/// root). Returns findings sorted by file then line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut violations = Vec::new();
+    for crate_dir in crate_dirs {
+        let crate_name = match crate_dir.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_string(),
+            None => continue,
+        };
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            let src = fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            violations.extend(lint_source(&rel, &crate_name, &src));
+        }
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(violations)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one source file. `path` is the workspace-relative path used both
+/// for reporting and for the file-scoped rules; `crate_name` selects the
+/// crate-scoped rules.
+pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Violation> {
+    let cleaned = clean_source(src);
+    let text = blank_test_modules(&cleaned.text);
+
+    let hasher_scoped = DEFAULT_HASHER_CRATES.contains(&crate_name);
+    let unwrap_scoped = NO_UNWRAP_CRATES.contains(&crate_name);
+    let cast_scoped = NARROWING_CAST_FILES.contains(&path);
+    let wallclock_scoped = crate_name != WALLCLOCK_CRATE;
+
+    let mut violations = Vec::new();
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        if cleaned.allows(line, rule) {
+            return;
+        }
+        violations.push(Violation {
+            file: path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if hasher_scoped {
+            for ident in ["HashMap", "HashSet"] {
+                if contains_ident(line, ident) {
+                    push(
+                        lineno,
+                        "default-hasher",
+                        format!("randomly seeded `{ident}`; use `unicache_core::Det{ident}`"),
+                    );
+                    break;
+                }
+            }
+        }
+        if unwrap_scoped && (line.contains(".unwrap(") || line.contains(".expect(")) {
+            push(
+                lineno,
+                "no-unwrap",
+                "`.unwrap()`/`.expect()` in a hot-path crate; return `Result` or destructure"
+                    .to_string(),
+            );
+        }
+        if cast_scoped && has_narrowing_cast(line) {
+            push(
+                lineno,
+                "narrowing-cast",
+                "raw `as` integer cast in address math; use `unicache_core::cast` helpers"
+                    .to_string(),
+            );
+        }
+        if wallclock_scoped {
+            for ident in ["Instant", "SystemTime"] {
+                if contains_ident(line, ident) {
+                    push(
+                        lineno,
+                        "wallclock",
+                        format!("`{ident}` outside crates/timing makes output host-dependent"),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+    violations
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True if `line` contains `ident` as a standalone identifier (not as a
+/// substring of a longer one — `DetHashMap` does not contain the
+/// identifier `HashMap`, `Instantiates` does not contain `Instant`).
+fn contains_ident(line: &str, ident: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(ident) {
+        let start = from + pos;
+        let end = start + ident.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end == bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// True if `line` contains an `as <integer type>` cast.
+fn has_narrowing_cast(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("as") {
+        let start = from + pos;
+        let end = start + 2;
+        from = start + 1;
+        if start > 0 && is_ident_byte(bytes[start - 1]) {
+            continue;
+        }
+        if end < bytes.len() && is_ident_byte(bytes[end]) {
+            continue;
+        }
+        let rest = line[end..].trim_start();
+        for ty in INT_TYPES {
+            if let Some(after) = rest.strip_prefix(ty) {
+                if after.as_bytes().first().is_none_or(|&b| !is_ident_byte(b)) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// `src` with comments and string/char literals blanked to spaces
+/// (newlines preserved, so line/column structure survives), plus the
+/// `uca:allow(rule)` escapes captured from comments before they were
+/// erased.
+struct CleanSource {
+    text: String,
+    /// `(line, rule)` pairs granted by comments on that line.
+    allow: Vec<(usize, String)>,
+}
+
+impl CleanSource {
+    fn allows(&self, line: usize, rule: &str) -> bool {
+        self.allow.iter().any(|(l, r)| *l == line && r == rule)
+    }
+}
+
+fn record_allows(comment: &str, line: usize, allow: &mut Vec<(usize, String)>) {
+    let mut from = 0;
+    while let Some(pos) = comment[from..].find("uca:allow(") {
+        let start = from + pos + "uca:allow(".len();
+        from = start;
+        let Some(close) = comment[start..].find(')') else {
+            return;
+        };
+        for rule in comment[start..start + close].split(',') {
+            allow.push((line, rule.trim().to_string()));
+        }
+    }
+}
+
+fn clean_source(src: &str) -> CleanSource {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut allow = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+
+    // Blanks out[i] unless it is a newline (which must survive so line
+    // numbers stay aligned), returning the updated line counter.
+    fn blank(out: &mut [u8], i: usize, line: &mut usize) {
+        if out[i] == b'\n' {
+            *line += 1;
+        } else {
+            out[i] = b' ';
+        }
+    }
+
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+                record_allows(&src[start..i], line, &mut allow);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                out[i] = b' ';
+                out[i + 1] = b' ';
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else {
+                        blank(&mut out, i, &mut line);
+                        i += 1;
+                    }
+                }
+                // Allows in a block comment apply to the line it starts on.
+                record_allows(&src[start..i], start_line, &mut allow);
+            }
+            b'"' => {
+                out[i] = b' ';
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' {
+                        out[i] = b' ';
+                        if i + 1 < bytes.len() {
+                            blank(&mut out, i + 1, &mut line);
+                        }
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        out[i] = b' ';
+                        i += 1;
+                        break;
+                    } else {
+                        blank(&mut out, i, &mut line);
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b'
+                if raw_string_hashes(bytes, i).is_some()
+                    && (i == 0 || !is_ident_byte(bytes[i - 1])) =>
+            {
+                // r"...", r#"..."#, br"...", b"..." — blank through the
+                // matching terminator.
+                let (body_start, hashes) = match raw_string_hashes(bytes, i) {
+                    Some(v) => v,
+                    None => unreachable!("guard checked raw_string_hashes"),
+                };
+                for b in &mut out[i..body_start] {
+                    *b = b' ';
+                }
+                i = body_start;
+                while i < bytes.len() {
+                    if bytes[i] == b'"' && hashes_follow(bytes, i + 1, hashes) {
+                        for k in 0..=hashes {
+                            out[i + k] = b' ';
+                        }
+                        i += 1 + hashes;
+                        break;
+                    }
+                    if hashes == 0 && bytes[i] == b'\\' {
+                        // Plain b"..." honours escapes; raw forms do not.
+                        out[i] = b' ';
+                        if i + 1 < bytes.len() {
+                            blank(&mut out, i + 1, &mut line);
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    blank(&mut out, i, &mut line);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal: blank through the closing quote.
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 2;
+                    if i < bytes.len() {
+                        out[i] = b' ';
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        blank(&mut out, i, &mut line);
+                        i += 1;
+                    }
+                    if i < bytes.len() {
+                        out[i] = b' ';
+                        i += 1;
+                    }
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    // Plain 'x' char literal.
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    out[i + 2] = b' ';
+                    i += 3;
+                } else {
+                    // Lifetime — leave it; lifetime names are lowercase
+                    // identifiers and never match a lint needle.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    let text = match String::from_utf8(out) {
+        Ok(t) => t,
+        // Unreachable in practice: blanking replaces whole literals, so
+        // multi-byte sequences are never split. Fall back lossily.
+        Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+    };
+    CleanSource { text, allow }
+}
+
+/// If `bytes[i..]` starts a raw/byte string literal (`r"`, `r#…#"`, `br"`,
+/// `b"`), returns `(index of first body byte, number of hashes)`.
+fn raw_string_hashes(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        let mut hashes = 0;
+        while bytes.get(j + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        if bytes.get(j + hashes) == Some(&b'"') {
+            return Some((j + hashes + 1, hashes));
+        }
+        return None;
+    }
+    // Plain byte string b"..." (only when we entered via 'b').
+    if j == i + 1 && bytes.get(j) == Some(&b'"') {
+        return Some((j + 1, 0));
+    }
+    None
+}
+
+fn hashes_follow(bytes: &[u8], from: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| bytes.get(from + k) == Some(&b'#'))
+}
+
+/// Blanks the brace-matched body following every `#[cfg(test)]` attribute
+/// so test-only code is exempt from the lints.
+fn blank_test_modules(text: &str) -> String {
+    let mut out = text.as_bytes().to_vec();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find("#[cfg(test)]") {
+        let attr_end = from + pos + "#[cfg(test)]".len();
+        // Find the body's opening brace (skipping `mod tests`, visibility,
+        // further attributes…).
+        let Some(open_rel) = text[attr_end..].find('{') else {
+            break;
+        };
+        let open = attr_end + open_rel;
+        let mut depth = 0usize;
+        let bytes = text.as_bytes();
+        let mut j = open;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let close = j.min(bytes.len() - 1);
+        for b in &mut out[open..=close] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+        from = j.min(bytes.len());
+    }
+    match String::from_utf8(out) {
+        Ok(t) => t,
+        Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+    }
+}
+
+/// One seeded-violation fixture per rule, plus blanking sanity checks.
+/// Returns `Err` with a description of every fixture whose outcome was
+/// wrong (a rule that failed to fire, or an allow that failed to
+/// suppress).
+pub fn self_test() -> Result<(), String> {
+    struct Fixture {
+        rule: &'static str,
+        path: &'static str,
+        crate_name: &'static str,
+        src: &'static str,
+        /// 1-based line the seeded violation sits on.
+        line: usize,
+    }
+    let fixtures = [
+        Fixture {
+            rule: "default-hasher",
+            path: "crates/experiments/src/uca_fixture.rs",
+            crate_name: "experiments",
+            src: "fn f() -> usize {\n    let m = std::collections::HashMap::<u32, u32>::new();\n    m.len()\n}\n",
+            line: 2,
+        },
+        Fixture {
+            rule: "no-unwrap",
+            path: "crates/core/src/uca_fixture.rs",
+            crate_name: "core",
+            src: "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+            line: 2,
+        },
+        Fixture {
+            rule: "narrowing-cast",
+            path: "crates/core/src/geometry.rs",
+            crate_name: "core",
+            src: "fn f(x: u64) -> usize {\n    x as usize\n}\n",
+            line: 2,
+        },
+        Fixture {
+            rule: "wallclock",
+            path: "crates/stats/src/uca_fixture.rs",
+            crate_name: "stats",
+            src: "fn f() {\n    let _t = std::time::Instant::now();\n}\n",
+            line: 2,
+        },
+    ];
+
+    let mut errors = Vec::new();
+    for f in &fixtures {
+        let found = lint_source(f.path, f.crate_name, f.src);
+        if found.len() != 1 || found[0].rule != f.rule || found[0].line != f.line {
+            errors.push(format!(
+                "rule '{}': expected exactly one violation at {}:{}, got {:?}",
+                f.rule, f.path, f.line, found
+            ));
+        }
+        // The same source with an allow-escape on the seeded line must be
+        // clean.
+        let allowed: String = f
+            .src
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i + 1 == f.line {
+                    format!("{l} // uca:allow({})\n", f.rule)
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let found = lint_source(f.path, f.crate_name, &allowed);
+        if !found.is_empty() {
+            errors.push(format!(
+                "rule '{}': uca:allow escape did not suppress: {found:?}",
+                f.rule
+            ));
+        }
+        // Inside a string literal or a #[cfg(test)] module the pattern
+        // must be invisible.
+        let in_string = format!("fn f() -> &'static str {{\n    {:?}\n}}\n", f.src);
+        if !lint_source(f.path, f.crate_name, &in_string).is_empty() {
+            errors.push(format!("rule '{}': fired inside a string literal", f.rule));
+        }
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n{}\n}}\n", f.src);
+        if !lint_source(f.path, f.crate_name, &in_test).is_empty() {
+            errors.push(format!("rule '{}': fired inside #[cfg(test)]", f.rule));
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_test_passes() {
+        if let Err(e) = self_test() {
+            panic!("lint self-test failed:\n{e}");
+        }
+    }
+
+    #[test]
+    fn ident_matching_is_word_bounded() {
+        assert!(contains_ident("let m: HashMap<u32, u32>;", "HashMap"));
+        assert!(!contains_ident("let m: DetHashMap<u32, u32>;", "HashMap"));
+        assert!(!contains_ident("/// Instantiates the model.", "Instant"));
+        assert!(contains_ident("Instant::now()", "Instant"));
+    }
+
+    #[test]
+    fn unwrap_matching_is_literal() {
+        let v = lint_source(
+            "crates/core/src/x.rs",
+            "core",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n",
+        );
+        assert!(v.is_empty(), "unwrap_or_else must not be flagged: {v:?}");
+    }
+
+    #[test]
+    fn narrowing_cast_requires_integer_target() {
+        assert!(has_narrowing_cast("x as usize"));
+        assert!(has_narrowing_cast("(a + b) as u64"));
+        assert!(!has_narrowing_cast("x as f64"));
+        assert!(!has_narrowing_cast("use foo as bar;"));
+        assert!(!has_narrowing_cast("alias"));
+    }
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let src = "// HashMap in a comment\nlet s = \"HashMap .unwrap( Instant\";\n";
+        assert!(lint_source("crates/core/src/x.rs", "core", src).is_empty());
+        let raw = "let s = r#\"Instant::now() .unwrap()\"#;\n";
+        assert!(lint_source("crates/core/src/x.rs", "core", raw).is_empty());
+    }
+
+    #[test]
+    fn allow_escape_is_rule_specific() {
+        let src = "let t = Instant::now(); // uca:allow(wallclock)\n";
+        assert!(lint_source("crates/stats/src/x.rs", "stats", src).is_empty());
+        // An allow for a different rule does not suppress.
+        let src = "let t = Instant::now(); // uca:allow(no-unwrap)\n";
+        assert_eq!(lint_source("crates/stats/src/x.rs", "stats", src).len(), 1);
+    }
+
+    #[test]
+    fn scopes_are_honoured() {
+        // bench may use wall-clock-free HashMap; timing may use Instant.
+        let src = "let m = std::collections::HashMap::<u32, u32>::new();\n";
+        assert!(lint_source("crates/bench/src/x.rs", "bench", src).is_empty());
+        let src = "let t = std::time::Instant::now();\n";
+        assert!(lint_source("crates/timing/src/x.rs", "timing", src).is_empty());
+        // Casts are only policed in the two kernel files.
+        let src = "fn f(x: u64) -> usize { x as usize }\n";
+        assert!(lint_source("crates/core/src/lru.rs", "core", src).is_empty());
+        assert_eq!(
+            lint_source("crates/core/src/geometry.rs", "core", src).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '\\n'; let d = 'x'; c.max(d) }\n";
+        assert!(lint_source("crates/core/src/x.rs", "core", src).is_empty());
+        // Code *after* a char literal is still scanned.
+        let src = "fn f() { let _c = 'x'; let _t = Instant::now(); }\n";
+        assert_eq!(lint_source("crates/core/src/x.rs", "core", src).len(), 1);
+    }
+}

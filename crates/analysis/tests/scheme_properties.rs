@@ -1,0 +1,136 @@
+//! Property tests tying `uca check`'s verdicts to brute force.
+//!
+//! Two families:
+//! * every registered indexing scheme, trained on a dense block range,
+//!   maps that range onto its full contracted set coverage at the paper
+//!   geometry (1024 sets × 32 B) and at a small geometry;
+//! * the checker's algebraic primitives (`gf2_rank`,
+//!   `inverse_mod_pow2`) agree with exhaustive enumeration on tiny
+//!   inputs, so the PASS verdicts they produce are trustworthy.
+
+use proptest::prelude::*;
+use unicache_analysis::check::{gf2_rank, inverse_mod_pow2};
+use unicache_core::{CacheGeometry, IndexFunction};
+use unicache_indexing::{IndexScheme, OddMultiplierIndex, PrimeModuloIndex, XorIndex};
+
+/// Expected number of distinct sets a scheme reaches: all of them, except
+/// prime-modulo which deliberately leaves `sets - p` fragmented.
+fn expected_coverage(scheme: &IndexScheme, sets: usize) -> usize {
+    match scheme {
+        IndexScheme::PrimeModulo => {
+            let p = PrimeModuloIndex::new(sets).expect("valid geometry");
+            sets - p.fragmented_sets()
+        }
+        _ => sets,
+    }
+}
+
+fn dense_coverage_at(geom: CacheGeometry) {
+    let sets = geom.num_sets();
+    // Dense training range: low address bits carry all the entropy, so
+    // even the trained bit-selection schemes must settle on bits within
+    // the range and cover every set.
+    let training: Vec<u64> = (0..32 * sets as u64).collect();
+    for scheme in IndexScheme::all() {
+        let f = scheme
+            .build(geom, Some(&training))
+            .unwrap_or_else(|e| panic!("{} failed to build: {e}", scheme.label()));
+        let mut seen = vec![false; sets];
+        for &block in &training {
+            let s = f.index_block(block);
+            assert!(s < sets, "{}: out-of-range set {s}", scheme.label());
+            seen[s] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert_eq!(
+            covered,
+            expected_coverage(&scheme, sets),
+            "{} covered {covered} of {sets} sets at {:?}",
+            scheme.label(),
+            geom
+        );
+    }
+}
+
+#[test]
+fn every_scheme_covers_its_sets_at_paper_geometry() {
+    dense_coverage_at(CacheGeometry::paper_l1());
+}
+
+#[test]
+fn every_scheme_covers_its_sets_at_small_geometry() {
+    let geom = CacheGeometry::from_sets(64, 32, 1).expect("valid geometry");
+    dense_coverage_at(geom);
+}
+
+/// Size of the GF(2) span of `rows` by exhaustive subset enumeration.
+fn brute_force_span(rows: &[u64]) -> usize {
+    let mut span = std::collections::BTreeSet::new();
+    for subset in 0u32..(1 << rows.len()) {
+        let mut acc = 0u64;
+        for (i, &r) in rows.iter().enumerate() {
+            if (subset >> i) & 1 == 1 {
+                acc ^= r;
+            }
+        }
+        span.insert(acc);
+    }
+    span.len()
+}
+
+proptest! {
+    #[test]
+    fn gf2_rank_matches_brute_force_span(
+        rows in proptest::collection::vec(0u64..256, 0..8)
+    ) {
+        // A rank-r matrix spans exactly 2^r vectors.
+        prop_assert_eq!(1usize << gf2_rank(&rows), brute_force_span(&rows));
+    }
+
+    #[test]
+    fn newton_inverse_matches_exhaustive_search(p in 0u64..512, m in 1u32..10) {
+        let modulus = 1u64 << m;
+        let brute = (0..modulus).find(|q| (p * q) % modulus == 1 % modulus);
+        match inverse_mod_pow2(p, m) {
+            Some(inv) => prop_assert_eq!(Some(inv % modulus), brute),
+            None => prop_assert_eq!(brute, None),
+        }
+    }
+
+    #[test]
+    fn xor_tag_groups_permute_sets_on_tiny_geometries(
+        m in 2u32..7,
+        tag in 0u64..64
+    ) {
+        // The full-rank verdict for XOR promises each tag group is a
+        // permutation; verify exhaustively on brute-forceable sizes.
+        let sets = 1usize << m;
+        let f = XorIndex::new(sets).expect("valid size");
+        let mut seen = vec![false; sets];
+        for i in 0..sets as u64 {
+            let s = f.index_block((tag << (m + f.tag_skip())) | i);
+            prop_assert!(!seen[s], "collision in tag group {tag} at set {s}");
+            seen[s] = true;
+        }
+    }
+
+    #[test]
+    fn odd_multiplier_displacement_is_bijective_on_tiny_geometries(
+        m in 2u32..7,
+        p_half in 0u64..32
+    ) {
+        // Invertibility mod 2^m (what `uca check` certifies via the
+        // Newton inverse) is equivalent to the tag displacement being a
+        // bijection; verify the latter exhaustively.
+        let p = 2 * p_half + 1;
+        let sets = 1usize << m;
+        let f = OddMultiplierIndex::new(sets, p).expect("odd multiplier");
+        prop_assert!(inverse_mod_pow2(p, m).is_some());
+        let mut seen = vec![false; sets];
+        for tag in 0..sets as u64 {
+            let s = f.index_block(tag << f.index_bits());
+            prop_assert!(!seen[s], "p={p}: tags collide at set {s}");
+            seen[s] = true;
+        }
+    }
+}

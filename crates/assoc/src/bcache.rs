@@ -150,6 +150,21 @@ impl BCache {
         self.pi_bits
     }
 
+    /// Lines per cluster (`BAS`).
+    pub fn bas(&self) -> usize {
+        self.bas
+    }
+
+    /// The cluster a block's NPI bits decode to.
+    pub fn cluster_of(&self, block: BlockAddr) -> usize {
+        self.split(block).0
+    }
+
+    /// The PI value a block's programmable-decoder match uses.
+    pub fn pi_of(&self, block: BlockAddr) -> u64 {
+        self.split(block).1
+    }
+
     #[inline]
     fn split(&self, block: BlockAddr) -> (usize, u64) {
         let cluster = (block & (self.clusters as u64 - 1)) as usize;
@@ -204,16 +219,18 @@ impl CacheModel for BCache {
 
         // Miss: victim = invalid line, else cluster-wide LRU (this is what
         // lets hot PI values borrow lines from cold ones — the balancing).
-        let victim = (0..self.bas)
-            .min_by_key(|&w| {
-                let l = &self.lines[base + w];
-                if l.valid {
-                    (1u8, l.stamp)
-                } else {
-                    (0u8, 0)
-                }
-            })
-            .expect("bas >= 1");
+        // Manual first-minimum scan (same tie-break as `min_by_key`),
+        // infallible since `bas >= 1` by construction.
+        let mut victim = 0usize;
+        let mut victim_key = (1u8, u64::MAX);
+        for w in 0..self.bas {
+            let l = &self.lines[base + w];
+            let key = if l.valid { (1u8, l.stamp) } else { (0u8, 0) };
+            if key < victim_key {
+                victim = w;
+                victim_key = key;
+            }
+        }
         let slot = base + victim;
         let old = self.lines[slot];
         if old.valid {

@@ -251,7 +251,8 @@ impl CacheModel for PartnerChainCache {
                         outcome = HitWhere::MissAfterProbe;
                         let mask = self.lines.len() as u64 - 1;
                         let homed = |l: &Line| l.valid && (l.block & mask) as usize == p;
-                        let tail = *chain.last().expect("chain non-empty");
+                        // In-range: this branch requires `!chain.is_empty()`.
+                        let tail = chain[chain.len() - 1];
                         if self.lines[tail].valid {
                             evicted = Some(self.lines[tail].block);
                             self.stats.record_eviction(tail);

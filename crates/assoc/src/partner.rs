@@ -123,6 +123,24 @@ impl PartnerIndexCache {
         self.lines.iter().filter(|l| l.linked).count()
     }
 
+    /// The current `(hot, cold)` pairs, hot set ascending. `uca check`
+    /// drives a cache and then verifies these form a fixed-point-free
+    /// partial matching: no set paired with itself, no set on both sides,
+    /// no cold set lent to two hot sets.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.linked)
+            .map(|(s, l)| (s, l.partner))
+            .collect()
+    }
+
+    /// True if `set` is currently lent out as some hot set's partner.
+    pub fn is_lent(&self, set: usize) -> bool {
+        self.lines[set].lent
+    }
+
     /// True if `block` is resident at its primary set or its partner.
     pub fn contains_block(&self, block: BlockAddr) -> bool {
         let p = (block & (self.lines.len() as u64 - 1)) as usize;

@@ -6,8 +6,8 @@
 //! This module computes that bound for any trace, so experiment reports can
 //! show how much headroom each technique leaves.
 
-use std::collections::HashMap;
-use unicache_core::{BlockAddr, MemRecord};
+use unicache_core::hasher::{det_map, det_map_with_capacity};
+use unicache_core::{BlockAddr, DetHashMap, MemRecord};
 
 /// Miss count of a fully-associative cache of `capacity_lines` lines with
 /// clairvoyant (Belady MIN) replacement, over the block stream induced by
@@ -32,7 +32,7 @@ pub fn min_misses_blocks(blocks: &[BlockAddr], capacity_lines: usize) -> u64 {
     let n = blocks.len();
     // next_use[i] = next position after i referencing the same block, or n.
     let mut next_use = vec![n; n];
-    let mut last_pos: HashMap<BlockAddr, usize> = HashMap::new();
+    let mut last_pos: DetHashMap<BlockAddr, usize> = det_map();
     for (i, &b) in blocks.iter().enumerate().rev() {
         if let Some(&p) = last_pos.get(&b) {
             next_use[i] = p;
@@ -44,7 +44,7 @@ pub fn min_misses_blocks(blocks: &[BlockAddr], capacity_lines: usize) -> u64 {
     // Heap of (next_use_position, block); max next-use = Belady victim.
     let mut heap: BinaryHeap<(usize, BlockAddr)> = BinaryHeap::new();
     // resident block -> the next-use stamp we most recently pushed for it.
-    let mut resident: HashMap<BlockAddr, usize> = HashMap::with_capacity(capacity_lines * 2);
+    let mut resident: DetHashMap<BlockAddr, usize> = det_map_with_capacity(capacity_lines * 2);
     let mut misses = 0u64;
     for (i, &b) in blocks.iter().enumerate() {
         let nu = next_use[i];
@@ -57,15 +57,12 @@ pub fn min_misses_blocks(blocks: &[BlockAddr], capacity_lines: usize) -> u64 {
         misses += 1;
         if resident.len() == capacity_lines {
             // Evict the resident block with the farthest next use, skipping
-            // stale heap entries.
-            loop {
-                let (stamp, cand) = heap.pop().expect("resident set non-empty");
-                match resident.get(&cand) {
-                    Some(&cur) if cur == stamp => {
-                        resident.remove(&cand);
-                        break;
-                    }
-                    _ => continue, // stale
+            // stale heap entries. Every resident block has a live heap
+            // entry, so the drain always finds one before emptying.
+            while let Some((stamp, cand)) = heap.pop() {
+                if resident.get(&cand) == Some(&stamp) {
+                    resident.remove(&cand);
+                    break;
                 }
             }
         }

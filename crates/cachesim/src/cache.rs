@@ -128,10 +128,15 @@ impl Cache {
     /// Shorthand: the paper's baseline L1 (32 KB direct-mapped,
     /// conventional index, 32 B lines).
     pub fn paper_baseline() -> Self {
-        CacheBuilder::new(CacheGeometry::paper_l1())
+        match CacheBuilder::new(CacheGeometry::paper_l1())
             .name("baseline_direct_mapped")
             .build()
-            .expect("baseline configuration is valid")
+        {
+            Ok(cache) => cache,
+            // paper_l1 is a power-of-two shape and the default builder
+            // attaches no index function, so build cannot fail.
+            Err(e) => unreachable!("baseline configuration is valid: {e}"),
+        }
     }
 
     /// The attached index function.

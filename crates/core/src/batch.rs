@@ -104,7 +104,17 @@ pub fn run_batch_many(models: &mut [&mut dyn CacheModel], stream: &BlockStream) 
     }
     for (block, is_write) in stream.iter() {
         for m in models.iter_mut() {
-            m.access_block(block, is_write);
+            let _r = m.access_block(block, is_write);
+            // Under the `checked` feature, verify the model's reported set
+            // stays inside its geometry — the invariant every stats
+            // consumer indexes by without re-checking.
+            #[cfg(feature = "checked")]
+            debug_assert!(
+                _r.set < m.geometry().num_sets(),
+                "model '{}' returned out-of-range set {}",
+                m.name(),
+                _r.set
+            );
         }
     }
 }
@@ -117,7 +127,14 @@ pub fn run_batch_many(models: &mut [&mut dyn CacheModel], stream: &BlockStream) 
 pub fn run_many(models: &mut [&mut dyn CacheModel], records: &[MemRecord]) {
     for rec in records {
         for m in models.iter_mut() {
-            m.access(*rec);
+            let _r = m.access(*rec);
+            #[cfg(feature = "checked")]
+            debug_assert!(
+                _r.set < m.geometry().num_sets(),
+                "model '{}' returned out-of-range set {}",
+                m.name(),
+                _r.set
+            );
         }
     }
 }

@@ -1,0 +1,64 @@
+//! Checked integer conversions for address and set arithmetic.
+//!
+//! Address math mixes three integer widths: `u64` block addresses, `usize`
+//! set indices and `u32` bit counts. A bare `as` cast silently truncates
+//! when the widths disagree, which is exactly the failure mode an indexing
+//! bug produces — a set index that wrapped instead of erroring. `uca
+//! lint`'s `narrowing-cast` rule therefore bans raw `as` casts in
+//! `core::geometry`/`core::index`; these helpers are the sanctioned
+//! replacements. Widening conversions are lossless by construction; the
+//! narrowing one asserts in debug builds and documents the invariant it
+//! relies on.
+
+/// Widens a `u32` to `u64`. Always lossless.
+#[inline]
+pub const fn u64_from_u32(x: u32) -> u64 {
+    x as u64
+}
+
+/// Converts a `usize` to `u64`. Lossless on every target this workspace
+/// supports (`usize` is at most 64 bits).
+#[inline]
+pub const fn u64_from_usize(x: usize) -> u64 {
+    x as u64
+}
+
+/// Converts a `u32` to `usize`. Lossless on every supported target
+/// (`usize` is at least 32 bits).
+#[inline]
+pub const fn usize_from_u32(x: u32) -> usize {
+    x as usize
+}
+
+/// Narrows a `u64` to `usize`, asserting in debug builds that the value
+/// fits. Set counts and set indices are bounded by the cache geometry
+/// (far below `2^32`), so the narrowing is value-preserving whenever the
+/// caller's invariants hold — the debug assert catches the cases where
+/// they don't.
+#[inline]
+pub fn usize_from_u64(x: u64) -> usize {
+    debug_assert!(
+        usize::try_from(x).is_ok(),
+        "u64 value {x} does not fit in usize"
+    );
+    x as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_round_trips() {
+        assert_eq!(u64_from_u32(u32::MAX), u64::from(u32::MAX));
+        assert_eq!(u64_from_usize(1024), 1024);
+        assert_eq!(usize_from_u32(7), 7);
+    }
+
+    #[test]
+    fn narrowing_preserves_in_range_values() {
+        assert_eq!(usize_from_u64(0), 0);
+        assert_eq!(usize_from_u64(1023), 1023);
+        assert_eq!(usize_from_u64(1 << 20), 1 << 20);
+    }
+}

@@ -5,6 +5,7 @@
 //! of `2^n` lines of `2^b` bytes; `m = n - log2(k)` index bits for a k-way
 //! cache, `b` offset bits, and `N - m - b` tag bits (paper Figure 2).
 
+use crate::cast;
 use crate::error::{ConfigError, Result};
 use crate::{is_pow2, log2, Addr, BlockAddr};
 use serde::{Deserialize, Serialize};
@@ -63,7 +64,7 @@ impl CacheGeometry {
             });
         }
         let lines = capacity_bytes / line_bytes;
-        if lines == 0 || !lines.is_multiple_of(ways as u64) {
+        if lines == 0 || !lines.is_multiple_of(cast::u64_from_u32(ways)) {
             return Err(ConfigError::Mismatch {
                 what: format!(
                     "capacity {capacity_bytes} B / line {line_bytes} B = {lines} lines \
@@ -71,7 +72,7 @@ impl CacheGeometry {
                 ),
             });
         }
-        let num_sets = lines / ways as u64;
+        let num_sets = lines / cast::u64_from_u32(ways);
         if !is_pow2(num_sets) {
             return Err(ConfigError::NotPowerOfTwo {
                 what: "number of sets",
@@ -82,7 +83,7 @@ impl CacheGeometry {
             capacity_bytes,
             line_bytes,
             ways,
-            num_sets: num_sets as usize,
+            num_sets: cast::usize_from_u64(num_sets),
             offset_bits: log2(line_bytes),
             index_bits: log2(num_sets),
         })
@@ -90,26 +91,49 @@ impl CacheGeometry {
 
     /// Builds a geometry directly from a set count (must be a power of two).
     pub fn from_sets(num_sets: usize, line_bytes: u64, ways: u32) -> Result<Self> {
-        if !is_pow2(num_sets as u64) {
+        let sets = cast::u64_from_usize(num_sets);
+        if !is_pow2(sets) {
             return Err(ConfigError::NotPowerOfTwo {
                 what: "number of sets",
-                value: num_sets as u64,
+                value: sets,
             });
         }
-        Self::new(num_sets as u64 * line_bytes * ways as u64, line_bytes, ways)
+        Self::new(
+            sets * line_bytes * cast::u64_from_u32(ways),
+            line_bytes,
+            ways,
+        )
     }
 
     /// The paper's L1 baseline: 32 KB, direct-mapped, 32 B lines (1024 sets,
     /// 10 index bits, 5 offset bits).
-    pub fn paper_l1() -> Self {
-        Self::new(32 * 1024, 32, 1).expect("paper L1 geometry is valid")
+    ///
+    /// Written as a literal (rather than `Self::new(...).expect(...)`) so
+    /// construction is infallible and `const`; `paper_shapes_agree_with_new`
+    /// in this module's tests pins it to what `new` would compute.
+    pub const fn paper_l1() -> Self {
+        CacheGeometry {
+            capacity_bytes: 32 * 1024,
+            line_bytes: 32,
+            ways: 1,
+            num_sets: 1024,
+            offset_bits: 5,
+            index_bits: 10,
+        }
     }
 
     /// The paper's unified L2: 256 KB, 32 B lines. The paper does not state
     /// the L2 associativity; we follow common SimpleScalar configurations and
     /// use 4-way with LRU (the replacement policy the paper does state).
-    pub fn paper_l2() -> Self {
-        Self::new(256 * 1024, 32, 4).expect("paper L2 geometry is valid")
+    pub const fn paper_l2() -> Self {
+        CacheGeometry {
+            capacity_bytes: 256 * 1024,
+            line_bytes: 32,
+            ways: 4,
+            num_sets: 2048,
+            offset_bits: 5,
+            index_bits: 11,
+        }
     }
 
     /// Total capacity in bytes.
@@ -139,7 +163,7 @@ impl CacheGeometry {
     /// Total number of lines (`num_sets * ways`).
     #[inline]
     pub fn num_lines(&self) -> usize {
-        self.num_sets * self.ways as usize
+        self.num_sets * cast::usize_from_u32(self.ways)
     }
 
     /// Byte-offset bits (`b` in the paper).
@@ -164,7 +188,7 @@ impl CacheGeometry {
     /// Figure 2 mapping and the baseline every scheme is compared against.
     #[inline]
     pub fn conventional_index(&self, addr: Addr) -> usize {
-        (self.block_addr(addr) & (self.num_sets as u64 - 1)) as usize
+        cast::usize_from_u64(self.block_addr(addr) & (cast::u64_from_usize(self.num_sets) - 1))
     }
 
     /// The tag of an address under conventional indexing: block address with
@@ -179,7 +203,7 @@ impl CacheGeometry {
     pub fn split_block(&self, block: BlockAddr) -> (u64, usize) {
         (
             block >> self.index_bits,
-            (block & (self.num_sets as u64 - 1)) as usize,
+            cast::usize_from_u64(block & (cast::u64_from_usize(self.num_sets) - 1)),
         )
     }
 
@@ -187,7 +211,7 @@ impl CacheGeometry {
     /// [`CacheGeometry::split_block`].
     #[inline]
     pub fn join_block(&self, tag: u64, index: usize) -> BlockAddr {
-        (tag << self.index_bits) | index as u64
+        (tag << self.index_bits) | cast::u64_from_usize(index)
     }
 
     /// First byte address of a block.
@@ -229,6 +253,18 @@ mod tests {
         assert!(CacheGeometry::new(1024, 32, 3).is_err()); // 32 lines % 3 != 0
                                                            // 8 lines 8-way fully associative: 1 set — allowed.
         assert!(CacheGeometry::new(256, 32, 8).is_ok());
+    }
+
+    #[test]
+    fn paper_shapes_agree_with_new() {
+        assert_eq!(
+            CacheGeometry::paper_l1(),
+            CacheGeometry::new(32 * 1024, 32, 1).unwrap()
+        );
+        assert_eq!(
+            CacheGeometry::paper_l2(),
+            CacheGeometry::new(256 * 1024, 32, 4).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Fixed-seed hashing for deterministic containers.
+//!
+//! `std`'s default `RandomState` seeds itself differently on every process
+//! start, so any `HashMap`/`HashSet` iteration order — and anything derived
+//! from it — varies from run to run. The figure pipeline promises
+//! byte-identical output, so simulation crates are forbidden (by
+//! `uca lint`'s `default-hasher` rule) from using the default hasher; they
+//! use the aliases here instead.
+//!
+//! The hash is FNV-1a over the value's `Hash` byte stream: not
+//! DoS-resistant (irrelevant — keys are trusted simulation state, never
+//! attacker input), but fast on the small integer keys these maps hold and
+//! bit-stable across runs, platforms and Rust releases.
+
+// The whole point of this module is to wrap the std containers with a
+// fixed-seed hasher, so the raw names are allowed here and nowhere else
+// in the simulation crates.
+use std::collections::HashMap; // uca:allow(default-hasher)
+use std::collections::HashSet; // uca:allow(default-hasher)
+use std::hash::{BuildHasher, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a streaming hasher with a fixed offset basis.
+#[derive(Debug, Clone)]
+pub struct DetHasher(u64);
+
+impl Default for DetHasher {
+    fn default() -> Self {
+        DetHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        // Unrolled byte loop: the dominant key shape in the workspace is a
+        // single u64 (block addresses), worth keeping branch-free.
+        self.write(&i.to_le_bytes());
+    }
+}
+
+/// A [`BuildHasher`] producing [`DetHasher`]s — the fixed-seed replacement
+/// for `std::collections::hash_map::RandomState`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetState;
+
+impl BuildHasher for DetState {
+    type Hasher = DetHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher::default()
+    }
+}
+
+/// A `HashMap` with run-to-run stable hashing (and thus iteration order
+/// that depends only on the key set and insertion history).
+pub type DetHashMap<K, V> = HashMap<K, V, DetState>; // uca:allow(default-hasher)
+
+/// A `HashSet` with run-to-run stable hashing.
+pub type DetHashSet<T> = HashSet<T, DetState>; // uca:allow(default-hasher)
+
+/// An empty [`DetHashMap`].
+pub fn det_map<K, V>() -> DetHashMap<K, V> {
+    DetHashMap::with_hasher(DetState)
+}
+
+/// An empty [`DetHashMap`] pre-sized for `capacity` entries.
+pub fn det_map_with_capacity<K, V>(capacity: usize) -> DetHashMap<K, V> {
+    DetHashMap::with_capacity_and_hasher(capacity, DetState)
+}
+
+/// An empty [`DetHashSet`].
+pub fn det_set<T>() -> DetHashSet<T> {
+    DetHashSet::with_hasher(DetState)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        DetState.hash_one(v)
+    }
+
+    #[test]
+    fn hashes_are_stable_across_hasher_instances() {
+        for key in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(hash_of(&key), hash_of(&key));
+        }
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn known_fnv1a_vector() {
+        // FNV-1a of the bytes "a" is a published test vector.
+        let mut h = DetHasher::default();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        let build = || {
+            let mut m = det_map();
+            for k in [9u64, 3, 7, 1, 5, 20, 1024, 77] {
+                m.insert(k, k * 2);
+            }
+            m.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+        let mut s = det_set();
+        s.insert(3u32);
+        s.insert(11);
+        assert!(s.contains(&3));
+    }
+
+    #[test]
+    fn map_behaves_like_a_map() {
+        let mut m = det_map_with_capacity(4);
+        assert!(m.insert("k", 1).is_none());
+        assert_eq!(m.insert("k", 2), Some(1));
+        assert_eq!(m.get("k"), Some(&2));
+        assert_eq!(m.remove("k"), Some(2));
+        assert!(m.is_empty());
+    }
+}

@@ -21,8 +21,10 @@
 //! organisations in `unicache-sim` and `unicache-assoc`.
 
 pub mod batch;
+pub mod cast;
 pub mod error;
 pub mod geometry;
+pub mod hasher;
 pub mod index;
 pub mod lru;
 pub mod model;
@@ -32,6 +34,7 @@ pub mod stats;
 pub use batch::{run_batch_many, run_many, BlockStream};
 pub use error::{ConfigError, Result};
 pub use geometry::CacheGeometry;
+pub use hasher::{DetHashMap, DetHashSet, DetState};
 pub use index::IndexFunction;
 pub use lru::{LruDir, LruSet};
 pub use model::{AccessResult, CacheModel, HitWhere};

@@ -10,7 +10,7 @@
 //! least-recently-used entry when over capacity — in O(1) per
 //! operation ([`LruSet`], [`LruDir`]).
 
-use std::collections::HashMap;
+use crate::hasher::{det_map_with_capacity, DetHashMap};
 use std::hash::Hash;
 
 const NIL: usize = usize::MAX;
@@ -98,13 +98,38 @@ impl LruSet {
             self.member[set] = true;
         }
         self.push_front(set);
-        if self.len > self.capacity {
+        let evicted = if self.len > self.capacity {
             let old = self.tail;
             self.unlink(old);
             self.member[old] = false;
-            return Some(old);
+            Some(old)
+        } else {
+            None
+        };
+        #[cfg(feature = "checked")]
+        self.debug_check();
+        evicted
+    }
+
+    /// Cross-checks the intrusive list against the membership bitmap:
+    /// capacity respected, list length equal to `len`, every listed set
+    /// marked a member. O(len) per call, so gated behind `checked`.
+    #[cfg(feature = "checked")]
+    fn debug_check(&self) {
+        debug_assert!(
+            self.len <= self.capacity,
+            "LruSet over capacity: {} > {}",
+            self.len,
+            self.capacity
+        );
+        let mut walked = 0;
+        let mut s = self.head;
+        while s != NIL {
+            debug_assert!(self.member[s], "listed set {s} not marked member");
+            walked += 1;
+            s = self.next[s];
         }
-        None
+        debug_assert_eq!(walked, self.len, "LruSet list length diverged from len");
     }
 
     /// Empties the set.
@@ -131,7 +156,7 @@ impl LruSet {
 /// the way those stamps did (refreshed on every hit and insert).
 #[derive(Debug)]
 pub struct LruDir<K> {
-    map: HashMap<K, u32>,
+    map: DetHashMap<K, u32>,
     nodes: Vec<Node<K>>,
     free: Vec<u32>,
     head: u32,
@@ -154,7 +179,7 @@ impl<K: Copy + Eq + Hash> LruDir<K> {
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         LruDir {
-            map: HashMap::with_capacity(capacity * 2),
+            map: det_map_with_capacity(capacity * 2),
             nodes: Vec::with_capacity(capacity),
             free: Vec::new(),
             head: DNIL,
@@ -203,6 +228,8 @@ impl<K: Copy + Eq + Hash> LruDir<K> {
         let i = self.map.remove(&key)?;
         self.unlink(i);
         self.free.push(i);
+        #[cfg(feature = "checked")]
+        self.debug_check();
         Some(self.nodes[i as usize].set)
     }
 
@@ -248,7 +275,33 @@ impl<K: Copy + Eq + Hash> LruDir<K> {
         };
         self.map.insert(key, i);
         self.push_front(i);
+        #[cfg(feature = "checked")]
+        self.debug_check();
         evicted
+    }
+
+    /// Cross-checks the map against the intrusive list: entry count within
+    /// capacity and the list threading exactly the mapped nodes. O(len)
+    /// per call, so gated behind `checked`.
+    #[cfg(feature = "checked")]
+    fn debug_check(&self) {
+        debug_assert!(
+            self.map.len() <= self.capacity,
+            "LruDir over capacity: {} > {}",
+            self.map.len(),
+            self.capacity
+        );
+        let mut walked = 0;
+        let mut i = self.head;
+        while i != DNIL {
+            debug_assert!(
+                self.map.get(&self.nodes[i as usize].key) == Some(&i),
+                "listed node not indexed by map"
+            );
+            walked += 1;
+            i = self.nodes[i as usize].next;
+        }
+        debug_assert_eq!(walked, self.map.len(), "LruDir list diverged from map");
     }
 
     /// Iterates the live `(key, set)` pairs in unspecified order.

@@ -13,7 +13,7 @@
 
 use std::env;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::Instant; // uca:allow(wallclock) -- `--timing` measures real elapsed time
 use unicache_experiments::figures;
 use unicache_experiments::{tune_allocator_for_traces, ExperimentTable, SimStore};
 use unicache_workloads::{Scale, Workload};
@@ -166,10 +166,10 @@ fn main() -> ExitCode {
         true
     };
 
-    let started = Instant::now();
+    let started = Instant::now(); // uca:allow(wallclock)
     let mut phases: Vec<Phase> = Vec::new();
     let mut timed_run = |name: &str| -> bool {
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // uca:allow(wallclock)
         let ok = run_one(name, &store, csv);
         if ok {
             phases.push(Phase {

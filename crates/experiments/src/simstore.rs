@@ -35,10 +35,11 @@
 
 use crate::TraceStore;
 use rayon::prelude::*;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use unicache_assoc::{AdaptiveGroupCache, BCache, ColumnAssociativeCache, SkewedCache};
+use unicache_core::hasher::det_map;
+use unicache_core::DetHashMap;
 use unicache_core::{
     run_batch_many, BlockAddr, BlockStream, CacheGeometry, CacheModel, CacheStats,
 };
@@ -130,11 +131,11 @@ type MergedKey = (Vec<Workload>, InterleavePolicy);
 /// store.
 pub struct SimStore {
     traces: Arc<TraceStore>,
-    streams: Mutex<HashMap<StreamKey, Cell<BlockStream>>>,
-    uniques: Mutex<HashMap<StreamKey, Cell<Vec<BlockAddr>>>>,
-    merged: Mutex<HashMap<MergedKey, Cell<Trace>>>,
-    results: Mutex<HashMap<ResultKey, Cell<CacheStats>>>,
-    groups: Mutex<HashMap<GroupKey, Arc<Mutex<()>>>>,
+    streams: Mutex<DetHashMap<StreamKey, Cell<BlockStream>>>,
+    uniques: Mutex<DetHashMap<StreamKey, Cell<Vec<BlockAddr>>>>,
+    merged: Mutex<DetHashMap<MergedKey, Cell<Trace>>>,
+    results: Mutex<DetHashMap<ResultKey, Cell<CacheStats>>>,
+    groups: Mutex<DetHashMap<GroupKey, Arc<Mutex<()>>>>,
     hits: AtomicU64,
     sims_run: AtomicU64,
     records_simulated: AtomicU64,
@@ -152,11 +153,11 @@ impl SimStore {
     pub fn with_traces(traces: Arc<TraceStore>) -> Self {
         SimStore {
             traces,
-            streams: Mutex::new(HashMap::new()),
-            uniques: Mutex::new(HashMap::new()),
-            merged: Mutex::new(HashMap::new()),
-            results: Mutex::new(HashMap::new()),
-            groups: Mutex::new(HashMap::new()),
+            streams: Mutex::new(det_map()),
+            uniques: Mutex::new(det_map()),
+            merged: Mutex::new(det_map()),
+            results: Mutex::new(det_map()),
+            groups: Mutex::new(det_map()),
             hits: AtomicU64::new(0),
             sims_run: AtomicU64::new(0),
             records_simulated: AtomicU64::new(0),
@@ -184,7 +185,7 @@ impl SimStore {
         self.traces.prefetch(workloads);
     }
 
-    fn cell_of<K: std::hash::Hash + Eq, T>(map: &Mutex<HashMap<K, Cell<T>>>, key: K) -> Cell<T> {
+    fn cell_of<K: std::hash::Hash + Eq, T>(map: &Mutex<DetHashMap<K, Cell<T>>>, key: K) -> Cell<T> {
         let mut guard = map.lock().unwrap();
         Arc::clone(guard.entry(key).or_default())
     }

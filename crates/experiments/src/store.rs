@@ -13,15 +13,16 @@
 //! racing on *different* workloads never serializes their generation.
 
 use rayon::prelude::*;
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use unicache_core::hasher::det_map;
+use unicache_core::DetHashMap;
 use unicache_trace::Trace;
 use unicache_workloads::{Scale, Workload};
 
 /// Memoized trace generation.
 pub struct TraceStore {
     scale: Scale,
-    cells: Mutex<HashMap<Workload, Arc<OnceLock<Arc<Trace>>>>>,
+    cells: Mutex<DetHashMap<Workload, Arc<OnceLock<Arc<Trace>>>>>,
 }
 
 impl TraceStore {
@@ -29,7 +30,7 @@ impl TraceStore {
     pub fn new(scale: Scale) -> Self {
         TraceStore {
             scale,
-            cells: Mutex::new(HashMap::new()),
+            cells: Mutex::new(det_map()),
         }
     }
 

@@ -140,7 +140,10 @@ impl GivargisTrainer {
                     _ => {}
                 }
             }
-            let b = best.expect("loop guard ensures a candidate remains");
+            // The loop guard keeps `picked.len() < k`, so an unused
+            // candidate always exists; the `break` is unreachable but
+            // keeps the argmax infallible.
+            let Some(b) = best else { break };
             used[b] = true;
             picked.push(b);
             // Damp remaining scores: a bit strongly dependent on the pick

@@ -53,6 +53,11 @@ impl OddMultiplierIndex {
     pub fn multiplier(&self) -> u64 {
         self.multiplier
     }
+
+    /// Number of index bits (`m` = log2 of the set count).
+    pub fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
 }
 
 impl IndexFunction for OddMultiplierIndex {

@@ -15,8 +15,8 @@
 //! on truncated traces as the extension study DESIGN.md calls out.
 
 use crate::bitselect::BitSelectIndex;
-use std::collections::HashMap;
-use unicache_core::{BlockAddr, ConfigError, Result};
+use unicache_core::hasher::det_map;
+use unicache_core::{BlockAddr, ConfigError, DetHashMap, Result};
 
 /// Configurable optimal-index search.
 #[derive(Debug, Clone)]
@@ -61,7 +61,7 @@ struct CompiledTrace {
 
 impl CompiledTrace {
     fn new(candidates: &[u32], blocks: &[BlockAddr]) -> Self {
-        let mut ids: HashMap<BlockAddr, u32> = HashMap::new();
+        let mut ids: DetHashMap<BlockAddr, u32> = det_map();
         let mut sigs: Vec<u64> = Vec::new();
         let mut seq: Vec<u32> = Vec::with_capacity(blocks.len());
         let mut prev: Option<BlockAddr> = None;
@@ -242,7 +242,10 @@ impl PatelSearch {
                     _ => {}
                 }
             }
-            let (pos, _) = best.expect("remaining is non-empty while selected < m");
+            // `remaining` stays non-empty while `selected.len() < m`
+            // (candidates.len() >= m is validated in `new`), so the
+            // `break` is unreachable but keeps the argmin infallible.
+            let Some((pos, _)) = best else { break };
             selected.push(remaining.remove(pos));
             selected.sort_unstable();
         }
@@ -256,11 +259,16 @@ impl PatelSearch {
 
     /// Convenience: runs the search and wraps the winner as an index
     /// function.
-    pub fn search_index(&self, blocks: &[BlockAddr]) -> (BitSelectIndex, SearchOutcome) {
+    ///
+    /// # Errors
+    /// Propagates [`BitSelectIndex`] validation — unreachable for outcomes
+    /// of [`PatelSearch::search`], whose bit sets are distinct and within
+    /// range by construction, but surfaced as a `Result` rather than a
+    /// panic.
+    pub fn search_index(&self, blocks: &[BlockAddr]) -> Result<(BitSelectIndex, SearchOutcome)> {
         let outcome = self.search(blocks);
-        let f = BitSelectIndex::named(outcome.bits.clone(), "patel")
-            .expect("search produces valid distinct bits");
-        (f, outcome)
+        let f = BitSelectIndex::named(outcome.bits.clone(), "patel")?;
+        Ok((f, outcome))
     }
 }
 
@@ -343,7 +351,7 @@ mod tests {
     fn search_index_wraps_winner() {
         let blocks: Vec<u64> = (0..64u64).collect();
         let s = PatelSearch::new(3, (0..8).collect(), u64::MAX).unwrap();
-        let (f, out) = s.search_index(&blocks);
+        let (f, out) = s.search_index(&blocks).unwrap();
         assert_eq!(f.num_sets(), 8);
         assert_eq!(f.bits(), &out.bits[..]);
         for &b in &blocks {

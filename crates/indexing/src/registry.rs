@@ -44,6 +44,24 @@ impl IndexScheme {
         ]
     }
 
+    /// Every registered scheme, baseline included — the enumeration `uca
+    /// check` verifies. Covers each recommended odd multiplier, not just
+    /// the paper-default 21, so the invariant proof extends to the whole
+    /// ablation space the runners can sweep.
+    pub fn all() -> Vec<IndexScheme> {
+        let mut schemes = vec![IndexScheme::Conventional];
+        for p in crate::oddmul::RECOMMENDED_MULTIPLIERS {
+            schemes.push(IndexScheme::OddMultiplier(p));
+        }
+        schemes.extend([
+            IndexScheme::Xor,
+            IndexScheme::PrimeModulo,
+            IndexScheme::Givargis,
+            IndexScheme::GivargisXor,
+        ]);
+        schemes
+    }
+
     /// Short label used in result tables (matches the paper's legends).
     pub fn label(&self) -> String {
         match self {

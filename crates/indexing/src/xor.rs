@@ -43,6 +43,31 @@ impl XorIndex {
             tag_skip,
         })
     }
+
+    /// Number of index bits (`m` = log2 of the set count).
+    pub fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    /// How many bit positions above the index field the XORed tag slice
+    /// starts.
+    pub fn tag_skip(&self) -> u32 {
+        self.tag_skip
+    }
+
+    /// The hash as a GF(2) linear map: one row per output index bit, each
+    /// row a mask over block-address bits whose parity gives that output
+    /// bit. Here output bit `j` has exactly two taps —
+    /// `block[j] XOR block[m + tag_skip + j]`. `uca check` runs Gaussian
+    /// elimination over these rows to prove the map has full rank (so,
+    /// restricted to any tag group, it permutes the sets) — the same
+    /// analysis applied to real hardware in "Cracking Intel Sandy
+    /// Bridge's Cache Hash Function".
+    pub fn gf2_rows(&self) -> Vec<u64> {
+        (0..self.index_bits)
+            .map(|j| (1u64 << j) | (1u64 << (self.index_bits + self.tag_skip + j)))
+            .collect()
+    }
 }
 
 impl IndexFunction for XorIndex {

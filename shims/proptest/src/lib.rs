@@ -60,7 +60,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among boxed alternatives (backs [`prop_oneof!`]).
+    /// Uniform choice among boxed alternatives (backs `prop_oneof!`).
     pub struct OneOf<T> {
         choices: Vec<Box<dyn Strategy<Value = T>>>,
     }
@@ -176,7 +176,7 @@ pub mod collection {
         VecStrategy { elem, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: Range<usize>,
