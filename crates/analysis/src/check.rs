@@ -29,7 +29,8 @@
 
 use crate::report::Report;
 use unicache_assoc::{
-    BCache, ColumnAssociativeCache, PartnerConfig, PartnerIndexCache, SkewedCache,
+    AdaptiveGroupCache, BCache, ColumnAssociativeCache, PartnerConfig, PartnerIndexCache,
+    SkewedCache,
 };
 use unicache_core::{CacheGeometry, CacheModel, IndexFunction};
 use unicache_indexing::{
@@ -108,6 +109,7 @@ pub fn run_all() -> Report {
         check_index_schemes(&mut report, geom);
     }
     check_assoc_schemes(&mut report);
+    check_counter_conservation(&mut report);
     report
 }
 
@@ -639,6 +641,253 @@ fn check_skewed(report: &mut Report, glabel: &str, geom: CacheGeometry) {
         ok,
         format!("f0 and f1 cover all {bank_sets} bank sets in each sampled tag group"),
     );
+}
+
+/// A deterministic access stream with enough locality to produce hits,
+/// secondary hits and misses in every scheme (LCG over a small block
+/// space — no RNG dependency, same sequence every run).
+fn conservation_stream(count: usize) -> Vec<u64> {
+    let mut x = 0x2545f4914f6cdd1du64;
+    (0..count)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Skew toward low blocks so conflict sets get re-referenced.
+            let v = (x >> 33) & 0x3FF;
+            v % 600
+        })
+        .collect()
+}
+
+/// Layer 1b — counter conservation: the `unicache-obs` event counters a
+/// model emits must reconcile exactly with the [`unicache_core::CacheStats`]
+/// it reports. Every access is probed exactly once; second probes account
+/// for every secondary hit and probed miss; swaps/relocations match the
+/// stats' relocation counter. A drifting counter means instrumentation
+/// was added, moved or removed without keeping the books balanced.
+///
+/// The obs sinks are process-global, so the pass serializes itself (and
+/// any concurrent caller of [`run_all`]) behind a lock, and resets the
+/// sinks around each scheme.
+pub fn check_counter_conservation(report: &mut Report) {
+    use unicache_obs::Event;
+
+    let glabel = "counter-conservation (64 sets x 1 way x 32 B)";
+    if !unicache_obs::enabled() {
+        report.push(
+            "obs",
+            glabel,
+            "obs-enabled",
+            false,
+            "unicache-obs compiled without the `enabled` feature".to_string(),
+        );
+        return;
+    }
+
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+
+    let geom = small_geometry();
+    let stream = conservation_stream(20_000);
+
+    let run = |model: &mut dyn CacheModel| {
+        unicache_obs::reset();
+        for &b in &stream {
+            model.access_block(b, b % 7 == 0);
+        }
+    };
+    let outcome_sum = |s: &unicache_core::CacheStats| {
+        s.primary_hits + s.secondary_hits + s.misses_direct + s.misses_after_probe
+    };
+
+    // Conventional cache (the baseline every figure normalizes against).
+    if let Ok(mut c) = unicache_sim::CacheBuilder::new(geom).build() {
+        run(&mut c);
+        let s = c.stats().clone();
+        let probes = unicache_obs::counter_value(Event::CacheProbe);
+        report.push(
+            "baseline",
+            glabel,
+            "probe-per-access",
+            probes == s.accesses() && outcome_sum(&s) == s.accesses(),
+            format!("{probes} probes, {} accesses", s.accesses()),
+        );
+    }
+
+    if let Ok(mut c) = ColumnAssociativeCache::new(geom) {
+        run(&mut c);
+        let s = c.stats().clone();
+        let probe = unicache_obs::counter_value(Event::ColumnProbe);
+        let second = unicache_obs::counter_value(Event::ColumnSecondProbe);
+        let swap = unicache_obs::counter_value(Event::ColumnSwap);
+        let reclaim = unicache_obs::counter_value(Event::ColumnReclaim);
+        let displace = unicache_obs::counter_value(Event::ColumnDisplace);
+        report.push(
+            "column_associative",
+            glabel,
+            "probe-per-access",
+            probe == s.accesses() && outcome_sum(&s) == s.accesses(),
+            format!("{probe} probes, {} accesses", s.accesses()),
+        );
+        report.push(
+            "column_associative",
+            glabel,
+            "second-probe-accounting",
+            second == s.secondary_hits + s.misses_after_probe,
+            format!(
+                "{second} second probes vs {} secondary hits + {} probed misses",
+                s.secondary_hits, s.misses_after_probe
+            ),
+        );
+        report.push(
+            "column_associative",
+            glabel,
+            "swap-equals-secondary",
+            swap == s.secondary_hits && reclaim == s.misses_direct,
+            format!(
+                "{swap} swaps vs {} secondary hits; {reclaim} reclaims vs {} direct misses",
+                s.secondary_hits, s.misses_direct
+            ),
+        );
+        report.push(
+            "column_associative",
+            glabel,
+            "relocation-accounting",
+            swap + displace == s.relocations,
+            format!(
+                "{swap} swaps + {displace} displacements vs {} relocations",
+                s.relocations
+            ),
+        );
+    }
+
+    let cfg = PartnerConfig {
+        epoch: 2048,
+        max_pairs: 16,
+    };
+    if let Ok(mut c) = PartnerIndexCache::with_config(geom, cfg) {
+        run(&mut c);
+        let s = c.stats().clone();
+        let probe = unicache_obs::counter_value(Event::PartnerProbe);
+        let second = unicache_obs::counter_value(Event::PartnerSecondProbe);
+        let lend = unicache_obs::counter_value(Event::PartnerLend);
+        let repartner = unicache_obs::counter_value(Event::PartnerRepartner);
+        report.push(
+            "partner_index",
+            glabel,
+            "probe-per-access",
+            probe == s.accesses() && outcome_sum(&s) == s.accesses(),
+            format!("{probe} probes, {} accesses", s.accesses()),
+        );
+        report.push(
+            "partner_index",
+            glabel,
+            "second-probe-accounting",
+            second == s.secondary_hits + s.misses_after_probe && lend <= s.misses_after_probe,
+            format!(
+                "{second} partner probes vs {} secondary hits + {} probed misses ({lend} lends)",
+                s.secondary_hits, s.misses_after_probe
+            ),
+        );
+        let expected_epochs = s.accesses() / cfg.epoch;
+        report.push(
+            "partner_index",
+            glabel,
+            "epoch-accounting",
+            repartner == expected_epochs,
+            format!(
+                "{repartner} repartnerings over {} accesses at epoch {}",
+                s.accesses(),
+                cfg.epoch
+            ),
+        );
+    }
+
+    if let Ok(mut c) = BCache::new(geom) {
+        run(&mut c);
+        let s = c.stats().clone();
+        let probe = unicache_obs::counter_value(Event::BcacheProbe);
+        let compares = unicache_obs::counter_value(Event::BcacheLineCompare);
+        let reprog = unicache_obs::counter_value(Event::BcacheDecoderReprogram);
+        report.push(
+            "b_cache",
+            glabel,
+            "probe-per-access",
+            probe == s.accesses() && outcome_sum(&s) == s.accesses(),
+            format!("{probe} probes, {} accesses", s.accesses()),
+        );
+        report.push(
+            "b_cache",
+            glabel,
+            "walk-accounting",
+            compares >= s.accesses() && reprog == s.misses(),
+            format!(
+                "{compares} line compares over {} accesses; {reprog} reprograms vs {} misses",
+                s.accesses(),
+                s.misses()
+            ),
+        );
+        let walk_total: u64 = (0..unicache_obs::BUCKETS)
+            .map(|i| unicache_obs::hist_bucket(unicache_obs::HistEvent::BcacheWalk, i))
+            .sum();
+        report.push(
+            "b_cache",
+            glabel,
+            "walk-histogram-total",
+            walk_total == s.accesses(),
+            format!("{walk_total} walk samples vs {} accesses", s.accesses()),
+        );
+    }
+
+    if let Ok(mut c) = AdaptiveGroupCache::new(geom) {
+        run(&mut c);
+        let s = c.stats().clone();
+        let probe = unicache_obs::counter_value(Event::AdaptiveProbe);
+        let out_hit = unicache_obs::counter_value(Event::AdaptiveOutHit);
+        let sht_hit = unicache_obs::counter_value(Event::AdaptiveShtHit);
+        let reloc = unicache_obs::counter_value(Event::AdaptiveRelocation);
+        report.push(
+            "adaptive_cache",
+            glabel,
+            "probe-per-access",
+            probe == s.accesses() && outcome_sum(&s) == s.accesses(),
+            format!("{probe} probes, {} accesses", s.accesses()),
+        );
+        report.push(
+            "adaptive_cache",
+            glabel,
+            "directory-accounting",
+            out_hit == s.secondary_hits && sht_hit == s.misses_after_probe,
+            format!(
+                "{out_hit} OUT hits vs {} secondary hits; {sht_hit} protected victims vs {} \
+                 probed misses",
+                s.secondary_hits, s.misses_after_probe
+            ),
+        );
+        report.push(
+            "adaptive_cache",
+            glabel,
+            "relocation-accounting",
+            reloc == s.relocations,
+            format!("{reloc} counted vs {} in stats", s.relocations),
+        );
+    }
+
+    if let Ok(mut c) = SkewedCache::new(geom) {
+        run(&mut c);
+        let s = c.stats().clone();
+        let probe = unicache_obs::counter_value(Event::SkewedProbe);
+        report.push(
+            "skewed_2way",
+            glabel,
+            "probe-per-access",
+            probe == s.accesses() && outcome_sum(&s) == s.accesses(),
+            format!("{probe} probes, {} accesses", s.accesses()),
+        );
+    }
+
+    unicache_obs::reset();
 }
 
 #[cfg(test)]

@@ -60,6 +60,7 @@ const DEFAULT_HASHER_CRATES: &[&str] = &[
     "core",
     "experiments",
     "indexing",
+    "obs",
     "smt",
     "stats",
     "trace",

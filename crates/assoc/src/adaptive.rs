@@ -161,9 +161,11 @@ impl AdaptiveGroupCache {
                 }
                 let l = &self.lines[cand];
                 if !l.valid {
+                    unicache_obs::observe(unicache_obs::HistEvent::AdaptiveRelocSearch, d as u64);
                     return Some(cand);
                 }
                 if !self.sht.contains(cand) && !l.out_of_position {
+                    unicache_obs::observe(unicache_obs::HistEvent::AdaptiveRelocSearch, d as u64);
                     return Some(cand);
                 }
             }
@@ -195,6 +197,7 @@ impl CacheModel for AdaptiveGroupCache {
         if is_write {
             self.stats.record_write();
         }
+        unicache_obs::count(unicache_obs::Event::AdaptiveProbe);
         let p = self.primary_of(block);
 
         // Primary probe (OUT is probed in parallel in hardware; a primary
@@ -215,6 +218,7 @@ impl CacheModel for AdaptiveGroupCache {
         // OUT probe: the block may live out of position.
         if let Some(alt) = self.out.get(block) {
             if self.lines[alt].valid && self.lines[alt].block == block {
+                unicache_obs::count(unicache_obs::Event::AdaptiveOutHit);
                 // Swap back toward the primary position to shorten future
                 // hits; the displaced primary resident takes the alternate
                 // slot (its OUT entry replaces ours).
@@ -239,6 +243,7 @@ impl CacheModel for AdaptiveGroupCache {
                 }
                 self.sht.touch(p);
                 self.stats.record(p, HitWhere::Secondary);
+                unicache_obs::count(unicache_obs::Event::AdaptiveRelocation);
                 self.stats.record_relocation();
                 return AccessResult {
                     where_hit: HitWhere::Secondary,
@@ -247,6 +252,7 @@ impl CacheModel for AdaptiveGroupCache {
                 };
             }
             // Stale entry: the alternate line was reclaimed. Clean up.
+            unicache_obs::count(unicache_obs::Event::AdaptiveOutStale);
             self.out.remove(block);
         }
 
@@ -268,6 +274,7 @@ impl CacheModel for AdaptiveGroupCache {
             } else {
                 // Keep the MRU-set victim: move it to a nearby disposable
                 // line and register it in OUT.
+                unicache_obs::count(unicache_obs::Event::AdaptiveShtHit);
                 where_hit = HitWhere::MissAfterProbe;
                 if let Some(host) = self.find_disposable_near(p, p) {
                     let hosted = self.lines[host];
@@ -285,6 +292,7 @@ impl CacheModel for AdaptiveGroupCache {
                     if let Some((evb, evs)) = self.out.insert(resident.block, host) {
                         self.invalidate_out_line(evb, evs);
                     }
+                    unicache_obs::count(unicache_obs::Event::AdaptiveRelocation);
                     self.stats.record_relocation();
                 } else {
                     // No disposable line in the window: fall back to plain

@@ -196,6 +196,7 @@ impl CacheModel for BCache {
             self.stats.record_write();
         }
         self.clock += 1;
+        unicache_obs::count(unicache_obs::Event::BcacheProbe);
         let (cluster, pi) = self.split(block);
         let base = cluster * self.bas;
 
@@ -208,6 +209,8 @@ impl CacheModel for BCache {
                 if is_write {
                     l.dirty = true;
                 }
+                unicache_obs::count_by(unicache_obs::Event::BcacheLineCompare, (w + 1) as u64);
+                unicache_obs::observe(unicache_obs::HistEvent::BcacheWalk, (w + 1) as u64);
                 self.stats.record(base + w, HitWhere::Primary);
                 return AccessResult {
                     where_hit: HitWhere::Primary,
@@ -219,6 +222,9 @@ impl CacheModel for BCache {
 
         // Miss: victim = invalid line, else cluster-wide LRU (this is what
         // lets hot PI values borrow lines from cold ones — the balancing).
+        unicache_obs::count_by(unicache_obs::Event::BcacheLineCompare, self.bas as u64);
+        unicache_obs::observe(unicache_obs::HistEvent::BcacheWalk, self.bas as u64);
+        unicache_obs::count(unicache_obs::Event::BcacheDecoderReprogram);
         // Manual first-minimum scan (same tie-break as `min_by_key`),
         // infallible since `bas >= 1` by construction.
         let mut victim = 0usize;

@@ -137,6 +137,7 @@ impl CacheModel for ColumnAssociativeCache {
         if is_write {
             self.stats.record_write();
         }
+        unicache_obs::count(unicache_obs::Event::ColumnProbe);
         let p = self.primary_of(block);
         let a = self.alternate_of(p);
 
@@ -155,6 +156,7 @@ impl CacheModel for ColumnAssociativeCache {
 
         // Direct miss into a rehashed set: reclaim without a second probe.
         if self.lines[p].valid && self.lines[p].rehash {
+            unicache_obs::count(unicache_obs::Event::ColumnReclaim);
             let evicted = Some(self.lines[p].block);
             self.stats.record(p, HitWhere::MissDirect);
             self.stats.record_eviction(p);
@@ -172,7 +174,9 @@ impl CacheModel for ColumnAssociativeCache {
         }
 
         // Second probe (the alternate column).
+        unicache_obs::count(unicache_obs::Event::ColumnSecondProbe);
         if self.lines[a].valid && self.lines[a].block == block {
+            unicache_obs::count(unicache_obs::Event::ColumnSwap);
             // Swap so the next reference first-probe hits.
             let mut incoming = self.lines[a];
             if is_write {
@@ -211,6 +215,7 @@ impl CacheModel for ColumnAssociativeCache {
             None
         };
         self.lines[a] = if displaced.valid {
+            unicache_obs::count(unicache_obs::Event::ColumnDisplace);
             self.stats.record_relocation();
             Line {
                 rehash: true,

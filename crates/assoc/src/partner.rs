@@ -200,6 +200,9 @@ impl PartnerIndexCache {
             self.lines[cold].lent = true;
             pairs += 1;
         }
+        unicache_obs::count(unicache_obs::Event::PartnerRepartner);
+        unicache_obs::count_by(unicache_obs::Event::PartnerPairFormed, pairs as u64);
+        unicache_obs::observe(unicache_obs::HistEvent::PartnerEpochPairs, pairs as u64);
         self.epoch_accesses.iter_mut().for_each(|c| *c = 0);
         self.epoch_misses.iter_mut().for_each(|c| *c = 0);
     }
@@ -218,6 +221,7 @@ impl CacheModel for PartnerIndexCache {
         if is_write {
             self.stats.record_write();
         }
+        unicache_obs::count(unicache_obs::Event::PartnerProbe);
         let p = (block & (self.lines.len() as u64 - 1)) as usize;
         self.epoch_accesses[p] += 1;
         self.since_repair += 1;
@@ -231,6 +235,7 @@ impl CacheModel for PartnerIndexCache {
             }
             outcome = HitWhere::Primary;
         } else if self.lines[p].linked {
+            unicache_obs::count(unicache_obs::Event::PartnerSecondProbe);
             let q = self.lines[p].partner;
             if self.lines[q].valid && self.lines[q].block == block {
                 // Partner hit: swap so the hot block moves to the primary
@@ -259,6 +264,7 @@ impl CacheModel for PartnerIndexCache {
                 self.epoch_misses[p] += 1;
                 let displaced = self.lines[p];
                 if displaced.valid {
+                    unicache_obs::count(unicache_obs::Event::PartnerLend);
                     if self.lines[q].valid {
                         evicted = Some(self.lines[q].block);
                         self.stats.record_eviction(q);

@@ -119,6 +119,7 @@ impl CacheModel for SkewedCache {
         if is_write {
             self.stats.record_write();
         }
+        unicache_obs::count(unicache_obs::Event::SkewedProbe);
         let (i0, i1) = (self.f0(block), self.f1(block));
 
         // Parallel probe of both banks.

@@ -61,6 +61,7 @@ pub fn min_misses_blocks(blocks: &[BlockAddr], capacity_lines: usize) -> u64 {
             // entry, so the drain always finds one before emptying.
             while let Some((stamp, cand)) = heap.pop() {
                 if resident.get(&cand) == Some(&stamp) {
+                    unicache_obs::count(unicache_obs::Event::BeladyEvict);
                     resident.remove(&cand);
                     break;
                 }

@@ -164,6 +164,7 @@ impl CacheModel for Cache {
         if is_write {
             self.stats.record_write();
         }
+        unicache_obs::count(unicache_obs::Event::CacheProbe);
         let set = self.index.index_block(block);
         if self.sets[set].lookup(block, is_write).is_some() {
             self.stats.record(set, HitWhere::Primary);

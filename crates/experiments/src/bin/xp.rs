@@ -3,38 +3,42 @@
 //! ```text
 //! xp <fig1|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|
 //!     classify|patel|belady|select|all> [--scale tiny|small|large] [--csv]
-//!    [--timing] [--timing-json FILE]
+//!    [--timing] [--timing-json FILE] [--metrics-json FILE] [--trace-out FILE]
 //! ```
 //!
-//! `--timing` prints per-experiment wall-clock to stderr plus a summary
-//! of the [`SimStore`]'s work: simulations run vs served from cache, and
-//! aggregate records/sec through the batched engine. `--timing-json`
-//! additionally writes the same numbers as JSON (the CI perf artifact).
+//! Rendering lives in [`unicache_experiments::runner`]; this binary only
+//! parses arguments, prints, and writes the report artifacts:
+//!
+//! * `--timing` prints per-experiment wall-clock to stderr plus a summary
+//!   of the [`SimStore`]'s work: simulations run vs served from cache, and
+//!   aggregate records/sec through the batched engine. `--timing-json`
+//!   additionally writes the same numbers as JSON (the CI perf artifact).
+//! * `--metrics-json` writes the deterministic observability metrics
+//!   (event counters, histograms, span counts — no wall-clock, byte-
+//!   identical across runs). Meaningful with the `obs` feature; without
+//!   it the counters section is all zeros and `obs_enabled` is false.
+//! * `--trace-out` writes completed spans in Chrome trace-event format
+//!   (load into `chrome://tracing` / Perfetto; timestamps are logical
+//!   ticks, not wall time).
 
 use std::env;
 use std::process::ExitCode;
 use std::time::Instant; // uca:allow(wallclock) -- `--timing` measures real elapsed time
-use unicache_experiments::figures;
-use unicache_experiments::{tune_allocator_for_traces, ExperimentTable, SimStore};
+use unicache_experiments::{
+    render_experiment, tune_allocator_for_traces, SimStore, ALL_EXPERIMENTS,
+};
 use unicache_workloads::{Scale, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: xp <experiment> [--scale tiny|small|large] [--csv] [--timing] [--timing-json FILE]\n\
+         \x20         [--metrics-json FILE] [--trace-out FILE]\n\
          (fig1 also takes an optional workload name, e.g. `xp fig1 susan`)\n\
          experiments: fig1 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
                       classify patel belady generalize idx-amat assoc-sweep\n\
                       hierarchy icache online workloads phases select all"
     );
     ExitCode::from(2)
-}
-
-fn emit(table: ExperimentTable, csv: bool) {
-    if csv {
-        print!("{}", table.to_csv());
-    } else {
-        println!("{}", table.render());
-    }
 }
 
 /// One `--timing` sample: an experiment name and its wall-clock seconds.
@@ -83,6 +87,12 @@ fn report_timing(store: &SimStore, phases: &[Phase], total_secs: f64, json_path:
     }
 }
 
+fn write_artifact(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("xp: cannot write {path}: {e}");
+    }
+}
+
 fn main() -> ExitCode {
     tune_allocator_for_traces();
     let args: Vec<String> = env::args().skip(1).collect();
@@ -92,6 +102,8 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut timing = false;
     let mut timing_json: Option<String> = None;
+    let mut metrics_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -113,6 +125,20 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--metrics-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => metrics_json = Some(p.clone()),
+                    None => return usage(),
+                }
+            }
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => trace_out = Some(p.clone()),
+                    None => return usage(),
+                }
+            }
             a if which.is_none() && !a.starts_with('-') => which = Some(a.to_string()),
             a if which.as_deref() == Some("fig1") && Workload::from_name(a).is_some() => {
                 fig1_workload = Workload::from_name(a).expect("checked above");
@@ -124,88 +150,23 @@ fn main() -> ExitCode {
     let Some(which) = which else { return usage() };
     let store = SimStore::new(scale);
 
-    let run_one = |name: &str, store: &SimStore, csv: bool| -> bool {
-        match name {
-            "fig1" => {
-                let r = figures::fig1::report(store, fig1_workload);
-                print!("{}", r.render());
-            }
-            "fig4" => emit(figures::indexing::fig4(store), csv),
-            "fig6" => emit(figures::assoc::fig6(store), csv),
-            "fig7" => emit(figures::assoc::fig7(store), csv),
-            "fig8" => emit(figures::hybrid::fig8(store), csv),
-            "fig9" => emit(figures::indexing::fig9(store), csv),
-            "fig10" => emit(figures::indexing::fig10(store), csv),
-            "fig11" => emit(figures::assoc::fig11(store), csv),
-            "fig12" => emit(figures::assoc::fig12(store), csv),
-            "fig13" => emit(figures::smt::fig13(store), csv),
-            "fig14" => emit(figures::smt::fig14(store), csv),
-            "classify" => emit(figures::extras::classification(store), csv),
-            "patel" => emit(figures::extras::patel(store, 10_000, 7), csv),
-            "belady" => emit(figures::extras::belady_bound(store), csv),
-            "generalize" => emit(figures::extras::givargis_generalization(store), csv),
-            "idx-amat" => emit(figures::extras::indexing_amat(store), csv),
-            "assoc-sweep" => emit(figures::sweeps::associativity(store), csv),
-            "online" => emit(figures::extras::online_selection(store), csv),
-            "workloads" => emit(figures::extras::workload_characterization(store), csv),
-            "phases" => emit(figures::extras::phase_stability(store), csv),
-            "hierarchy" => emit(figures::sweeps::hierarchy_cycles(store), csv),
-            "icache" => emit(figures::sweeps::icache(store), csv),
-            "select" => {
-                let t = figures::extras::scheme_selection(store);
-                emit(t.clone(), csv);
-                if !csv {
-                    println!("selected technique per application:");
-                    for (w, s, v) in figures::extras::winners(&t) {
-                        println!("  {w:12} -> {s} ({v:+.2}%)");
-                    }
-                }
-            }
-            _ => return false,
-        }
-        true
-    };
-
     let started = Instant::now(); // uca:allow(wallclock)
     let mut phases: Vec<Phase> = Vec::new();
     let mut timed_run = |name: &str| -> bool {
         let t0 = Instant::now(); // uca:allow(wallclock)
-        let ok = run_one(name, &store, csv);
-        if ok {
-            phases.push(Phase {
-                name: name.to_string(),
-                secs: t0.elapsed().as_secs_f64(),
-            });
-        }
-        ok
+        let Some(out) = render_experiment(&store, name, csv, fig1_workload) else {
+            return false;
+        };
+        print!("{out}");
+        phases.push(Phase {
+            name: name.to_string(),
+            secs: t0.elapsed().as_secs_f64(),
+        });
+        true
     };
 
     if which == "all" {
-        for name in [
-            "fig1",
-            "fig4",
-            "fig6",
-            "fig7",
-            "fig8",
-            "fig9",
-            "fig10",
-            "fig11",
-            "fig12",
-            "fig13",
-            "fig14",
-            "classify",
-            "patel",
-            "belady",
-            "generalize",
-            "idx-amat",
-            "assoc-sweep",
-            "hierarchy",
-            "icache",
-            "online",
-            "workloads",
-            "phases",
-            "select",
-        ] {
+        for name in ALL_EXPERIMENTS {
             if !timed_run(name) {
                 return usage();
             }
@@ -221,6 +182,12 @@ fn main() -> ExitCode {
             started.elapsed().as_secs_f64(),
             timing_json.as_deref(),
         );
+    }
+    if let Some(path) = metrics_json.as_deref() {
+        write_artifact(path, &unicache_experiments::metrics_json(&store));
+    }
+    if let Some(path) = trace_out.as_deref() {
+        write_artifact(path, &unicache_obs::snapshot().to_chrome_trace());
     }
     ExitCode::SUCCESS
 }

@@ -19,11 +19,13 @@
 //! | [`figures::extras`] | §IV.C classification, Patel search, Belady bound, scheme selection |
 
 pub mod figures;
+pub mod runner;
 pub mod selector;
 pub mod simstore;
 pub mod store;
 pub mod table;
 
+pub use runner::{metrics_json, render_all, render_experiment, ALL_EXPERIMENTS};
 pub use selector::OnlineSelector;
 pub use simstore::{SchemeId, SimStore};
 pub use store::TraceStore;

@@ -200,6 +200,7 @@ impl SimStore {
     pub fn stream(&self, w: Workload, line_bytes: u64) -> Arc<BlockStream> {
         let cell = Self::cell_of(&self.streams, (w, line_bytes));
         Arc::clone(cell.get_or_init(|| {
+            let _span = unicache_obs::span("stream-decode");
             let trace = self.traces.get(w);
             Arc::new(BlockStream::from_records(trace.records(), line_bytes))
         }))
@@ -210,6 +211,7 @@ impl SimStore {
     pub fn unique_blocks(&self, w: Workload, line_bytes: u64) -> Arc<Vec<BlockAddr>> {
         let cell = Self::cell_of(&self.uniques, (w, line_bytes));
         Arc::clone(cell.get_or_init(|| {
+            let _span = unicache_obs::span("unique-blocks");
             let trace = self.traces.get(w);
             Arc::new(trace.unique_blocks(line_bytes))
         }))
@@ -220,6 +222,7 @@ impl SimStore {
     pub fn merged_trace(&self, mix: &[Workload], policy: InterleavePolicy) -> Arc<Trace> {
         let cell = Self::cell_of(&self.merged, (mix.to_vec(), policy));
         Arc::clone(cell.get_or_init(|| {
+            let _span = unicache_obs::span("merge-traces");
             let traces: Vec<Arc<Trace>> = mix.iter().map(|&w| self.traces.get(w)).collect();
             let refs: Vec<&Trace> = traces.iter().map(|t| &**t).collect();
             Arc::new(interleave_refs(&refs, policy))
@@ -242,6 +245,7 @@ impl SimStore {
         if pending.is_empty() {
             return;
         }
+        let _span = unicache_obs::span("simulate");
         let training = if pending.iter().any(|(s, _)| s.needs_training()) {
             Some(self.unique_blocks(w, geom.line_bytes()))
         } else {

@@ -49,7 +49,10 @@ impl TraceStore {
     /// once across all threads.
     pub fn get(&self, w: Workload) -> Arc<Trace> {
         let cell = self.cell(w);
-        Arc::clone(cell.get_or_init(|| Arc::new(w.generate(self.scale))))
+        Arc::clone(cell.get_or_init(|| {
+            let _span = unicache_obs::span("trace-gen");
+            Arc::new(w.generate(self.scale))
+        }))
     }
 
     /// Pre-generates a set of workloads in parallel.

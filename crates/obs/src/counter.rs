@@ -1,0 +1,90 @@
+//! The pure counter algebra: a fixed-size value set with a merge.
+//!
+//! [`CounterSet`] is plain data — always compiled, independent of the
+//! `enabled` feature — so tests can state algebraic laws (merge is
+//! associative and commutative, the identity is the zero set) without
+//! touching the global sinks. The global layer in the crate root is a
+//! thin atomic mirror of this type.
+
+use crate::event::Event;
+
+/// One value per declared [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSet {
+    values: [u64; Event::COUNT],
+}
+
+impl Default for CounterSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CounterSet {
+    /// The zero set (merge identity).
+    pub const fn new() -> Self {
+        CounterSet {
+            values: [0; Event::COUNT],
+        }
+    }
+
+    /// Adds `n` to one counter (wrapping, like the atomic sink).
+    pub fn add(&mut self, e: Event, n: u64) {
+        let slot = &mut self.values[e.index()];
+        *slot = slot.wrapping_add(n);
+    }
+
+    /// Current value of one counter.
+    pub fn get(&self, e: Event) -> u64 {
+        self.values[e.index()]
+    }
+
+    /// Element-wise wrapping sum — the merge used when combining counter
+    /// sets from independent shards. Wrapping `u64` addition is
+    /// associative and commutative, so the merge order of shards can
+    /// never change the total (property-tested in `tests/obs_props.rs`).
+    pub fn merge(&self, other: &CounterSet) -> CounterSet {
+        let mut out = CounterSet::new();
+        for (slot, (a, b)) in out
+            .values
+            .iter_mut()
+            .zip(self.values.iter().zip(other.values.iter()))
+        {
+            *slot = a.wrapping_add(*b);
+        }
+        out
+    }
+
+    /// True if every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.values.iter().all(|&v| v == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut c = CounterSet::new();
+        assert!(c.is_zero());
+        c.add(Event::ColumnSwap, 3);
+        c.add(Event::ColumnSwap, 2);
+        assert_eq!(c.get(Event::ColumnSwap), 5);
+        assert_eq!(c.get(Event::ColumnProbe), 0);
+        assert!(!c.is_zero());
+    }
+
+    #[test]
+    fn merge_identity_and_symmetry() {
+        let mut a = CounterSet::new();
+        a.add(Event::BcacheProbe, 7);
+        let zero = CounterSet::new();
+        assert_eq!(a.merge(&zero), a);
+        let mut b = CounterSet::new();
+        b.add(Event::BcacheProbe, 4);
+        b.add(Event::BeladyEvict, 1);
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+}

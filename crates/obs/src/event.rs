@@ -1,0 +1,216 @@
+//! The closed registries of countable events and histogram series.
+//!
+//! Every mechanism counter the simulators emit is declared here, in one
+//! flat enum, so the storage for *all* counters is a fixed-size array —
+//! no allocation, no hashing, no locks on the hot path — and a snapshot
+//! can enumerate every counter without consulting the emitting crates.
+
+/// One countable hot-path event.
+///
+/// Naming convention: `<scheme>.<mechanism>` (the dotted form returned by
+/// [`Event::name`] is the stable key used in `--metrics-json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// Column-associative: first-probe lookup (one per access).
+    ColumnProbe,
+    /// Column-associative: second probe of the alternate ("column") set.
+    ColumnSecondProbe,
+    /// Column-associative: secondary hit swapped the pair of lines.
+    ColumnSwap,
+    /// Column-associative: rehashed resident reclaimed by its
+    /// conventional owner without a second probe.
+    ColumnReclaim,
+    /// Column-associative: miss in both sets displaced the primary
+    /// resident into the alternate set (rehash bit set).
+    ColumnDisplace,
+    /// Partner-index: primary-set lookup (one per access).
+    PartnerProbe,
+    /// Partner-index: probe of the linked partner set.
+    PartnerSecondProbe,
+    /// Partner-index: displaced primary resident lent (spilled) into the
+    /// partner set.
+    PartnerLend,
+    /// Partner-index: epoch boundary re-ran the hot/cold pairing.
+    PartnerRepartner,
+    /// Partner-index: hot/cold links formed across all repartnerings.
+    PartnerPairFormed,
+    /// B-cache: cluster lookup (one per access).
+    BcacheProbe,
+    /// B-cache: programmable-decoder line comparisons performed.
+    BcacheLineCompare,
+    /// B-cache: a miss fill reprogrammed a line's decoder.
+    BcacheDecoderReprogram,
+    /// Adaptive group-associative: primary-set lookup (one per access).
+    AdaptiveProbe,
+    /// Adaptive group-associative: miss whose victim the SHT marked
+    /// non-disposable (the set-reference history protected it).
+    AdaptiveShtHit,
+    /// Adaptive group-associative: hit served through the OUT directory.
+    AdaptiveOutHit,
+    /// Adaptive group-associative: stale OUT entry discarded on probe.
+    AdaptiveOutStale,
+    /// Adaptive group-associative: block moved out of (or back into) its
+    /// primary position.
+    AdaptiveRelocation,
+    /// Skewed cache: dual-bank lookup (one per access).
+    SkewedProbe,
+    /// Conventional set-associative cache: lookup (one per access).
+    CacheProbe,
+    /// Belady MIN: clairvoyant eviction performed.
+    BeladyEvict,
+    /// Hierarchy: L1 primary hit.
+    HierL1Hit,
+    /// Hierarchy: L1 secondary (second-probe / OUT-directory) hit.
+    HierL1SecondaryHit,
+    /// Hierarchy: demand fetch issued to the L2.
+    HierL2Access,
+    /// Hierarchy: demand fetch hit in the L2.
+    HierL2Hit,
+    /// Hierarchy: demand fetch missed the L2 and paid the memory latency.
+    HierMemoryAccess,
+    /// Hierarchy: dirty L1 victim written back into the L2.
+    HierWriteback,
+}
+
+impl Event {
+    /// Number of declared events (the counter-array length).
+    pub const COUNT: usize = 27;
+
+    /// Every event, in declaration order.
+    pub const ALL: [Event; Event::COUNT] = [
+        Event::ColumnProbe,
+        Event::ColumnSecondProbe,
+        Event::ColumnSwap,
+        Event::ColumnReclaim,
+        Event::ColumnDisplace,
+        Event::PartnerProbe,
+        Event::PartnerSecondProbe,
+        Event::PartnerLend,
+        Event::PartnerRepartner,
+        Event::PartnerPairFormed,
+        Event::BcacheProbe,
+        Event::BcacheLineCompare,
+        Event::BcacheDecoderReprogram,
+        Event::AdaptiveProbe,
+        Event::AdaptiveShtHit,
+        Event::AdaptiveOutHit,
+        Event::AdaptiveOutStale,
+        Event::AdaptiveRelocation,
+        Event::SkewedProbe,
+        Event::CacheProbe,
+        Event::BeladyEvict,
+        Event::HierL1Hit,
+        Event::HierL1SecondaryHit,
+        Event::HierL2Access,
+        Event::HierL2Hit,
+        Event::HierMemoryAccess,
+        Event::HierWriteback,
+    ];
+
+    /// Position in the counter array.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stable dotted name used as the metrics-JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::ColumnProbe => "column.probe",
+            Event::ColumnSecondProbe => "column.second_probe",
+            Event::ColumnSwap => "column.swap",
+            Event::ColumnReclaim => "column.reclaim",
+            Event::ColumnDisplace => "column.displace",
+            Event::PartnerProbe => "partner.probe",
+            Event::PartnerSecondProbe => "partner.second_probe",
+            Event::PartnerLend => "partner.lend",
+            Event::PartnerRepartner => "partner.repartner",
+            Event::PartnerPairFormed => "partner.pair_formed",
+            Event::BcacheProbe => "bcache.probe",
+            Event::BcacheLineCompare => "bcache.line_compare",
+            Event::BcacheDecoderReprogram => "bcache.decoder_reprogram",
+            Event::AdaptiveProbe => "adaptive.probe",
+            Event::AdaptiveShtHit => "adaptive.sht_hit",
+            Event::AdaptiveOutHit => "adaptive.out_hit",
+            Event::AdaptiveOutStale => "adaptive.out_stale",
+            Event::AdaptiveRelocation => "adaptive.relocation",
+            Event::SkewedProbe => "skewed.probe",
+            Event::CacheProbe => "cache.probe",
+            Event::BeladyEvict => "belady.evict",
+            Event::HierL1Hit => "hier.l1_hit",
+            Event::HierL1SecondaryHit => "hier.l1_secondary_hit",
+            Event::HierL2Access => "hier.l2_access",
+            Event::HierL2Hit => "hier.l2_hit",
+            Event::HierMemoryAccess => "hier.memory_access",
+            Event::HierWriteback => "hier.writeback",
+        }
+    }
+}
+
+/// One histogram series (distributions, not totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistEvent {
+    /// B-cache: lines examined per cluster walk.
+    BcacheWalk,
+    /// Adaptive group-associative: search distance (sets) scanned to find
+    /// a disposable relocation host.
+    AdaptiveRelocSearch,
+    /// Partner-index: pairs formed per repartnering decision.
+    PartnerEpochPairs,
+}
+
+impl HistEvent {
+    /// Number of declared histogram series.
+    pub const COUNT: usize = 3;
+
+    /// Every series, in declaration order.
+    pub const ALL: [HistEvent; HistEvent::COUNT] = [
+        HistEvent::BcacheWalk,
+        HistEvent::AdaptiveRelocSearch,
+        HistEvent::PartnerEpochPairs,
+    ];
+
+    /// Position in the histogram array.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stable dotted name used as the metrics-JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistEvent::BcacheWalk => "bcache.walk",
+            HistEvent::AdaptiveRelocSearch => "adaptive.reloc_search",
+            HistEvent::PartnerEpochPairs => "partner.epoch_pairs",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_event_exactly_once() {
+        assert_eq!(Event::ALL.len(), Event::COUNT);
+        for (i, e) in Event::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i, "{e:?} out of declaration order");
+        }
+        let mut names: Vec<&str> = Event::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Event::COUNT, "duplicate event name");
+    }
+
+    #[test]
+    fn hist_registry_is_consistent() {
+        assert_eq!(HistEvent::ALL.len(), HistEvent::COUNT);
+        for (i, h) in HistEvent::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+        let mut names: Vec<&str> = HistEvent::ALL.iter().map(|h| h.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), HistEvent::COUNT);
+    }
+}

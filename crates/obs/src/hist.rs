@@ -1,0 +1,135 @@
+//! Power-of-two-bucket histograms.
+//!
+//! Bucket 0 holds the value 0; bucket `i >= 1` holds the half-open
+//! power-of-two range `[2^(i-1), 2^i)`. With 64-bit samples that is 65
+//! buckets total, the last one covering `[2^63, u64::MAX]`. Bucketing is
+//! a pure function of the sample — no configuration — so two runs (or
+//! two shards) always agree on the shape.
+//!
+//! Like [`crate::CounterSet`], [`Histogram`] is plain always-compiled
+//! data; the feature-gated global layer mirrors it with atomics.
+
+/// Number of buckets: one for zero plus one per possible `ilog2`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a sample falls into.
+#[inline(always)]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        1 + v.ilog2() as usize
+    }
+}
+
+/// The inclusive `(lo, hi)` value range of bucket `i`.
+///
+/// Bucket 0 is `(0, 0)`; bucket `i >= 1` is `(2^(i-1), 2^i - 1)` — both
+/// endpoints of every non-zero bucket are derived from exact powers of
+/// two (property-tested in `tests/obs_props.rs`).
+///
+/// # Panics
+/// If `i >= BUCKETS`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket {i} out of range");
+    if i == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (i - 1);
+        let hi = if i == BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        };
+        (lo, hi)
+    }
+}
+
+/// A single power-of-two histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Count in bucket `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Element-wise sum (same merge law as [`crate::CounterSet`]).
+    pub fn merge(&self, other: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (slot, (a, b)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(other.buckets.iter()))
+        {
+            *slot = a.wrapping_add(*b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(1u64 << 63), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bounds_partition_the_u64_range() {
+        let mut expected_lo = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} leaves a gap");
+            assert!(hi >= lo);
+            expected_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_lo, 0, "last bucket must end at u64::MAX");
+    }
+
+    #[test]
+    fn observe_lands_in_bounds() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 8, 1000, u64::MAX] {
+            h.observe(v);
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(v >= lo && v <= hi, "{v} outside bucket {i} [{lo}, {hi}]");
+        }
+        assert_eq!(h.total(), 6);
+    }
+}

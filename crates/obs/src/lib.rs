@@ -1,0 +1,294 @@
+//! `unicache-obs`: deterministic observability for the unicache
+//! simulators.
+//!
+//! Three primitives, all with fixed, closed registries declared in
+//! [`event`]:
+//!
+//! * **Counters** — one [`u64`] per [`Event`], bumped with relaxed
+//!   atomics. Because the simulation layer memoizes each (workload,
+//!   scheme, geometry) run to execute exactly once, and relaxed `u64`
+//!   addition commutes, the final totals are deterministic even when the
+//!   simulations race across threads.
+//! * **Histograms** — power-of-two buckets per [`HistEvent`] for
+//!   distributions (cluster-walk lengths, relocation search distances).
+//! * **Spans** — logical-tick phase brackets recorded by RAII guards
+//!   from [`span()`]. Per-name *counts* are deterministic; tick values and
+//!   thread lanes are scheduling-dependent and therefore only appear in
+//!   the Chrome trace export, never in metrics JSON.
+//!
+//! # Feature gating
+//!
+//! The whole recording layer sits behind the **`enabled`** cargo feature
+//! (off by default). The public API is always present; without the
+//! feature every recording function is an empty `#[inline(always)]`
+//! stub and [`snapshot()`] returns an empty [`Snapshot`], so instrumented
+//! hot paths compile to exactly the uninstrumented code in release
+//! benchmark builds. No wall-clock types are used anywhere: the
+//! workspace determinism lint (`uca lint`) confines `Instant` /
+//! `SystemTime` to `crates/timing`, and this crate keeps to logical
+//! ticks.
+
+pub mod counter;
+pub mod event;
+pub mod hist;
+pub mod snapshot;
+pub mod span;
+
+pub use counter::CounterSet;
+pub use event::{Event, HistEvent};
+pub use hist::{bucket_bounds, bucket_index, Histogram, BUCKETS};
+pub use snapshot::{HistBucket, Snapshot};
+pub use span::{SpanEvent, SpanLog};
+
+/// True when the `enabled` feature compiled the recording layer in.
+#[inline(always)]
+pub fn enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+#[cfg(feature = "enabled")]
+mod global {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    static COUNTERS: [AtomicU64; Event::COUNT] = [const { AtomicU64::new(0) }; Event::COUNT];
+    static HISTS: [[AtomicU64; BUCKETS]; HistEvent::COUNT] =
+        [const { [const { AtomicU64::new(0) }; BUCKETS] }; HistEvent::COUNT];
+    /// The global logical clock: advances once per span open/close.
+    static TICK: AtomicU64 = AtomicU64::new(0);
+    static SPANS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+    static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+    std::thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to the counter for `e`.
+    #[inline(always)]
+    pub fn count_by(e: Event, n: u64) {
+        COUNTERS[e.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of the counter for `e`.
+    pub fn counter_value(e: Event) -> u64 {
+        COUNTERS[e.index()].load(Ordering::Relaxed)
+    }
+
+    /// Records one histogram sample.
+    #[inline(always)]
+    pub fn observe(h: HistEvent, v: u64) {
+        HISTS[h.index()][bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current count in bucket `i` of series `h`.
+    pub fn hist_bucket(h: HistEvent, i: usize) -> u64 {
+        HISTS[h.index()][i].load(Ordering::Relaxed)
+    }
+
+    /// An open span; records a [`SpanEvent`] when dropped.
+    pub struct SpanGuard {
+        name: &'static str,
+        begin: u64,
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            let end = TICK.fetch_add(1, Ordering::Relaxed) + 1;
+            let tid = TID.with(|t| *t);
+            // Poison-safe: a panicking recorder loses its span rather
+            // than cascading the panic through every later drop.
+            if let Ok(mut spans) = SPANS.lock() {
+                spans.push(SpanEvent {
+                    name: self.name,
+                    begin: self.begin,
+                    end,
+                    tid,
+                });
+            }
+        }
+    }
+
+    /// Opens a span closed when the returned guard drops.
+    pub fn span(name: &'static str) -> SpanGuard {
+        let begin = TICK.fetch_add(1, Ordering::Relaxed) + 1;
+        SpanGuard { name, begin }
+    }
+
+    /// Zeroes every counter, histogram and recorded span (test isolation).
+    pub fn reset() {
+        for c in COUNTERS.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        for series in HISTS.iter() {
+            for b in series.iter() {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+        TICK.store(0, Ordering::Relaxed);
+        if let Ok(mut spans) = SPANS.lock() {
+            spans.clear();
+        }
+    }
+
+    /// Captures all sinks into a [`Snapshot`].
+    pub fn snapshot() -> Snapshot {
+        let mut counters: Vec<(&'static str, u64)> = Event::ALL
+            .iter()
+            .map(|&e| (e.name(), counter_value(e)))
+            .collect();
+        counters.sort_by_key(|(name, _)| *name);
+
+        let raw: Vec<(&'static str, [u64; BUCKETS])> = HistEvent::ALL
+            .iter()
+            .map(|&h| {
+                let mut buckets = [0u64; BUCKETS];
+                for (i, slot) in buckets.iter_mut().enumerate() {
+                    *slot = hist_bucket(h, i);
+                }
+                (h.name(), buckets)
+            })
+            .collect();
+        let histograms = Snapshot::hist_section(raw);
+
+        let span_events: Vec<SpanEvent> = match SPANS.lock() {
+            Ok(spans) => spans.clone(),
+            Err(_) => Vec::new(),
+        };
+        let mut by_name: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for ev in &span_events {
+            *by_name.entry(ev.name).or_insert(0) += 1;
+        }
+        let spans = by_name
+            .into_iter()
+            .map(|(name, count)| (name.to_string(), count))
+            .collect();
+
+        Snapshot {
+            enabled: true,
+            counters,
+            histograms,
+            spans,
+            span_events,
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+pub use global::{count_by, counter_value, hist_bucket, observe, reset, snapshot, span, SpanGuard};
+
+/// Adds `n` to the counter for `e` (no-op: `enabled` feature off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn count_by(_e: Event, _n: u64) {}
+
+/// Current value of the counter for `e` (always 0: `enabled` feature off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn counter_value(_e: Event) -> u64 {
+    0
+}
+
+/// Records one histogram sample (no-op: `enabled` feature off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn observe(_h: HistEvent, _v: u64) {}
+
+/// Current count in bucket `i` of series `h` (always 0: `enabled`
+/// feature off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn hist_bucket(_h: HistEvent, _i: usize) -> u64 {
+    0
+}
+
+/// An open span (inert: `enabled` feature off).
+#[cfg(not(feature = "enabled"))]
+pub struct SpanGuard;
+
+/// Opens a span (no-op: `enabled` feature off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard
+}
+
+/// Zeroes every sink (no-op: `enabled` feature off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn reset() {}
+
+/// Captures all sinks (always empty: `enabled` feature off).
+#[cfg(not(feature = "enabled"))]
+pub fn snapshot() -> Snapshot {
+    Snapshot::empty(false)
+}
+
+/// Bumps the counter for `e` by one.
+#[inline(always)]
+pub fn count(e: Event) {
+    count_by(e, 1);
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod global_tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The sinks are process-global; serialize tests that touch them.
+    static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn count_observe_snapshot_reset_roundtrip() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        count(Event::ColumnProbe);
+        count_by(Event::ColumnProbe, 4);
+        observe(HistEvent::BcacheWalk, 3);
+        {
+            let _s = span("phase-a");
+        }
+        let snap = snapshot();
+        assert!(snap.enabled);
+        assert_eq!(counter_value(Event::ColumnProbe), 5);
+        assert!(snap.counters.contains(&("column.probe", 5)));
+        assert_eq!(snap.counters.len(), Event::COUNT, "all events present");
+        let (_, walk) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| *n == "bcache.walk")
+            .expect("walk series present");
+        assert_eq!(
+            walk,
+            &vec![HistBucket {
+                lo: 2,
+                hi: 3,
+                count: 1
+            }]
+        );
+        assert_eq!(snap.spans, vec![("phase-a".to_string(), 1)]);
+        assert_eq!(snap.span_events.len(), 1);
+        assert!(snap.span_events[0].begin < snap.span_events[0].end);
+        reset();
+        let snap = snapshot();
+        assert!(snap.counters.iter().all(|&(_, v)| v == 0));
+        assert!(snap.histograms.iter().all(|(_, b)| b.is_empty()));
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_laminar_ticks() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let snap = snapshot();
+        let inner = snap.span_events.iter().find(|e| e.name == "inner").unwrap();
+        let outer = snap.span_events.iter().find(|e| e.name == "outer").unwrap();
+        assert!(outer.begin < inner.begin && inner.end < outer.end);
+        reset();
+    }
+}

@@ -1,0 +1,128 @@
+//! Logical span events.
+//!
+//! A span brackets a phase (trace generation, a batched simulation, one
+//! experiment) between two readings of a **logical tick counter** — not
+//! the host clock, which the workspace's determinism lints confine to
+//! `crates/timing`. Ticks only order events; they carry no duration
+//! semantics, which is exactly enough for the Chrome trace-event export
+//! to show phase structure and overlap.
+//!
+//! [`SpanLog`] is the pure, instance-based form used by the property
+//! tests: open/close must nest like brackets, and the completed events
+//! must form a laminar family (any two intervals are disjoint or
+//! nested). The global feature-gated layer in the crate root records the
+//! same [`SpanEvent`]s from RAII guards.
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Phase name (static so recording never allocates).
+    pub name: &'static str,
+    /// Logical tick at open.
+    pub begin: u64,
+    /// Logical tick at close (`end >= begin`).
+    pub end: u64,
+    /// Ordinal of the recording thread (Chrome trace lane).
+    pub tid: u64,
+}
+
+/// An instance-based span recorder with a private logical clock.
+#[derive(Debug, Default)]
+pub struct SpanLog {
+    clock: u64,
+    open: Vec<(&'static str, u64)>,
+    events: Vec<SpanEvent>,
+}
+
+impl SpanLog {
+    /// An empty log at tick 0.
+    pub fn new() -> Self {
+        SpanLog::default()
+    }
+
+    /// Opens a span, advancing the logical clock.
+    pub fn open(&mut self, name: &'static str) {
+        self.clock += 1;
+        self.open.push((name, self.clock));
+    }
+
+    /// Closes the innermost open span, recording its event. Returns the
+    /// event, or `None` if no span is open.
+    pub fn close(&mut self) -> Option<SpanEvent> {
+        let (name, begin) = self.open.pop()?;
+        self.clock += 1;
+        let ev = SpanEvent {
+            name,
+            begin,
+            end: self.clock,
+            tid: 0,
+        };
+        self.events.push(ev);
+        Some(ev)
+    }
+
+    /// Number of spans still open.
+    pub fn open_depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Completed events, in close order.
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// True if the completed events are well-formed: every interval has
+    /// `begin < end`, and any two intervals are either disjoint or
+    /// strictly nested (the laminar-family property bracket-style
+    /// open/close always produces).
+    pub fn is_well_formed(&self) -> bool {
+        for ev in &self.events {
+            if ev.begin >= ev.end {
+                return false;
+            }
+        }
+        for (i, a) in self.events.iter().enumerate() {
+            for b in self.events.iter().skip(i + 1) {
+                let disjoint = a.end < b.begin || b.end < a.begin;
+                let a_in_b = b.begin < a.begin && a.end < b.end;
+                let b_in_a = a.begin < b.begin && b.end < a.end;
+                if !(disjoint || a_in_b || b_in_a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_records_laminar_intervals() {
+        let mut log = SpanLog::new();
+        log.open("outer");
+        log.open("inner");
+        assert_eq!(log.open_depth(), 2);
+        let inner = log.close().unwrap();
+        let outer = log.close().unwrap();
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert!(outer.begin < inner.begin && inner.end < outer.end);
+        assert!(log.is_well_formed());
+        assert!(log.close().is_none());
+    }
+
+    #[test]
+    fn siblings_are_disjoint() {
+        let mut log = SpanLog::new();
+        log.open("a");
+        log.close();
+        log.open("b");
+        log.close();
+        let [a, b] = log.events() else { panic!() };
+        assert!(a.end < b.begin);
+        assert!(log.is_well_formed());
+    }
+}

@@ -78,8 +78,14 @@ impl Hierarchy {
             }
         };
         match where_hit {
-            HitWhere::Primary => cost = self.lat.l1_hit,
-            HitWhere::Secondary => cost = self.secondary_cost,
+            HitWhere::Primary => {
+                unicache_obs::count(unicache_obs::Event::HierL1Hit);
+                cost = self.lat.l1_hit;
+            }
+            HitWhere::Secondary => {
+                unicache_obs::count(unicache_obs::Event::HierL1SecondaryHit);
+                cost = self.secondary_cost;
+            }
             HitWhere::MissDirect | HitWhere::MissAfterProbe => {
                 cost = if where_hit == HitWhere::MissDirect {
                     self.lat.l1_hit
@@ -87,17 +93,22 @@ impl Hierarchy {
                     self.secondary_cost
                 };
                 // Fetch the line from L2.
+                unicache_obs::count(unicache_obs::Event::HierL2Access);
                 let l2r = self.l2.access(MemRecord {
                     kind: AccessKind::Read,
                     ..rec
                 });
                 cost += self.lat.l2_hit;
-                if !l2r.is_hit() {
+                if l2r.is_hit() {
+                    unicache_obs::count(unicache_obs::Event::HierL2Hit);
+                } else {
+                    unicache_obs::count(unicache_obs::Event::HierMemoryAccess);
                     cost += self.lat.memory;
                 }
                 // Write back the dirty victim (L2 store, off the critical
                 // path for latency but it perturbs L2 contents).
                 if let Some(victim_block) = evicted {
+                    unicache_obs::count(unicache_obs::Event::HierWriteback);
                     let victim_addr = self.l1d.geometry().block_base(victim_block);
                     self.l2
                         .access(MemRecord::write(victim_addr).with_tid(rec.tid));

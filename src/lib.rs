@@ -50,12 +50,14 @@
 //! | [`trace`] | `unicache-trace` | simulated address space, instrumented memory, trace I/O |
 //! | [`workloads`] | `unicache-workloads` | 11 MiBench-like + 10 SPEC-like instrumented kernels |
 //! | [`stats`] | `unicache-stats` | kurtosis/skewness, FHS/FMS/LAS, Gini/entropy |
+//! | [`obs`] | `unicache-obs` | deterministic event counters, histograms, span tracing |
 //! | [`experiments`] | `unicache-experiments` | one runner per paper figure (`xp` binary) |
 
 pub use unicache_assoc as assoc;
 pub use unicache_core as core;
 pub use unicache_experiments as experiments;
 pub use unicache_indexing as indexing;
+pub use unicache_obs as obs;
 pub use unicache_sim as sim;
 pub use unicache_smt as smt;
 pub use unicache_stats as stats;

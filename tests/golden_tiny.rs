@@ -1,0 +1,62 @@
+//! Golden-trace regression: `xp all --scale tiny` must reproduce the
+//! committed transcript byte for byte.
+//!
+//! The entire workspace is deterministic — synthetic workloads, seeded
+//! RNG shims, fixed-point rendering — so any byte of drift in this
+//! transcript is a behaviour change, not noise. The test renders
+//! in-process through [`unicache::experiments::render_all`], which is
+//! exactly what the `xp` binary prints (see `crates/experiments/src/
+//! runner.rs`), so no subprocess or binary path is involved.
+//!
+//! To refresh after an *intentional* change:
+//!
+//! ```text
+//! cargo run --release --bin xp -- all --scale tiny > tests/golden_tiny.txt
+//! ```
+//!
+//! and explain the drift in the commit message.
+
+use unicache::prelude::*;
+
+const GOLDEN: &str = include_str!("golden_tiny.txt");
+
+/// Reports the first differing line with context, so a drift failure
+/// shows *where* the transcript changed rather than two 24 kB blobs.
+fn first_diff(got: &str, want: &str) -> String {
+    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        if g != w {
+            return format!(
+                "first diff at line {}:\n  got:  {g:?}\n  want: {w:?}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "one transcript is a prefix of the other (got {} lines, want {})",
+        got.lines().count(),
+        want.lines().count()
+    )
+}
+
+#[test]
+fn xp_all_tiny_matches_committed_golden() {
+    let store = SimStore::new(Scale::Tiny);
+    let got = unicache::experiments::render_all(&store, false, Workload::Fft);
+    assert!(
+        got == GOLDEN,
+        "tiny-scale transcript drifted from tests/golden_tiny.txt\n{}",
+        first_diff(&got, GOLDEN)
+    );
+}
+
+#[test]
+fn golden_covers_every_registered_experiment() {
+    // The transcript stays honest: every experiment in the registry has
+    // its banner in the golden file, so nobody can add a figure without
+    // extending the regression surface.
+    assert_eq!(unicache::experiments::ALL_EXPERIMENTS.len(), 23);
+    for name in ["Fig. 1", "Fig. 4", "Fig. 6", "Fig. 7", "Fig. 13", "Fig. 14"] {
+        assert!(GOLDEN.contains(name), "golden transcript lost {name}");
+    }
+    assert!(GOLDEN.contains("selected technique per application"));
+}

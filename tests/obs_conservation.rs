@@ -1,0 +1,209 @@
+//! Conservation laws tying the `unicache-obs` hot-path counters to the
+//! `CacheStats` every model already keeps. The two are maintained by
+//! independent code paths (the stats by each model's bookkeeping, the
+//! counters by the instrumentation calls), so agreement here means the
+//! instrumentation is measuring what it claims to measure — and, because
+//! the counter reads are exact equalities, that it is not perturbing or
+//! double-counting the hot path.
+//!
+//! Under `cargo test` the root dev-dependency turns the obs `enabled`
+//! feature on, so the counters are live; if this binary is ever built
+//! without it, the tests skip rather than fail.
+//!
+//! The analysis crate runs the same class of invariants over its own LCG
+//! stream (`uca check`, counter-conservation group); this suite drives a
+//! different trace source (`trace::synth`) through the public facade.
+
+use std::sync::Mutex;
+use unicache::assoc::PartnerConfig;
+use unicache::prelude::*;
+use unicache::trace::synth;
+
+/// The global counter sinks are process-wide; serialize every test that
+/// resets and reads them. Lock, reset, run, read — all inside the guard.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn geom() -> CacheGeometry {
+    CacheGeometry::from_sets(64, 32, 1).unwrap()
+}
+
+/// Resets the counters and drives a fresh synthetic trace through the
+/// model, returning its final stats. Callers must hold [`OBS_LOCK`].
+fn drive(model: &mut dyn CacheModel, seed: u64) -> CacheStats {
+    unicache_obs::reset();
+    let trace = synth::uniform_rw(seed, 12_000, 0x4000, 1 << 15, 0.25);
+    model.run(trace.records());
+    model.stats().clone()
+}
+
+fn outcome_sum(s: &CacheStats) -> u64 {
+    s.primary_hits + s.secondary_hits + s.misses_direct + s.misses_after_probe
+}
+
+macro_rules! obs_guard {
+    () => {{
+        if !unicache_obs::enabled() {
+            eprintln!("unicache-obs built without `enabled`; skipping");
+            return;
+        }
+        OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }};
+}
+
+#[test]
+fn baseline_probes_once_per_access() {
+    use unicache_obs::Event;
+    let _guard = obs_guard!();
+    let mut c = CacheBuilder::new(geom()).build().unwrap();
+    let s = drive(&mut c, 101);
+    assert_eq!(unicache_obs::counter_value(Event::CacheProbe), s.accesses());
+    assert_eq!(outcome_sum(&s), s.accesses());
+    assert_eq!(s.accesses(), 12_000);
+}
+
+#[test]
+fn column_associative_swap_and_reclaim_accounting() {
+    use unicache_obs::Event;
+    let _guard = obs_guard!();
+    let mut c = ColumnAssociativeCache::new(geom()).unwrap();
+    let s = drive(&mut c, 202);
+    assert_eq!(
+        unicache_obs::counter_value(Event::ColumnProbe),
+        s.accesses()
+    );
+    // The alternate set is probed exactly when the first probe misses and
+    // the access doesn't end as a direct (rehash-bit) miss.
+    assert_eq!(
+        unicache_obs::counter_value(Event::ColumnSecondProbe),
+        s.secondary_hits + s.misses_after_probe
+    );
+    // Every secondary hit swaps the pair; every direct miss reclaims a
+    // rehashed line; together swaps and displacements are the relocations.
+    assert_eq!(
+        unicache_obs::counter_value(Event::ColumnSwap),
+        s.secondary_hits
+    );
+    assert_eq!(
+        unicache_obs::counter_value(Event::ColumnReclaim),
+        s.misses_direct
+    );
+    assert_eq!(
+        unicache_obs::counter_value(Event::ColumnSwap)
+            + unicache_obs::counter_value(Event::ColumnDisplace),
+        s.relocations
+    );
+}
+
+#[test]
+fn bcache_walk_histogram_totals_accesses() {
+    use unicache_obs::{Event, HistEvent, BUCKETS};
+    let _guard = obs_guard!();
+    let mut c = BCache::new(geom()).unwrap();
+    let s = drive(&mut c, 303);
+    assert_eq!(
+        unicache_obs::counter_value(Event::BcacheProbe),
+        s.accesses()
+    );
+    // One walk-length sample per access, and the decoder reprograms on
+    // exactly the misses.
+    let walk_total: u64 = (0..BUCKETS)
+        .map(|i| unicache_obs::hist_bucket(HistEvent::BcacheWalk, i))
+        .sum();
+    assert_eq!(walk_total, s.accesses());
+    assert_eq!(
+        unicache_obs::counter_value(Event::BcacheDecoderReprogram),
+        s.misses()
+    );
+    assert!(unicache_obs::counter_value(Event::BcacheLineCompare) >= s.accesses());
+}
+
+#[test]
+fn adaptive_directory_accounting() {
+    use unicache_obs::Event;
+    let _guard = obs_guard!();
+    let mut c = AdaptiveGroupCache::new(geom()).unwrap();
+    let s = drive(&mut c, 404);
+    assert_eq!(
+        unicache_obs::counter_value(Event::AdaptiveProbe),
+        s.accesses()
+    );
+    // OUT-directory hits are the secondary hits; SHT lookups that still
+    // miss are the probed misses; relocation events match the stats.
+    assert_eq!(
+        unicache_obs::counter_value(Event::AdaptiveOutHit),
+        s.secondary_hits
+    );
+    assert_eq!(
+        unicache_obs::counter_value(Event::AdaptiveShtHit),
+        s.misses_after_probe
+    );
+    assert_eq!(
+        unicache_obs::counter_value(Event::AdaptiveRelocation),
+        s.relocations
+    );
+}
+
+#[test]
+fn partner_epoch_accounting() {
+    use unicache_obs::Event;
+    let _guard = obs_guard!();
+    let cfg = PartnerConfig {
+        epoch: 1024,
+        max_pairs: 16,
+    };
+    let mut c = PartnerIndexCache::with_config(geom(), cfg).unwrap();
+    let s = drive(&mut c, 505);
+    assert_eq!(
+        unicache_obs::counter_value(Event::PartnerProbe),
+        s.accesses()
+    );
+    assert_eq!(
+        unicache_obs::counter_value(Event::PartnerSecondProbe),
+        s.secondary_hits + s.misses_after_probe
+    );
+    // Repartnering fires once per completed epoch, no more, no less.
+    assert_eq!(
+        unicache_obs::counter_value(Event::PartnerRepartner),
+        s.accesses() / cfg.epoch
+    );
+    assert!(unicache_obs::counter_value(Event::PartnerLend) <= s.misses_after_probe);
+}
+
+#[test]
+fn skewed_probes_once_per_access() {
+    use unicache_obs::Event;
+    let _guard = obs_guard!();
+    let mut c = SkewedCache::new(geom()).unwrap();
+    let s = drive(&mut c, 606);
+    assert_eq!(
+        unicache_obs::counter_value(Event::SkewedProbe),
+        s.accesses()
+    );
+    assert_eq!(outcome_sum(&s), s.accesses());
+}
+
+#[test]
+fn reset_zeroes_every_counter() {
+    use unicache_obs::Event;
+    let _guard = obs_guard!();
+    let mut c = CacheBuilder::new(geom()).build().unwrap();
+    drive(&mut c, 707);
+    assert!(unicache_obs::counter_value(Event::CacheProbe) > 0);
+    unicache_obs::reset();
+    for e in Event::ALL {
+        assert_eq!(
+            unicache_obs::counter_value(e),
+            0,
+            "{} survived reset",
+            e.name()
+        );
+    }
+    let snap = unicache_obs::snapshot();
+    assert!(snap.counters.iter().all(|&(_, v)| v == 0));
+    // Each histogram keeps its name in the snapshot (stable JSON shape)
+    // but loses every bucket.
+    assert!(snap
+        .histograms
+        .iter()
+        .all(|(_, buckets)| buckets.is_empty()));
+}

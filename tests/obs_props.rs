@@ -1,0 +1,110 @@
+//! Property tests for the pure `unicache-obs` primitives: the counter
+//! merge algebra, the power-of-two histogram bucketing, and span-log
+//! well-formedness. These are the laws the global (atomic, feature-gated)
+//! layer relies on for determinism — commutative merges mean shard order
+//! can never change a total.
+
+use proptest::prelude::*;
+use unicache_obs::{bucket_bounds, bucket_index, CounterSet, Event, Histogram, SpanLog, BUCKETS};
+
+/// Builds a [`CounterSet`] from `(event ordinal, amount)` pairs.
+fn counter_set(adds: &[(usize, u64)]) -> CounterSet {
+    let mut c = CounterSet::new();
+    for &(i, n) in adds {
+        c.add(Event::ALL[i % Event::COUNT], n);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn counter_merge_is_commutative_and_associative(
+        xs in proptest::collection::vec((0usize..Event::COUNT, 0u64..1 << 48), 0..16),
+        ys in proptest::collection::vec((0usize..Event::COUNT, 0u64..1 << 48), 0..16),
+        zs in proptest::collection::vec((0usize..Event::COUNT, 0u64..1 << 48), 0..16),
+    ) {
+        let (a, b, c) = (counter_set(&xs), counter_set(&ys), counter_set(&zs));
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        // The zero set is the merge identity, and merging equals replaying
+        // both add sequences into one set (shard-split transparency).
+        prop_assert_eq!(a.merge(&CounterSet::new()), a);
+        let mut both = xs.clone();
+        both.extend_from_slice(&ys);
+        prop_assert_eq!(a.merge(&b), counter_set(&both));
+    }
+
+    #[test]
+    fn every_sample_lands_in_its_bucket_bounds(v in proptest::num::u64::ANY) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn bucket_bounds_are_exact_powers_of_two(i in 1usize..BUCKETS) {
+        // Every non-zero bucket is [2^(i-1), 2^i - 1]: the low endpoint is
+        // an exact power of two and the high endpoint is one less than the
+        // next power (saturating at u64::MAX for the last bucket).
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo.is_power_of_two(), "bucket {i} lo {lo}");
+        prop_assert_eq!(lo, 1u64 << (i - 1));
+        if i < BUCKETS - 1 {
+            prop_assert_eq!(hi, (1u64 << i) - 1);
+        } else {
+            prop_assert_eq!(hi, u64::MAX);
+        }
+        // Both endpoints map back into the bucket they bound.
+        prop_assert_eq!(bucket_index(lo), i);
+        prop_assert_eq!(bucket_index(hi), i);
+    }
+
+    #[test]
+    fn histogram_merge_preserves_totals(
+        xs in proptest::collection::vec(proptest::num::u64::ANY, 0..64),
+        ys in proptest::collection::vec(proptest::num::u64::ANY, 0..64),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &v in &xs { a.observe(v); }
+        for &v in &ys { b.observe(v); }
+        let merged = a.merge(&b);
+        prop_assert_eq!(merged.total(), (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        // Merging equals observing the concatenation.
+        let mut both = Histogram::new();
+        for &v in xs.iter().chain(ys.iter()) { both.observe(v); }
+        prop_assert_eq!(merged, both);
+    }
+
+    #[test]
+    fn bracketed_span_logs_are_always_well_formed(
+        ops in proptest::collection::vec(proptest::bool::ANY, 0..64),
+    ) {
+        // Any sequence of open/close operations — including closes with
+        // nothing open, which are no-ops — yields a laminar event family.
+        static NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+        let mut log = SpanLog::new();
+        let mut expected_open = 0usize;
+        for (k, &open) in ops.iter().enumerate() {
+            if open {
+                log.open(NAMES[k % NAMES.len()]);
+                expected_open += 1;
+            } else if log.close().is_some() {
+                expected_open -= 1;
+            }
+            prop_assert_eq!(log.open_depth(), expected_open);
+        }
+        prop_assert!(log.is_well_formed());
+        // Draining the remaining opens keeps it well-formed and empties it.
+        while log.close().is_some() {}
+        prop_assert_eq!(log.open_depth(), 0);
+        prop_assert!(log.is_well_formed());
+        for ev in log.events() {
+            prop_assert!(ev.begin < ev.end);
+        }
+    }
+}
