@@ -15,14 +15,19 @@
 //!   kernels); use the `unicache_core::cast` checked helpers.
 //! * **`wallclock`** — no `Instant`/`SystemTime` outside `crates/timing`;
 //!   simulated results must not depend on the host clock.
+//! * **`thread-outside-exec`** — no `thread::spawn`/`thread::scope`/
+//!   `thread::Builder` outside `crates/exec`; ad-hoc threading bypasses
+//!   the deterministic executor's canonical job ordering, so all
+//!   parallelism must route through `unicache_exec::map` (which `xp
+//!   --jobs N` governs).
 //!
 //! A trailing `// uca:allow(rule)` comment suppresses a rule on that line
 //! (used where wall-clock time is the *point*, e.g. `xp --timing`).
 //! The lexer strips comments and string/char literals and blanks
-//! `#[cfg(test)]` modules before matching, so doc text and test-only code
-//! never trip a rule. [`self_test`] seeds one violation per rule into
-//! in-memory fixtures and asserts each is detected and each allow-escape
-//! suppresses it.
+//! `#[cfg(test)]` / `#[cfg(all(test, …))]` modules before matching, so
+//! doc text and test-only code never trip a rule. [`self_test`] seeds one
+//! violation per rule into in-memory fixtures and asserts each is
+//! detected and each allow-escape suppresses it.
 
 use std::fs;
 use std::io;
@@ -75,6 +80,14 @@ const NARROWING_CAST_FILES: &[&str] = &["crates/core/src/geometry.rs", "crates/c
 
 /// The only crate allowed to read the host clock.
 const WALLCLOCK_CRATE: &str = "timing";
+
+/// The only crate allowed to spawn or scope threads.
+const THREAD_CRATE: &str = "exec";
+
+/// Thread-creation forms banned outside [`THREAD_CRATE`]. `thread_local!`
+/// is deliberately absent: per-thread *storage* (the obs shards) is fine,
+/// per-crate *scheduling* is not.
+const THREAD_NEEDLES: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
 
 const INT_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
@@ -141,6 +154,7 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Violation> {
     let unwrap_scoped = NO_UNWRAP_CRATES.contains(&crate_name);
     let cast_scoped = NARROWING_CAST_FILES.contains(&path);
     let wallclock_scoped = crate_name != WALLCLOCK_CRATE;
+    let thread_scoped = crate_name != THREAD_CRATE;
 
     let mut violations = Vec::new();
     let mut push = |line: usize, rule: &'static str, message: String| {
@@ -192,6 +206,21 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Violation> {
                         lineno,
                         "wallclock",
                         format!("`{ident}` outside crates/timing makes output host-dependent"),
+                    );
+                    break;
+                }
+            }
+        }
+        if thread_scoped {
+            for needle in THREAD_NEEDLES {
+                if line.contains(needle) {
+                    push(
+                        lineno,
+                        "thread-outside-exec",
+                        format!(
+                            "`{needle}` outside crates/exec; route parallelism through \
+                             `unicache_exec::map` so job order stays canonical"
+                        ),
                     );
                     break;
                 }
@@ -464,13 +493,26 @@ fn hashes_follow(bytes: &[u8], from: usize, hashes: usize) -> bool {
     (0..hashes).all(|k| bytes.get(from + k) == Some(&b'#'))
 }
 
-/// Blanks the brace-matched body following every `#[cfg(test)]` attribute
-/// so test-only code is exempt from the lints.
+/// Attribute spellings that mark a test-only item (the second covers
+/// feature-gated test modules like `#[cfg(all(test, feature = "x"))]`).
+const TEST_ATTRS: &[&str] = &["#[cfg(test)]", "#[cfg(all(test,"];
+
+/// The earliest occurrence of any [`TEST_ATTRS`] needle in `text[from..]`,
+/// as `(absolute position, needle length)`.
+fn next_test_attr(text: &str, from: usize) -> Option<(usize, usize)> {
+    TEST_ATTRS
+        .iter()
+        .filter_map(|a| text[from..].find(a).map(|p| (from + p, a.len())))
+        .min()
+}
+
+/// Blanks the brace-matched body following every test-only `#[cfg(...)]`
+/// attribute so test-only code is exempt from the lints.
 fn blank_test_modules(text: &str) -> String {
     let mut out = text.as_bytes().to_vec();
     let mut from = 0;
-    while let Some(pos) = text[from..].find("#[cfg(test)]") {
-        let attr_end = from + pos + "#[cfg(test)]".len();
+    while let Some((pos, attr_len)) = next_test_attr(text, from) {
+        let attr_end = pos + attr_len;
         // Find the body's opening brace (skipping `mod tests`, visibility,
         // further attributes…).
         let Some(open_rel) = text[attr_end..].find('{') else {
@@ -547,6 +589,13 @@ pub fn self_test() -> Result<(), String> {
             path: "crates/stats/src/uca_fixture.rs",
             crate_name: "stats",
             src: "fn f() {\n    let _t = std::time::Instant::now();\n}\n",
+            line: 2,
+        },
+        Fixture {
+            rule: "thread-outside-exec",
+            path: "crates/experiments/src/uca_fixture.rs",
+            crate_name: "experiments",
+            src: "fn f() {\n    std::thread::spawn(|| {}).join().ok();\n}\n",
             line: 2,
         },
     ];
@@ -668,6 +717,26 @@ mod tests {
             lint_source("crates/core/src/geometry.rs", "core", src).len(),
             1
         );
+    }
+
+    #[test]
+    fn thread_rule_scopes_and_storage_exemption() {
+        // crates/exec is the one sanctioned home for thread creation.
+        let src = "fn f() { std::thread::scope(|s| { let _ = s; }); }\n";
+        assert!(lint_source("crates/exec/src/lib.rs", "exec", src).is_empty());
+        assert_eq!(
+            lint_source("crates/experiments/src/x.rs", "experiments", src).len(),
+            1
+        );
+        // Per-thread storage (obs shards) is allowed everywhere.
+        let src = "std::thread_local! { static T: u64 = 0; }\n";
+        assert!(lint_source("crates/obs/src/x.rs", "obs", src).is_empty());
+    }
+
+    #[test]
+    fn feature_gated_test_modules_are_blanked() {
+        let src = "#[cfg(all(test, feature = \"enabled\"))]\nmod tests {\n    fn f() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(lint_source("crates/obs/src/x.rs", "obs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! The CI perf gate: compares two `xp --timing-json` artifacts.
+//!
+//! `xp all --scale small --timing-json BENCH_small.json` writes a flat
+//! report (total seconds, simulations run, records simulated, aggregate
+//! records/sec, plus the executor's `parallel` section). CI keeps a
+//! committed baseline (`BENCH_baseline.json`) and this module decides,
+//! machine-to-machine noise notwithstanding, whether the current run has
+//! regressed:
+//!
+//! * **throughput** — the gate metric is `records_per_sec` (normalised
+//!   per-record cost, so it survives figure additions that change the
+//!   total workload). A drop of more than `max_regress` (default 25%)
+//!   fails the gate.
+//! * **work drift** — `sims_run` / `records_simulated` differences are
+//!   *reported* but never fail the gate: adding a figure legitimately
+//!   grows the workload, and wall totals are not comparable across
+//!   different work amounts.
+//!
+//! [`speedup`] serves the parallel-determinism CI job: given a `--jobs 1`
+//! and a `--jobs N` artifact it returns the wall-clock ratio, gated at
+//! ≥2x for N ≥ 4 on the small scale.
+//!
+//! Parsing is a hand-rolled key scan ([`json_f64`]) because the vendored
+//! serde shim does not deserialize; the artifacts are machine-written
+//! with known keys, so a scan is exact here.
+
+/// The numeric value of `"key": <number>` in `src`, if present.
+///
+/// Scans for the quoted key and parses the number after the colon;
+/// handles integer and decimal forms. Only suitable for flat,
+/// machine-written JSON whose keys appear once (the timing artifacts) —
+/// a nested duplicate key would match whichever comes first.
+pub fn json_f64(src: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = src.find(&needle)? + needle.len();
+    let rest = src[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Integer form of [`json_f64`] (counts like `sims_run`).
+pub fn json_u64(src: &str, key: &str) -> Option<u64> {
+    let v = json_f64(src, key)?;
+    if v < 0.0 {
+        return None;
+    }
+    Some(v as u64)
+}
+
+/// Outcome of a baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Baseline aggregate records/sec.
+    pub base_rps: f64,
+    /// Current aggregate records/sec.
+    pub cur_rps: f64,
+    /// Fractional throughput change: positive = regression (slower).
+    pub regress: f64,
+    /// Threshold the gate was evaluated against.
+    pub max_regress: f64,
+    /// Non-fatal observations (work-counter drift etc.).
+    pub warnings: Vec<String>,
+    /// True when `regress <= max_regress`.
+    pub pass: bool,
+}
+
+impl Comparison {
+    /// The diff artifact CI uploads (hand-rolled JSON).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"base_records_per_sec\": {:.0},\n  \"cur_records_per_sec\": {:.0},\n  \
+             \"regress_fraction\": {:.6},\n  \"max_regress\": {:.6},\n  \"pass\": {},\n",
+            self.base_rps, self.cur_rps, self.regress, self.max_regress, self.pass
+        ));
+        out.push_str("  \"warnings\": [");
+        for (i, w) in self.warnings.iter().enumerate() {
+            let comma = if i + 1 < self.warnings.len() { "," } else { "" };
+            out.push_str(&format!("\n    \"{}\"{comma}", w.replace('"', "'")));
+        }
+        if !self.warnings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Gates `current` against `baseline` (both `--timing-json` contents).
+///
+/// Returns `Err` when either artifact lacks the gate metric — a malformed
+/// artifact must fail CI loudly, not pass vacuously.
+pub fn compare(baseline: &str, current: &str, max_regress: f64) -> Result<Comparison, String> {
+    let base_rps = json_f64(baseline, "records_per_sec")
+        .ok_or_else(|| "baseline artifact lacks records_per_sec".to_string())?;
+    let cur_rps = json_f64(current, "records_per_sec")
+        .ok_or_else(|| "current artifact lacks records_per_sec".to_string())?;
+    if base_rps <= 0.0 {
+        return Err(format!("baseline records_per_sec not positive: {base_rps}"));
+    }
+    let regress = (base_rps - cur_rps) / base_rps;
+
+    let mut warnings = Vec::new();
+    for key in ["sims_run", "records_simulated"] {
+        match (json_u64(baseline, key), json_u64(current, key)) {
+            (Some(b), Some(c)) if b != c => {
+                warnings.push(format!("work drift: {key} {b} -> {c} (informational)"));
+            }
+            (None, _) | (_, None) => warnings.push(format!("{key} missing from an artifact")),
+            _ => {}
+        }
+    }
+
+    let pass = regress <= max_regress;
+    Ok(Comparison {
+        base_rps,
+        cur_rps,
+        regress,
+        max_regress,
+        warnings,
+        pass,
+    })
+}
+
+/// Wall-clock speedup of `parallel` over `serial` (both `--timing-json`
+/// contents): serial total seconds divided by parallel total seconds.
+pub fn speedup(serial: &str, parallel: &str) -> Result<f64, String> {
+    let s = json_f64(serial, "total_seconds")
+        .ok_or_else(|| "serial artifact lacks total_seconds".to_string())?;
+    let p = json_f64(parallel, "total_seconds")
+        .ok_or_else(|| "parallel artifact lacks total_seconds".to_string())?;
+    if p <= 0.0 {
+        return Err(format!("parallel total_seconds not positive: {p}"));
+    }
+    Ok(s / p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "total_seconds": 10.000000,
+  "sims_run": 100,
+  "cache_hits": 5,
+  "records_simulated": 1000000,
+  "records_per_sec": 100000,
+  "jobs": 1
+}"#;
+
+    fn artifact(rps: f64, total: f64) -> String {
+        format!(
+            "{{\n  \"total_seconds\": {total:.6},\n  \"sims_run\": 100,\n  \
+             \"records_simulated\": 1000000,\n  \"records_per_sec\": {rps:.0}\n}}"
+        )
+    }
+
+    #[test]
+    fn key_scan_parses_ints_and_decimals() {
+        assert_eq!(json_f64(BASE, "total_seconds"), Some(10.0));
+        assert_eq!(json_u64(BASE, "sims_run"), Some(100));
+        assert_eq!(json_f64(BASE, "records_per_sec"), Some(100000.0));
+        assert_eq!(json_f64(BASE, "absent"), None);
+    }
+
+    #[test]
+    fn small_slowdown_passes_large_fails() {
+        let ok = compare(BASE, &artifact(90000.0, 11.0), 0.25).unwrap();
+        assert!(ok.pass, "10% slower is inside the 25% band: {ok:?}");
+        let bad = compare(BASE, &artifact(50000.0, 20.0), 0.25).unwrap();
+        assert!(!bad.pass, "50% slower must fail: {bad:?}");
+        assert!((bad.regress - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedups_never_fail_the_gate() {
+        let c = compare(BASE, &artifact(400000.0, 2.5), 0.25).unwrap();
+        assert!(c.pass);
+        assert!(c.regress < 0.0, "negative regress = faster");
+    }
+
+    #[test]
+    fn work_drift_warns_but_does_not_fail() {
+        let drifted = BASE.replace("\"sims_run\": 100", "\"sims_run\": 120");
+        let c = compare(BASE, &drifted, 0.25).unwrap();
+        assert!(c.pass);
+        assert_eq!(c.warnings.len(), 1);
+        assert!(c.warnings[0].contains("sims_run 100 -> 120"));
+    }
+
+    #[test]
+    fn malformed_artifacts_error_loudly() {
+        assert!(compare("{}", BASE, 0.25).is_err());
+        assert!(compare(BASE, "{}", 0.25).is_err());
+        assert!(speedup("{}", BASE).is_err());
+    }
+
+    #[test]
+    fn speedup_is_serial_over_parallel() {
+        let serial = artifact(100000.0, 8.0);
+        let parallel = artifact(100000.0, 2.0);
+        let s = speedup(&serial, &parallel).unwrap();
+        assert!((s - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_json_roundtrips_the_verdict() {
+        let c = compare(BASE, &artifact(50000.0, 20.0), 0.25).unwrap();
+        let j = c.to_json();
+        assert!(j.contains("\"pass\": false"));
+        assert_eq!(json_f64(&j, "regress_fraction"), Some(0.5));
+    }
+}

@@ -12,7 +12,11 @@
 //!   (replacement policy, odd multiplier, SHT/OUT sizing, B-cache shape,
 //!   Givargis line-size sensitivity), printing the swept miss rates.
 //!
-//! Helpers here are shared by the three suites.
+//! Helpers here are shared by the three suites. The [`gate`] module (and
+//! its `perfgate` binary) is the CI perf-regression gate comparing
+//! `xp --timing-json` artifacts against the committed baseline.
+
+pub mod gate;
 
 use unicache_core::{CacheGeometry, CacheModel};
 use unicache_trace::Trace;

@@ -51,6 +51,28 @@ pub type Addr = u64;
 /// block addresses, mirroring how a cache drops offset bits before decoding.
 pub type BlockAddr = u64;
 
+/// Compile-time Send/Sync audit of the types the parallel executor moves
+/// or shares across worker threads (`unicache-exec`): shared inputs
+/// ([`BlockStream`], [`MemRecord`] slices, [`CacheGeometry`]) must be
+/// `Sync`, and per-job outputs ([`CacheStats`]) plus boxed models must be
+/// `Send`. [`CacheModel`] itself carries a `Send` supertrait bound, so a
+/// scheme implementation that smuggles in an `Rc`/raw pointer fails to
+/// compile at its `impl`, not at a distant spawn site; these assertions
+/// pin the concrete vocabulary types the same way.
+const _: () = {
+    const fn sendable<T: Send + ?Sized>() {}
+    const fn shareable<T: Sync + ?Sized>() {}
+    sendable::<CacheStats>();
+    sendable::<SetStats>();
+    sendable::<Box<dyn CacheModel>>();
+    shareable::<BlockStream>();
+    shareable::<CacheStats>();
+    shareable::<CacheGeometry>();
+    shareable::<MemRecord>();
+    shareable::<[MemRecord]>();
+    shareable::<dyn IndexFunction>();
+};
+
 /// Returns `true` if `x` is a power of two (and non-zero).
 #[inline]
 pub const fn is_pow2(x: u64) -> bool {

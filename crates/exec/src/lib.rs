@@ -1,0 +1,313 @@
+//! # unicache-exec
+//!
+//! A work-stealing thread-pool executor for the experiment sweeps, built
+//! on `std::thread::scope` — no external dependencies, so the workspace
+//! still builds fully offline.
+//!
+//! ## Job model
+//!
+//! [`Executor::map`] takes a slice of job descriptions and a pure worker
+//! function, runs the jobs across up to `jobs` scoped worker threads, and
+//! returns the results **in input order**. Every job is identified by its
+//! input index — the *canonical order* — and its result is written into
+//! the slot of that index, so the returned `Vec` is byte-for-byte the
+//! same whatever schedule the workers happened to follow. Combined with
+//! the two other pillars below, this is what makes `xp all --jobs N`
+//! byte-identical to `--jobs 1`:
+//!
+//! 1. **Canonical collection order** — results are placed by input index,
+//!    never by completion order (this module).
+//! 2. **Exactly-once simulation** — the `SimStore`/`TraceStore` memoize
+//!    each (workload, scheme, geometry) job behind per-key `OnceLock`
+//!    cells, so racing workers can never compute a key twice or observe
+//!    a partial result (`unicache-experiments`).
+//! 3. **Commutative metric merges** — observability counters accumulate
+//!    in per-thread shards merged with the property-tested commutative
+//!    `CounterSet`/`Histogram` merge, so `--metrics-json` totals cannot
+//!    depend on which worker ran which job (`unicache-obs`).
+//!
+//! ## Scheduling
+//!
+//! Jobs are dealt round-robin into one deque per worker; a worker pops
+//! its own deque from the front and, when empty, *steals* from the back
+//! of the other workers' deques. For the coarse jobs the experiment
+//! runners submit (one whole trace simulation or generation per job) the
+//! steal path only matters when job costs are skewed — exactly the case
+//! in `xp all`, where one workload's trace dwarfs another's.
+//!
+//! ## Configuration
+//!
+//! The worker count comes from [`set_global_jobs`] (the `xp --jobs N`
+//! flag) and defaults to [`std::thread::available_parallelism`]. With
+//! `jobs = 1` — or a single-job input — [`map`] runs inline on the
+//! caller's thread and spawns nothing.
+//!
+//! Per-job wall-clock totals are accumulated globally (via
+//! [`unicache_timing::Stopwatch`]; this crate is subject to the
+//! `wallclock` determinism lint and never reads `Instant` directly) and
+//! reported by [`stats`] — the source of `xp --timing-json`'s parallel
+//! section. Timings are *reported only*; they never influence scheduling
+//! or results.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use unicache_timing::Stopwatch;
+
+/// Worker count override set by [`set_global_jobs`]; 0 means "default to
+/// the machine's available parallelism".
+static GLOBAL_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Jobs executed across all [`Executor::map`] calls.
+static TASKS_RUN: AtomicU64 = AtomicU64::new(0);
+/// Total busy nanoseconds across all jobs (sum over workers).
+static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+/// Longest single job, nanoseconds.
+static MAX_TASK_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// The machine default: `available_parallelism`, or 1 if unknown.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Sets the worker count used by the free [`map`] function (the `xp
+/// --jobs N` flag). Clamped to at least 1.
+pub fn set_global_jobs(jobs: usize) {
+    GLOBAL_JOBS.store(jobs.max(1), Ordering::Relaxed);
+}
+
+/// The worker count the free [`map`] function will use: the value set by
+/// [`set_global_jobs`], or [`default_jobs`] if never set.
+pub fn global_jobs() -> usize {
+    match GLOBAL_JOBS.load(Ordering::Relaxed) {
+        0 => default_jobs(),
+        n => n,
+    }
+}
+
+/// Cumulative executor accounting, for timing reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecStats {
+    /// Jobs executed (one per input item across all `map` calls).
+    pub tasks: u64,
+    /// Total per-job busy time, summed across workers.
+    pub busy_seconds: f64,
+    /// Duration of the single longest job.
+    pub max_task_seconds: f64,
+}
+
+/// Snapshot of the cumulative executor accounting.
+pub fn stats() -> ExecStats {
+    ExecStats {
+        tasks: TASKS_RUN.load(Ordering::Relaxed),
+        busy_seconds: BUSY_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
+        max_task_seconds: MAX_TASK_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
+    }
+}
+
+/// Zeroes the cumulative accounting (test isolation).
+pub fn reset_stats() {
+    TASKS_RUN.store(0, Ordering::Relaxed);
+    BUSY_NANOS.store(0, Ordering::Relaxed);
+    MAX_TASK_NANOS.store(0, Ordering::Relaxed);
+}
+
+/// Runs one job with timing accounting.
+fn run_timed<T, R, F: Fn(&T) -> R>(f: &F, item: &T) -> R {
+    let sw = Stopwatch::start();
+    let out = f(item);
+    let nanos = sw.elapsed_nanos();
+    TASKS_RUN.fetch_add(1, Ordering::Relaxed);
+    BUSY_NANOS.fetch_add(nanos, Ordering::Relaxed);
+    MAX_TASK_NANOS.fetch_max(nanos, Ordering::Relaxed);
+    out
+}
+
+/// A work-stealing executor with a fixed worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Executor {
+    /// An executor running at most `jobs` workers (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Self {
+        Executor { jobs: jobs.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Maps every item through `f` on the worker pool, returning results
+    /// in input order (the canonical job order) regardless of schedule.
+    ///
+    /// Each `map` call builds its own scoped pool, so nested calls cannot
+    /// deadlock (they merely oversubscribe); the experiment runners only
+    /// fan out at one level. A panic in any job propagates to the caller
+    /// once the scope joins.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(|item| run_timed(&f, item)).collect();
+        }
+
+        // One deque of job indices per worker, dealt round-robin; the
+        // canonical order lives in the indices, not the deques.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                Mutex::new(
+                    (0..items.len())
+                        .filter(|i| i % workers == w)
+                        .collect::<VecDeque<usize>>(),
+                )
+            })
+            .collect();
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        let results: Mutex<Vec<Option<R>>> = Mutex::new(slots);
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let results = &results;
+                let f = &f;
+                scope.spawn(move || {
+                    loop {
+                        // Own queue first (front), then steal from the
+                        // *back* of the others — the classic deque split
+                        // that keeps stolen jobs far from the victim's
+                        // working set.
+                        let mut job = queues[w]
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .pop_front();
+                        if job.is_none() {
+                            for v in 1..workers {
+                                let victim = (w + v) % workers;
+                                job = queues[victim]
+                                    .lock()
+                                    .unwrap_or_else(|p| p.into_inner())
+                                    .pop_back();
+                                if job.is_some() {
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(idx) = job else { break };
+                        let out = run_timed(f, &items[idx]);
+                        results.lock().unwrap_or_else(|p| p.into_inner())[idx] = Some(out);
+                    }
+                });
+            }
+        });
+
+        results
+            .into_inner()
+            .unwrap_or_else(|p| p.into_inner())
+            .into_iter()
+            .map(|slot| slot.expect("every job index was executed exactly once"))
+            .collect()
+    }
+}
+
+/// Maps `items` through `f` on the globally configured executor (see
+/// [`set_global_jobs`] / [`global_jobs`]), results in input order.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    Executor::new(global_jobs()).map(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_arrive_in_canonical_order_for_every_jobs_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for jobs in 1..=16 {
+            let got = Executor::new(jobs).map(&items, |&x| x * 3 + 1);
+            assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs_run_inline() {
+        let none: Vec<u32> = Vec::new();
+        let out: Vec<u32> = Executor::new(8).map(&none, |&x| x);
+        assert!(out.is_empty());
+        let one = [41u32];
+        assert_eq!(Executor::new(8).map(&one, |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn stealing_balances_skewed_job_costs() {
+        // One worker's deque gets all the heavy jobs; the others must
+        // steal them or this takes ~workers× longer than the busy sum.
+        let executed = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let got = Executor::new(8).map(&items, |&i| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            // Skew: multiples of 8 (all dealt to worker 0) spin longest.
+            let spin = if i % 8 == 0 { 200_000 } else { 10 };
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(31).wrapping_add(k);
+            }
+            (i as u64, acc & 1)
+        });
+        assert_eq!(executed.load(Ordering::Relaxed), 64);
+        for (i, (idx, _)) in got.iter().enumerate() {
+            assert_eq!(*idx, i as u64, "slot {i} holds job {idx}");
+        }
+    }
+
+    #[test]
+    fn workers_actually_run_in_parallel() {
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..256).collect();
+        let _ = Executor::new(4).map(&items, |&x| {
+            seen.lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(std::thread::current().id());
+            x
+        });
+        if default_jobs() > 1 {
+            assert!(
+                seen.lock().unwrap_or_else(|p| p.into_inner()).len() > 1,
+                "no parallelism observed"
+            );
+        }
+    }
+
+    #[test]
+    fn global_jobs_roundtrip_and_stats_accumulate() {
+        let before = stats().tasks;
+        set_global_jobs(3);
+        assert_eq!(global_jobs(), 3);
+        let out = map(&[1u64, 2, 3, 4, 5], |&x| x * x);
+        assert_eq!(out, vec![1, 4, 9, 16, 25]);
+        let after = stats();
+        assert!(after.tasks >= before + 5);
+        assert!(after.busy_seconds >= 0.0);
+        assert!(after.max_task_seconds <= after.busy_seconds + 1e-9);
+        set_global_jobs(1);
+        assert_eq!(global_jobs(), 1);
+    }
+}

@@ -3,16 +3,24 @@
 //! ```text
 //! xp <fig1|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|
 //!     classify|patel|belady|select|all> [--scale tiny|small|large] [--csv]
-//!    [--timing] [--timing-json FILE] [--metrics-json FILE] [--trace-out FILE]
+//!    [--jobs N] [--timing] [--timing-json FILE] [--metrics-json FILE]
+//!    [--trace-out FILE]
 //! ```
 //!
 //! Rendering lives in [`unicache_experiments::runner`]; this binary only
 //! parses arguments, prints, and writes the report artifacts:
 //!
+//! * `--jobs N` sets the worker count of the `unicache-exec` executor
+//!   that fans trace generation and simulation across cores (default:
+//!   all available cores). Output is byte-identical for every `N` —
+//!   results are collected in canonical job order and the memoized
+//!   SimStore runs each simulation exactly once — so the flag only
+//!   changes wall-clock, never figures or metrics.
 //! * `--timing` prints per-experiment wall-clock to stderr plus a summary
 //!   of the [`SimStore`]'s work: simulations run vs served from cache, and
 //!   aggregate records/sec through the batched engine. `--timing-json`
-//!   additionally writes the same numbers as JSON (the CI perf artifact).
+//!   additionally writes the same numbers as JSON (the CI perf artifact),
+//!   including a `parallel` section with per-job and wall-clock figures.
 //! * `--metrics-json` writes the deterministic observability metrics
 //!   (event counters, histograms, span counts — no wall-clock, byte-
 //!   identical across runs). Meaningful with the `obs` feature; without
@@ -23,16 +31,16 @@
 
 use std::env;
 use std::process::ExitCode;
-use std::time::Instant; // uca:allow(wallclock) -- `--timing` measures real elapsed time
 use unicache_experiments::{
     render_experiment, tune_allocator_for_traces, SimStore, ALL_EXPERIMENTS,
 };
+use unicache_timing::Stopwatch;
 use unicache_workloads::{Scale, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: xp <experiment> [--scale tiny|small|large] [--csv] [--timing] [--timing-json FILE]\n\
-         \x20         [--metrics-json FILE] [--trace-out FILE]\n\
+        "usage: xp <experiment> [--scale tiny|small|large] [--csv] [--jobs N] [--timing]\n\
+         \x20         [--timing-json FILE] [--metrics-json FILE] [--trace-out FILE]\n\
          (fig1 also takes an optional workload name, e.g. `xp fig1 susan`)\n\
          experiments: fig1 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
                       classify patel belady generalize idx-amat assoc-sweep\n\
@@ -57,6 +65,8 @@ fn report_timing(store: &SimStore, phases: &[Phase], total_secs: f64, json_path:
     } else {
         0.0
     };
+    let jobs = unicache_exec::global_jobs();
+    let exec = unicache_exec::stats();
     eprintln!("-- timing --");
     for p in phases {
         eprintln!("{:>24}  {:8.3}s", p.name, p.secs);
@@ -65,6 +75,10 @@ fn report_timing(store: &SimStore, phases: &[Phase], total_secs: f64, json_path:
     eprintln!(
         "simulations: {sims} run, {hits} served from cache; \
          {records} records simulated ({rps:.0} records/sec overall)"
+    );
+    eprintln!(
+        "parallel: {jobs} jobs, {} tasks, busy {:.3}s (max task {:.3}s, wall {total_secs:.3}s)",
+        exec.tasks, exec.busy_seconds, exec.max_task_seconds
     );
     if let Some(path) = json_path {
         // Hand-rolled JSON: the serde shim does not serialize.
@@ -79,7 +93,10 @@ fn report_timing(store: &SimStore, phases: &[Phase], total_secs: f64, json_path:
         out.push_str(&format!(
             "  ],\n  \"total_seconds\": {total_secs:.6},\n  \"sims_run\": {sims},\n  \
              \"cache_hits\": {hits},\n  \"records_simulated\": {records},\n  \
-             \"records_per_sec\": {rps:.0}\n}}\n"
+             \"records_per_sec\": {rps:.0},\n  \"jobs\": {jobs},\n  \
+             \"parallel\": {{\"tasks\": {}, \"busy_seconds\": {:.6}, \
+             \"max_task_seconds\": {:.6}}}\n}}\n",
+            exec.tasks, exec.busy_seconds, exec.max_task_seconds
         ));
         if let Err(e) = std::fs::write(path, out) {
             eprintln!("xp: cannot write {path}: {e}");
@@ -117,6 +134,13 @@ fn main() -> ExitCode {
                 };
             }
             "--csv" => csv = true,
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|a| a.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => unicache_exec::set_global_jobs(n),
+                    _ => return usage(),
+                }
+            }
             "--timing" => timing = true,
             "--timing-json" => {
                 i += 1;
@@ -150,17 +174,17 @@ fn main() -> ExitCode {
     let Some(which) = which else { return usage() };
     let store = SimStore::new(scale);
 
-    let started = Instant::now(); // uca:allow(wallclock)
+    let started = Stopwatch::start();
     let mut phases: Vec<Phase> = Vec::new();
     let mut timed_run = |name: &str| -> bool {
-        let t0 = Instant::now(); // uca:allow(wallclock)
+        let t0 = Stopwatch::start();
         let Some(out) = render_experiment(&store, name, csv, fig1_workload) else {
             return false;
         };
         print!("{out}");
         phases.push(Phase {
             name: name.to_string(),
-            secs: t0.elapsed().as_secs_f64(),
+            secs: t0.elapsed_secs(),
         });
         true
     };
@@ -179,7 +203,7 @@ fn main() -> ExitCode {
         report_timing(
             &store,
             &phases,
-            started.elapsed().as_secs_f64(),
+            started.elapsed_secs(),
             timing_json.as_deref(),
         );
     }

@@ -10,7 +10,6 @@
 
 use crate::figures::{baseline_stats, paper_geom};
 use crate::{run_model, ExperimentTable, SchemeId, SimStore};
-use rayon::prelude::*;
 use unicache_indexing::{IndexScheme, PatelSearch};
 use unicache_sim::{belady, CacheBuilder};
 use unicache_stats::SetClassification;
@@ -46,31 +45,28 @@ pub fn patel(store: &SimStore, trace_cap: usize, index_bits: usize) -> Experimen
     store.prefetch_traces(&workloads);
     let geom = paper_geom();
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
-    let values: Vec<Vec<f64>> = workloads
-        .par_iter()
-        .map(|&w| {
-            let trace = store.get(w).truncate_to(trace_cap);
-            let blocks: Vec<u64> = trace
-                .records()
-                .iter()
-                .map(|r| geom.block_addr(r.addr))
-                .collect();
-            // Candidates: the low 2m+4 block-address bits.
-            let candidates: Vec<u32> = (0..(2 * index_bits as u32 + 4)).collect();
-            let search = PatelSearch::new(index_bits, candidates, 200_000).expect("valid search");
-            let outcome = search.search(&blocks);
-            // Reference costs under the same (truncated) trace and small
-            // cache: conventional low bits and XOR-folded bits.
-            let conventional: Vec<u32> = (0..index_bits as u32).collect();
-            let conv_cost = PatelSearch::cost(&conventional, &blocks);
-            vec![
-                conv_cost as f64,
-                outcome.cost as f64,
-                100.0 * (conv_cost as f64 - outcome.cost as f64) / conv_cost.max(1) as f64,
-                if outcome.exhaustive { 1.0 } else { 0.0 },
-            ]
-        })
-        .collect();
+    let values: Vec<Vec<f64>> = unicache_exec::map(&workloads, |&w| {
+        let trace = store.get(w).truncate_to(trace_cap);
+        let blocks: Vec<u64> = trace
+            .records()
+            .iter()
+            .map(|r| geom.block_addr(r.addr))
+            .collect();
+        // Candidates: the low 2m+4 block-address bits.
+        let candidates: Vec<u32> = (0..(2 * index_bits as u32 + 4)).collect();
+        let search = PatelSearch::new(index_bits, candidates, 200_000).expect("valid search");
+        let outcome = search.search(&blocks);
+        // Reference costs under the same (truncated) trace and small
+        // cache: conventional low bits and XOR-folded bits.
+        let conventional: Vec<u32> = (0..index_bits as u32).collect();
+        let conv_cost = PatelSearch::cost(&conventional, &blocks);
+        vec![
+            conv_cost as f64,
+            outcome.cost as f64,
+            100.0 * (conv_cost as f64 - outcome.cost as f64) / conv_cost.max(1) as f64,
+            if outcome.exhaustive { 1.0 } else { 0.0 },
+        ]
+    });
     ExperimentTable::new(
         format!(
             "Patel optimal-index search (bounded): {index_bits}-bit index, first {trace_cap} refs"
@@ -98,21 +94,17 @@ pub fn belady_bound(store: &SimStore) -> ExperimentTable {
         geom,
     );
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
-    let values: Vec<Vec<f64>> = workloads
-        .par_iter()
-        .map(|&w| {
-            let trace = store.get(w);
-            let base = store.stats(w, SchemeId::Baseline, geom);
-            let col = store.stats(w, SchemeId::ColumnAssoc, geom);
-            let min_rate =
-                belady::min_miss_rate(trace.records(), geom.num_lines(), geom.line_bytes());
-            vec![
-                100.0 * base.miss_rate(),
-                100.0 * col.miss_rate(),
-                100.0 * min_rate,
-            ]
-        })
-        .collect();
+    let values: Vec<Vec<f64>> = unicache_exec::map(&workloads, |&w| {
+        let trace = store.get(w);
+        let base = store.stats(w, SchemeId::Baseline, geom);
+        let col = store.stats(w, SchemeId::ColumnAssoc, geom);
+        let min_rate = belady::min_miss_rate(trace.records(), geom.num_lines(), geom.line_bytes());
+        vec![
+            100.0 * base.miss_rate(),
+            100.0 * col.miss_rate(),
+            100.0 * min_rate,
+        ]
+    });
     ExperimentTable::new(
         "Belady MIN lower bound (fully associative, perfect replacement)",
         "miss rate %: baseline DM vs column-associative vs MIN",
@@ -264,32 +256,29 @@ pub fn givargis_generalization(store: &SimStore) -> ExperimentTable {
     store.prefetch_traces(&workloads);
     let geom = paper_geom();
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
-    let values: Vec<Vec<f64>> = workloads
-        .par_iter()
-        .map(|&w| {
-            let trace = store.get(w);
-            let half = trace.len() / 2;
-            let train = trace.truncate_to(half);
-            let eval = unicache_trace::Trace::from_records(trace.records()[half..].to_vec());
-            let run_with = |blocks: &[u64]| -> f64 {
-                let idx = GivargisIndex::train(blocks, geom, 28).expect("train");
-                let mut cache = CacheBuilder::new(geom)
-                    .index(std::sync::Arc::new(idx))
-                    .build()
-                    .expect("cache");
-                crate::run_model(&eval, &mut cache).miss_rate()
-            };
-            let base = baseline_stats(&eval, geom).miss_rate();
-            let held_out = run_with(&train.unique_blocks(geom.line_bytes()));
-            let oracle = run_with(&eval.unique_blocks(geom.line_bytes()));
-            vec![
-                100.0 * base,
-                100.0 * held_out,
-                100.0 * oracle,
-                100.0 * (held_out - oracle),
-            ]
-        })
-        .collect();
+    let values: Vec<Vec<f64>> = unicache_exec::map(&workloads, |&w| {
+        let trace = store.get(w);
+        let half = trace.len() / 2;
+        let train = trace.truncate_to(half);
+        let eval = unicache_trace::Trace::from_records(trace.records()[half..].to_vec());
+        let run_with = |blocks: &[u64]| -> f64 {
+            let idx = GivargisIndex::train(blocks, geom, 28).expect("train");
+            let mut cache = CacheBuilder::new(geom)
+                .index(std::sync::Arc::new(idx))
+                .build()
+                .expect("cache");
+            crate::run_model(&eval, &mut cache).miss_rate()
+        };
+        let base = baseline_stats(&eval, geom).miss_rate();
+        let held_out = run_with(&train.unique_blocks(geom.line_bytes()));
+        let oracle = run_with(&eval.unique_blocks(geom.line_bytes()));
+        vec![
+            100.0 * base,
+            100.0 * held_out,
+            100.0 * oracle,
+            100.0 * (held_out - oracle),
+        ]
+    });
     ExperimentTable::new(
         "Givargis profiling generalization (train on 1st half, evaluate on 2nd half)",
         "miss rate %: baseline / trained-on-profile / trained-on-eval (oracle) / generalization gap",
@@ -407,26 +396,23 @@ pub fn online_selection(store: &SimStore) -> ExperimentTable {
     ids.extend(oracle_ids);
     store.prefetch(&workloads, &ids, geom);
     let rows: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
-    let values: Vec<Vec<f64>> = workloads
-        .par_iter()
-        .map(|&w| {
-            let trace = store.get(w);
-            let profile = (trace.len() / 10).clamp(1, 100_000);
-            let fixed_stats = store.stats(w, SchemeId::Baseline, geom);
-            let mut online = crate::OnlineSelector::paper_menu(geom, profile).expect("selector");
-            let online_stats = run_model(&trace, &mut online);
-            // Oracle: best single technique over the whole trace.
-            let mut oracle = fixed_stats.miss_rate();
-            for &c in &oracle_ids {
-                oracle = oracle.min(store.stats(w, c, geom).miss_rate());
-            }
-            vec![
-                100.0 * fixed_stats.miss_rate(),
-                100.0 * online_stats.miss_rate(),
-                100.0 * oracle,
-            ]
-        })
-        .collect();
+    let values: Vec<Vec<f64>> = unicache_exec::map(&workloads, |&w| {
+        let trace = store.get(w);
+        let profile = (trace.len() / 10).clamp(1, 100_000);
+        let fixed_stats = store.stats(w, SchemeId::Baseline, geom);
+        let mut online = crate::OnlineSelector::paper_menu(geom, profile).expect("selector");
+        let online_stats = run_model(&trace, &mut online);
+        // Oracle: best single technique over the whole trace.
+        let mut oracle = fixed_stats.miss_rate();
+        for &c in &oracle_ids {
+            oracle = oracle.min(store.stats(w, c, geom).miss_rate());
+        }
+        vec![
+            100.0 * fixed_stats.miss_rate(),
+            100.0 * online_stats.miss_rate(),
+            100.0 * oracle,
+        ]
+    });
     ExperimentTable::new(
         "Online technique selection (Fig. 5 flow: profile 10%, commit, run)",
         "miss rate %: fixed conventional / online selector / off-line oracle",
@@ -472,23 +458,20 @@ pub fn workload_characterization(store: &SimStore) -> ExperimentTable {
     let geom = paper_geom();
     store.prefetch(&workloads, &[SchemeId::Baseline], geom);
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
-    let values: Vec<Vec<f64>> = workloads
-        .par_iter()
-        .map(|&w| {
-            let trace = store.get(w);
-            let unique = store.unique_blocks(w, geom.line_bytes());
-            let stats = store.stats(w, SchemeId::Baseline, geom);
-            let accesses = stats.accesses_per_set();
-            vec![
-                trace.len() as f64,
-                unique.len() as f64,
-                (unique.len() as u64 * geom.line_bytes()) as f64 / 1024.0,
-                100.0 * trace.write_count() as f64 / trace.len().max(1) as f64,
-                100.0 * stats.miss_rate(),
-                unicache_stats::gini(&accesses),
-            ]
-        })
-        .collect();
+    let values: Vec<Vec<f64>> = unicache_exec::map(&workloads, |&w| {
+        let trace = store.get(w);
+        let unique = store.unique_blocks(w, geom.line_bytes());
+        let stats = store.stats(w, SchemeId::Baseline, geom);
+        let accesses = stats.accesses_per_set();
+        vec![
+            trace.len() as f64,
+            unique.len() as f64,
+            (unique.len() as u64 * geom.line_bytes()) as f64 / 1024.0,
+            100.0 * trace.write_count() as f64 / trace.len().max(1) as f64,
+            100.0 * stats.miss_rate(),
+            unicache_stats::gini(&accesses),
+        ]
+    });
     ExperimentTable::new(
         "Workload characterization (instrumented kernels)",
         "references / unique 32B blocks / footprint KiB / write % / baseline miss % / access gini",
@@ -543,27 +526,24 @@ pub fn phase_stability(store: &SimStore) -> ExperimentTable {
     store.prefetch_traces(&workloads);
     let geom = paper_geom();
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
-    let values: Vec<Vec<f64>> = workloads
-        .par_iter()
-        .map(|&w| {
-            let trace = store.get(w);
-            let mut cache = CacheBuilder::new(geom).build().expect("cache");
-            let outcomes: Vec<bool> = trace
-                .records()
-                .iter()
-                .map(|&r| !cache.access(r).is_hit())
-                .collect();
-            let window = (trace.len() / 50).max(1_000);
-            let series = PhaseSeries::from_outcomes(&outcomes, window);
-            let cps = series.change_points(0.05).len() as f64;
-            vec![
-                series.len() as f64,
-                100.0 * series.mean(),
-                cps,
-                100.0 * series.stability(0.05),
-            ]
-        })
-        .collect();
+    let values: Vec<Vec<f64>> = unicache_exec::map(&workloads, |&w| {
+        let trace = store.get(w);
+        let mut cache = CacheBuilder::new(geom).build().expect("cache");
+        let outcomes: Vec<bool> = trace
+            .records()
+            .iter()
+            .map(|&r| !cache.access(r).is_hit())
+            .collect();
+        let window = (trace.len() / 50).max(1_000);
+        let series = PhaseSeries::from_outcomes(&outcomes, window);
+        let cps = series.change_points(0.05).len() as f64;
+        vec![
+            series.len() as f64,
+            100.0 * series.mean(),
+            cps,
+            100.0 * series.stability(0.05),
+        ]
+    });
     ExperimentTable::new(
         "Phase stability of baseline miss rate (sliding windows)",
         "windows / mean windowed miss % / change points (>=5pt jumps) / stability %",

@@ -2,7 +2,6 @@
 
 use crate::figures::paper_geom;
 use crate::{ExperimentTable, SimStore};
-use rayon::prelude::*;
 use std::sync::Arc;
 use unicache_core::{run_many, CacheModel, IndexFunction};
 use unicache_indexing::{ModuloIndex, OddMultiplierIndex, RECOMMENDED_MULTIPLIERS};
@@ -96,31 +95,26 @@ pub fn fig13_with(store: &SimStore, policy: InterleavePolicy) -> ExperimentTable
     let geom = paper_geom();
     let sets = geom.num_sets();
     let rows: Vec<String> = mixes.iter().map(|m| mix_label(m)).collect();
-    let values: Vec<Vec<f64>> = mixes
-        .par_iter()
-        .map(|mix| {
-            // Baseline: every thread conventional.
-            let conventional: Vec<Arc<dyn IndexFunction>> = (0..mix.len())
-                .map(|_| Arc::new(ModuloIndex::new(sets).expect("pow2")) as Arc<dyn IndexFunction>)
-                .collect();
-            let mut base =
-                PerThreadIndexCache::new(geom, conventional).expect("valid shared cache");
-            // Treatment: per-thread odd multipliers (9, 21, 31, 61, ...).
-            let per_thread: Vec<Arc<dyn IndexFunction>> = (0..mix.len())
-                .map(|t| {
-                    let m = RECOMMENDED_MULTIPLIERS[t % RECOMMENDED_MULTIPLIERS.len()];
-                    Arc::new(OddMultiplierIndex::new(sets, m).expect("odd"))
-                        as Arc<dyn IndexFunction>
-                })
-                .collect();
-            let mut treat = PerThreadIndexCache::new(geom, per_thread).expect("valid shared cache");
-            drive_mix(store, mix, policy, &mut [&mut base, &mut treat]);
-            vec![percent_reduction(
-                base.stats().miss_rate(),
-                treat.stats().miss_rate(),
-            )]
-        })
-        .collect();
+    let values: Vec<Vec<f64>> = unicache_exec::map(&mixes, |mix| {
+        // Baseline: every thread conventional.
+        let conventional: Vec<Arc<dyn IndexFunction>> = (0..mix.len())
+            .map(|_| Arc::new(ModuloIndex::new(sets).expect("pow2")) as Arc<dyn IndexFunction>)
+            .collect();
+        let mut base = PerThreadIndexCache::new(geom, conventional).expect("valid shared cache");
+        // Treatment: per-thread odd multipliers (9, 21, 31, 61, ...).
+        let per_thread: Vec<Arc<dyn IndexFunction>> = (0..mix.len())
+            .map(|t| {
+                let m = RECOMMENDED_MULTIPLIERS[t % RECOMMENDED_MULTIPLIERS.len()];
+                Arc::new(OddMultiplierIndex::new(sets, m).expect("odd")) as Arc<dyn IndexFunction>
+            })
+            .collect();
+        let mut treat = PerThreadIndexCache::new(geom, per_thread).expect("valid shared cache");
+        drive_mix(store, mix, policy, &mut [&mut base, &mut treat]);
+        vec![percent_reduction(
+            base.stats().miss_rate(),
+            treat.stats().miss_rate(),
+        )]
+    });
     ExperimentTable::new(
         "Fig. 13: multiple indexing schemes in multithreaded systems",
         "% reduction in miss-rate vs shared conventional indexing",
@@ -141,22 +135,19 @@ pub fn fig14(store: &SimStore) -> ExperimentTable {
     let geom = paper_geom();
     let lat = LatencyModel::default();
     let rows: Vec<String> = mixes.iter().map(|m| mix_label(m)).collect();
-    let values: Vec<Vec<f64>> = mixes
-        .par_iter()
-        .map(|mix| {
-            let mut stat = PartitionedCache::new(geom, mix.len()).expect("divisible");
-            let mut adpt = AdaptivePartitionedCache::new(geom, mix.len()).expect("divisible");
-            drive_mix(
-                store,
-                mix,
-                InterleavePolicy::RoundRobin,
-                &mut [&mut stat, &mut adpt],
-            );
-            let base_amat = amat_conventional(stat.stats(), &lat);
-            let adpt_amat = amat_adaptive(adpt.stats(), &lat);
-            vec![percent_reduction(base_amat, adpt_amat)]
-        })
-        .collect();
+    let values: Vec<Vec<f64>> = unicache_exec::map(&mixes, |mix| {
+        let mut stat = PartitionedCache::new(geom, mix.len()).expect("divisible");
+        let mut adpt = AdaptivePartitionedCache::new(geom, mix.len()).expect("divisible");
+        drive_mix(
+            store,
+            mix,
+            InterleavePolicy::RoundRobin,
+            &mut [&mut stat, &mut adpt],
+        );
+        let base_amat = amat_conventional(stat.stats(), &lat);
+        let adpt_amat = amat_adaptive(adpt.stats(), &lat);
+        vec![percent_reduction(base_amat, adpt_amat)]
+    });
     ExperimentTable::new(
         "Fig. 14: adaptive partitioned scheme for multithreaded applications",
         "% improvement in AMAT vs statically partitioned cache (Eq. 8)",

@@ -10,7 +10,6 @@
 
 use crate::figures::paper_geom;
 use crate::{run_model, ExperimentTable, SchemeId, SimStore};
-use rayon::prelude::*;
 use unicache_assoc::{AdaptiveGroupCache, BCache, ColumnAssociativeCache};
 use unicache_core::{CacheGeometry, CacheModel};
 use unicache_sim::CacheBuilder;
@@ -85,39 +84,36 @@ pub fn hierarchy_cycles(store: &SimStore) -> ExperimentTable {
     let geom = paper_geom();
     let lat = LatencyModel::default();
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
-    let values: Vec<Vec<f64>> = workloads
-        .par_iter()
-        .map(|&w| {
-            let trace = store.get(w);
-            let run = |l1: Box<dyn CacheModel>, secondary: f64| -> f64 {
-                let mut h = Hierarchy::paper(l1, secondary, lat);
-                h.run(trace.records());
-                h.amat()
-            };
-            let base = run(
-                Box::new(CacheBuilder::new(geom).build().expect("cache")),
-                lat.rehash_hit,
-            );
-            let adaptive = run(
-                Box::new(AdaptiveGroupCache::new(geom).expect("valid")),
-                lat.out_hit,
-            );
-            let bcache = run(Box::new(BCache::new(geom).expect("valid")), lat.rehash_hit);
-            let column = run(
-                Box::new(ColumnAssociativeCache::new(geom).expect("valid")),
-                lat.rehash_hit,
-            );
-            vec![
-                base,
-                adaptive,
-                bcache,
-                column,
-                100.0 * (base - adaptive) / base,
-                100.0 * (base - bcache) / base,
-                100.0 * (base - column) / base,
-            ]
-        })
-        .collect();
+    let values: Vec<Vec<f64>> = unicache_exec::map(&workloads, |&w| {
+        let trace = store.get(w);
+        let run = |l1: Box<dyn CacheModel>, secondary: f64| -> f64 {
+            let mut h = Hierarchy::paper(l1, secondary, lat);
+            h.run(trace.records());
+            h.amat()
+        };
+        let base = run(
+            Box::new(CacheBuilder::new(geom).build().expect("cache")),
+            lat.rehash_hit,
+        );
+        let adaptive = run(
+            Box::new(AdaptiveGroupCache::new(geom).expect("valid")),
+            lat.out_hit,
+        );
+        let bcache = run(Box::new(BCache::new(geom).expect("valid")), lat.rehash_hit);
+        let column = run(
+            Box::new(ColumnAssociativeCache::new(geom).expect("valid")),
+            lat.rehash_hit,
+        );
+        vec![
+            base,
+            adaptive,
+            bcache,
+            column,
+            100.0 * (base - adaptive) / base,
+            100.0 * (base - bcache) / base,
+            100.0 * (base - column) / base,
+        ]
+    });
     ExperimentTable::new(
         "Measured hierarchy cycles (L1 + unified 256 KB L2 + memory)",
         "AMAT in cycles: baseline / adaptive / b-cache / column; then % reduction each",

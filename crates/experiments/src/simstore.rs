@@ -25,8 +25,10 @@
 //! cells, and all simulation for a `(workload, geometry)` group runs
 //! under that group's mutex, re-checking cell emptiness after acquiring
 //! it. [`SimStore::prefetch`] simulates every still-missing scheme of a
-//! group in one batched traversal of the stream ([`run_batch_many`]),
-//! in parallel across workloads with rayon.
+//! group in one batched traversal of the stream ([`run_batch_many`]), in
+//! parallel across workloads on the `unicache-exec` work-stealing
+//! executor (`xp --jobs N` sets the worker count; results are collected
+//! in canonical workload order, so output is schedule-independent).
 //!
 //! The [`SimStore::hits`]/[`SimStore::sims_run`] counters make the
 //! exactly-once property observable (and testable): after any sequence
@@ -34,7 +36,6 @@
 //! requested, no matter how often each was requested.
 
 use crate::TraceStore;
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use unicache_assoc::{AdaptiveGroupCache, BCache, ColumnAssociativeCache, SkewedCache};
@@ -295,10 +296,7 @@ impl SimStore {
     /// batched traversal, workloads in parallel across cores.
     pub fn prefetch(&self, workloads: &[Workload], schemes: &[SchemeId], geom: CacheGeometry) {
         self.traces.prefetch(workloads);
-        let _: Vec<()> = workloads
-            .par_iter()
-            .map(|&w| self.simulate_group(w, schemes, geom))
-            .collect();
+        let _: Vec<()> = unicache_exec::map(workloads, |&w| self.simulate_group(w, schemes, geom));
     }
 
     /// Result-cache hits: `stats` calls served from an already-populated

@@ -2,8 +2,9 @@
 //!
 //! Generating 21 instrumented workload traces is the dominant setup cost
 //! of `xp all`; the store generates each `(workload, scale)` trace once —
-//! in parallel across cores with rayon, per the hpc guides — and hands out
-//! shared references afterwards.
+//! in parallel across cores on the `unicache-exec` work-stealing executor
+//! (so `xp --jobs N` governs it) — and hands out shared references
+//! afterwards.
 //!
 //! Exactly-once generation is enforced with a per-workload `OnceLock`
 //! cell: the map lock is only held long enough to fetch or insert the
@@ -12,7 +13,6 @@
 //! both generate it — one generates, the other blocks on the cell — and
 //! racing on *different* workloads never serializes their generation.
 
-use rayon::prelude::*;
 use std::sync::{Arc, Mutex, OnceLock};
 use unicache_core::hasher::det_map;
 use unicache_core::DetHashMap;
@@ -57,12 +57,9 @@ impl TraceStore {
 
     /// Pre-generates a set of workloads in parallel.
     pub fn prefetch(&self, workloads: &[Workload]) {
-        let _: Vec<()> = workloads
-            .par_iter()
-            .map(|&w| {
-                self.get(w);
-            })
-            .collect();
+        let _: Vec<()> = unicache_exec::map(workloads, |&w| {
+            self.get(w);
+        });
     }
 
     /// Number of traces currently cached.

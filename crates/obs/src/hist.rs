@@ -65,6 +65,17 @@ impl Histogram {
         }
     }
 
+    /// A histogram from raw bucket counts (used when mirroring an atomic
+    /// shard back into the plain algebra).
+    pub const fn from_buckets(buckets: [u64; BUCKETS]) -> Self {
+        Histogram { buckets }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
     /// Records one sample.
     pub fn observe(&mut self, v: u64) {
         self.buckets[bucket_index(v)] += 1;

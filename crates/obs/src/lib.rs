@@ -5,10 +5,13 @@
 //! [`event`]:
 //!
 //! * **Counters** — one [`u64`] per [`Event`], bumped with relaxed
-//!   atomics. Because the simulation layer memoizes each (workload,
-//!   scheme, geometry) run to execute exactly once, and relaxed `u64`
-//!   addition commutes, the final totals are deterministic even when the
-//!   simulations race across threads.
+//!   atomics in a **per-thread shard** (registered on a thread's first
+//!   recording call, drained into a global accumulator when the thread
+//!   exits; see `shard`). Reads fold every shard with the commutative
+//!   [`CounterSet::merge`]. Because the simulation layer memoizes each
+//!   (workload, scheme, geometry) run to execute exactly once, and the
+//!   shard merge commutes, the final totals are deterministic however
+//!   the parallel executor spreads the simulations across workers.
 //! * **Histograms** — power-of-two buckets per [`HistEvent`] for
 //!   distributions (cluster-walk lengths, relocation search distances).
 //! * **Spans** — logical-tick phase brackets recorded by RAII guards
@@ -31,6 +34,8 @@
 pub mod counter;
 pub mod event;
 pub mod hist;
+#[cfg(feature = "enabled")]
+mod shard;
 pub mod snapshot;
 pub mod span;
 
@@ -53,9 +58,6 @@ mod global {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Mutex;
 
-    static COUNTERS: [AtomicU64; Event::COUNT] = [const { AtomicU64::new(0) }; Event::COUNT];
-    static HISTS: [[AtomicU64; BUCKETS]; HistEvent::COUNT] =
-        [const { [const { AtomicU64::new(0) }; BUCKETS] }; HistEvent::COUNT];
     /// The global logical clock: advances once per span open/close.
     static TICK: AtomicU64 = AtomicU64::new(0);
     static SPANS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
@@ -65,26 +67,33 @@ mod global {
         static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Adds `n` to the counter for `e`.
+    /// Adds `n` to the calling thread's counter shard for `e`.
     #[inline(always)]
     pub fn count_by(e: Event, n: u64) {
-        COUNTERS[e.index()].fetch_add(n, Ordering::Relaxed);
+        crate::shard::add(e, n);
     }
 
-    /// Current value of the counter for `e`.
+    /// Current value of the counter for `e`, folded across every shard.
     pub fn counter_value(e: Event) -> u64 {
-        COUNTERS[e.index()].load(Ordering::Relaxed)
+        crate::shard::merged_counters().get(e)
     }
 
-    /// Records one histogram sample.
+    /// Records one histogram sample in the calling thread's shard.
     #[inline(always)]
     pub fn observe(h: HistEvent, v: u64) {
-        HISTS[h.index()][bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        crate::shard::observe(h, v);
     }
 
-    /// Current count in bucket `i` of series `h`.
+    /// Current count in bucket `i` of series `h`, folded across every
+    /// shard.
     pub fn hist_bucket(h: HistEvent, i: usize) -> u64 {
-        HISTS[h.index()][i].load(Ordering::Relaxed)
+        crate::shard::merged_hist(h).count(i)
+    }
+
+    /// Number of live (registered, not yet drained) per-thread counter
+    /// shards — lets tests observe registration/drain.
+    pub fn live_shards() -> usize {
+        crate::shard::live_shards()
     }
 
     /// An open span; records a [`SpanEvent`] when dropped.
@@ -116,39 +125,29 @@ mod global {
         SpanGuard { name, begin }
     }
 
-    /// Zeroes every counter, histogram and recorded span (test isolation).
+    /// Zeroes every counter shard, histogram shard and recorded span
+    /// (test isolation).
     pub fn reset() {
-        for c in COUNTERS.iter() {
-            c.store(0, Ordering::Relaxed);
-        }
-        for series in HISTS.iter() {
-            for b in series.iter() {
-                b.store(0, Ordering::Relaxed);
-            }
-        }
+        crate::shard::reset();
         TICK.store(0, Ordering::Relaxed);
         if let Ok(mut spans) = SPANS.lock() {
             spans.clear();
         }
     }
 
-    /// Captures all sinks into a [`Snapshot`].
+    /// Captures all sinks into a [`Snapshot`], folding the per-thread
+    /// shards with the commutative counter/histogram merges.
     pub fn snapshot() -> Snapshot {
+        let merged = crate::shard::merged_counters();
         let mut counters: Vec<(&'static str, u64)> = Event::ALL
             .iter()
-            .map(|&e| (e.name(), counter_value(e)))
+            .map(|&e| (e.name(), merged.get(e)))
             .collect();
         counters.sort_by_key(|(name, _)| *name);
 
         let raw: Vec<(&'static str, [u64; BUCKETS])> = HistEvent::ALL
             .iter()
-            .map(|&h| {
-                let mut buckets = [0u64; BUCKETS];
-                for (i, slot) in buckets.iter_mut().enumerate() {
-                    *slot = hist_bucket(h, i);
-                }
-                (h.name(), buckets)
-            })
+            .map(|&h| (h.name(), *crate::shard::merged_hist(h).buckets()))
             .collect();
         let histograms = Snapshot::hist_section(raw);
 
@@ -176,7 +175,9 @@ mod global {
 }
 
 #[cfg(feature = "enabled")]
-pub use global::{count_by, counter_value, hist_bucket, observe, reset, snapshot, span, SpanGuard};
+pub use global::{
+    count_by, counter_value, hist_bucket, live_shards, observe, reset, snapshot, span, SpanGuard,
+};
 
 /// Adds `n` to the counter for `e` (no-op: `enabled` feature off).
 #[cfg(not(feature = "enabled"))]
@@ -212,6 +213,14 @@ pub struct SpanGuard;
 #[inline(always)]
 pub fn span(_name: &'static str) -> SpanGuard {
     SpanGuard
+}
+
+/// Number of live per-thread counter shards (always 0: `enabled` feature
+/// off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn live_shards() -> usize {
+    0
 }
 
 /// Zeroes every sink (no-op: `enabled` feature off).
@@ -275,6 +284,35 @@ mod global_tests {
         assert!(snap.counters.iter().all(|&(_, v)| v == 0));
         assert!(snap.histograms.iter().all(|(_, b)| b.is_empty()));
         assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn shards_register_drain_and_merge_across_threads() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        count_by(Event::ColumnProbe, 1); // registers this thread's shard
+        let live_before = live_shards();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    count_by(Event::ColumnProbe, 10);
+                    observe(HistEvent::BcacheWalk, 5);
+                });
+            }
+        });
+        // The four worker shards drained on exit; their totals survive.
+        assert_eq!(live_shards(), live_before, "worker shards drained");
+        assert_eq!(counter_value(Event::ColumnProbe), 41);
+        let snap = snapshot();
+        assert!(snap.counters.contains(&("column.probe", 41)));
+        let (_, walk) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| *n == "bcache.walk")
+            .expect("walk series present");
+        assert_eq!(walk.iter().map(|b| b.count).sum::<u64>(), 4);
+        reset();
+        assert_eq!(counter_value(Event::ColumnProbe), 0);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Per-thread counter/histogram shards behind the global recording API.
+//!
+//! With the parallel executor fanning simulations across worker threads,
+//! a single global `[AtomicU64; Event::COUNT]` array would make every
+//! hot-path `count()` a cross-core cache-line fight. Instead each thread
+//! records into its **own shard** — an atomic mirror of
+//! [`CounterSet`]/[`Histogram`] it alone writes — and readers merge all
+//! shards on demand.
+//!
+//! Lifecycle:
+//!
+//! * **registration** — a thread's first recording call allocates its
+//!   shard and registers it in the global [`REGISTRY`];
+//! * **drain** — when the thread exits, a thread-local destructor folds
+//!   the shard's totals into the registry's `drained` accumulators and
+//!   drops the live entry, so totals survive worker churn and the
+//!   registry stays bounded by the number of *live* threads;
+//! * **read** — [`merged_counters`]/[`merged_hist`] fold `drained` with
+//!   every live shard using the plain [`CounterSet::merge`] /
+//!   [`Histogram::merge`] algebra. Those merges are associative and
+//!   commutative (property-tested in `tests/obs_props.rs` and
+//!   `tests/parallel_equivalence.rs`), so the fold order — registration
+//!   order, which *is* scheduling-dependent — can never change a total.
+//!
+//! The shard slots are still (relaxed) atomics, not plain cells, because
+//! a snapshot may race a live writer; each slot is only ever *written*
+//! by its owning thread, so the relaxed loads see a value that is exact
+//! for every quiesced thread and monotonically catching-up for running
+//! ones. `xp` snapshots only after all workers have joined.
+
+use crate::counter::CounterSet;
+use crate::event::{Event, HistEvent};
+use crate::hist::{bucket_index, Histogram, BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One thread's private sink: an atomic mirror of the plain algebra.
+pub(crate) struct Shard {
+    counters: [AtomicU64; Event::COUNT],
+    hists: [[AtomicU64; BUCKETS]; HistEvent::COUNT],
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            counters: [const { AtomicU64::new(0) }; Event::COUNT],
+            hists: [const { [const { AtomicU64::new(0) }; BUCKETS] }; HistEvent::COUNT],
+        }
+    }
+
+    #[inline(always)]
+    fn add(&self, e: Event, n: u64) {
+        self.counters[e.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    fn observe(&self, h: HistEvent, v: u64) {
+        self.hists[h.index()][bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn zero(&self) {
+        for c in self.counters.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        for series in self.hists.iter() {
+            for b in series.iter() {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The shard's counters as the plain merge algebra.
+    fn counter_set(&self) -> CounterSet {
+        let mut out = CounterSet::new();
+        for &e in Event::ALL.iter() {
+            out.add(e, self.counters[e.index()].load(Ordering::Relaxed));
+        }
+        out
+    }
+
+    /// One histogram series as the plain merge algebra.
+    fn histogram(&self, h: HistEvent) -> Histogram {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, a) in buckets.iter_mut().zip(self.hists[h.index()].iter()) {
+            *slot = a.load(Ordering::Relaxed);
+        }
+        Histogram::from_buckets(buckets)
+    }
+}
+
+/// Live shards plus the drained totals of exited threads.
+struct Registry {
+    live: Vec<Arc<Shard>>,
+    drained_counters: CounterSet,
+    drained_hists: [Histogram; HistEvent::COUNT],
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    live: Vec::new(),
+    drained_counters: CounterSet::new(),
+    drained_hists: [const { Histogram::new() }; HistEvent::COUNT],
+});
+
+fn registry() -> std::sync::MutexGuard<'static, Registry> {
+    REGISTRY.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Owns a thread's registration; draining happens on drop (thread exit).
+struct ShardHandle(Arc<Shard>);
+
+impl ShardHandle {
+    fn register() -> Self {
+        let shard = Arc::new(Shard::new());
+        registry().live.push(Arc::clone(&shard));
+        ShardHandle(shard)
+    }
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        let mut reg = registry();
+        reg.drained_counters = reg.drained_counters.merge(&self.0.counter_set());
+        for (i, &h) in HistEvent::ALL.iter().enumerate() {
+            reg.drained_hists[i] = reg.drained_hists[i].merge(&self.0.histogram(h));
+        }
+        let own = &self.0;
+        reg.live.retain(|s| !Arc::ptr_eq(s, own));
+    }
+}
+
+std::thread_local! {
+    static LOCAL: ShardHandle = ShardHandle::register();
+}
+
+/// Adds `n` to this thread's shard (registering it on first use). During
+/// thread-local destruction — when the shard may already be gone — the
+/// amount goes straight to the drained accumulator instead.
+#[inline(always)]
+pub(crate) fn add(e: Event, n: u64) {
+    if LOCAL.try_with(|h| h.0.add(e, n)).is_err() {
+        registry().drained_counters.add(e, n);
+    }
+}
+
+/// Records one histogram sample in this thread's shard (same fallback as
+/// [`add`]).
+#[inline(always)]
+pub(crate) fn observe(h: HistEvent, v: u64) {
+    if LOCAL.try_with(|handle| handle.0.observe(h, v)).is_err() {
+        registry().drained_hists[h.index()].observe(v);
+    }
+}
+
+/// Every shard (drained + live) folded with the commutative counter
+/// merge.
+pub(crate) fn merged_counters() -> CounterSet {
+    let reg = registry();
+    reg.live
+        .iter()
+        .fold(reg.drained_counters, |acc, s| acc.merge(&s.counter_set()))
+}
+
+/// Every shard (drained + live) of one histogram series, folded with the
+/// commutative histogram merge.
+pub(crate) fn merged_hist(h: HistEvent) -> Histogram {
+    let reg = registry();
+    reg.live
+        .iter()
+        .fold(reg.drained_hists[h.index()].clone(), |acc, s| {
+            acc.merge(&s.histogram(h))
+        })
+}
+
+/// Number of currently registered (live) shards — observability for the
+/// stress tests.
+pub(crate) fn live_shards() -> usize {
+    registry().live.len()
+}
+
+/// Zeroes the drained totals and every live shard (test isolation).
+///
+/// Only sound while no *other* thread is concurrently recording — the
+/// same contract the previous single-array implementation had.
+pub(crate) fn reset() {
+    let mut reg = registry();
+    reg.drained_counters = CounterSet::new();
+    for h in reg.drained_hists.iter_mut() {
+        *h = Histogram::new();
+    }
+    for s in reg.live.iter() {
+        s.zero();
+    }
+}

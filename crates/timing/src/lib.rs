@@ -21,7 +21,9 @@
 pub mod amat;
 pub mod hierarchy;
 pub mod latency;
+pub mod stopwatch;
 
 pub use amat::{amat_adaptive, amat_column_associative, amat_conventional, amat_exact};
 pub use hierarchy::Hierarchy;
 pub use latency::LatencyModel;
+pub use stopwatch::Stopwatch;

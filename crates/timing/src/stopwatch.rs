@@ -1,0 +1,57 @@
+//! A minimal monotonic stopwatch — the one wall-clock primitive the rest
+//! of the workspace is allowed to consume.
+//!
+//! The determinism lint (`uca lint`, rule `wallclock`) confines
+//! `Instant`/`SystemTime` to this crate so simulated *results* can never
+//! depend on the host clock. Code that legitimately measures elapsed real
+//! time — the `xp --timing` report, the parallel executor's per-job
+//! accounting — goes through [`Stopwatch`] instead of importing `Instant`
+//! directly, which keeps the exemption surface to a single module.
+//!
+//! Wall-clock readings taken through this type must never feed back into
+//! simulation state or experiment tables; they are only ever reported
+//! (stderr timing summaries, `--timing-json`).
+
+use std::time::Instant;
+
+/// A started monotonic timer.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], saturating at
+    /// `u64::MAX` (584 years — unreachable in practice, but the cast is
+    /// checked anyway).
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_and_consistent() {
+        let sw = Stopwatch::start();
+        let n1 = sw.elapsed_nanos();
+        let s1 = sw.elapsed_secs();
+        let n2 = sw.elapsed_nanos();
+        assert!(s1 >= 0.0);
+        assert!(n2 >= n1, "nanos must not go backwards");
+    }
+}
