@@ -110,6 +110,7 @@ pub fn run_all() -> Report {
     }
     check_assoc_schemes(&mut report);
     check_counter_conservation(&mut report);
+    check_fused_conservation(&mut report);
     report
 }
 
@@ -888,6 +889,186 @@ pub fn check_counter_conservation(report: &mut Report) {
     }
 
     unicache_obs::reset();
+}
+
+/// Layer 1c — fused-kernel counter conservation: when one fused pass
+/// drives several schemes ("lanes") over a single decoded stream, every
+/// lane's hits + misses must sum to the group's decoded record count,
+/// every lane's per-scheme probe counter must equal its own access count
+/// (no events leak between lanes sharing the pass), and every lane's
+/// final statistics must be bit-identical to the same model run solo
+/// through the per-record path.
+///
+/// Like [`check_counter_conservation`], the pass serializes on the global
+/// obs sinks and resets them around the run.
+pub fn check_fused_conservation(report: &mut Report) {
+    use unicache_core::{run_fused, BlockStream, FusedLane, MemRecord};
+    use unicache_obs::Event;
+
+    let glabel = "fused-conservation (64 sets x 1 way x 32 B)";
+    if !unicache_obs::enabled() {
+        report.push(
+            "obs",
+            glabel,
+            "obs-enabled",
+            false,
+            "unicache-obs compiled without the `enabled` feature".to_string(),
+        );
+        return;
+    }
+
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+
+    let geom = small_geometry();
+    let line = geom.line_bytes();
+    let records: Vec<MemRecord> = conservation_stream(20_000)
+        .iter()
+        .map(|&b| {
+            if b % 7 == 0 {
+                MemRecord::write(b * line)
+            } else {
+                MemRecord::read(b * line)
+            }
+        })
+        .collect();
+    let stream = BlockStream::from_records(&records, line);
+
+    // One lane per fusable scheme family; the index-scheme lanes share
+    // the group with the relocation caches, exactly as SimStore groups
+    // them.
+    let xor = match XorIndex::new(geom.num_sets()) {
+        Ok(f) => f,
+        Err(e) => {
+            report.push("fused", glabel, "lane-construction", false, e.to_string());
+            return;
+        }
+    };
+    let built: Result<Vec<Box<dyn FusedLane>>, unicache_core::ConfigError> = (|| {
+        Ok(vec![
+            Box::new(unicache_sim::CacheBuilder::new(geom).build()?) as Box<dyn FusedLane>,
+            Box::new(
+                unicache_sim::CacheBuilder::new(geom)
+                    .index(std::sync::Arc::new(xor))
+                    .build()?,
+            ),
+            Box::new(ColumnAssociativeCache::new(geom)?),
+            Box::new(SkewedCache::new(geom)?),
+            Box::new(AdaptiveGroupCache::new(geom)?),
+            Box::new(BCache::new(geom)?),
+        ])
+    })();
+    let mut lanes = match built {
+        Ok(l) => l,
+        Err(e) => {
+            report.push("fused", glabel, "lane-construction", false, e.to_string());
+            return;
+        }
+    };
+
+    unicache_obs::reset();
+    {
+        let mut refs: Vec<&mut dyn FusedLane> = lanes
+            .iter_mut()
+            .map(|l| l.as_mut() as &mut dyn FusedLane)
+            .collect();
+        run_fused(&mut refs, &stream);
+    }
+
+    let decoded = stream.len() as u64;
+    let outcome_sum = |s: &unicache_core::CacheStats| {
+        s.primary_hits + s.secondary_hits + s.misses_direct + s.misses_after_probe
+    };
+    for lane in &lanes {
+        let s = lane.stats();
+        report.push(
+            lane.name(),
+            glabel,
+            "fused-record-conservation",
+            s.accesses() == decoded && outcome_sum(s) == decoded,
+            format!(
+                "{} hits + {} misses vs {decoded} decoded records",
+                s.hits(),
+                s.misses()
+            ),
+        );
+    }
+
+    // Per-scheme probe counters attribute to the right lane: both
+    // conventional caches bump CacheProbe; each relocation cache bumps
+    // only its own family counter.
+    let probes = [
+        ("cache-probe", Event::CacheProbe, 2 * decoded),
+        ("column-probe", Event::ColumnProbe, decoded),
+        ("skewed-probe", Event::SkewedProbe, decoded),
+        ("adaptive-probe", Event::AdaptiveProbe, decoded),
+        ("bcache-probe", Event::BcacheProbe, decoded),
+        ("partner-probe", Event::PartnerProbe, 0),
+    ];
+    for (invariant, event, expected) in probes {
+        let got = unicache_obs::counter_value(event);
+        report.push(
+            "fused",
+            glabel,
+            invariant,
+            got == expected,
+            format!("{got} {} events vs {expected} expected", event.name()),
+        );
+    }
+    unicache_obs::reset();
+
+    // Fused results are bit-identical to the per-record solo path.
+    type SoloBuilder = fn(CacheGeometry) -> Option<Box<dyn CacheModel>>;
+    let solo_pairs: [(&str, SoloBuilder); 3] = [
+        ("baseline", |g| {
+            unicache_sim::CacheBuilder::new(g)
+                .build()
+                .ok()
+                .map(|c| Box::new(c) as Box<dyn CacheModel>)
+        }),
+        ("column_associative", |g| {
+            ColumnAssociativeCache::new(g)
+                .ok()
+                .map(|c| Box::new(c) as Box<dyn CacheModel>)
+        }),
+        ("adaptive_cache", |g| {
+            AdaptiveGroupCache::new(g)
+                .ok()
+                .map(|c| Box::new(c) as Box<dyn CacheModel>)
+        }),
+    ];
+    let fused_by_name: Vec<(&str, &unicache_core::CacheStats)> =
+        lanes.iter().map(|l| (l.name(), l.stats())).collect();
+    for (name, build) in solo_pairs {
+        let Some(mut solo) = build(geom) else {
+            report.push(
+                "fused",
+                glabel,
+                "solo-construction",
+                false,
+                name.to_string(),
+            );
+            continue;
+        };
+        for rec in &records {
+            solo.access(*rec);
+        }
+        let matched = fused_by_name
+            .iter()
+            .find(|(n, _)| *n == solo.name())
+            .map(|(_, s)| *s == solo.stats());
+        report.push(
+            name,
+            glabel,
+            "fused-equals-solo",
+            matched == Some(true),
+            match matched {
+                Some(true) => "identical stats".to_string(),
+                Some(false) => "fused and solo stats diverged".to_string(),
+                None => format!("no fused lane named {}", solo.name()),
+            },
+        );
+    }
 }
 
 #[cfg(test)]

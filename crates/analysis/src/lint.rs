@@ -584,6 +584,17 @@ pub fn self_test() -> Result<(), String> {
             src: "fn f(x: u64) -> usize {\n    x as usize\n}\n",
             line: 2,
         },
+        // The batch entry point (index.rs) is also in the narrowing-cast
+        // scope: an index_many-style body that narrows per element must
+        // fire there, and the shipped cast-free out-buffer version relies
+        // on the allow-escape working if one is ever needed.
+        Fixture {
+            rule: "narrowing-cast",
+            path: "crates/core/src/index.rs",
+            crate_name: "core",
+            src: "fn index_many(blocks: &[u64], out: &mut [usize]) {\n    for (slot, &b) in out.iter_mut().zip(blocks) {\n        *slot = b as usize;\n    }\n}\n",
+            line: 3,
+        },
         Fixture {
             rule: "wallclock",
             path: "crates/stats/src/uca_fixture.rs",

@@ -342,6 +342,13 @@ impl CacheModel for AdaptiveGroupCache {
     }
 }
 
+/// Fusable only through the default (monomorphized) chunk loop: every
+/// access consults and updates the SHT/OUT directories, so the per-record
+/// state machine has no separable index phase to vectorize. The fused
+/// pass still removes the per-record virtual dispatch and shares the
+/// decoded stream with the other lanes.
+impl unicache_core::FusedLane for AdaptiveGroupCache {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -278,6 +278,12 @@ impl CacheModel for BCache {
     }
 }
 
+/// Fusable only through the default (monomorphized) chunk loop: the
+/// programmable decoders make each lookup a cluster walk whose result
+/// feeds the next decoder reprogramming, so there is no precomputable
+/// index vector. Fusing still removes the per-record virtual dispatch.
+impl unicache_core::FusedLane for BCache {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

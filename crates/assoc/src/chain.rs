@@ -327,6 +327,11 @@ impl CacheModel for PartnerChainCache {
     }
 }
 
+/// Fusable via the default (monomorphized) chunk loop, like
+/// [`crate::PartnerIndexCache`]: the primary index is a plain mask, so
+/// fusing's win here is eliminating the per-record virtual dispatch.
+impl unicache_core::FusedLane for PartnerChainCache {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,8 +21,8 @@
 
 use std::sync::Arc;
 use unicache_core::{
-    AccessResult, BlockAddr, CacheGeometry, CacheModel, CacheStats, ConfigError, HitWhere,
-    IndexFunction, MemRecord, Result,
+    AccessResult, BlockAddr, CacheGeometry, CacheModel, CacheStats, ConfigError, FusedLane,
+    HitWhere, IndexFunction, MemRecord, Result,
 };
 use unicache_indexing::ModuloIndex;
 
@@ -54,6 +54,8 @@ pub struct ColumnAssociativeCache {
     stats: CacheStats,
     flip_mask: usize,
     name: String,
+    /// Chunk-sized primary-index scratch reused across fused steps.
+    idx_buf: Vec<usize>,
 }
 
 impl ColumnAssociativeCache {
@@ -95,6 +97,7 @@ impl ColumnAssociativeCache {
             stats: CacheStats::new(geom.num_sets()),
             flip_mask: geom.num_sets() / 2,
             name,
+            idx_buf: Vec::new(),
         })
     }
 
@@ -122,23 +125,18 @@ impl ColumnAssociativeCache {
     pub fn rehash_bit(&self, set: usize) -> bool {
         self.lines[set].rehash
     }
-}
 
-impl CacheModel for ColumnAssociativeCache {
-    fn geometry(&self) -> CacheGeometry {
-        self.geom
-    }
-
-    fn access(&mut self, rec: MemRecord) -> AccessResult {
-        self.access_block(self.geom.block_addr(rec.addr), rec.kind.is_write())
-    }
-
-    fn access_block(&mut self, block: u64, is_write: bool) -> AccessResult {
+    /// One access with the primary set already computed — the shared tail
+    /// of [`CacheModel::access_block`] and the fused chunk step (which
+    /// vectorizes the primary-index computation and replays this per
+    /// record). The first-probe → reclaim → second-probe+swap → displace
+    /// sequence and its obs events are identical in both paths.
+    #[inline]
+    fn access_with_primary(&mut self, p: usize, block: u64, is_write: bool) -> AccessResult {
         if is_write {
             self.stats.record_write();
         }
         unicache_obs::count(unicache_obs::Event::ColumnProbe);
-        let p = self.primary_of(block);
         let a = self.alternate_of(p);
 
         // First probe.
@@ -237,6 +235,21 @@ impl CacheModel for ColumnAssociativeCache {
             evicted,
         }
     }
+}
+
+impl CacheModel for ColumnAssociativeCache {
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn access(&mut self, rec: MemRecord) -> AccessResult {
+        self.access_block(self.geom.block_addr(rec.addr), rec.kind.is_write())
+    }
+
+    fn access_block(&mut self, block: u64, is_write: bool) -> AccessResult {
+        let p = self.primary_of(block);
+        self.access_with_primary(p, block, is_write)
+    }
 
     fn stats(&self) -> &CacheStats {
         &self.stats
@@ -255,6 +268,23 @@ impl CacheModel for ColumnAssociativeCache {
 
     fn name(&self) -> &str {
         &self.name
+    }
+}
+
+impl FusedLane for ColumnAssociativeCache {
+    /// Fast chunk path: the pluggable primary index (the only virtual
+    /// call on the per-record path) is vectorized with one `index_many`
+    /// per chunk; the probe/reclaim/swap/displace state machine then runs
+    /// per record with zero virtual dispatch.
+    fn step_chunk(&mut self, blocks: &[u64], writes: &[bool]) {
+        let mut primaries = std::mem::take(&mut self.idx_buf);
+        primaries.resize(blocks.len(), 0);
+        let index = Arc::clone(&self.index);
+        index.index_many(blocks, &mut primaries);
+        for ((&p, &block), &is_write) in primaries.iter().zip(blocks).zip(writes) {
+            self.access_with_primary(p, block, is_write);
+        }
+        self.idx_buf = primaries;
     }
 }
 

@@ -332,6 +332,13 @@ impl CacheModel for PartnerIndexCache {
     }
 }
 
+/// Fused fast path via the default (monomorphized) chunk loop: the
+/// primary index is a plain mask (`block & (sets-1)`), already inline in
+/// `access_block`, so there is no separate index phase to vectorize —
+/// fusing removes the per-record virtual dispatch, which is the entire
+/// overhead of this scheme's batched path.
+impl unicache_core::FusedLane for PartnerIndexCache {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -203,6 +203,12 @@ impl CacheModel for SkewedCache {
     }
 }
 
+/// Fusable only through the default (monomorphized) chunk loop: each
+/// access probes two banks under two different hashes and the replacement
+/// choice depends on both probes, so vectorizing one index buys nothing.
+/// Fusing still removes the per-record virtual dispatch.
+impl unicache_core::FusedLane for SkewedCache {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,189 @@
+//! `innerloop` — criterion-free microbenchmark of the simulation inner
+//! loop, isolating the two mechanisms behind the fused kernel's speedup:
+//!
+//! 1. **SoA vs per-set-struct storage** — the same `Cache` driven over
+//!    the same stream with the contiguous struct-of-arrays set store
+//!    (default) and with the legacy per-set `CacheSet` vector
+//!    (`CacheBuilder::per_set_storage(true)`).
+//! 2. **Fused vs unfused multi-model traversal** — the same lane group
+//!    driven by `run_fused` (decode each chunk once, step every lane
+//!    over it) and by `run_batch_many` (one virtual call per record per
+//!    model).
+//!
+//! Emits a single JSON document on stdout (and optionally to `--out`)
+//! so CI can archive the numbers as an artifact next to the perfgate
+//! diff. Wall-clock goes through `unicache_timing::Stopwatch`, the one
+//! sanctioned timing primitive (`uca lint`, rule `wallclock`).
+//!
+//! Usage: `innerloop [--records N] [--reps R] [--out FILE]`
+//!
+//! Timing methodology: each section runs `R` repetitions per variant,
+//! interleaved (A, B, A, B, ...) so neither variant systematically
+//! enjoys a warmer cache, and reports the *minimum* elapsed time — the
+//! standard microbenchmark estimator for the noise-free cost.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use unicache_core::{
+    run_batch_many, run_fused, BlockStream, CacheGeometry, CacheModel, FusedLane, MemRecord,
+};
+use unicache_indexing::XorIndex;
+use unicache_sim::CacheBuilder;
+use unicache_timing::Stopwatch;
+
+/// Deterministic LCG access stream over a block space sized to overflow
+/// the cache (conflicts and capacity misses, like real traces).
+fn synth_records(count: usize) -> Vec<MemRecord> {
+    let mut x = 0x243f6a8885a308d3u64;
+    (0..count)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let block = (x >> 33) & 0xFFFF;
+            let addr = block * 32;
+            if x & 0x7 == 0 {
+                MemRecord::write(addr)
+            } else {
+                MemRecord::read(addr)
+            }
+        })
+        .collect()
+}
+
+/// Minimum elapsed nanoseconds over `reps` runs of `f`, interleaved with
+/// the caller's other variant by taking a closure per call.
+fn min_nanos(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let sw = Stopwatch::start();
+        f();
+        best = best.min(sw.elapsed_nanos());
+    }
+    best
+}
+
+struct Args {
+    records: usize,
+    reps: usize,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        records: 2_000_000,
+        reps: 5,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{what} requires a value"))
+        };
+        match flag.as_str() {
+            "--records" => args.records = grab("--records").parse().expect("--records: integer"),
+            "--reps" => args.reps = grab("--reps").parse().expect("--reps: integer"),
+            "--out" => args.out = Some(grab("--out")),
+            other => panic!("unknown flag {other} (try --records/--reps/--out)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let records = synth_records(args.records);
+    let geoms = [
+        ("dm_1024x1", CacheGeometry::paper_l1()),
+        (
+            "sa_256x4",
+            CacheGeometry::from_sets(256, 32, 4).expect("valid geometry"),
+        ),
+    ];
+
+    let mut sections = String::new();
+
+    // Section 1: SoA vs per-set-struct set storage.
+    for (i, (label, geom)) in geoms.iter().enumerate() {
+        let stream = BlockStream::from_records(&records, geom.line_bytes());
+        let mut soa_best = u64::MAX;
+        let mut per_set_best = u64::MAX;
+        // Interleave the variants so neither owns the warm caches.
+        for _ in 0..args.reps {
+            let mut soa = CacheBuilder::new(*geom).build().expect("valid cache");
+            soa_best = soa_best.min(min_nanos(1, || soa.run_batch(&stream)));
+            let mut legacy = CacheBuilder::new(*geom)
+                .per_set_storage(true)
+                .build()
+                .expect("valid cache");
+            per_set_best = per_set_best.min(min_nanos(1, || legacy.run_batch(&stream)));
+        }
+        let _ = write!(
+            sections,
+            "    \"soa_vs_per_set/{label}\": {{\n      \"soa_ns\": {soa_best},\n      \
+             \"per_set_ns\": {per_set_best},\n      \"speedup\": {:.4}\n    }},\n",
+            per_set_best as f64 / soa_best as f64
+        );
+        let _ = i;
+    }
+
+    // Section 2: fused vs unfused traversal of a 4-lane group (the shape
+    // SimStore schedules: baseline + an indexing scheme + two relocation
+    // caches over one stream).
+    let geom = CacheGeometry::paper_l1();
+    let stream = BlockStream::from_records(&records, geom.line_bytes());
+    let build_lanes = || -> Vec<Box<dyn FusedLane>> {
+        vec![
+            Box::new(CacheBuilder::new(geom).build().expect("valid cache")),
+            Box::new(
+                CacheBuilder::new(geom)
+                    .index(Arc::new(
+                        XorIndex::new(geom.num_sets()).expect("valid xor index"),
+                    ))
+                    .build()
+                    .expect("valid cache"),
+            ),
+            Box::new(
+                unicache_assoc::ColumnAssociativeCache::new(geom).expect("valid column cache"),
+            ),
+            Box::new(unicache_assoc::SkewedCache::new(geom).expect("valid skewed cache")),
+        ]
+    };
+    let mut fused_best = u64::MAX;
+    let mut unfused_best = u64::MAX;
+    for _ in 0..args.reps {
+        let mut lanes = build_lanes();
+        let mut refs: Vec<&mut dyn FusedLane> = lanes
+            .iter_mut()
+            .map(|l| l.as_mut() as &mut dyn FusedLane)
+            .collect();
+        let sw = Stopwatch::start();
+        run_fused(&mut refs, &stream);
+        fused_best = fused_best.min(sw.elapsed_nanos());
+
+        let mut models = build_lanes();
+        let mut refs: Vec<&mut dyn CacheModel> = models
+            .iter_mut()
+            .map(|l| l.as_mut() as &mut dyn CacheModel)
+            .collect();
+        let sw = Stopwatch::start();
+        run_batch_many(&mut refs, &stream);
+        unfused_best = unfused_best.min(sw.elapsed_nanos());
+    }
+    let _ = write!(
+        sections,
+        "    \"fused_vs_unfused/4lanes\": {{\n      \"fused_ns\": {fused_best},\n      \
+         \"unfused_ns\": {unfused_best},\n      \"speedup\": {:.4}\n    }}\n",
+        unfused_best as f64 / fused_best as f64
+    );
+
+    let json = format!(
+        "{{\n  \"records\": {},\n  \"reps\": {},\n  \"sections\": {{\n{sections}  }}\n}}\n",
+        args.records, args.reps
+    );
+    print!("{json}");
+    if let Some(path) = args.out {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+}

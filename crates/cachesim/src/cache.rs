@@ -7,21 +7,68 @@
 //! * the higher-associativity comparison points (2/4/8-way), and
 //! * the L2 of the simulated hierarchy.
 
-use crate::set::{CacheSet, ReplacementPolicy};
+use crate::set::{CacheSet, FillOutcome, ReplacementPolicy};
+use crate::soa::SoaSets;
 use std::sync::Arc;
 use unicache_core::{
-    AccessResult, CacheGeometry, CacheModel, CacheStats, ConfigError, HitWhere, IndexFunction,
-    MemRecord, Result,
+    AccessResult, CacheGeometry, CacheModel, CacheStats, ConfigError, FusedLane, HitWhere,
+    IndexFunction, MemRecord, Result,
 };
+
+/// Set storage backing a [`Cache`].
+///
+/// LRU and FIFO caches use the contiguous struct-of-arrays store (the
+/// fused kernel's fast layout); `Random` needs a per-set seeded RNG and
+/// `TreePlru` a per-set bit tree, so those keep the per-set-struct
+/// storage. Both stores implement identical replacement semantics — see
+/// the lockstep tests in [`crate::soa`].
+enum SetStore {
+    Soa(SoaSets),
+    PerSet(Vec<CacheSet>),
+}
+
+impl SetStore {
+    #[inline]
+    fn lookup(&mut self, set: usize, block: u64, is_write: bool) -> bool {
+        match self {
+            SetStore::Soa(s) => s.lookup(set, block, is_write),
+            SetStore::PerSet(sets) => sets[set].lookup(block, is_write).is_some(),
+        }
+    }
+
+    #[inline]
+    fn fill(&mut self, set: usize, block: u64, is_write: bool) -> FillOutcome {
+        match self {
+            SetStore::Soa(s) => s.fill(set, block, is_write),
+            SetStore::PerSet(sets) => sets[set].fill(block, is_write),
+        }
+    }
+
+    fn probe(&self, set: usize, block: u64) -> bool {
+        match self {
+            SetStore::Soa(s) => s.probe(set, block).is_some(),
+            SetStore::PerSet(sets) => sets[set].probe(block).is_some(),
+        }
+    }
+
+    fn flush(&mut self) {
+        match self {
+            SetStore::Soa(s) => s.flush(),
+            SetStore::PerSet(sets) => sets.iter_mut().for_each(CacheSet::flush),
+        }
+    }
+}
 
 /// A set-associative cache.
 pub struct Cache {
     geom: CacheGeometry,
     index: Arc<dyn IndexFunction>,
-    sets: Vec<CacheSet>,
+    store: SetStore,
     stats: CacheStats,
     write_allocate: bool,
     name: String,
+    /// Chunk-sized set-index scratch reused across fused steps.
+    idx_buf: Vec<usize>,
 }
 
 /// Builder for [`Cache`].
@@ -40,6 +87,7 @@ pub struct CacheBuilder {
     write_allocate: bool,
     seed: u64,
     name: Option<String>,
+    per_set_storage: bool,
 }
 
 impl CacheBuilder {
@@ -53,6 +101,7 @@ impl CacheBuilder {
             write_allocate: true,
             seed: 0x5EED,
             name: None,
+            per_set_storage: false,
         }
     }
 
@@ -86,6 +135,15 @@ impl CacheBuilder {
         self
     }
 
+    /// Forces the legacy per-set-struct storage even for LRU/FIFO (an
+    /// ablation/benchmark knob: the `innerloop` microbench and the SoA
+    /// equivalence tests compare the two stores through this switch).
+    /// `Random` and `TreePlru` caches use per-set storage regardless.
+    pub fn per_set_storage(mut self, on: bool) -> Self {
+        self.per_set_storage = on;
+        self
+    }
+
     /// Builds the cache.
     ///
     /// # Errors
@@ -110,16 +168,31 @@ impl CacheBuilder {
         let name = self
             .name
             .unwrap_or_else(|| format!("cache({}, {}-way)", index.name(), geom.ways()));
-        let sets = (0..geom.num_sets())
-            .map(|i| CacheSet::new(geom.ways() as usize, self.policy, self.seed ^ i as u64))
-            .collect();
+        let stamp_based = matches!(
+            self.policy,
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo
+        );
+        let store = if stamp_based && !self.per_set_storage {
+            SetStore::Soa(SoaSets::new(
+                geom.num_sets(),
+                geom.ways() as usize,
+                self.policy == ReplacementPolicy::Lru,
+            ))
+        } else {
+            SetStore::PerSet(
+                (0..geom.num_sets())
+                    .map(|i| CacheSet::new(geom.ways() as usize, self.policy, self.seed ^ i as u64))
+                    .collect(),
+            )
+        };
         Ok(Cache {
             geom,
             index,
-            sets,
+            store,
             stats: CacheStats::new(geom.num_sets()),
             write_allocate: self.write_allocate,
             name,
+            idx_buf: Vec::new(),
         })
     }
 }
@@ -147,26 +220,19 @@ impl Cache {
     /// Probes for a block without disturbing state (for tests/inspection).
     pub fn contains_block(&self, block: u64) -> bool {
         let set = self.index.index_block(block);
-        self.sets[set].probe(block).is_some()
-    }
-}
-
-impl CacheModel for Cache {
-    fn geometry(&self) -> CacheGeometry {
-        self.geom
+        self.store.probe(set, block)
     }
 
-    fn access(&mut self, rec: MemRecord) -> AccessResult {
-        self.access_block(self.geom.block_addr(rec.addr), rec.kind.is_write())
-    }
-
-    fn access_block(&mut self, block: u64, is_write: bool) -> AccessResult {
+    /// One access with the set index already computed — the shared tail of
+    /// [`CacheModel::access_block`] and the fused chunk step (which
+    /// vectorizes the index computation and then replays this per record).
+    #[inline]
+    fn access_at(&mut self, set: usize, block: u64, is_write: bool) -> AccessResult {
         if is_write {
             self.stats.record_write();
         }
         unicache_obs::count(unicache_obs::Event::CacheProbe);
-        let set = self.index.index_block(block);
-        if self.sets[set].lookup(block, is_write).is_some() {
+        if self.store.lookup(set, block, is_write) {
             self.stats.record(set, HitWhere::Primary);
             return AccessResult {
                 where_hit: HitWhere::Primary,
@@ -184,7 +250,7 @@ impl CacheModel for Cache {
                 evicted: None,
             };
         }
-        let fill = self.sets[set].fill(block, is_write);
+        let fill = self.store.fill(set, block, is_write);
         if fill.evicted.is_some() {
             self.stats.record_eviction(set);
         }
@@ -193,6 +259,21 @@ impl CacheModel for Cache {
             set,
             evicted: fill.evicted,
         }
+    }
+}
+
+impl CacheModel for Cache {
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn access(&mut self, rec: MemRecord) -> AccessResult {
+        self.access_block(self.geom.block_addr(rec.addr), rec.kind.is_write())
+    }
+
+    fn access_block(&mut self, block: u64, is_write: bool) -> AccessResult {
+        let set = self.index.index_block(block);
+        self.access_at(set, block, is_write)
     }
 
     fn stats(&self) -> &CacheStats {
@@ -204,14 +285,28 @@ impl CacheModel for Cache {
     }
 
     fn flush(&mut self) {
-        for s in &mut self.sets {
-            s.flush();
-        }
+        self.store.flush();
         self.stats.reset();
     }
 
     fn name(&self) -> &str {
         &self.name
+    }
+}
+
+impl FusedLane for Cache {
+    /// Fast chunk path: one virtual `index_many` computes the whole
+    /// chunk's set indices (its monomorphized body inlines the concrete
+    /// hash), then the per-record tail runs with zero virtual dispatch.
+    fn step_chunk(&mut self, blocks: &[u64], writes: &[bool]) {
+        let mut sets = std::mem::take(&mut self.idx_buf);
+        sets.resize(blocks.len(), 0);
+        let index = Arc::clone(&self.index);
+        index.index_many(blocks, &mut sets);
+        for ((&set, &block), &is_write) in sets.iter().zip(blocks).zip(writes) {
+            self.access_at(set, block, is_write);
+        }
+        self.idx_buf = sets;
     }
 }
 
@@ -360,6 +455,85 @@ mod tests {
             .index(Arc::new(unicache_indexing::ModuloIndex::new(4).unwrap()))
             .build();
         assert!(c.is_ok());
+    }
+
+    #[test]
+    fn soa_and_per_set_storage_agree_exactly() {
+        // Same conflict-heavy mix through both stores, LRU and FIFO,
+        // several associativities: stats must be bit-identical.
+        let mut x = 77u64;
+        let recs: Vec<MemRecord> = (0..6000)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let addr = ((x >> 30) % 800) * 32;
+                if x.is_multiple_of(4) {
+                    MemRecord::write(addr)
+                } else {
+                    MemRecord::read(addr)
+                }
+            })
+            .collect();
+        for ways in [1u32, 2, 4] {
+            for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo] {
+                let geom = CacheGeometry::from_sets(16, 32, ways).unwrap();
+                let mut soa = CacheBuilder::new(geom).replacement(policy).build().unwrap();
+                let mut legacy = CacheBuilder::new(geom)
+                    .replacement(policy)
+                    .per_set_storage(true)
+                    .build()
+                    .unwrap();
+                soa.run(&recs);
+                legacy.run(&recs);
+                assert_eq!(
+                    soa.stats(),
+                    legacy.stats(),
+                    "stores diverged at {ways}-way {policy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_policy_keeps_per_set_storage_and_stays_deterministic() {
+        let geom = CacheGeometry::from_sets(8, 32, 4).unwrap();
+        let run = |seed: u64| {
+            let mut c = CacheBuilder::new(geom)
+                .replacement(ReplacementPolicy::Random)
+                .seed(seed)
+                .build()
+                .unwrap();
+            for i in 0..2000u64 {
+                c.access(MemRecord::read((i * 37 % 512) * 32));
+            }
+            c.stats().clone()
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn fused_step_chunk_equals_run_batch() {
+        use unicache_core::{run_fused, BlockStream, FusedLane};
+        let geom = CacheGeometry::from_sets(64, 32, 1).unwrap();
+        let recs: Vec<MemRecord> = (0..9000u64)
+            .map(|i| MemRecord::read(((i * 131) % 4096) * 32))
+            .collect();
+        let stream = BlockStream::from_records(&recs, 32);
+        let mut solo = CacheBuilder::new(geom)
+            .index(Arc::new(XorIndex::new(64).unwrap()))
+            .build()
+            .unwrap();
+        let mut fused = CacheBuilder::new(geom)
+            .index(Arc::new(XorIndex::new(64).unwrap()))
+            .build()
+            .unwrap();
+        solo.run_batch(&stream);
+        {
+            let mut lanes: Vec<&mut dyn FusedLane> = vec![&mut fused];
+            run_fused(&mut lanes, &stream);
+        }
+        assert_eq!(solo.stats(), fused.stats());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 pub mod belady;
 pub mod cache;
 pub mod set;
+mod soa;
 pub mod victim;
 
 pub use cache::{Cache, CacheBuilder};

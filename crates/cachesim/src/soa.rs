@@ -1,0 +1,245 @@
+//! Struct-of-arrays set storage for LRU/FIFO caches.
+//!
+//! [`crate::set::CacheSet`] keeps each set as its own heap object (a
+//! `Vec<Line>`, a `Vec<u64>` of stamps, PLRU bits and an RNG), so a
+//! simulated access chases three pointers into small, scattered
+//! allocations — and a 1024-set direct-mapped cache drags ~200 bytes of
+//! per-set overhead through the host cache for every 8-byte block it
+//! actually inspects. [`SoaSets`] stores the same state as flat
+//! contiguous arrays indexed by `set * ways + way`: one `blocks[]`, one
+//! `valid[]`/`dirty[]`, one `stamps[]` and a per-set `clocks[]`. The
+//! per-access working set shrinks to a handful of adjacent array slots,
+//! which is what makes the fused kernel's lane updates branch-light and
+//! host-cache-friendly.
+//!
+//! Only the stamp-based policies live here: LRU (stamps refreshed on hit
+//! and fill) and FIFO (stamps written on fill only). `Random` needs the
+//! per-set seeded RNG and `TreePlru` the per-set bit tree, so caches
+//! under those policies keep the per-set-struct storage
+//! ([`crate::cache::CacheBuilder`] selects the store). Semantics are
+//! replicated from `CacheSet` exactly — first invalid way fills first,
+//! the victim is the minimum stamp with the lowest way winning ties —
+//! so the two stores produce bit-identical [`unicache_core::CacheStats`].
+
+use crate::set::FillOutcome;
+use unicache_core::BlockAddr;
+
+/// All sets of one cache as contiguous struct-of-arrays storage.
+#[derive(Debug, Clone)]
+pub(crate) struct SoaSets {
+    ways: usize,
+    /// True for LRU (refresh stamp on hit), false for FIFO.
+    lru: bool,
+    blocks: Vec<BlockAddr>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    stamps: Vec<u64>,
+    clocks: Vec<u64>,
+}
+
+impl SoaSets {
+    /// Empty storage for `num_sets` sets of `ways` lines; `lru` selects
+    /// LRU over FIFO stamping.
+    pub(crate) fn new(num_sets: usize, ways: usize, lru: bool) -> Self {
+        assert!(ways > 0, "a set needs at least one way");
+        let lines = num_sets * ways;
+        SoaSets {
+            ways,
+            lru,
+            blocks: vec![0; lines],
+            valid: vec![false; lines],
+            dirty: vec![false; lines],
+            stamps: vec![0; lines],
+            clocks: vec![0; num_sets],
+        }
+    }
+
+    /// Looks up `block` in `set`; on hit updates recency metadata and the
+    /// dirty bit (if `is_write`), mirroring `CacheSet::lookup`.
+    #[inline]
+    pub(crate) fn lookup(&mut self, set: usize, block: BlockAddr, is_write: bool) -> bool {
+        if self.ways == 1 {
+            // Direct-mapped: the victim is always way 0, so the clock and
+            // stamps are dead state — skipping them drops two read-modify-
+            // writes from every access of the paper's dominant geometry.
+            if self.valid[set] && self.blocks[set] == block {
+                if is_write {
+                    self.dirty[set] = true;
+                }
+                return true;
+            }
+            return false;
+        }
+        self.clocks[set] += 1;
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            let i = base + w;
+            if self.valid[i] && self.blocks[i] == block {
+                if is_write {
+                    self.dirty[i] = true;
+                }
+                if self.lru {
+                    self.stamps[i] = self.clocks[set];
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Peeks for `block` in `set` without updating any metadata.
+    pub(crate) fn probe(&self, set: usize, block: BlockAddr) -> Option<usize> {
+        let base = set * self.ways;
+        (0..self.ways).find(|&w| self.valid[base + w] && self.blocks[base + w] == block)
+    }
+
+    /// Fills `block` into `set`, evicting per policy if full — first
+    /// invalid way, else minimum stamp (lowest way wins ties), exactly as
+    /// `CacheSet::fill` / `victim_way` decide.
+    #[inline]
+    pub(crate) fn fill(&mut self, set: usize, block: BlockAddr, is_write: bool) -> FillOutcome {
+        if self.ways == 1 {
+            // Direct-mapped: way 0 unconditionally, no stamp to maintain.
+            let was_valid = self.valid[set];
+            let evicted = if was_valid {
+                Some(self.blocks[set])
+            } else {
+                None
+            };
+            let evicted_dirty = was_valid && self.dirty[set];
+            self.blocks[set] = block;
+            self.valid[set] = true;
+            self.dirty[set] = is_write;
+            return FillOutcome {
+                way: 0,
+                evicted,
+                evicted_dirty,
+            };
+        }
+        self.clocks[set] += 1;
+        let base = set * self.ways;
+        let mut way = self.ways;
+        for w in 0..self.ways {
+            if !self.valid[base + w] {
+                way = w;
+                break;
+            }
+        }
+        if way == self.ways {
+            let mut best = 0usize;
+            for w in 1..self.ways {
+                if self.stamps[base + w] < self.stamps[base + best] {
+                    best = w;
+                }
+            }
+            way = best;
+        }
+        let i = base + way;
+        let was_valid = self.valid[i];
+        let evicted = if was_valid {
+            Some(self.blocks[i])
+        } else {
+            None
+        };
+        let evicted_dirty = was_valid && self.dirty[i];
+        self.blocks[i] = block;
+        self.valid[i] = true;
+        self.dirty[i] = is_write;
+        self.stamps[i] = self.clocks[set];
+        FillOutcome {
+            way,
+            evicted,
+            evicted_dirty,
+        }
+    }
+
+    /// Invalidates every line and resets all metadata.
+    pub(crate) fn flush(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = 0);
+        self.valid.iter_mut().for_each(|v| *v = false);
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        self.stamps.iter_mut().for_each(|s| *s = 0);
+        self.clocks.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::{CacheSet, ReplacementPolicy};
+
+    /// Drives the same operation sequence through `SoaSets` and a
+    /// `CacheSet` row, asserting identical outcomes step by step.
+    fn lockstep(ways: usize, lru: bool, ops: &[(u64, bool)]) {
+        let policy = if lru {
+            ReplacementPolicy::Lru
+        } else {
+            ReplacementPolicy::Fifo
+        };
+        let mut soa = SoaSets::new(4, ways, lru);
+        let mut legacy: Vec<CacheSet> = (0..4).map(|_| CacheSet::new(ways, policy, 0)).collect();
+        for &(block, is_write) in ops {
+            let set = (block % 4) as usize;
+            let h_soa = soa.lookup(set, block, is_write);
+            let h_old = legacy[set].lookup(block, is_write).is_some();
+            assert_eq!(h_soa, h_old, "hit/miss diverged on block {block}");
+            if !h_soa {
+                let f_soa = soa.fill(set, block, is_write);
+                let f_old = legacy[set].fill(block, is_write);
+                assert_eq!(f_soa.way, f_old.way, "fill way diverged on {block}");
+                assert_eq!(f_soa.evicted, f_old.evicted, "victim diverged on {block}");
+                assert_eq!(f_soa.evicted_dirty, f_old.evicted_dirty);
+            }
+        }
+    }
+
+    #[test]
+    fn lru_matches_per_set_storage_in_lockstep() {
+        // Conflict-heavy pseudo-random mix over a small block space.
+        let mut x = 12345u64;
+        let ops: Vec<(u64, bool)> = (0..3000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) % 24, x.is_multiple_of(5))
+            })
+            .collect();
+        for ways in [1, 2, 3, 4, 8] {
+            lockstep(ways, true, &ops);
+        }
+    }
+
+    #[test]
+    fn fifo_matches_per_set_storage_in_lockstep() {
+        let mut x = 999u64;
+        let ops: Vec<(u64, bool)> = (0..3000)
+            .map(|_| {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                ((x >> 33) % 24, x.is_multiple_of(7))
+            })
+            .collect();
+        for ways in [1, 2, 4] {
+            lockstep(ways, false, &ops);
+        }
+    }
+
+    #[test]
+    fn probe_and_flush() {
+        let mut s = SoaSets::new(2, 2, true);
+        assert_eq!(s.probe(0, 8), None);
+        s.fill(0, 8, true);
+        assert_eq!(s.probe(0, 8), Some(0));
+        assert_eq!(s.probe(1, 8), None);
+        s.flush();
+        assert_eq!(s.probe(0, 8), None);
+        // After a flush the clock restarts like a fresh CacheSet's.
+        let f = s.fill(0, 4, false);
+        assert_eq!(f.way, 0);
+        assert_eq!(f.evicted, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        SoaSets::new(4, 0, true);
+    }
+}

@@ -121,6 +121,12 @@ impl CacheModel for VictimCache {
     }
 }
 
+/// Fusable via the default (monomorphized) chunk loop: the victim buffer
+/// is consulted on every main-cache miss, so there is no separable index
+/// phase to vectorize — but the per-record virtual dispatch still
+/// collapses to one call per chunk.
+impl unicache_core::FusedLane for VictimCache {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,6 +85,88 @@ impl BlockStream {
     }
 }
 
+/// Records per fused chunk: big enough to amortize the per-chunk virtual
+/// dispatches (one `step_chunk` per lane, one `index_many` inside it),
+/// small enough that the decoded scratch (`blocks` + `writes` + each
+/// lane's set buffer, ~17 bytes/record — ~17 KB per chunk) stays
+/// resident in a 32 KB L1D alongside the hot set arrays.
+pub const FUSE_CHUNK: usize = 1024;
+
+/// A cache model that can ride in a fused multi-scheme pass.
+///
+/// The fused kernel decodes a [`BlockStream`] chunk once into plain
+/// `(blocks, writes)` slices and then hands the *same* decoded chunk to
+/// every lane. Calling [`FusedLane::step_chunk`] through
+/// `&mut dyn FusedLane` costs one virtual dispatch per (lane × chunk);
+/// the default body below is monomorphized per concrete model, so its
+/// `access_block` calls statically dispatch and inline — this default is
+/// the documented fallback for stateful schemes with no cheaper chunk
+/// form (adaptive, B-cache, skewed). Models with a separable index
+/// computation (the conventional cache, column-associative) override
+/// `step_chunk` to vectorize the index with
+/// [`crate::IndexFunction::index_many`] first.
+///
+/// SMT caches cannot implement this trait usefully: the decoded form
+/// carries no thread id, so they keep consuming raw `MemRecord`s.
+pub trait FusedLane: CacheModel {
+    /// Processes one decoded chunk; `blocks[i]` pairs with `writes[i]`.
+    fn step_chunk(&mut self, blocks: &[BlockAddr], writes: &[bool]) {
+        for (&block, &is_write) in blocks.iter().zip(writes) {
+            let _r = self.access_block(block, is_write);
+            #[cfg(feature = "checked")]
+            debug_assert!(
+                _r.set < self.geometry().num_sets(),
+                "model '{}' returned out-of-range set {}",
+                self.name(),
+                _r.set
+            );
+        }
+    }
+}
+
+/// Blanket impl so `Box<dyn FusedLane>` is itself a lane — the fuse-group
+/// scheduler holds heterogeneous scheme collections this way.
+impl<T: FusedLane + ?Sized> FusedLane for Box<T> {
+    fn step_chunk(&mut self, blocks: &[BlockAddr], writes: &[bool]) {
+        (**self).step_chunk(blocks, writes)
+    }
+}
+
+/// Drives all `lanes` over `stream` in one fused traversal: each chunk of
+/// the packed stream is decoded exactly once into shared scratch and then
+/// replayed through every lane (chunk-outer, lane-inner). Statistically
+/// equivalent to running each lane alone with [`CacheModel::run_batch`] —
+/// every lane sees the same references in the same order, and lanes never
+/// observe each other — but the trace is decoded and streamed from memory
+/// once per *group* instead of once per scheme, and the per-record virtual
+/// dispatch of [`run_batch_many`] collapses to one call per (lane × chunk).
+///
+/// # Panics
+/// If any lane's line size differs from the stream's (the pre-decoded
+/// block addresses would be wrong for it).
+pub fn run_fused(lanes: &mut [&mut dyn FusedLane], stream: &BlockStream) {
+    for l in lanes.iter() {
+        assert_eq!(
+            l.geometry().line_bytes(),
+            stream.line_bytes(),
+            "lane '{}' line size does not match stream",
+            l.name()
+        );
+    }
+    let mut blocks = [0u64; FUSE_CHUNK];
+    let mut writes = [false; FUSE_CHUNK];
+    for chunk in stream.packed.chunks(FUSE_CHUNK) {
+        let n = chunk.len();
+        for (i, &p) in chunk.iter().enumerate() {
+            blocks[i] = p >> 1;
+            writes[i] = p & 1 == 1;
+        }
+        for lane in lanes.iter_mut() {
+            lane.step_chunk(&blocks[..n], &writes[..n]);
+        }
+    }
+}
+
 /// Drives several models over `stream` in one traversal (record-outer,
 /// model-inner). Equivalent to calling [`CacheModel::run_batch`] on each
 /// model; preferable when the stream is too large to stay cache-resident
@@ -198,5 +280,101 @@ mod tests {
     #[should_panic(expected = "not a power of two")]
     fn rejects_bad_line_size() {
         let _ = BlockStream::from_records(&recs(), 48);
+    }
+
+    /// A minimal model that remembers exactly what it was driven with, to
+    /// verify the fused driver's decode and ordering without a real cache.
+    struct Recorder {
+        geom: crate::CacheGeometry,
+        stats: crate::CacheStats,
+        seen: Vec<(u64, bool)>,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            let geom = crate::CacheGeometry::from_sets(8, 32, 1).expect("valid geometry");
+            Recorder {
+                geom,
+                stats: crate::CacheStats::new(8),
+                seen: Vec::new(),
+            }
+        }
+    }
+
+    impl CacheModel for Recorder {
+        fn geometry(&self) -> crate::CacheGeometry {
+            self.geom
+        }
+        fn access(&mut self, rec: MemRecord) -> crate::AccessResult {
+            self.access_block(self.geom.block_addr(rec.addr), rec.kind.is_write())
+        }
+        fn access_block(&mut self, block: u64, is_write: bool) -> crate::AccessResult {
+            self.seen.push((block, is_write));
+            self.stats.record(0, crate::HitWhere::MissDirect);
+            crate::AccessResult {
+                where_hit: crate::HitWhere::MissDirect,
+                set: 0,
+                evicted: None,
+            }
+        }
+        fn stats(&self) -> &crate::CacheStats {
+            &self.stats
+        }
+        fn reset_stats(&mut self) {
+            self.stats.reset();
+        }
+        fn flush(&mut self) {
+            self.stats.reset();
+        }
+        fn name(&self) -> &str {
+            "recorder"
+        }
+    }
+
+    impl FusedLane for Recorder {}
+
+    #[test]
+    fn run_fused_replays_the_stream_to_every_lane_in_order() {
+        // Longer than one chunk so the chunk boundary is exercised.
+        let records: Vec<MemRecord> = (0..(FUSE_CHUNK as u64 + 100))
+            .map(|i| {
+                if i % 3 == 0 {
+                    MemRecord::write(i * 32)
+                } else {
+                    MemRecord::read(i * 32)
+                }
+            })
+            .collect();
+        let stream = BlockStream::from_records(&records, 32);
+        let expect: Vec<(u64, bool)> = stream.iter().collect();
+        let mut a = Recorder::new();
+        let mut b = Recorder::new();
+        {
+            let mut lanes: Vec<&mut dyn FusedLane> = vec![&mut a, &mut b];
+            run_fused(&mut lanes, &stream);
+        }
+        assert_eq!(a.seen, expect, "lane 0 saw the exact decoded stream");
+        assert_eq!(b.seen, expect, "lane 1 saw the exact decoded stream");
+        assert_eq!(a.stats.accesses(), stream.len() as u64);
+    }
+
+    #[test]
+    fn run_fused_on_empty_stream_is_a_no_op() {
+        let stream = BlockStream::from_records(&[], 32);
+        let mut a = Recorder::new();
+        {
+            let mut lanes: Vec<&mut dyn FusedLane> = vec![&mut a];
+            run_fused(&mut lanes, &stream);
+        }
+        assert!(a.seen.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "line size does not match")]
+    fn run_fused_rejects_line_size_mismatch() {
+        let stream = BlockStream::from_records(&recs(), 64);
+        let mut a = Recorder::new(); // 32-byte lines
+        let mut lanes: Vec<&mut dyn FusedLane> = vec![&mut a];
+        run_fused(&mut lanes, &stream);
     }
 }

@@ -27,6 +27,31 @@ pub trait IndexFunction: Send + Sync {
 
     /// Human-readable name, e.g. `"odd_multiplier(21)"`, used in reports.
     fn name(&self) -> &str;
+
+    /// Maps a whole slice of block addresses at once, writing the set of
+    /// `blocks[i]` into `out[i]`.
+    ///
+    /// This is the fused kernel's chunk entry point: calling it through
+    /// `&dyn IndexFunction` costs one virtual dispatch per *chunk*, after
+    /// which the default body below is the monomorphized one compiled for
+    /// the concrete function, so its `index_block` calls inline. The
+    /// wrapper impls (`&T`/`Box`/`Arc`) forward to the inner type for the
+    /// same reason — without the forward they would re-dispatch
+    /// `index_block` per element.
+    ///
+    /// # Panics
+    /// If `out` is shorter than `blocks`.
+    fn index_many(&self, blocks: &[BlockAddr], out: &mut [usize]) {
+        assert!(
+            out.len() >= blocks.len(),
+            "index_many: out buffer holds {} slots for {} blocks",
+            out.len(),
+            blocks.len()
+        );
+        for (slot, &b) in out.iter_mut().zip(blocks) {
+            *slot = self.index_block(b);
+        }
+    }
 }
 
 // Allow passing boxed/shared functions wherever a function is expected.
@@ -40,6 +65,9 @@ impl<T: IndexFunction + ?Sized> IndexFunction for &T {
     fn name(&self) -> &str {
         (**self).name()
     }
+    fn index_many(&self, blocks: &[BlockAddr], out: &mut [usize]) {
+        (**self).index_many(blocks, out)
+    }
 }
 
 impl<T: IndexFunction + ?Sized> IndexFunction for Box<T> {
@@ -52,6 +80,9 @@ impl<T: IndexFunction + ?Sized> IndexFunction for Box<T> {
     fn name(&self) -> &str {
         (**self).name()
     }
+    fn index_many(&self, blocks: &[BlockAddr], out: &mut [usize]) {
+        (**self).index_many(blocks, out)
+    }
 }
 
 impl<T: IndexFunction + ?Sized> IndexFunction for std::sync::Arc<T> {
@@ -63,6 +94,9 @@ impl<T: IndexFunction + ?Sized> IndexFunction for std::sync::Arc<T> {
     }
     fn name(&self) -> &str {
         (**self).name()
+    }
+    fn index_many(&self, blocks: &[BlockAddr], out: &mut [usize]) {
+        (**self).index_many(blocks, out)
     }
 }
 
@@ -99,5 +133,26 @@ mod tests {
         assert_eq!(a.index_block(9), 1);
         let r: &dyn IndexFunction = &f;
         assert_eq!(IndexFunction::index_block(&r, 16), 0);
+    }
+
+    #[test]
+    fn index_many_matches_index_block_through_every_wrapper() {
+        let blocks: Vec<u64> = (0..50).map(|i| i * 13).collect();
+        let expect: Vec<usize> = blocks.iter().map(|&b| Mod8.index_block(b)).collect();
+        let a: std::sync::Arc<dyn IndexFunction> = std::sync::Arc::new(Mod8);
+        let b: Box<dyn IndexFunction> = Box::new(Mod8);
+        let r: &dyn IndexFunction = &Mod8;
+        for f in [&a as &dyn IndexFunction, &b, &r] {
+            let mut out = vec![usize::MAX; blocks.len()];
+            f.index_many(&blocks, &mut out);
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out buffer")]
+    fn index_many_rejects_short_out_buffer() {
+        let mut out = vec![0usize; 2];
+        Mod8.index_many(&[1, 2, 3], &mut out);
     }
 }

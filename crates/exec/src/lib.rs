@@ -35,6 +35,15 @@
 //! steal path only matters when job costs are skewed — exactly the case
 //! in `xp all`, where one workload's trace dwarfs another's.
 //!
+//! The natural task granularity for simulation is the **fuse-group**:
+//! `SimStore::prefetch_groups` submits one job per `(workload,
+//! geometry)` group, and the fused kernel simulates every member scheme
+//! inside that single job (one stream decode, lanes stepped side by
+//! side — see DESIGN.md §11). Submitting per *scheme* instead would
+//! split a group across workers and forfeit the shared decode: the
+//! group mutex would serialize the workers anyway, so finer granularity
+//! buys no parallelism — it only adds steal traffic.
+//!
 //! ## Configuration
 //!
 //! The worker count comes from [`set_global_jobs`] (the `xp --jobs N`

@@ -60,6 +60,7 @@ fn report_timing(store: &SimStore, phases: &[Phase], total_secs: f64, json_path:
     let records = store.records_simulated();
     let sims = store.sims_run();
     let hits = store.hits();
+    let decodes = store.streams_decoded();
     let rps = if total_secs > 0.0 {
         records as f64 / total_secs
     } else {
@@ -74,7 +75,8 @@ fn report_timing(store: &SimStore, phases: &[Phase], total_secs: f64, json_path:
     eprintln!("{:>24}  {total_secs:8.3}s", "total");
     eprintln!(
         "simulations: {sims} run, {hits} served from cache; \
-         {records} records simulated ({rps:.0} records/sec overall)"
+         {records} records simulated ({rps:.0} records/sec overall); \
+         {decodes} streams decoded"
     );
     eprintln!(
         "parallel: {jobs} jobs, {} tasks, busy {:.3}s (max task {:.3}s, wall {total_secs:.3}s)",
@@ -93,6 +95,7 @@ fn report_timing(store: &SimStore, phases: &[Phase], total_secs: f64, json_path:
         out.push_str(&format!(
             "  ],\n  \"total_seconds\": {total_secs:.6},\n  \"sims_run\": {sims},\n  \
              \"cache_hits\": {hits},\n  \"records_simulated\": {records},\n  \
+             \"streams_decoded\": {decodes},\n  \
              \"records_per_sec\": {rps:.0},\n  \"jobs\": {jobs},\n  \
              \"parallel\": {{\"tasks\": {}, \"busy_seconds\": {:.6}, \
              \"max_task_seconds\": {:.6}}}\n}}\n",

@@ -24,16 +24,25 @@
 //! enforces exactly-once generation: results live in per-key `OnceLock`
 //! cells, and all simulation for a `(workload, geometry)` group runs
 //! under that group's mutex, re-checking cell emptiness after acquiring
-//! it. [`SimStore::prefetch`] simulates every still-missing scheme of a
-//! group in one batched traversal of the stream ([`run_batch_many`]), in
-//! parallel across workloads on the `unicache-exec` work-stealing
-//! executor (`xp --jobs N` sets the worker count; results are collected
-//! in canonical workload order, so output is schedule-independent).
+//! it. Requests that differ *only in scheme* therefore land in one
+//! [`FuseGroup`] — the schedulable unit — and every still-missing scheme
+//! of the group runs in one *fused* traversal of the stream
+//! ([`run_fused`]): the packed stream is decoded once per chunk and each
+//! member scheme's cache ("lane") is stepped over the decoded chunk,
+//! giving one virtual dispatch per (lane, chunk) instead of per
+//! (model, record). [`SimStore::prefetch_groups`] schedules one
+//! `unicache-exec` task per group (`xp --jobs N` sets the worker count;
+//! results are collected in canonical order, so output is
+//! schedule-independent), and pre-generates traces only for groups that
+//! still have pending work — fully-cached groups touch neither the trace
+//! store nor the executor.
 //!
-//! The [`SimStore::hits`]/[`SimStore::sims_run`] counters make the
-//! exactly-once property observable (and testable): after any sequence
-//! of figure runs, `sims_run` equals the number of *distinct* keys ever
-//! requested, no matter how often each was requested.
+//! The [`SimStore::hits`]/[`SimStore::sims_run`]/
+//! [`SimStore::streams_decoded`] counters make the exactly-once property
+//! observable (and testable): after any sequence of figure runs,
+//! `sims_run` equals the number of *distinct* keys ever requested, and
+//! `streams_decoded` equals the number of distinct `(workload, line
+//! size)` pairs — no matter how many schemes shared each stream.
 
 use crate::TraceStore;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,7 +51,7 @@ use unicache_assoc::{AdaptiveGroupCache, BCache, ColumnAssociativeCache, SkewedC
 use unicache_core::hasher::det_map;
 use unicache_core::DetHashMap;
 use unicache_core::{
-    run_batch_many, BlockAddr, BlockStream, CacheGeometry, CacheModel, CacheStats,
+    run_fused, BlockAddr, BlockStream, CacheGeometry, CacheModel, CacheStats, FusedLane,
 };
 use unicache_indexing::IndexScheme;
 use unicache_sim::CacheBuilder;
@@ -92,6 +101,19 @@ impl SchemeId {
         geom: CacheGeometry,
         training: Option<&[BlockAddr]>,
     ) -> Box<dyn CacheModel> {
+        // Every registered scheme is a fused lane; upcast to the plain
+        // model interface for per-record callers.
+        self.build_lane(geom, training)
+    }
+
+    /// Instantiates the model as a fused-kernel lane (the chunk-stepping
+    /// interface [`run_fused`] drives). Same constructors as
+    /// [`SchemeId::build_model`] — every registered scheme is fusable.
+    pub fn build_lane(
+        self,
+        geom: CacheGeometry,
+        training: Option<&[BlockAddr]>,
+    ) -> Box<dyn FusedLane> {
         match self {
             SchemeId::Baseline => Box::new(
                 CacheBuilder::new(geom)
@@ -140,6 +162,34 @@ pub struct SimStore {
     hits: AtomicU64,
     sims_run: AtomicU64,
     records_simulated: AtomicU64,
+    streams_decoded: AtomicU64,
+}
+
+/// One schedulable unit of fused simulation: every scheme in `schemes`
+/// shares a single decode of `workload`'s block stream at `geom`'s line
+/// size. Requests that differ only in scheme belong in the *same* group —
+/// building one group per scheme would re-register the trace work per
+/// scheme and forfeit the fusion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuseGroup {
+    /// The workload whose stream the group traverses.
+    pub workload: Workload,
+    /// The shared cache geometry (fuse-groups never mix line sizes or
+    /// set counts — every lane consumes the same decoded blocks).
+    pub geom: CacheGeometry,
+    /// The member schemes, in the order results are returned.
+    pub schemes: Vec<SchemeId>,
+}
+
+impl FuseGroup {
+    /// A group over one workload and geometry.
+    pub fn new(workload: Workload, geom: CacheGeometry, schemes: &[SchemeId]) -> Self {
+        FuseGroup {
+            workload,
+            geom,
+            schemes: schemes.to_vec(),
+        }
+    }
 }
 
 impl SimStore {
@@ -162,6 +212,7 @@ impl SimStore {
             hits: AtomicU64::new(0),
             sims_run: AtomicU64::new(0),
             records_simulated: AtomicU64::new(0),
+            streams_decoded: AtomicU64::new(0),
         }
     }
 
@@ -202,6 +253,7 @@ impl SimStore {
         let cell = Self::cell_of(&self.streams, (w, line_bytes));
         Arc::clone(cell.get_or_init(|| {
             let _span = unicache_obs::span("stream-decode");
+            self.streams_decoded.fetch_add(1, Ordering::Relaxed);
             let trace = self.traces.get(w);
             Arc::new(BlockStream::from_records(trace.records(), line_bytes))
         }))
@@ -231,7 +283,7 @@ impl SimStore {
     }
 
     /// Simulates every scheme of the `(w, geom)` group whose result cell
-    /// is still empty, in one batched traversal, under the group lock.
+    /// is still empty, in one fused traversal, under the group lock.
     fn simulate_group(&self, w: Workload, schemes: &[SchemeId], geom: CacheGeometry) {
         let cells: Vec<(SchemeId, Cell<CacheStats>)> = schemes
             .iter()
@@ -253,21 +305,23 @@ impl SimStore {
             None
         };
         let stream = self.stream(w, geom.line_bytes());
-        let mut models: Vec<Box<dyn CacheModel>> = pending
+        let mut lanes: Vec<Box<dyn FusedLane>> = pending
             .iter()
-            .map(|(s, _)| s.build_model(geom, training.as_ref().map(|u| u.as_slice())))
+            .map(|(s, _)| s.build_lane(geom, training.as_ref().map(|u| u.as_slice())))
             .collect();
         {
-            let mut refs: Vec<&mut dyn CacheModel> = models
+            let mut refs: Vec<&mut dyn FusedLane> = lanes
                 .iter_mut()
-                .map(|m| m.as_mut() as &mut dyn CacheModel)
+                .map(|m| m.as_mut() as &mut dyn FusedLane)
                 .collect();
-            run_batch_many(&mut refs, &stream);
+            unicache_obs::count(unicache_obs::Event::FusedPass);
+            unicache_obs::observe(unicache_obs::HistEvent::FusedGroupLanes, refs.len() as u64);
+            run_fused(&mut refs, &stream);
         }
-        for ((_, cell), model) in pending.iter().zip(&models) {
+        for ((_, cell), lane) in pending.iter().zip(&lanes) {
             // set() can only fail if someone else initialized the cell,
             // which the group lock rules out.
-            cell.set(Arc::new(model.stats().clone()))
+            cell.set(Arc::new(lane.stats().clone()))
                 .expect("group lock guarantees sole initializer");
         }
         self.sims_run
@@ -291,12 +345,62 @@ impl SimStore {
         Arc::clone(cell.get().expect("simulate_group filled the cell"))
     }
 
-    /// Pre-simulates `workloads × schemes` at `geom`: traces generate in
-    /// parallel, then each workload's still-missing schemes run in one
-    /// batched traversal, workloads in parallel across cores.
+    /// Runs one fuse-group to completion and returns its members' stats
+    /// in `group.schemes` order. Already-cached members are served from
+    /// their cells; the rest share a single fused traversal.
+    pub fn run_fused(&self, group: &FuseGroup) -> Vec<Arc<CacheStats>> {
+        self.simulate_group(group.workload, &group.schemes, group.geom);
+        group
+            .schemes
+            .iter()
+            .map(|&s| {
+                let cell = Self::cell_of(&self.results, (group.workload, s, group.geom));
+                Arc::clone(cell.get().expect("simulate_group filled every member cell"))
+            })
+            .collect()
+    }
+
+    /// Pre-simulates a set of fuse-groups, one executor task per group.
+    ///
+    /// Groups whose members are all cached are dropped up front, and
+    /// trace pre-generation covers only the remaining groups' workloads —
+    /// a fully-warm prefetch touches neither the trace store nor the
+    /// executor.
+    pub fn prefetch_groups(&self, groups: &[FuseGroup]) {
+        let pending: Vec<&FuseGroup> = groups
+            .iter()
+            .filter(|g| {
+                g.schemes.iter().any(|&s| {
+                    Self::cell_of(&self.results, (g.workload, s, g.geom))
+                        .get()
+                        .is_none()
+                })
+            })
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        let mut workloads: Vec<Workload> = Vec::new();
+        for g in &pending {
+            if !workloads.contains(&g.workload) {
+                workloads.push(g.workload);
+            }
+        }
+        self.traces.prefetch(&workloads);
+        let _: Vec<()> = unicache_exec::map(&pending, |g| {
+            self.simulate_group(g.workload, &g.schemes, g.geom)
+        });
+    }
+
+    /// Pre-simulates `workloads × schemes` at `geom`: one fuse-group per
+    /// workload (schemes differing only in scheme share the group — and
+    /// its single stream decode), groups in parallel across cores.
     pub fn prefetch(&self, workloads: &[Workload], schemes: &[SchemeId], geom: CacheGeometry) {
-        self.traces.prefetch(workloads);
-        let _: Vec<()> = unicache_exec::map(workloads, |&w| self.simulate_group(w, schemes, geom));
+        let groups: Vec<FuseGroup> = workloads
+            .iter()
+            .map(|&w| FuseGroup::new(w, geom, schemes))
+            .collect();
+        self.prefetch_groups(&groups);
     }
 
     /// Result-cache hits: `stats` calls served from an already-populated
@@ -314,6 +418,13 @@ impl SimStore {
     /// simulated`) — the denominator of `--timing`'s records/sec.
     pub fn records_simulated(&self) -> u64 {
         self.records_simulated.load(Ordering::Relaxed)
+    }
+
+    /// Number of block-stream decodes actually performed (one per
+    /// distinct `(workload, line size)` pair, however many schemes
+    /// shared the stream).
+    pub fn streams_decoded(&self) -> u64 {
+        self.streams_decoded.load(Ordering::Relaxed)
     }
 
     /// Number of distinct results currently cached.
@@ -415,6 +526,101 @@ mod tests {
         let u1 = store.unique_blocks(Workload::Qsort, geom.line_bytes());
         let u2 = store.unique_blocks(Workload::Qsort, geom.line_bytes());
         assert!(Arc::ptr_eq(&u1, &u2));
+    }
+
+    #[test]
+    fn fused_group_runs_all_members_on_one_decode() {
+        let store = SimStore::new(Scale::Tiny);
+        let geom = paper();
+        let schemes = [
+            SchemeId::Baseline,
+            SchemeId::Index(IndexScheme::Xor),
+            SchemeId::ColumnAssoc,
+            SchemeId::Skewed,
+        ];
+        let group = FuseGroup::new(Workload::Crc, geom, &schemes);
+        let stats = store.run_fused(&group);
+        assert_eq!(stats.len(), schemes.len());
+        assert_eq!(store.sims_run(), schemes.len() as u64);
+        assert_eq!(store.streams_decoded(), 1, "one decode for the group");
+        // Members are the same cells stats() serves.
+        for (i, &s) in schemes.iter().enumerate() {
+            let solo = store.stats(Workload::Crc, s, geom);
+            assert!(Arc::ptr_eq(&stats[i], &solo));
+        }
+        assert_eq!(store.sims_run(), schemes.len() as u64);
+    }
+
+    #[test]
+    fn fused_group_stats_equal_solo_simulation() {
+        let fused = SimStore::new(Scale::Tiny);
+        let solo = SimStore::new(Scale::Tiny);
+        let geom = paper();
+        let schemes = [
+            SchemeId::Baseline,
+            SchemeId::Index(IndexScheme::Givargis),
+            SchemeId::ColumnAssocWith(IndexScheme::Xor),
+            SchemeId::Adaptive,
+            SchemeId::BCache,
+        ];
+        let group = FuseGroup::new(Workload::Fft, geom, &schemes);
+        let fused_stats = fused.run_fused(&group);
+        for (i, &s) in schemes.iter().enumerate() {
+            // Each solo run is its own single-member group — a separate
+            // traversal per scheme.
+            let lone = solo.stats(Workload::Fft, s, geom);
+            assert_eq!(*fused_stats[i], *lone, "{s:?} diverged under fusion");
+        }
+        assert_eq!(solo.sims_run(), schemes.len() as u64);
+    }
+
+    #[test]
+    fn scheme_only_differences_share_one_group_decode_under_threads() {
+        // Regression: requests differing only in scheme must land in one
+        // fuse-group entry (one stream decode), not re-register the
+        // trace per scheme — even when eight threads race on the group.
+        let store = SimStore::new(Scale::Tiny);
+        let geom = paper();
+        let schemes = [
+            SchemeId::Baseline,
+            SchemeId::Index(IndexScheme::Xor),
+            SchemeId::Index(IndexScheme::PrimeModulo),
+            SchemeId::ColumnAssoc,
+            SchemeId::Adaptive,
+            SchemeId::BCache,
+            SchemeId::Skewed,
+            SchemeId::Index(IndexScheme::OddMultiplier(21)),
+        ];
+        let store = &store;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = schemes
+                .iter()
+                .map(|&scheme| s.spawn(move || store.stats(Workload::Sha, scheme, geom)))
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(store.streams_decoded(), 1, "exactly one decode per group");
+        assert_eq!(store.sims_run(), schemes.len() as u64);
+    }
+
+    #[test]
+    fn warm_prefetch_touches_nothing() {
+        let store = SimStore::new(Scale::Tiny);
+        let geom = paper();
+        let ws = [Workload::Crc];
+        let schemes = [SchemeId::Baseline, SchemeId::Skewed];
+        store.prefetch(&ws, &schemes, geom);
+        let traces_after = store.traces().cached();
+        let decodes_after = store.streams_decoded();
+        // A fully-warm prefetch must not generate further traces or
+        // decode further streams (it used to re-run trace prefetch
+        // unconditionally).
+        store.prefetch(&ws, &schemes, geom);
+        assert_eq!(store.traces().cached(), traces_after);
+        assert_eq!(store.streams_decoded(), decodes_after);
+        assert_eq!(store.sims_run(), 2);
     }
 
     #[test]

@@ -116,6 +116,24 @@ impl IndexScheme {
             }
         }
     }
+
+    /// Builds the scheme and maps a whole block slice to set indices in one
+    /// call — the index-vector entry point the fused kernel's chunk loop is
+    /// built on. Semantically identical to calling [`IndexFunction::index_block`]
+    /// per element, but routed through [`IndexFunction::index_many`] so the
+    /// scheme's monomorphized batch body runs (one virtual dispatch per slice
+    /// instead of one per block).
+    pub fn compute_many(
+        &self,
+        geom: CacheGeometry,
+        training: Option<&[BlockAddr]>,
+        blocks: &[BlockAddr],
+    ) -> Result<Vec<usize>> {
+        let f = self.build(geom, training)?;
+        let mut out = vec![0usize; blocks.len()];
+        f.index_many(blocks, &mut out);
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +174,23 @@ mod tests {
         }
         let base = IndexScheme::Conventional.build(geom, None).unwrap();
         assert_eq!(base.name(), "conventional");
+    }
+
+    #[test]
+    fn compute_many_matches_per_block_indexing() {
+        let geom = CacheGeometry::paper_l1();
+        let training: Vec<u64> = (0..4096u64).map(|i| i * 97 % 65536).collect();
+        let blocks: Vec<u64> = (0..2000u64)
+            .map(|i| i.wrapping_mul(2654435761) >> 8)
+            .collect();
+        for scheme in IndexScheme::all() {
+            let f = scheme.build(geom, Some(&training)).unwrap();
+            let many = scheme.compute_many(geom, Some(&training), &blocks).unwrap();
+            assert_eq!(many.len(), blocks.len());
+            for (i, &b) in blocks.iter().enumerate() {
+                assert_eq!(many[i], f.index_block(b), "{} block {b}", scheme.label());
+            }
+        }
     }
 
     #[test]

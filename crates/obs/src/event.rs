@@ -70,11 +70,15 @@ pub enum Event {
     HierMemoryAccess,
     /// Hierarchy: dirty L1 victim written back into the L2.
     HierWriteback,
+    /// Fused kernel: one multi-lane pass over a decoded block stream
+    /// (the per-scheme probe counters above still attribute each access
+    /// to its own scheme inside the pass).
+    FusedPass,
 }
 
 impl Event {
     /// Number of declared events (the counter-array length).
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 28;
 
     /// Every event, in declaration order.
     pub const ALL: [Event; Event::COUNT] = [
@@ -105,6 +109,7 @@ impl Event {
         Event::HierL2Hit,
         Event::HierMemoryAccess,
         Event::HierWriteback,
+        Event::FusedPass,
     ];
 
     /// Position in the counter array.
@@ -143,6 +148,7 @@ impl Event {
             Event::HierL2Hit => "hier.l2_hit",
             Event::HierMemoryAccess => "hier.memory_access",
             Event::HierWriteback => "hier.writeback",
+            Event::FusedPass => "fused.pass",
         }
     }
 }
@@ -157,17 +163,21 @@ pub enum HistEvent {
     AdaptiveRelocSearch,
     /// Partner-index: pairs formed per repartnering decision.
     PartnerEpochPairs,
+    /// Fused kernel: lanes (schemes) driven per fused pass — the
+    /// distribution shows how much sharing the fuse-grouping achieves.
+    FusedGroupLanes,
 }
 
 impl HistEvent {
     /// Number of declared histogram series.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// Every series, in declaration order.
     pub const ALL: [HistEvent; HistEvent::COUNT] = [
         HistEvent::BcacheWalk,
         HistEvent::AdaptiveRelocSearch,
         HistEvent::PartnerEpochPairs,
+        HistEvent::FusedGroupLanes,
     ];
 
     /// Position in the histogram array.
@@ -182,6 +192,7 @@ impl HistEvent {
             HistEvent::BcacheWalk => "bcache.walk",
             HistEvent::AdaptiveRelocSearch => "adaptive.reloc_search",
             HistEvent::PartnerEpochPairs => "partner.epoch_pairs",
+            HistEvent::FusedGroupLanes => "fused.group_lanes",
         }
     }
 }

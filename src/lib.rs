@@ -71,12 +71,12 @@ pub mod prelude {
         AdaptiveGroupCache, BCache, ColumnAssociativeCache, PartnerChainCache, PartnerIndexCache,
         SkewedCache,
     };
-    pub use unicache_core::{run_batch_many, BlockStream};
+    pub use unicache_core::{run_batch_many, run_fused, BlockStream, FusedLane, FUSE_CHUNK};
     pub use unicache_core::{
         AccessKind, AccessResult, Addr, CacheGeometry, CacheModel, CacheStats, HitWhere,
         IndexFunction, MemRecord,
     };
-    pub use unicache_experiments::{ExperimentTable, SchemeId, SimStore, TraceStore};
+    pub use unicache_experiments::{ExperimentTable, FuseGroup, SchemeId, SimStore, TraceStore};
     pub use unicache_indexing::{
         GivargisIndex, GivargisXorIndex, IndexScheme, ModuloIndex, OddMultiplierIndex, PatelSearch,
         PrimeModuloIndex, XorIndex,

@@ -1,0 +1,147 @@
+//! The fused kernel must be a pure optimisation: driving any group of
+//! lanes through [`run_fused`] (decode each chunk once, step every lane
+//! over it) must leave *identical* statistics to running each scheme
+//! alone through the per-scheme batched path — for every registered
+//! indexing scheme, every fusable associativity scheme, both reference
+//! geometries, and any permutation of the lane order. `SimStore` relies
+//! on this equivalence: fuse-groups are its unit of scheduling, and the
+//! figures it feeds were validated against the per-scheme path.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use unicache::prelude::*;
+use unicache::trace::synth;
+
+/// Builders for one fused/solo pair per fusable scheme family (the
+/// associativity organisations plus a conventional cache under each
+/// supplied index function).
+fn lane_builders(geom: CacheGeometry) -> Vec<Box<dyn Fn() -> Box<dyn FusedLane>>> {
+    let sets = geom.num_sets();
+    vec![
+        Box::new(move || Box::new(CacheBuilder::new(geom).build().unwrap())),
+        Box::new(move || {
+            Box::new(
+                CacheBuilder::new(geom)
+                    .index(Arc::new(XorIndex::new(sets).unwrap()))
+                    .build()
+                    .unwrap(),
+            )
+        }),
+        Box::new(move || Box::new(ColumnAssociativeCache::new(geom).unwrap())),
+        Box::new(move || Box::new(AdaptiveGroupCache::new(geom).unwrap())),
+        Box::new(move || Box::new(BCache::new(geom).unwrap())),
+        Box::new(move || Box::new(PartnerIndexCache::new(geom).unwrap())),
+        Box::new(move || Box::new(PartnerChainCache::new(geom).unwrap())),
+        Box::new(move || Box::new(SkewedCache::new(geom).unwrap())),
+        Box::new(move || Box::new(VictimCache::new(CacheBuilder::new(geom), 8).unwrap())),
+    ]
+}
+
+/// Drives `lanes` through one fused pass.
+fn fuse(lanes: &mut [Box<dyn FusedLane>], stream: &BlockStream) {
+    let mut refs: Vec<&mut dyn FusedLane> = lanes
+        .iter_mut()
+        .map(|l| l.as_mut() as &mut dyn FusedLane)
+        .collect();
+    run_fused(&mut refs, stream);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fused == solo for every registered indexing scheme
+    /// (`IndexScheme::all()`), on both reference geometries. The whole
+    /// registry rides one fused pass per geometry, exactly as a SimStore
+    /// fuse-group would schedule it.
+    #[test]
+    fn fused_matches_solo_for_every_index_scheme(seed in 0u64..4000) {
+        for geom in [
+            CacheGeometry::from_sets(64, 32, 1).unwrap(),
+            CacheGeometry::paper_l1(),
+        ] {
+            let trace = synth::uniform_rw(seed, 4000, 0x1000, 1 << 18, 0.3);
+            let stream = BlockStream::from_records(trace.records(), geom.line_bytes());
+            let training = trace.unique_blocks(geom.line_bytes());
+            let schemes = IndexScheme::all();
+            let mut fused: Vec<Box<dyn FusedLane>> = schemes
+                .iter()
+                .map(|s| {
+                    Box::new(
+                        CacheBuilder::new(geom)
+                            .index(s.build(geom, Some(&training)).unwrap())
+                            .build()
+                            .unwrap(),
+                    ) as Box<dyn FusedLane>
+                })
+                .collect();
+            fuse(&mut fused, &stream);
+            for (scheme, lane) in schemes.iter().zip(&fused) {
+                let mut solo = CacheBuilder::new(geom)
+                    .index(scheme.build(geom, Some(&training)).unwrap())
+                    .build()
+                    .unwrap();
+                solo.run_batch(&stream);
+                prop_assert_eq!(
+                    solo.stats(),
+                    lane.stats(),
+                    "{} diverged under fusion at {} sets",
+                    scheme.label(),
+                    geom.num_sets()
+                );
+            }
+        }
+    }
+
+    /// Fused == solo for every fusable associativity scheme, on a
+    /// hotspot-heavy mix that exercises the relocation machinery
+    /// (SHT/OUT state, rehash bits, partner links, decoder reprogramming).
+    #[test]
+    fn fused_matches_solo_for_every_assoc_scheme(seed in 0u64..4000) {
+        for geom in [
+            CacheGeometry::from_sets(64, 32, 1).unwrap(),
+            CacheGeometry::paper_l1(),
+        ] {
+            let trace = synth::hotspot(seed, 3000, 0, 128, 1 << 14, 0.8);
+            let stream = BlockStream::from_records(trace.records(), geom.line_bytes());
+            let builders = lane_builders(geom);
+            let mut fused: Vec<Box<dyn FusedLane>> = builders.iter().map(|mk| mk()).collect();
+            fuse(&mut fused, &stream);
+            for (mk, lane) in builders.iter().zip(&fused) {
+                let mut solo = mk();
+                solo.run_batch(&stream);
+                prop_assert_eq!(
+                    solo.stats(),
+                    lane.stats(),
+                    "{} diverged under fusion at {} sets",
+                    lane.name(),
+                    geom.num_sets()
+                );
+            }
+        }
+    }
+
+    /// Lane order inside a fuse-group is irrelevant: every rotation of
+    /// the group leaves every member with identical statistics (the
+    /// fused traversal gives lanes no way to observe each other).
+    #[test]
+    fn fuse_group_is_permutation_invariant(seed in 0u64..2000, rot in 1usize..8) {
+        let geom = CacheGeometry::from_sets(64, 32, 1).unwrap();
+        let trace = synth::zipfian(seed, 2500, 0x8000, 1024, 32, 1.1);
+        let stream = BlockStream::from_records(trace.records(), geom.line_bytes());
+        let builders = lane_builders(geom);
+        let n = builders.len();
+        let mut forward: Vec<Box<dyn FusedLane>> = builders.iter().map(|mk| mk()).collect();
+        fuse(&mut forward, &stream);
+        let mut rotated: Vec<Box<dyn FusedLane>> =
+            (0..n).map(|i| builders[(i + rot) % n]()).collect();
+        fuse(&mut rotated, &stream);
+        for i in 0..n {
+            prop_assert_eq!(
+                forward[(i + rot) % n].stats(),
+                rotated[i].stats(),
+                "{} depends on its position in the group",
+                rotated[i].name()
+            );
+        }
+    }
+}
