@@ -20,6 +20,11 @@
 //!   the deterministic executor's canonical job ordering, so all
 //!   parallelism must route through `unicache_exec::map` (which `xp
 //!   --jobs N` governs).
+//! * **`unsafe-outside-simd`** — no `unsafe` blocks and no
+//!   `std::arch`/`core::arch`/`std::simd` paths outside the SIMD tier's
+//!   kernel homes (`core/src/index.rs`, `cachesim/src/soa.rs`); the tier
+//!   is deliberately safe autovectorized array code (DESIGN §12), and
+//!   any future intrinsics must stay inside the audited modules.
 //!
 //! A trailing `// uca:allow(rule)` comment suppresses a rule on that line
 //! (used where wall-clock time is the *point*, e.g. `xp --timing`).
@@ -89,6 +94,15 @@ const THREAD_CRATE: &str = "exec";
 /// per-crate *scheduling* is not.
 const THREAD_NEEDLES: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
 
+/// The only files allowed to contain `unsafe` blocks or SIMD intrinsic
+/// paths: the SIMD tier's kernel homes (DESIGN §12). The shipped kernels
+/// are safe autovectorized array code; this allowlist is where any
+/// future intrinsics would have to live to be auditable in one place.
+const SIMD_FILES: &[&str] = &["crates/core/src/index.rs", "crates/cachesim/src/soa.rs"];
+
+/// Intrinsic module paths banned outside [`SIMD_FILES`].
+const SIMD_NEEDLES: &[&str] = &["std::arch", "core::arch", "std::simd"];
+
 const INT_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
 ];
@@ -155,6 +169,7 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Violation> {
     let cast_scoped = NARROWING_CAST_FILES.contains(&path);
     let wallclock_scoped = crate_name != WALLCLOCK_CRATE;
     let thread_scoped = crate_name != THREAD_CRATE;
+    let simd_scoped = !SIMD_FILES.contains(&path);
 
     let mut violations = Vec::new();
     let mut push = |line: usize, rule: &'static str, message: String| {
@@ -223,6 +238,31 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Violation> {
                         ),
                     );
                     break;
+                }
+            }
+        }
+        if simd_scoped {
+            if contains_ident(line, "unsafe") {
+                push(
+                    lineno,
+                    "unsafe-outside-simd",
+                    "`unsafe` outside the allowlisted SIMD kernel modules; keep simulation \
+                     code safe (the SIMD tier is autovectorized array code)"
+                        .to_string(),
+                );
+            } else {
+                for needle in SIMD_NEEDLES {
+                    if line.contains(needle) {
+                        push(
+                            lineno,
+                            "unsafe-outside-simd",
+                            format!(
+                                "`{needle}` outside the allowlisted SIMD kernel modules; \
+                                 express vector code through `SimdLanes` array kernels"
+                            ),
+                        );
+                        break;
+                    }
                 }
             }
         }
@@ -608,6 +648,22 @@ pub fn self_test() -> Result<(), String> {
             crate_name: "experiments",
             src: "fn f() {\n    std::thread::spawn(|| {}).join().ok();\n}\n",
             line: 2,
+        },
+        Fixture {
+            rule: "unsafe-outside-simd",
+            path: "crates/workloads/src/uca_fixture.rs",
+            crate_name: "workloads",
+            src: "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+            line: 2,
+        },
+        // The intrinsic-path needle fires even without an unsafe block
+        // (e.g. a stray `use std::arch::…` import).
+        Fixture {
+            rule: "unsafe-outside-simd",
+            path: "crates/cachesim/src/uca_fixture.rs",
+            crate_name: "cachesim",
+            src: "use std::arch::x86_64::_mm_prefetch;\n",
+            line: 1,
         },
     ];
 

@@ -15,7 +15,21 @@
 //! diff. Wall-clock goes through `unicache_timing::Stopwatch`, the one
 //! sanctioned timing primitive (`uca lint`, rule `wallclock`).
 //!
-//! Usage: `innerloop [--records N] [--reps R] [--out FILE]`
+//! Since the SIMD tier (DESIGN §12) the report also carries:
+//!
+//! 3. **SIMD vs scalar fused traversal** — the same fused group with the
+//!    `SimdLanes` ablation knob on and off.
+//! 4. **Per-phase ns/record** for the direct-mapped fast path — index
+//!    (`index_many` alone), classify (`classify_chunk` minus index) and
+//!    update (full fused pass minus both) — so a perf regression
+//!    localizes to a phase instead of one aggregate number.
+//! 5. **A roofline** — records/sec against measured memory bandwidth
+//!    (streaming-copy probe), placing the inner loop relative to the
+//!    machine ceiling; `--roofline-out` writes it as its own artifact.
+//!
+//! Usage: `innerloop [--records N] [--reps R] [--block-mask HEX]
+//!                   [--out FILE]
+//!                   [--roofline-out FILE]`
 //!
 //! Timing methodology: each section runs `R` repetitions per variant,
 //! interleaved (A, B, A, B, ...) so neither variant systematically
@@ -23,24 +37,29 @@
 //! standard microbenchmark estimator for the noise-free cost.
 
 use std::fmt::Write as _;
+use std::hint::black_box;
 use std::sync::Arc;
 use unicache_core::{
-    run_batch_many, run_fused, BlockStream, CacheGeometry, CacheModel, FusedLane, MemRecord,
+    run_batch_many, run_fused, BlockStream, CacheGeometry, CacheModel, FusedLane, IndexFunction,
+    MemRecord, SimdLanes, FUSE_CHUNK,
 };
 use unicache_indexing::XorIndex;
 use unicache_sim::CacheBuilder;
 use unicache_timing::Stopwatch;
 
-/// Deterministic LCG access stream over a block space sized to overflow
-/// the cache (conflicts and capacity misses, like real traces).
-fn synth_records(count: usize) -> Vec<MemRecord> {
+/// Deterministic LCG access stream over a block space of `block_mask +
+/// 1` blocks. The default mask (0xFFFF) overflows the cache — conflicts
+/// and capacity misses, like a cold trace; a small mask (e.g. 0x3FF on
+/// the 1024-set L1) produces the hit-dominated steady state real
+/// workloads spend most of their records in.
+fn synth_records(count: usize, block_mask: u64) -> Vec<MemRecord> {
     let mut x = 0x243f6a8885a308d3u64;
     (0..count)
         .map(|_| {
             x = x
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            let block = (x >> 33) & 0xFFFF;
+            let block = (x >> 33) & block_mask;
             let addr = block * 32;
             if x & 0x7 == 0 {
                 MemRecord::write(addr)
@@ -63,17 +82,41 @@ fn min_nanos(reps: usize, mut f: impl FnMut()) -> u64 {
     best
 }
 
+/// Measured host memory bandwidth in GB/s: best-of-reps streaming copy
+/// of a 32 MiB `u64` buffer (far beyond any host L2), counting both the
+/// bytes read and the bytes written. This is the roofline ceiling the
+/// simulation's stream throughput is compared against.
+fn memory_bandwidth_gbps(reps: usize) -> f64 {
+    const WORDS: usize = 4 << 20; // 32 MiB source + 32 MiB destination
+    let src: Vec<u64> = (0..WORDS as u64).collect();
+    let mut dst = vec![0u64; WORDS];
+    dst.copy_from_slice(&src); // touch both buffers before timing
+    let mut best = u64::MAX;
+    for _ in 0..reps.max(3) {
+        let sw = Stopwatch::start();
+        dst.copy_from_slice(black_box(&src));
+        black_box(&mut dst);
+        best = best.min(sw.elapsed_nanos());
+    }
+    // 16 bytes move per word (8 in, 8 out); bytes/ns == GB/s.
+    (WORDS * 16) as f64 / best.max(1) as f64
+}
+
 struct Args {
     records: usize,
     reps: usize,
+    block_mask: u64,
     out: Option<String>,
+    roofline_out: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         records: 2_000_000,
         reps: 5,
+        block_mask: 0xFFFF,
         out: None,
+        roofline_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,8 +127,17 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--records" => args.records = grab("--records").parse().expect("--records: integer"),
             "--reps" => args.reps = grab("--reps").parse().expect("--reps: integer"),
+            "--block-mask" => {
+                let v = grab("--block-mask");
+                let v = v.strip_prefix("0x").unwrap_or(&v);
+                args.block_mask = u64::from_str_radix(v, 16).expect("--block-mask: hex integer");
+            }
             "--out" => args.out = Some(grab("--out")),
-            other => panic!("unknown flag {other} (try --records/--reps/--out)"),
+            "--roofline-out" => args.roofline_out = Some(grab("--roofline-out")),
+            other => panic!(
+                "unknown flag {other} \
+                 (try --records/--reps/--block-mask/--out/--roofline-out)"
+            ),
         }
     }
     args
@@ -93,7 +145,7 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let records = synth_records(args.records);
+    let records = synth_records(args.records, args.block_mask);
     let geoms = [
         ("dm_1024x1", CacheGeometry::paper_l1()),
         (
@@ -174,16 +226,126 @@ fn main() {
     let _ = write!(
         sections,
         "    \"fused_vs_unfused/4lanes\": {{\n      \"fused_ns\": {fused_best},\n      \
-         \"unfused_ns\": {unfused_best},\n      \"speedup\": {:.4}\n    }}\n",
+         \"unfused_ns\": {unfused_best},\n      \"speedup\": {:.4}\n    }},\n",
         unfused_best as f64 / fused_best as f64
     );
 
+    // Section 3: the SIMD tier's contribution — the same fused 4-lane
+    // group with the ablation knob on (8-wide kernels + batched
+    // classify) and off (every scalar fallback). Both runs produce
+    // byte-identical stats; only the clock may differ.
+    let mut simd_best = u64::MAX;
+    let mut scalar_best = u64::MAX;
+    for _ in 0..args.reps {
+        let mut lanes = build_lanes();
+        let mut refs: Vec<&mut dyn FusedLane> = lanes
+            .iter_mut()
+            .map(|l| l.as_mut() as &mut dyn FusedLane)
+            .collect();
+        SimdLanes::set_enabled(true);
+        let sw = Stopwatch::start();
+        run_fused(&mut refs, &stream);
+        simd_best = simd_best.min(sw.elapsed_nanos());
+
+        let mut lanes = build_lanes();
+        let mut refs: Vec<&mut dyn FusedLane> = lanes
+            .iter_mut()
+            .map(|l| l.as_mut() as &mut dyn FusedLane)
+            .collect();
+        SimdLanes::set_enabled(false);
+        let sw = Stopwatch::start();
+        run_fused(&mut refs, &stream);
+        scalar_best = scalar_best.min(sw.elapsed_nanos());
+        SimdLanes::set_enabled(true);
+    }
+    let _ = write!(
+        sections,
+        "    \"simd_vs_scalar/fused4\": {{\n      \"simd_ns\": {simd_best},\n      \
+         \"scalar_ns\": {scalar_best},\n      \"speedup\": {:.4}\n    }},\n",
+        scalar_best as f64 / simd_best as f64
+    );
+
+    // Section 4: per-phase ns/record for the direct-mapped fast path.
+    // index = `index_many` alone over 1024-record chunks; classify =
+    // `classify_chunk` (index + batched tag compare, read-only) minus
+    // index; update = a full fused pass minus both. Each phase regresses
+    // independently, so an aggregate slowdown localizes here.
+    let index: Arc<dyn IndexFunction> =
+        Arc::new(XorIndex::new(geom.num_sets()).expect("valid xor index"));
+    let blocks: Vec<u64> = records.iter().map(|r| geom.block_addr(r.addr)).collect();
+    let mut sets = vec![0usize; FUSE_CHUNK];
+    let index_ns = min_nanos(args.reps, || {
+        for chunk in blocks.chunks(FUSE_CHUNK) {
+            index.index_many(chunk, &mut sets);
+            black_box(&sets);
+        }
+    });
+    // Classify against a warmed cache so the hit/miss mix is realistic.
+    let mut warmed = CacheBuilder::new(geom)
+        .index(Arc::clone(&index))
+        .build()
+        .expect("valid cache");
+    warmed.run_batch(&stream);
+    let mut hits = vec![false; FUSE_CHUNK];
+    let index_classify_ns = min_nanos(args.reps, || {
+        for chunk in blocks.chunks(FUSE_CHUNK) {
+            assert!(warmed.classify_chunk(chunk, &mut hits));
+            black_box(&hits);
+        }
+    });
+    let mut single_total_ns = u64::MAX;
+    for _ in 0..args.reps {
+        let mut lane = CacheBuilder::new(geom)
+            .index(Arc::clone(&index))
+            .build()
+            .expect("valid cache");
+        let sw = Stopwatch::start();
+        run_fused(&mut [&mut lane as &mut dyn FusedLane], &stream);
+        single_total_ns = single_total_ns.min(sw.elapsed_nanos());
+    }
+    let classify_ns = index_classify_ns.saturating_sub(index_ns);
+    let update_ns = single_total_ns.saturating_sub(index_classify_ns);
+    let per_record = |ns: u64| ns as f64 / args.records as f64;
+    let _ = write!(
+        sections,
+        "    \"phases/dm_1024x1_xor\": {{\n      \"index_ns_per_record\": {:.4},\n      \
+         \"classify_ns_per_record\": {:.4},\n      \"update_ns_per_record\": {:.4},\n      \
+         \"total_ns_per_record\": {:.4}\n    }}\n",
+        per_record(index_ns),
+        per_record(classify_ns),
+        per_record(update_ns),
+        per_record(single_total_ns)
+    );
+
+    // Roofline: where the fused inner loop sits relative to the memory
+    // ceiling. The packed stream costs 8 bytes per record; a 4-lane
+    // fused pass reads it once for 4 simulated lane-records, so
+    // `stream_gbps` is the *decode* traffic, while `lane_records_per_sec`
+    // is the useful simulation throughput it buys.
+    let mem_gbps = memory_bandwidth_gbps(args.reps);
+    let lanes_in_group = 4.0;
+    let lane_records_per_sec = args.records as f64 * lanes_in_group / (simd_best as f64 / 1e9);
+    let stream_gbps = (args.records * 8) as f64 / simd_best as f64;
+    let roofline = format!(
+        "{{\n  \"mem_bandwidth_gbps\": {mem_gbps:.3},\n  \"stream_gbps\": {stream_gbps:.3},\n  \
+         \"fraction_of_bandwidth\": {:.4},\n  \"lane_records_per_sec\": {lane_records_per_sec:.0},\n  \
+         \"fused_lanes\": 4,\n  \"bytes_per_record\": 8,\n  \
+         \"probe\": \"32MiB streaming copy, best of reps, read+write bytes\"\n}}\n",
+        stream_gbps / mem_gbps
+    );
+
     let json = format!(
-        "{{\n  \"records\": {},\n  \"reps\": {},\n  \"sections\": {{\n{sections}  }}\n}}\n",
-        args.records, args.reps
+        "{{\n  \"records\": {},\n  \"reps\": {},\n  \"sections\": {{\n{sections}  }},\n  \
+         \"roofline\": {}\n}}\n",
+        args.records,
+        args.reps,
+        roofline.trim_end()
     );
     print!("{json}");
     if let Some(path) = args.out {
         std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+    if let Some(path) = args.roofline_out {
+        std::fs::write(&path, &roofline).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     }
 }

@@ -6,7 +6,7 @@
 //! This module computes that bound for any trace, so experiment reports can
 //! show how much headroom each technique leaves.
 
-use unicache_core::hasher::{det_map, det_map_with_capacity};
+use unicache_core::hasher::det_map;
 use unicache_core::{BlockAddr, DetHashMap, MemRecord};
 
 /// Miss count of a fully-associative cache of `capacity_lines` lines with
@@ -30,45 +30,67 @@ pub fn min_misses(trace: &[MemRecord], capacity_lines: usize, line_bytes: u64) -
 pub fn min_misses_blocks(blocks: &[BlockAddr], capacity_lines: usize) -> u64 {
     assert!(capacity_lines > 0);
     let n = blocks.len();
+    // Rename blocks to dense ids in one pass; every structure the
+    // replay loop touches then indexes a plain vector instead of probing
+    // a hash map per reference.
+    let mut id_of: DetHashMap<BlockAddr, u32> = det_map();
+    let mut ids: Vec<u32> = Vec::with_capacity(n);
+    for &b in blocks {
+        let next = id_of.len() as u32;
+        ids.push(*id_of.entry(b).or_insert(next));
+    }
+    let unique = id_of.len();
+    drop(id_of);
     // next_use[i] = next position after i referencing the same block, or n.
     let mut next_use = vec![n; n];
-    let mut last_pos: DetHashMap<BlockAddr, usize> = det_map();
-    for (i, &b) in blocks.iter().enumerate().rev() {
-        if let Some(&p) = last_pos.get(&b) {
+    let mut last_pos = vec![usize::MAX; unique];
+    for (i, &id) in ids.iter().enumerate().rev() {
+        let p = last_pos[id as usize];
+        if p != usize::MAX {
             next_use[i] = p;
         }
-        last_pos.insert(b, i);
+        last_pos[id as usize] = i;
     }
+    drop(last_pos);
 
     use std::collections::BinaryHeap;
-    // Heap of (next_use_position, block); max next-use = Belady victim.
-    let mut heap: BinaryHeap<(usize, BlockAddr)> = BinaryHeap::new();
-    // resident block -> the next-use stamp we most recently pushed for it.
-    let mut resident: DetHashMap<BlockAddr, usize> = det_map_with_capacity(capacity_lines * 2);
+    // Heap of (next_use_position, id); max next-use = Belady victim. Ties
+    // exist only at position `n` (blocks never referenced again) and break
+    // by id; any never-again victim leaves the MIN miss count unchanged,
+    // since no future reference distinguishes which dead block stayed.
+    let mut heap: BinaryHeap<(usize, u32)> = BinaryHeap::new();
+    // stamp[id] = the next-use stamp most recently pushed for a resident
+    // block (successive stamps for one id strictly increase, so a stale
+    // heap entry never matches), or usize::MAX when not resident.
+    let mut stamp = vec![usize::MAX; unique];
+    let mut resident = 0usize;
     let mut misses = 0u64;
-    for (i, &b) in blocks.iter().enumerate() {
+    for (i, &id) in ids.iter().enumerate() {
         let nu = next_use[i];
-        if let std::collections::hash_map::Entry::Occupied(mut e) = resident.entry(b) {
+        let s = &mut stamp[id as usize];
+        if *s != usize::MAX {
             // Hit: refresh its priority (lazy: old heap entry goes stale).
-            e.insert(nu);
-            heap.push((nu, b));
+            *s = nu;
+            heap.push((nu, id));
             continue;
         }
         misses += 1;
-        if resident.len() == capacity_lines {
+        if resident == capacity_lines {
             // Evict the resident block with the farthest next use, skipping
             // stale heap entries. Every resident block has a live heap
             // entry, so the drain always finds one before emptying.
-            while let Some((stamp, cand)) = heap.pop() {
-                if resident.get(&cand) == Some(&stamp) {
+            while let Some((st, cand)) = heap.pop() {
+                if stamp[cand as usize] == st {
                     unicache_obs::count(unicache_obs::Event::BeladyEvict);
-                    resident.remove(&cand);
+                    stamp[cand as usize] = usize::MAX;
+                    resident -= 1;
                     break;
                 }
             }
         }
-        resident.insert(b, nu);
-        heap.push((nu, b));
+        stamp[id as usize] = nu;
+        resident += 1;
+        heap.push((nu, id));
     }
     misses
 }

@@ -12,7 +12,7 @@ use crate::soa::SoaSets;
 use std::sync::Arc;
 use unicache_core::{
     AccessResult, CacheGeometry, CacheModel, CacheStats, ConfigError, FusedLane, HitWhere,
-    IndexFunction, MemRecord, Result,
+    IndexFunction, MemRecord, Result, SimdLanes,
 };
 
 /// Set storage backing a [`Cache`].
@@ -69,6 +69,15 @@ pub struct Cache {
     name: String,
     /// Chunk-sized set-index scratch reused across fused steps.
     idx_buf: Vec<usize>,
+    /// Chunk-sized hit/miss mask scratch (the batched classify phase).
+    hit_buf: Vec<bool>,
+    /// `touched[set] == epoch` marks a set refilled earlier in the chunk
+    /// currently being replayed, whose classify-phase verdict is stale.
+    /// Sized lazily to `num_sets` on the first mixed chunk.
+    touched: Vec<u64>,
+    /// Chunk generation counter for `touched` (bumped per mixed chunk, so
+    /// the marks from previous chunks expire without a clear).
+    epoch: u64,
 }
 
 /// Builder for [`Cache`].
@@ -193,6 +202,9 @@ impl CacheBuilder {
             write_allocate: self.write_allocate,
             name,
             idx_buf: Vec::new(),
+            hit_buf: Vec::new(),
+            touched: Vec::new(),
+            epoch: 0,
         })
     }
 }
@@ -260,6 +272,105 @@ impl Cache {
             evicted: fill.evicted,
         }
     }
+
+    /// Benchmark/test probe: computes set indices for `blocks` and runs
+    /// the batched classify phase against the *current* contents, writing
+    /// the hit/miss mask into `hits[..blocks.len()]` without mutating any
+    /// cache state (stats and obs counters included). Returns `false`,
+    /// leaving `hits` untouched, when this cache has no batched classify
+    /// path (associative geometry or per-set storage).
+    ///
+    /// # Panics
+    /// If `hits` is shorter than `blocks`.
+    #[inline(never)]
+    pub fn classify_chunk(&mut self, blocks: &[u64], hits: &mut [bool]) -> bool {
+        if self.geom.ways() != 1 || !matches!(self.store, SetStore::Soa(_)) {
+            return false;
+        }
+        let mut sets = std::mem::take(&mut self.idx_buf);
+        sets.resize(blocks.len(), 0);
+        self.index.index_many(blocks, &mut sets);
+        if let SetStore::Soa(store) = &self.store {
+            store.classify_dm(&sets, blocks, hits);
+        }
+        self.idx_buf = sets;
+        true
+    }
+
+    /// The fused chunk step's direct-mapped batch path (DESIGN §12): one
+    /// read-only classify pass over the whole chunk (eight tag compares
+    /// per iteration over the SoA arrays), then either a bulk commit —
+    /// the all-hits case, which never touches replacement bookkeeping —
+    /// or a serial update tail that re-validates any record whose set was
+    /// refilled earlier in the *same* chunk (the classify verdict is
+    /// computed against pre-chunk contents and goes stale at each fill).
+    ///
+    /// Produces exactly the stats, dirty bits and obs counts of replaying
+    /// [`Cache::access_at`] per record — the equivalence suite and the
+    /// obs attribution test pin this down.
+    #[inline(never)]
+    fn step_chunk_dm(&mut self, sets: &[usize], blocks: &[u64], writes: &[bool]) {
+        let n = blocks.len();
+        let mut hits = std::mem::take(&mut self.hit_buf);
+        hits.resize(n, false);
+        let SetStore::Soa(store) = &mut self.store else {
+            // `step_chunk` dispatches here only for SoA storage.
+            return;
+        };
+        store.classify_dm(sets, blocks, &mut hits);
+        // One probe per record, exactly as the scalar path counts them.
+        unicache_obs::count_by(unicache_obs::Event::CacheProbe, n as u64);
+        if hits.iter().all(|&h| h) {
+            let mut stores = 0u64;
+            for (&set, &w) in sets.iter().zip(writes) {
+                if w {
+                    stores += 1;
+                    store.write_hit_dm(set);
+                }
+            }
+            self.stats.record_writes(stores);
+            self.stats.record_primary_hits(sets);
+        } else {
+            let num_sets = self.geom.num_sets();
+            if self.touched.len() < num_sets {
+                self.touched.resize(num_sets, 0);
+            }
+            self.epoch += 1;
+            let epoch = self.epoch;
+            for i in 0..n {
+                let (set, block, is_write) = (sets[i], blocks[i], writes[i]);
+                if is_write {
+                    self.stats.record_write();
+                }
+                // A fill earlier in this chunk invalidates the classify
+                // verdict for its set — in both directions (the filled
+                // block now hits; the displaced block now misses).
+                let hit = if self.touched[set] == epoch {
+                    store.probe_dm(set, block)
+                } else {
+                    hits[i]
+                };
+                if hit {
+                    if is_write {
+                        store.write_hit_dm(set);
+                    }
+                    self.stats.record(set, HitWhere::Primary);
+                } else {
+                    self.stats.record(set, HitWhere::MissDirect);
+                    if is_write && !self.write_allocate {
+                        // Write-around: no fill, so no staleness either.
+                        continue;
+                    }
+                    let fill = store.fill(set, block, is_write);
+                    if fill.evicted.is_some() {
+                        self.stats.record_eviction(set);
+                    }
+                    self.touched[set] = epoch;
+                }
+            }
+        }
+        self.hit_buf = hits;
+    }
 }
 
 impl CacheModel for Cache {
@@ -297,14 +408,20 @@ impl CacheModel for Cache {
 impl FusedLane for Cache {
     /// Fast chunk path: one virtual `index_many` computes the whole
     /// chunk's set indices (its monomorphized body inlines the concrete
-    /// hash), then the per-record tail runs with zero virtual dispatch.
+    /// hash — 8-wide when the SIMD tier is on), then direct-mapped SoA
+    /// caches take the batched classify/update split and everything else
+    /// replays the scalar per-record tail with zero virtual dispatch.
     fn step_chunk(&mut self, blocks: &[u64], writes: &[bool]) {
         let mut sets = std::mem::take(&mut self.idx_buf);
         sets.resize(blocks.len(), 0);
         let index = Arc::clone(&self.index);
         index.index_many(blocks, &mut sets);
-        for ((&set, &block), &is_write) in sets.iter().zip(blocks).zip(writes) {
-            self.access_at(set, block, is_write);
+        if SimdLanes::enabled() && self.geom.ways() == 1 && matches!(self.store, SetStore::Soa(_)) {
+            self.step_chunk_dm(&sets, blocks, writes);
+        } else {
+            for ((&set, &block), &is_write) in sets.iter().zip(blocks).zip(writes) {
+                self.access_at(set, block, is_write);
+            }
         }
         self.idx_buf = sets;
     }

@@ -22,7 +22,7 @@
 //! so the two stores produce bit-identical [`unicache_core::CacheStats`].
 
 use crate::set::FillOutcome;
-use unicache_core::BlockAddr;
+use unicache_core::{BlockAddr, SimdLanes, SIMD_LANES};
 
 /// All sets of one cache as contiguous struct-of-arrays storage.
 #[derive(Debug, Clone)]
@@ -153,6 +153,49 @@ impl SoaSets {
         }
     }
 
+    /// Batched direct-mapped classify: `hits[i] = sets[i] currently holds
+    /// blocks[i]`, eight tag compares per iteration over the contiguous
+    /// `valid`/`blocks` arrays. Read-only — this is the classify phase of
+    /// the fused kernel's classify/update split; the caller applies dirty
+    /// bits, stats and fills afterwards.
+    ///
+    /// Direct-mapped only (`ways == 1`): with one way there is no recency
+    /// metadata to update on a hit, which is what makes a pure read-only
+    /// classify possible at all.
+    #[inline]
+    pub(crate) fn classify_dm(&self, sets: &[usize], blocks: &[BlockAddr], hits: &mut [bool]) {
+        debug_assert_eq!(self.ways, 1, "batched classify is direct-mapped only");
+        SimdLanes::zip_map(
+            sets,
+            blocks,
+            hits,
+            |s8, b8, h8| {
+                for l in 0..SIMD_LANES {
+                    // `&` (not `&&`): no short-circuit branch per lane.
+                    h8[l] = self.valid[s8[l]] & (self.blocks[s8[l]] == b8[l]);
+                }
+            },
+            |s, b| self.valid[s] && self.blocks[s] == b,
+        );
+    }
+
+    /// Re-checks one direct-mapped slot without touching metadata — the
+    /// update tail uses this to re-validate a classified hit whose set was
+    /// refilled earlier in the same chunk.
+    #[inline]
+    pub(crate) fn probe_dm(&self, set: usize, block: BlockAddr) -> bool {
+        debug_assert_eq!(self.ways, 1);
+        self.valid[set] && self.blocks[set] == block
+    }
+
+    /// Marks a direct-mapped hit line dirty (the only mutation a DM write
+    /// hit performs — `lookup` does exactly this).
+    #[inline]
+    pub(crate) fn write_hit_dm(&mut self, set: usize) {
+        debug_assert_eq!(self.ways, 1);
+        self.dirty[set] = true;
+    }
+
     /// Invalidates every line and resets all metadata.
     pub(crate) fn flush(&mut self) {
         self.blocks.iter_mut().for_each(|b| *b = 0);
@@ -241,5 +284,29 @@ mod tests {
     #[should_panic(expected = "at least one way")]
     fn zero_ways_panics() {
         SoaSets::new(4, 0, true);
+    }
+
+    #[test]
+    fn classify_dm_matches_scalar_probe_and_is_read_only() {
+        let mut s = SoaSets::new(16, 1, true);
+        let mut x = 7u64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (x >> 40) % 64;
+            s.fill((b % 16) as usize, b, x.is_multiple_of(3));
+        }
+        let snapshot = s.clone();
+        // Ragged length (not a multiple of 8) on purpose.
+        let blocks: Vec<u64> = (0..37u64).map(|i| i * 5 % 64).collect();
+        let sets: Vec<usize> = blocks.iter().map(|&b| (b % 16) as usize).collect();
+        let mut hits = vec![false; blocks.len()];
+        s.classify_dm(&sets, &blocks, &mut hits);
+        for i in 0..blocks.len() {
+            assert_eq!(hits[i], s.probe_dm(sets[i], blocks[i]), "slot {i}");
+            assert_eq!(hits[i], s.probe(sets[i], blocks[i]).is_some());
+        }
+        assert_eq!(s.blocks, snapshot.blocks, "classify mutated state");
+        assert_eq!(s.valid, snapshot.valid);
+        assert_eq!(s.dirty, snapshot.dirty);
     }
 }

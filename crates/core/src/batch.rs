@@ -157,12 +157,31 @@ pub fn run_fused(lanes: &mut [&mut dyn FusedLane], stream: &BlockStream) {
     let mut writes = [false; FUSE_CHUNK];
     for chunk in stream.packed.chunks(FUSE_CHUNK) {
         let n = chunk.len();
-        for (i, &p) in chunk.iter().enumerate() {
-            blocks[i] = p >> 1;
-            writes[i] = p & 1 == 1;
-        }
+        decode_chunk(chunk, &mut blocks[..n], &mut writes[..n]);
         for lane in lanes.iter_mut() {
             lane.step_chunk(&blocks[..n], &writes[..n]);
+        }
+    }
+}
+
+/// Unpacks one chunk of `(block << 1) | is_write` words into the two
+/// scratch slices. With the SIMD tier on, the shift pass and the flag
+/// pass run as separate straight-line sweeps (each a trivially
+/// vectorizable map); with it off, the original interleaved scalar loop
+/// runs. Both orders write identical bytes.
+fn decode_chunk(packed: &[u64], blocks: &mut [u64], writes: &mut [bool]) {
+    debug_assert!(blocks.len() == packed.len() && writes.len() == packed.len());
+    if crate::SimdLanes::enabled() {
+        for (b, &p) in blocks.iter_mut().zip(packed) {
+            *b = p >> 1;
+        }
+        for (w, &p) in writes.iter_mut().zip(packed) {
+            *w = p & 1 == 1;
+        }
+    } else {
+        for (i, &p) in packed.iter().enumerate() {
+            blocks[i] = p >> 1;
+            writes[i] = p & 1 == 1;
         }
     }
 }

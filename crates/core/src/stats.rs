@@ -108,6 +108,27 @@ impl CacheStats {
         self.writes += 1;
     }
 
+    /// Records `n` stores in one call (the fused kernel's bulk-commit
+    /// path). Equivalent to `n` calls of [`CacheStats::record_write`].
+    #[inline]
+    pub fn record_writes(&mut self, n: u64) {
+        self.writes += n;
+    }
+
+    /// Records one primary hit per element of `sets` in one call — the
+    /// fused kernel's all-hits bulk commit. The per-set counters still
+    /// walk element-by-element; the aggregate adds once. Equivalent to
+    /// `record(set, HitWhere::Primary)` per element.
+    #[inline]
+    pub fn record_primary_hits(&mut self, sets: &[usize]) {
+        for &set in sets {
+            let s = &mut self.per_set[set];
+            s.accesses += 1;
+            s.hits += 1;
+        }
+        self.primary_hits += sets.len() as u64;
+    }
+
     /// Records a block relocation (swap / move to alternate location).
     #[inline]
     pub fn record_relocation(&mut self) {

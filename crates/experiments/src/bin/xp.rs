@@ -3,8 +3,8 @@
 //! ```text
 //! xp <fig1|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|
 //!     classify|patel|belady|select|all> [--scale tiny|small|large] [--csv]
-//!    [--jobs N] [--timing] [--timing-json FILE] [--metrics-json FILE]
-//!    [--trace-out FILE]
+//!    [--jobs N] [--no-simd] [--timing] [--timing-json FILE]
+//!    [--metrics-json FILE] [--trace-out FILE]
 //! ```
 //!
 //! Rendering lives in [`unicache_experiments::runner`]; this binary only
@@ -16,6 +16,9 @@
 //!   results are collected in canonical job order and the memoized
 //!   SimStore runs each simulation exactly once — so the flag only
 //!   changes wall-clock, never figures or metrics.
+//! * `--no-simd` forces the SIMD tier (DESIGN §12) onto its scalar
+//!   fallbacks — the ablation knob behind the CI byte-identity gate.
+//!   Like `--jobs`, it only changes wall-clock, never output bytes.
 //! * `--timing` prints per-experiment wall-clock to stderr plus a summary
 //!   of the [`SimStore`]'s work: simulations run vs served from cache, and
 //!   aggregate records/sec through the batched engine. `--timing-json`
@@ -39,8 +42,8 @@ use unicache_workloads::{Scale, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: xp <experiment> [--scale tiny|small|large] [--csv] [--jobs N] [--timing]\n\
-         \x20         [--timing-json FILE] [--metrics-json FILE] [--trace-out FILE]\n\
+        "usage: xp <experiment> [--scale tiny|small|large] [--csv] [--jobs N] [--no-simd]\n\
+         \x20         [--timing] [--timing-json FILE] [--metrics-json FILE] [--trace-out FILE]\n\
          (fig1 also takes an optional workload name, e.g. `xp fig1 susan`)\n\
          experiments: fig1 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
                       classify patel belady generalize idx-amat assoc-sweep\n\
@@ -144,6 +147,7 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
+            "--no-simd" => unicache_core::SimdLanes::set_enabled(false),
             "--timing" => timing = true,
             "--timing-json" => {
                 i += 1;

@@ -66,9 +66,8 @@ pub fn tune_allocator_for_traces() {
         const M_MMAP_THRESHOLD: i32 = -3;
         // SAFETY: mallopt only adjusts allocator parameters; called
         // single-threaded at startup, with constants glibc documents.
-        unsafe {
-            mallopt(M_TRIM_THRESHOLD, i32::MAX);
-            mallopt(M_MMAP_THRESHOLD, i32::MAX);
-        }
+        // Not SIMD kernel territory, but an audited FFI exception.
+        unsafe { mallopt(M_TRIM_THRESHOLD, i32::MAX) }; // uca:allow(unsafe-outside-simd)
+        unsafe { mallopt(M_MMAP_THRESHOLD, i32::MAX) }; // uca:allow(unsafe-outside-simd)
     }
 }

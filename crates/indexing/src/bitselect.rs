@@ -2,7 +2,7 @@
 //! into a set index. The building block under both the Givargis index and
 //! Patel's optimal search.
 
-use unicache_core::{BlockAddr, ConfigError, IndexFunction, Result};
+use unicache_core::{BlockAddr, ConfigError, IndexFunction, Result, SimdLanes, SIMD_LANES};
 
 /// An index formed by concatenating chosen block-address bits.
 ///
@@ -79,6 +79,28 @@ impl IndexFunction for BitSelectIndex {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn index_many(&self, blocks: &[BlockAddr], out: &mut [usize]) {
+        // Bits outer, lanes inner: each pass over the 8 lanes does one
+        // shift/mask/or, so the gather vectorizes even though the bit
+        // positions themselves are data-dependent.
+        SimdLanes::map(
+            blocks,
+            out,
+            |b8, o8| {
+                let mut acc = [0u64; SIMD_LANES];
+                for (out_pos, &bit) in self.bits.iter().enumerate() {
+                    for l in 0..SIMD_LANES {
+                        acc[l] |= ((b8[l] >> bit) & 1) << out_pos;
+                    }
+                }
+                for l in 0..SIMD_LANES {
+                    o8[l] = acc[l] as usize;
+                }
+            },
+            |b| self.index_block(b),
+        );
     }
 }
 

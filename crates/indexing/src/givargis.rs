@@ -206,6 +206,11 @@ impl IndexFunction for GivargisIndex {
     fn name(&self) -> &str {
         "givargis"
     }
+    fn index_many(&self, blocks: &[BlockAddr], out: &mut [usize]) {
+        // Forward to the bit-select gather kernel; the default body would
+        // fall back to per-element `index_block`.
+        self.inner.index_many(blocks, out);
+    }
 }
 
 /// The paper's hybrid (Section II.E): gather `m` high-quality, low-mutual-
@@ -317,6 +322,29 @@ impl IndexFunction for GivargisXorIndex {
     }
     fn name(&self) -> &str {
         "givargis_xor"
+    }
+    fn index_many(&self, blocks: &[BlockAddr], out: &mut [usize]) {
+        let mask = self.mask;
+        let bits = self.tag_bits.bits();
+        unicache_core::SimdLanes::map(
+            blocks,
+            out,
+            |b8, o8| {
+                // Gather the trained tag bits (bits outer, lanes inner,
+                // as in BitSelectIndex), then fold in the conventional
+                // index bits with one XOR per lane.
+                let mut acc = [0u64; unicache_core::SIMD_LANES];
+                for (out_pos, &bit) in bits.iter().enumerate() {
+                    for l in 0..unicache_core::SIMD_LANES {
+                        acc[l] |= ((b8[l] >> bit) & 1) << out_pos;
+                    }
+                }
+                for l in 0..unicache_core::SIMD_LANES {
+                    o8[l] = ((b8[l] ^ acc[l]) & mask) as usize;
+                }
+            },
+            |b| self.index_block(b),
+        );
     }
 }
 

@@ -86,16 +86,32 @@ impl CompiledTrace {
 
     /// Misses of the direct-mapped cache indexed by the candidate
     /// *positions* `pos` — exactly [`PatelSearch::cost`] of the
-    /// corresponding bit set over the original trace. `idx_of` and
-    /// `resident` are caller-owned scratch so the hot search loops do not
-    /// reallocate per combination.
-    fn cost(&self, pos: &[usize], idx_of: &mut Vec<u32>, resident: &mut Vec<u32>) -> u64 {
+    /// corresponding bit set over the original trace — with a
+    /// branch-and-bound cutoff: once the running miss count reaches
+    /// `bound` the replay aborts and returns the partial count. Misses
+    /// only accumulate, so an aborted combination's true cost is
+    /// `>= bound` as well; a caller that keeps its winner under a strict
+    /// `<` comparison against `bound` selects exactly the combination an
+    /// unbounded evaluation would. Pass `u64::MAX` for an exact count.
+    /// `idx_of` and `resident` are caller-owned scratch so the hot search
+    /// loops do not reallocate per combination.
+    fn cost(
+        &self,
+        pos: &[usize],
+        bound: u64,
+        idx_of: &mut Vec<u32>,
+        resident: &mut Vec<u32>,
+    ) -> u64 {
+        // Position-outer, signatures-inner: each pass is one contiguous
+        // shift/mask/or sweep over the signature array, which the
+        // compiler vectorizes; the per-signature fold over `pos` did not.
         idx_of.clear();
-        idx_of.extend(self.sigs.iter().map(|&sig| {
-            pos.iter().enumerate().fold(0u32, |acc, (out, &p)| {
-                acc | ((((sig >> p) & 1) as u32) << out)
-            })
-        }));
+        idx_of.resize(self.sigs.len(), 0);
+        for (out, &p) in pos.iter().enumerate() {
+            for (acc, &sig) in idx_of.iter_mut().zip(&self.sigs) {
+                *acc |= (((sig >> p) & 1) as u32) << out;
+            }
+        }
         resident.clear();
         resident.resize(1usize << pos.len(), u32::MAX);
         let mut misses = 0u64;
@@ -103,6 +119,9 @@ impl CompiledTrace {
             let slot = idx_of[id as usize] as usize;
             if resident[slot] != id {
                 misses += 1;
+                if misses >= bound {
+                    return misses;
+                }
                 resident[slot] = id;
             }
         }
@@ -193,8 +212,21 @@ impl PatelSearch {
         let mut idx_of = Vec::new();
         let mut resident = Vec::new();
         let mut idx: Vec<usize> = (0..m).collect();
+        // Seed the incumbent bound with the greedy solution (a few dozen
+        // evaluations) so pruning bites from the first combination. The
+        // bound starts one *above* the seed's cost: every combination
+        // whose true cost ties the seed is still replayed exactly, so the
+        // winner remains the lexicographically first minimizer — the same
+        // outcome an unseeded search reports. The greedy set is itself one
+        // of the enumerated combinations, so `best_pos` is always
+        // overwritten before the search returns.
+        let seed = self.search_greedy(ct);
         let mut best_pos = idx.clone();
-        let mut best_cost = ct.cost(&idx, &mut idx_of, &mut resident);
+        let mut best_cost = seed.cost + 1;
+        let first = ct.cost(&idx, best_cost, &mut idx_of, &mut resident);
+        if first < best_cost {
+            best_cost = first;
+        }
         loop {
             // Advance to the next m-combination of 0..n in lexicographic
             // order.
@@ -216,7 +248,9 @@ impl PatelSearch {
             for j in i + 1..m {
                 idx[j] = idx[j - 1] + 1;
             }
-            let cost = ct.cost(&idx, &mut idx_of, &mut resident);
+            // Bounded by the incumbent: a combination that reaches
+            // `best_cost` misses can no longer win, so its replay aborts.
+            let cost = ct.cost(&idx, best_cost, &mut idx_of, &mut resident);
             if cost < best_cost {
                 best_cost = cost;
                 best_pos.copy_from_slice(&idx);
@@ -235,7 +269,8 @@ impl PatelSearch {
                 let mut trial = selected.clone();
                 trial.push(cand);
                 trial.sort_unstable();
-                let cost = ct.cost(&trial, &mut idx_of, &mut resident);
+                let bound = best.map_or(u64::MAX, |(_, c)| c);
+                let cost = ct.cost(&trial, bound, &mut idx_of, &mut resident);
                 match best {
                     None => best = Some((pos, cost)),
                     Some((_, c)) if cost < c => best = Some((pos, cost)),
@@ -249,7 +284,8 @@ impl PatelSearch {
             selected.push(remaining.remove(pos));
             selected.sort_unstable();
         }
-        let cost = ct.cost(&selected, &mut idx_of, &mut resident);
+        // Exact (unbounded) cost for the reported outcome.
+        let cost = ct.cost(&selected, u64::MAX, &mut idx_of, &mut resident);
         SearchOutcome {
             bits: selected.iter().map(|&i| self.candidates[i]).collect(),
             cost,
@@ -328,6 +364,35 @@ mod tests {
             }
         }
         assert_eq!(out.cost, best);
+    }
+
+    #[test]
+    fn branch_and_bound_matches_unpruned_brute_force() {
+        // The bounded replay aborts most combinations early; the selected
+        // bits and reported cost must still equal an exact evaluation of
+        // every combination (the pre-pruning behaviour).
+        let blocks: Vec<u64> = (0..2000u64)
+            .map(|i| (i * 193 + (i >> 3) * 7) % 611)
+            .collect();
+        let s = PatelSearch::new(3, (0..10).collect(), u64::MAX).unwrap();
+        let out = s.search(&blocks);
+        assert!(out.exhaustive);
+        let mut best = u64::MAX;
+        let mut best_bits = Vec::new();
+        for a in 0..10u32 {
+            for b in a + 1..10 {
+                for c in b + 1..10 {
+                    let cost = PatelSearch::cost(&[a, b, c], &blocks);
+                    if cost < best {
+                        best = cost;
+                        best_bits = vec![a, b, c];
+                    }
+                }
+            }
+        }
+        assert_eq!(out.cost, best);
+        assert_eq!(out.bits, best_bits);
+        assert_eq!(PatelSearch::cost(&out.bits, &blocks), out.cost);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! collisions elsewhere, which is why the paper finds XOR helps some
 //! programs and hurts others.
 
-use unicache_core::{is_pow2, log2, BlockAddr, ConfigError, IndexFunction, Result};
+use unicache_core::{
+    is_pow2, log2, BlockAddr, ConfigError, IndexFunction, Result, SimdLanes, SIMD_LANES,
+};
 
 /// Tag-XOR-index hashing.
 #[derive(Debug, Clone)]
@@ -84,6 +86,23 @@ impl IndexFunction for XorIndex {
 
     fn name(&self) -> &str {
         "xor"
+    }
+
+    fn index_many(&self, blocks: &[BlockAddr], out: &mut [usize]) {
+        let mask = self.mask;
+        let shift = self.index_bits + self.tag_skip;
+        // (b & m) ^ ((b >> s) & m) == (b ^ (b >> s)) & m — AND distributes
+        // over XOR, saving one mask per lane.
+        SimdLanes::map(
+            blocks,
+            out,
+            |b8, o8| {
+                for l in 0..SIMD_LANES {
+                    o8[l] = ((b8[l] ^ (b8[l] >> shift)) & mask) as usize;
+                }
+            },
+            |b| self.index_block(b),
+        );
     }
 }
 

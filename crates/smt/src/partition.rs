@@ -37,7 +37,21 @@ pub struct PartitionedCache {
     stats: CacheStats,
     threads: usize,
     part_sets: usize,
+    /// `part_sets - 1` when the partition size is a power of two (every
+    /// paper geometry), letting the per-access slot computation use a mask
+    /// instead of a hardware divide.
+    part_mask: Option<usize>,
     name: String,
+}
+
+/// Slot of `block` within a partition of `part_sets` sets: `% part_sets`,
+/// computed with the precomputed mask when the size is a power of two.
+#[inline]
+fn part_slot(block: BlockAddr, part_sets: usize, part_mask: Option<usize>) -> usize {
+    match part_mask {
+        Some(mask) => block as usize & mask,
+        None => block as usize % part_sets,
+    }
 }
 
 impl PartitionedCache {
@@ -56,12 +70,14 @@ impl PartitionedCache {
                 ),
             });
         }
+        let part_sets = geom.num_sets() / threads;
         Ok(PartitionedCache {
             geom,
             lines: vec![Line::empty(); geom.num_sets()],
             stats: CacheStats::new(geom.num_sets()),
             threads,
-            part_sets: geom.num_sets() / threads,
+            part_sets,
+            part_mask: part_sets.is_power_of_two().then(|| part_sets - 1),
             name: format!("partitioned({threads} threads)"),
         })
     }
@@ -70,7 +86,7 @@ impl PartitionedCache {
     #[inline]
     pub fn partition_index(&self, tid: u8, block: BlockAddr) -> usize {
         let t = (tid as usize).min(self.threads - 1);
-        t * self.part_sets + (block as usize % self.part_sets)
+        t * self.part_sets + part_slot(block, self.part_sets, self.part_mask)
     }
 
     /// Sets per partition.
@@ -160,6 +176,8 @@ pub struct AdaptivePartitionedCache {
     stats: CacheStats,
     threads: usize,
     part_sets: usize,
+    /// See [`PartitionedCache::part_mask`].
+    part_mask: Option<usize>,
     sht: Sht,
     /// (tid, block) -> set; keyed per thread because two threads may
     /// cache the same block address privately.
@@ -184,12 +202,14 @@ impl AdaptivePartitionedCache {
             });
         }
         let n = geom.num_sets();
+        let part_sets = n / threads;
         Ok(AdaptivePartitionedCache {
             geom,
             lines: vec![Line::empty(); n],
             stats: CacheStats::new(n),
             threads,
-            part_sets: n / threads,
+            part_sets,
+            part_mask: part_sets.is_power_of_two().then(|| part_sets - 1),
             sht: Sht::new(n, (n * 3 / 8).max(1)),
             out: LruDir::new((n / 4).max(1)),
             name: format!("adaptive_partitioned({threads} threads)"),
@@ -199,7 +219,7 @@ impl AdaptivePartitionedCache {
     #[inline]
     fn primary_of(&self, tid: u8, block: BlockAddr) -> usize {
         let t = (tid as usize).min(self.threads - 1);
-        t * self.part_sets + (block as usize % self.part_sets)
+        t * self.part_sets + part_slot(block, self.part_sets, self.part_mask)
     }
 
     /// OUT entries currently live (tests).
@@ -402,6 +422,20 @@ mod tests {
             c.access(read(b, 0));
         }
         assert!(c.access(read(3, 1)).is_hit());
+    }
+
+    #[test]
+    fn mask_slot_matches_modulo() {
+        for part_sets in [1usize, 2, 4, 8, 256, 512, 3, 6, 9, 1021] {
+            let mask = part_sets.is_power_of_two().then(|| part_sets - 1);
+            for block in (0u64..200).chain([u32::MAX as u64, 1 << 40, (1 << 40) + 12345]) {
+                assert_eq!(
+                    part_slot(block, part_sets, mask),
+                    block as usize % part_sets,
+                    "part_sets {part_sets} block {block}"
+                );
+            }
+        }
     }
 
     #[test]

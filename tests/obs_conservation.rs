@@ -207,3 +207,36 @@ fn reset_zeroes_every_counter() {
         .iter()
         .all(|(_, buckets)| buckets.is_empty()));
 }
+
+/// The batched classify/update split (DESIGN §12) attributes its one
+/// `count_by(CacheProbe, chunk_len)` exactly as the scalar path's
+/// per-access `count(CacheProbe)` — no double counting from the serial
+/// update tail, and hit/miss attribution in `CacheStats` unchanged.
+/// Runs the same stream with the SIMD tier forced on and off and
+/// demands identical counters both times.
+#[test]
+fn batched_classify_attributes_counters_like_scalar_path() {
+    use unicache::core::SimdLanes;
+    use unicache_obs::Event;
+    let _guard = obs_guard!();
+    let trace = synth::hotspot(77, 12_003, 0, 128, 1 << 14, 0.75);
+    let stream = BlockStream::from_records(trace.records(), geom().line_bytes());
+    let run = |wide: bool| {
+        unicache_obs::reset();
+        SimdLanes::set_enabled(wide);
+        let mut c = CacheBuilder::new(geom()).build().unwrap();
+        run_fused(&mut [&mut c as &mut dyn FusedLane], &stream);
+        SimdLanes::set_enabled(true);
+        (
+            unicache_obs::counter_value(Event::CacheProbe),
+            c.stats().clone(),
+        )
+    };
+    let (probes_wide, stats_wide) = run(true);
+    let (probes_narrow, stats_narrow) = run(false);
+    assert_eq!(stats_wide, stats_narrow, "stats diverged across the knob");
+    assert_eq!(probes_wide, probes_narrow, "probe counts diverged");
+    assert_eq!(probes_wide, stats_wide.accesses());
+    assert_eq!(stats_wide.accesses(), 12_003);
+    assert_eq!(outcome_sum(&stats_wide), stats_wide.accesses());
+}

@@ -1,0 +1,259 @@
+//! The SIMD tier must be a pure optimisation (DESIGN §12): every 8-wide
+//! kernel — the per-scheme `index_many` bodies and the direct-mapped
+//! batched classify — must agree element-for-element with the scalar
+//! path it replaces, on every registered scheme, both reference
+//! geometries, and ragged lengths (chunk % 8 != 0). These tests toggle
+//! the global ablation knob (`SimdLanes::set_enabled`), so every
+//! knob-toggling test serializes on one lock and restores the default.
+
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex, MutexGuard};
+use unicache::core::{SimdLanes, SIMD_LANES};
+use unicache::prelude::*;
+use unicache::trace::synth;
+
+/// Knob-toggling tests must not interleave: a test that turns the tier
+/// off must not race one that assumes it is on.
+static KNOB: Mutex<()> = Mutex::new(());
+
+fn knob_lock() -> MutexGuard<'static, ()> {
+    match KNOB.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The check-matrix geometries: the small 64-set shape and the paper's
+/// 1024-set L1.
+fn geometries() -> [CacheGeometry; 2] {
+    [
+        CacheGeometry::from_sets(64, 32, 1).unwrap(),
+        CacheGeometry::paper_l1(),
+    ]
+}
+
+/// Deterministic training blocks for the Givargis variants.
+fn training_blocks() -> Vec<u64> {
+    (0..4096u64)
+        .map(|i| i.wrapping_mul(2654435761) >> 7)
+        .collect()
+}
+
+/// Lengths straddling the 8-lane and chunk boundaries, ragged tails
+/// included.
+const RAGGED_LENGTHS: [usize; 9] = [0, 1, 7, 8, 9, 63, 1024, 1025, 2500 + 3];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `index_many` == `index_block` element-for-element for every
+    /// registry scheme, with the SIMD tier forced on *and* forced off —
+    /// the wide kernel, the scalar fallback and the per-element method
+    /// must be three spellings of the same function.
+    #[test]
+    fn index_many_matches_index_block_for_every_scheme(seed in proptest::num::u64::ANY) {
+        let _g = knob_lock();
+        let training = training_blocks();
+        for geom in geometries() {
+            for scheme in IndexScheme::all() {
+                let f = scheme.build(geom, Some(&training)).unwrap();
+                for &len in &RAGGED_LENGTHS {
+                    let blocks: Vec<u64> = (0..len as u64)
+                        .map(|i| seed.wrapping_mul(i.wrapping_add(0x9E3779B97F4A7C15)) >> 5)
+                        .collect();
+                    let mut wide = vec![usize::MAX; len];
+                    let mut narrow = vec![usize::MAX; len];
+                    SimdLanes::set_enabled(true);
+                    f.index_many(&blocks, &mut wide);
+                    SimdLanes::set_enabled(false);
+                    f.index_many(&blocks, &mut narrow);
+                    SimdLanes::set_enabled(true);
+                    for (i, &b) in blocks.iter().enumerate() {
+                        let expect = f.index_block(b);
+                        prop_assert_eq!(
+                            wide[i], expect,
+                            "{} wide lane {} of {} diverged at {} sets",
+                            scheme.label(), i, len, geom.num_sets()
+                        );
+                        prop_assert_eq!(narrow[i], expect);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The batched classify/update split leaves stats identical to the
+    /// scalar per-record path for every registry scheme on a conflict-
+    /// heavy mix — including chunks whose classify verdicts go stale
+    /// mid-chunk (fills landing in sets revisited later in the chunk).
+    #[test]
+    fn batched_classify_matches_scalar_path_for_every_scheme(seed in 0u64..4000) {
+        let _g = knob_lock();
+        let training = training_blocks();
+        for geom in geometries() {
+            // 2507 records: ragged final chunk (2507 % 1024 = 459, 459 % 8 = 3).
+            let trace = synth::hotspot(seed, 2507, 0, 96, 1 << 14, 0.7);
+            let stream = BlockStream::from_records(trace.records(), geom.line_bytes());
+            for scheme in IndexScheme::all() {
+                let mk = || {
+                    CacheBuilder::new(geom)
+                        .index(scheme.build(geom, Some(&training)).unwrap())
+                        .build()
+                        .unwrap()
+                };
+                let mut wide = mk();
+                let mut narrow = mk();
+                SimdLanes::set_enabled(true);
+                run_fused(&mut [&mut wide as &mut dyn FusedLane], &stream);
+                SimdLanes::set_enabled(false);
+                run_fused(&mut [&mut narrow as &mut dyn FusedLane], &stream);
+                SimdLanes::set_enabled(true);
+                prop_assert_eq!(
+                    wide.stats(), narrow.stats(),
+                    "{} batched path diverged at {} sets",
+                    scheme.label(), geom.num_sets()
+                );
+                // Final contents must agree too, not only the counters.
+                for rec in trace.records().iter().take(200) {
+                    let b = geom.block_addr(rec.addr);
+                    prop_assert_eq!(wide.contains_block(b), narrow.contains_block(b));
+                }
+            }
+        }
+    }
+
+    /// `classify_chunk` (the read-only probe the phase benchmark uses)
+    /// agrees with `contains_block` per element and counts nothing.
+    #[test]
+    fn classify_chunk_matches_contains_block(seed in 0u64..4000, len in 1usize..200) {
+        for geom in geometries() {
+            let trace = synth::uniform_rw(seed, 1500, 0x2000, 1 << 16, 0.25);
+            let stream = BlockStream::from_records(trace.records(), geom.line_bytes());
+            let mut cache = CacheBuilder::new(geom).build().unwrap();
+            run_fused(&mut [&mut cache as &mut dyn FusedLane], &stream);
+            let stats_before = cache.stats().clone();
+            let blocks: Vec<u64> = (0..len as u64)
+                .map(|i| seed.wrapping_mul(i * 2 + 1) % (1 << 12))
+                .collect();
+            let mut hits = vec![false; len];
+            prop_assert!(cache.classify_chunk(&blocks, &mut hits));
+            for (i, &b) in blocks.iter().enumerate() {
+                prop_assert_eq!(hits[i], cache.contains_block(b), "slot {}", i);
+            }
+            prop_assert_eq!(&stats_before, cache.stats(), "classify_chunk mutated stats");
+        }
+    }
+}
+
+/// Deterministic worst case for classify staleness: conflicting blocks
+/// revisited inside a single chunk, in every hit/miss interleaving the
+/// 4-set cache can express — with writes mixed in, under both
+/// write-allocate policies.
+#[test]
+fn intra_chunk_conflicts_match_scalar_path_exactly() {
+    let _g = knob_lock();
+    let geom = CacheGeometry::from_sets(4, 32, 1).unwrap();
+    // Blocks 0,4,8 all land in set 0 under conventional indexing; the
+    // pattern revisits each within one FUSE_CHUNK so classify verdicts
+    // go stale in both directions (new fill hits, displaced block misses).
+    let mut addrs = Vec::new();
+    for round in 0..300u64 {
+        for &b in &[0u64, 4, 0, 8, 4, 0, 8, 8, 1, 5, 0] {
+            addrs.push((b + (round % 3)) * 32);
+        }
+    }
+    let records: Vec<MemRecord> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| MemRecord {
+            addr: a,
+            kind: if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            tid: 0,
+        })
+        .collect();
+    let stream = BlockStream::from_records(&records, geom.line_bytes());
+    for write_allocate in [true, false] {
+        let mk = || {
+            CacheBuilder::new(geom)
+                .write_allocate(write_allocate)
+                .build()
+                .unwrap()
+        };
+        let mut wide = mk();
+        let mut narrow = mk();
+        SimdLanes::set_enabled(true);
+        run_fused(&mut [&mut wide as &mut dyn FusedLane], &stream);
+        SimdLanes::set_enabled(false);
+        run_fused(&mut [&mut narrow as &mut dyn FusedLane], &stream);
+        SimdLanes::set_enabled(true);
+        assert_eq!(
+            wide.stats(),
+            narrow.stats(),
+            "staleness handling diverged (write_allocate={write_allocate})"
+        );
+    }
+}
+
+/// An all-hits chunk takes the bulk-commit path (no replacement
+/// bookkeeping at all); its stats must still match the scalar replay.
+#[test]
+fn all_hits_bulk_commit_matches_scalar_path() {
+    let _g = knob_lock();
+    let geom = CacheGeometry::from_sets(64, 32, 1).unwrap();
+    // Warm-up stream touches every block once; the main stream then
+    // cycles the same resident working set (alternating reads/writes),
+    // so every post-warm-up chunk is all-hits.
+    let working_set: Vec<u64> = (0..64u64).collect();
+    let mut addrs: Vec<u64> = working_set.iter().map(|&b| b * 32).collect();
+    for round in 0..100u64 {
+        addrs.extend(working_set.iter().map(|&b| b * 32 + (round % 4)));
+    }
+    let records: Vec<MemRecord> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| MemRecord {
+            addr: a,
+            kind: if i % 2 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            tid: 0,
+        })
+        .collect();
+    let stream = BlockStream::from_records(&records, geom.line_bytes());
+    let mut wide = CacheBuilder::new(geom).build().unwrap();
+    let mut narrow = CacheBuilder::new(geom).build().unwrap();
+    SimdLanes::set_enabled(true);
+    run_fused(&mut [&mut wide as &mut dyn FusedLane], &stream);
+    SimdLanes::set_enabled(false);
+    run_fused(&mut [&mut narrow as &mut dyn FusedLane], &stream);
+    SimdLanes::set_enabled(true);
+    assert_eq!(wide.stats(), narrow.stats());
+    // Sanity: the pattern really was hit-dominated.
+    assert!(wide.stats().miss_rate() < 0.05);
+}
+
+/// SIMD_LANES is the one width every kernel is written against; the
+/// ragged-length lists in this file assume it.
+#[test]
+fn lane_width_is_eight() {
+    assert_eq!(SIMD_LANES, 8);
+}
+
+/// `Arc`-wrapped functions forward `index_many` to the concrete batched
+/// body (the fused kernel always calls through `Arc<dyn IndexFunction>`).
+#[test]
+fn arc_wrapper_forwards_batched_body() {
+    let f: Arc<dyn IndexFunction> = Arc::new(XorIndex::new(1024).unwrap());
+    let blocks: Vec<u64> = (0..100u64).map(|i| i * 977).collect();
+    let mut out = vec![0usize; blocks.len()];
+    f.index_many(&blocks, &mut out);
+    for (i, &b) in blocks.iter().enumerate() {
+        assert_eq!(out[i], f.index_block(b));
+    }
+}
