@@ -1,0 +1,770 @@
+//! Layer 3 — the flow-aware concurrency pass behind `uca conc`.
+//!
+//! Where `uca lint` answers "does this *line* contain a banned token",
+//! this pass reasons over the [`crate::parse`] symbol table and a
+//! name-based call graph to enforce the workspace's *concurrency
+//! architecture* (DESIGN §13). Six rule families:
+//!
+//! * **`shared-static`** — every `static` with interior mutability
+//!   (`Atomic*`, `Mutex`, `RwLock`, `UnsafeCell`, `OnceLock`, …) must
+//!   live in the sanctioned shared-state crates (`crates/exec`,
+//!   `crates/obs`) or carry `// uca:allow(shared-static)`. Ambient
+//!   mutable globals in simulation crates are how scheduling leaks into
+//!   output.
+//! * **`static-mut`** — `static mut` is banned everywhere; it is
+//!   unsynchronized shared memory with no story at all.
+//! * **`relaxed-output`** — a `Ordering::Relaxed` atomic *read* (a
+//!   `.load(…)` or a value-binding `.fetch_*`) in any function reachable
+//!   from a program-output root (`main`, `render_all`,
+//!   `render_experiment`, `metrics_json`, `Drop::drop`, `Display::fmt`)
+//!   is an error: Relaxed values are scheduling-dependent, and the
+//!   byte-identity contract says output bytes may not be. The executor's
+//!   worker-count config and the obs shard accumulators (whose merges
+//!   rule `shard-drain-merge` proves commutative) are sanctioned;
+//!   anything else needs `// uca:allow(relaxed-output)` with a
+//!   commutativity argument.
+//! * **`thread-reach`** — interprocedural version of the lexer's
+//!   `thread-outside-exec`: a function outside `crates/exec` that
+//!   creates threads directly *or transitively calls one that does* is
+//!   flagged, so thread creation cannot be laundered through a helper.
+//! * **`shard-drain-merge`** — inside `crates/obs`, every statement
+//!   touching the `drained` accumulators must be a commutative fold
+//!   (`.merge(`, `.add(`, `.observe(`) or a reset (`::new(`); the drain
+//!   protocol's correctness rests on drain order not mattering.
+//! * **`ordering-protocol`** — `Ordering::Acquire`/`Release`/`AcqRel`/
+//!   `SeqCst` outside `crates/exec`: cross-thread ordering protocols
+//!   belong to the executor, not scattered through simulation code.
+//!
+//! The call graph is **name-based** (a call to `foo` links to every
+//! function named `foo` in the workspace), so reachability is
+//! over-approximated — the sound direction for every rule here. The
+//! same `// uca:allow(rule)` escape and comment/string/test blanking as
+//! the linter apply. [`self_test`] seeds one violation per family and
+//! asserts detection, allow-suppression, and (for `relaxed-output` and
+//! `thread-reach`) that the *flow* matters, not the lexical position.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lint::Violation;
+use crate::parse::{parse_source, ParsedFile};
+use crate::report::Report;
+
+/// The rule families, in report order.
+pub const RULES: &[&str] = &[
+    "shared-static",
+    "static-mut",
+    "relaxed-output",
+    "thread-reach",
+    "shard-drain-merge",
+    "ordering-protocol",
+];
+
+/// Type identifiers that make a `static` shared mutable state.
+const INTERIOR_MUT_MARKERS: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+    "Mutex",
+    "RwLock",
+    "UnsafeCell",
+    "OnceLock",
+    "LazyLock",
+    "OnceCell",
+    "Cell",
+    "RefCell",
+    "Condvar",
+];
+
+/// Crates sanctioned to hold shared mutable statics: the executor
+/// (scheduling state, telemetry) and the observability registry
+/// (per-thread shards + drained accumulators).
+const SHARED_STATE_CRATES: &[&str] = &["exec", "obs"];
+
+/// Files whose Relaxed reads are sanctioned wholesale: the executor's
+/// worker-count config (`crates/exec/src/lib.rs`) and the obs shard
+/// store (`crates/obs/src/shard.rs`), whose reads feed only the
+/// commutative merges proven by `shard-drain-merge`.
+const SANCTIONED_RELAXED_FILES: &[&str] = &["crates/exec/src/lib.rs", "crates/obs/src/shard.rs"];
+
+/// Call-graph roots whose transitive callees produce program output.
+/// `drop` covers span guards and other RAII writers; `fmt` covers
+/// `Display`/`Debug` impls rendered into tables.
+const OUTPUT_ROOTS: &[&str] = &[
+    "main",
+    "render_all",
+    "render_experiment",
+    "metrics_json",
+    "drop",
+    "fmt",
+];
+
+/// The one crate allowed to create threads.
+const THREAD_CRATE: &str = "exec";
+
+/// Thread-creation forms (mirrors the linter's needle list).
+const THREAD_NEEDLES: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
+
+/// The crate whose drain protocol `shard-drain-merge` audits.
+const SHARD_CRATE: &str = "obs";
+
+/// Statement forms allowed to touch a `drained` accumulator: commutative
+/// folds and resets.
+const COMMUTATIVE_NEEDLES: &[&str] = &[
+    ".merge(",
+    ".add(",
+    ".observe(",
+    "::new(",
+    ".clone(",
+    ".iter_mut(",
+];
+
+/// Orderings that establish cross-thread protocols.
+const PROTOCOL_ORDERINGS: &[&str] = &[
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// The outcome of one conc run: the machine-readable report (one summary
+/// entry per rule family plus one entry per violation) and the flat
+/// violation list for terminal output.
+pub struct ConcAnalysis {
+    pub report: Report,
+    pub violations: Vec<Violation>,
+}
+
+/// Runs the conc pass over every `crates/*/src/**/*.rs` file under
+/// `root` (the workspace root).
+pub fn conc_workspace(root: &Path) -> io::Result<ConcAnalysis> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<std::path::PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut files = Vec::new();
+    for crate_dir in crate_dirs {
+        let crate_name = match crate_dir.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_string(),
+            None => continue,
+        };
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        crate::lint::collect_rs_files(&src_dir, &mut paths)?;
+        paths.sort();
+        for file in paths {
+            let src = fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(parse_source(&rel, &crate_name, &src));
+        }
+    }
+    Ok(conc_files(&files))
+}
+
+/// Per-family tally used to build the summary entries.
+#[derive(Default, Clone, Copy)]
+struct Tally {
+    /// Sites the rule examined (whether or not they violated).
+    sites: usize,
+    /// Sites that violated.
+    violations: usize,
+}
+
+/// Runs the six rule families over already-parsed files.
+pub fn conc_files(files: &[ParsedFile]) -> ConcAnalysis {
+    let mut violations = Vec::new();
+    let mut tallies: BTreeMap<&'static str, Tally> =
+        RULES.iter().map(|r| (*r, Tally::default())).collect();
+
+    let push = |file: &ParsedFile,
+                line: usize,
+                rule: &'static str,
+                message: String,
+                tallies: &mut BTreeMap<&'static str, Tally>,
+                violations: &mut Vec<Violation>| {
+        let t = tallies.entry(rule).or_default();
+        t.sites += 1;
+        if file.allows(line, rule) {
+            return;
+        }
+        t.violations += 1;
+        violations.push(Violation {
+            file: file.path.clone(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    // --- shared-static & static-mut ---------------------------------
+    for f in files {
+        for s in &f.statics {
+            if s.is_mut {
+                push(
+                    f,
+                    s.line,
+                    "static-mut",
+                    format!(
+                        "`static mut {}` is unsynchronized shared memory; use an atomic, a \
+                         `Mutex`, or thread-local storage",
+                        s.name
+                    ),
+                    &mut tallies,
+                    &mut violations,
+                );
+            }
+            if s.in_thread_local {
+                continue; // per-thread storage is not shared state
+            }
+            let marker = INTERIOR_MUT_MARKERS
+                .iter()
+                .find(|m| crate::lint::contains_ident(&s.ty, m));
+            if let Some(marker) = marker {
+                if SHARED_STATE_CRATES.contains(&f.crate_name.as_str()) {
+                    tallies.entry("shared-static").or_default().sites += 1;
+                    continue; // sanctioned home, still counted as a site
+                }
+                push(
+                    f,
+                    s.line,
+                    "shared-static",
+                    format!(
+                        "interior-mutable `static {}: {}` (`{marker}`) outside crates/exec and \
+                         crates/obs; shared state belongs to the executor or the observability \
+                         registry",
+                        s.name, s.ty
+                    ),
+                    &mut tallies,
+                    &mut violations,
+                );
+            } else {
+                // An immutable static (lookup table, &'static str…) is
+                // examined but can't violate.
+                tallies.entry("shared-static").or_default().sites += 1;
+            }
+        }
+    }
+
+    // --- call graph & output reachability ----------------------------
+    // Name -> every (file, fn) pair with that name, workspace-wide.
+    let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (fj, func) in f.fns.iter().enumerate() {
+            by_name.entry(&func.name).or_default().push((fi, fj));
+        }
+    }
+    // BFS from the output roots; `reached[(fi, fj)]` remembers which
+    // root first reached the function (the diagnostic witness).
+    let mut reached: BTreeMap<(usize, usize), &'static str> = BTreeMap::new();
+    let mut queue: Vec<((usize, usize), &'static str)> = Vec::new();
+    let visit = |t: (usize, usize),
+                 root: &'static str,
+                 reached: &mut BTreeMap<(usize, usize), &'static str>,
+                 queue: &mut Vec<((usize, usize), &'static str)>| {
+        if let std::collections::btree_map::Entry::Vacant(e) = reached.entry(t) {
+            e.insert(root);
+            queue.push((t, root));
+        }
+    };
+    for root in OUTPUT_ROOTS {
+        if let Some(targets) = by_name.get(root) {
+            for &t in targets {
+                visit(t, root, &mut reached, &mut queue);
+            }
+        }
+    }
+    while let Some(((fi, fj), root)) = queue.pop() {
+        for call in &files[fi].fns[fj].calls {
+            if let Some(targets) = by_name.get(call.name.as_str()) {
+                for &t in targets {
+                    visit(t, root, &mut reached, &mut queue);
+                }
+            }
+        }
+    }
+
+    // --- relaxed-output ----------------------------------------------
+    for (&(fi, fj), &root) in &reached {
+        let f = &files[fi];
+        let func = &f.fns[fj];
+        let sanctioned = SANCTIONED_RELAXED_FILES.contains(&f.path.as_str());
+        for (i, line) in f.text.lines().enumerate() {
+            let lineno = i + 1;
+            if !func.contains_line(lineno) || !line.contains("Relaxed") {
+                continue;
+            }
+            // Attribute each line to its innermost function only, so a
+            // nested fn's lines are judged by the nested fn's own
+            // reachability.
+            if f.enclosing_fn(lineno) != Some(fj) {
+                continue;
+            }
+            let is_load = line.contains(".load(");
+            let is_bound_fetch = line
+                .find(".fetch_")
+                .is_some_and(|pos| line[..pos].contains('='));
+            if !is_load && !is_bound_fetch {
+                if line.contains(".fetch_") || line.contains(".store(") {
+                    // Write-only Relaxed traffic: examined, can't violate.
+                    tallies.entry("relaxed-output").or_default().sites += 1;
+                }
+                continue;
+            }
+            if sanctioned {
+                tallies.entry("relaxed-output").or_default().sites += 1;
+                continue;
+            }
+            let what = if is_load {
+                "load"
+            } else {
+                "value-binding fetch"
+            };
+            push(
+                f,
+                lineno,
+                "relaxed-output",
+                format!(
+                    "Relaxed atomic {what} in `{}`, reachable from output root `{root}`; \
+                     scheduling-dependent values must not feed program output",
+                    func.name
+                ),
+                &mut tallies,
+                &mut violations,
+            );
+        }
+    }
+
+    // --- thread-reach ------------------------------------------------
+    // Direct creators: non-exec functions whose body contains a
+    // thread-creation form.
+    let mut creators: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (fi, f) in files.iter().enumerate() {
+        if f.crate_name == THREAD_CRATE {
+            continue;
+        }
+        for (i, line) in f.text.lines().enumerate() {
+            let lineno = i + 1;
+            let Some(needle) = THREAD_NEEDLES.iter().find(|n| line.contains(**n)) else {
+                continue;
+            };
+            let owner = f.enclosing_fn(lineno);
+            let in_fn = owner
+                .map(|fj| f.fns[fj].name.as_str())
+                .unwrap_or("<module scope>");
+            let allowed = f.allows(lineno, "thread-reach");
+            push(
+                f,
+                lineno,
+                "thread-reach",
+                format!(
+                    "`{needle}` outside crates/exec (in `{in_fn}`); all thread creation must \
+                     route through the executor"
+                ),
+                &mut tallies,
+                &mut violations,
+            );
+            if let (Some(fj), false) = (owner, allowed) {
+                creators.insert((fi, fj));
+            }
+        }
+    }
+    // Transitive: a non-exec function calling (by name) a non-exec
+    // creator is itself a creator. Fixpoint.
+    let mut flagged: BTreeSet<(usize, usize)> = creators.clone();
+    loop {
+        let mut grew = false;
+        for (fi, f) in files.iter().enumerate() {
+            if f.crate_name == THREAD_CRATE {
+                continue;
+            }
+            for (fj, func) in f.fns.iter().enumerate() {
+                if flagged.contains(&(fi, fj)) {
+                    continue;
+                }
+                let witness = func.calls.iter().find_map(|c| {
+                    by_name.get(c.name.as_str()).and_then(|targets| {
+                        targets
+                            .iter()
+                            .find(|t| flagged.contains(t))
+                            .map(|_| c.name.clone())
+                    })
+                });
+                let Some(callee) = witness else { continue };
+                let allowed = f.allows(func.line, "thread-reach");
+                push(
+                    f,
+                    func.line,
+                    "thread-reach",
+                    format!(
+                        "`{}` transitively creates threads outside crates/exec (via `{callee}`); \
+                         route parallelism through `unicache_exec::map`",
+                        func.name
+                    ),
+                    &mut tallies,
+                    &mut violations,
+                );
+                if !allowed {
+                    flagged.insert((fi, fj));
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // --- shard-drain-merge -------------------------------------------
+    for f in files {
+        if f.crate_name != SHARD_CRATE {
+            continue;
+        }
+        for (i, line) in f.text.lines().enumerate() {
+            let lineno = i + 1;
+            if !line.contains("drained") {
+                continue;
+            }
+            // Pure declarations (struct fields, doc-stripped residue)
+            // carry no statement; only lines that assign or call can
+            // break commutativity.
+            if !line.contains('=') && !line.contains('.') {
+                continue;
+            }
+            if COMMUTATIVE_NEEDLES.iter().any(|n| line.contains(n)) {
+                tallies.entry("shard-drain-merge").or_default().sites += 1;
+                continue;
+            }
+            push(
+                f,
+                lineno,
+                "shard-drain-merge",
+                "statement touches a `drained` accumulator without a commutative fold \
+                 (`.merge(`/`.add(`/`.observe(`) or reset (`::new(`); drain totals must be \
+                 independent of drain order"
+                    .to_string(),
+                &mut tallies,
+                &mut violations,
+            );
+        }
+    }
+
+    // --- ordering-protocol -------------------------------------------
+    for f in files {
+        let in_exec = f.crate_name == THREAD_CRATE;
+        for (i, line) in f.text.lines().enumerate() {
+            let lineno = i + 1;
+            let Some(needle) = PROTOCOL_ORDERINGS.iter().find(|n| line.contains(**n)) else {
+                continue;
+            };
+            if in_exec {
+                tallies.entry("ordering-protocol").or_default().sites += 1;
+                continue;
+            }
+            push(
+                f,
+                lineno,
+                "ordering-protocol",
+                format!(
+                    "`{needle}` outside crates/exec; cross-thread ordering protocols belong to \
+                     the executor"
+                ),
+                &mut tallies,
+                &mut violations,
+            );
+        }
+    }
+
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    let mut report = Report::default();
+    for rule in RULES {
+        let t = tallies.get(rule).copied().unwrap_or_default();
+        report.push(
+            *rule,
+            "workspace",
+            "zero-violations",
+            t.violations == 0,
+            format!("{} sites examined, {} violations", t.sites, t.violations),
+        );
+    }
+    for v in &violations {
+        report.push(
+            v.rule,
+            format!("{}:{}", v.file, v.line),
+            "zero-violations",
+            false,
+            v.message.clone(),
+        );
+    }
+    ConcAnalysis { report, violations }
+}
+
+/// Convenience for fixtures/tests: parse then analyze in-memory sources
+/// given as `(path, crate_name, src)` triples.
+pub fn conc_sources(sources: &[(&str, &str, &str)]) -> ConcAnalysis {
+    let files: Vec<ParsedFile> = sources
+        .iter()
+        .map(|(p, c, s)| parse_source(p, c, s))
+        .collect();
+    conc_files(&files)
+}
+
+/// Seeded-violation fixtures, one (or more) per rule family, asserting
+/// each rule fires where expected, each `uca:allow` escape suppresses,
+/// and the flow-aware rules follow the call graph rather than lexical
+/// position.
+pub fn self_test() -> Result<(), String> {
+    let mut errors = Vec::new();
+    let mut expect = |name: &str, got: &[Violation], want: &[(&str, usize)]| {
+        let got_pairs: Vec<(&str, usize)> = got.iter().map(|v| (v.rule, v.line)).collect();
+        if got_pairs != want {
+            errors.push(format!("{name}: expected violations {want:?}, got {got:?}"));
+        }
+    };
+
+    // shared-static: an atomic smuggled into a simulation crate.
+    let smuggled =
+        "use std::sync::atomic::AtomicU64;\nstatic COUNTER: AtomicU64 = AtomicU64::new(0);\n";
+    let a = conc_sources(&[("crates/experiments/src/x.rs", "experiments", smuggled)]);
+    expect(
+        "shared-static fires",
+        &a.violations,
+        &[("shared-static", 2)],
+    );
+    let allowed =
+        "use std::sync::atomic::AtomicU64;\nstatic COUNTER: AtomicU64 = AtomicU64::new(0); // uca:allow(shared-static)\n";
+    let a = conc_sources(&[("crates/experiments/src/x.rs", "experiments", allowed)]);
+    expect("shared-static allow", &a.violations, &[]);
+    let a = conc_sources(&[("crates/exec/src/x.rs", "exec", smuggled)]);
+    expect("shared-static exec scope", &a.violations, &[]);
+    let tls = "std::thread_local! {\n    static SHARD: Cell<u64> = Cell::new(0);\n}\n";
+    let a = conc_sources(&[("crates/obs2/src/x.rs", "obs2", tls)]);
+    expect("shared-static thread_local exempt", &a.violations, &[]);
+
+    // static-mut: banned even in the sanctioned crates.
+    let smut = "static mut SCRATCH: [u64; 8] = [0; 8];\n";
+    let a = conc_sources(&[("crates/exec/src/x.rs", "exec", smut)]);
+    expect(
+        "static-mut fires in exec",
+        &a.violations,
+        &[("static-mut", 1)],
+    );
+
+    // relaxed-output: the load is flagged at its own line because the
+    // call graph reaches it from render_all — not because of lexical
+    // position. The write-only fetch_add in bump() must not fire.
+    let flow = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                static COUNTER: AtomicU64 = AtomicU64::new(0); // uca:allow(shared-static)\n\
+                fn bump() {\n\
+                    COUNTER.fetch_add(1, Ordering::Relaxed);\n\
+                }\n\
+                fn totals() -> u64 {\n\
+                    COUNTER.load(Ordering::Relaxed)\n\
+                }\n\
+                fn render_all() {\n\
+                    bump();\n\
+                    totals();\n\
+                }\n";
+    let a = conc_sources(&[("crates/experiments/src/x.rs", "experiments", flow)]);
+    expect(
+        "relaxed-output follows flow",
+        &a.violations,
+        &[("relaxed-output", 7)],
+    );
+    // Sever the call edge and the very same load becomes unreachable.
+    let severed = flow.replace("render_all", "never_called_helper");
+    let a = conc_sources(&[("crates/experiments/src/x.rs", "experiments", &severed)]);
+    expect("relaxed-output needs reachability", &a.violations, &[]);
+    // A bound fetch on an output path is as bad as a load.
+    let bound = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                 static SEQ: AtomicU64 = AtomicU64::new(0); // uca:allow(shared-static)\n\
+                 fn metrics_json() -> u64 {\n\
+                     let id = SEQ.fetch_add(1, Ordering::Relaxed);\n\
+                     id\n\
+                 }\n";
+    let a = conc_sources(&[("crates/experiments/src/x.rs", "experiments", bound)]);
+    expect(
+        "relaxed-output bound fetch",
+        &a.violations,
+        &[("relaxed-output", 4)],
+    );
+    let allowed = bound.replace(
+        "Ordering::Relaxed);",
+        "Ordering::Relaxed); // uca:allow(relaxed-output)",
+    );
+    let a = conc_sources(&[("crates/experiments/src/x.rs", "experiments", &allowed)]);
+    expect("relaxed-output allow", &a.violations, &[]);
+
+    // thread-reach: the helper is flagged at the spawn, its caller is
+    // flagged interprocedurally at its own definition.
+    let laundered = "fn helper() {\n\
+                     \x20   std::thread::spawn(|| {}).join().ok();\n\
+                     }\n\
+                     fn run_everything() {\n\
+                     \x20   helper();\n\
+                     }\n";
+    let a = conc_sources(&[("crates/experiments/src/x.rs", "experiments", laundered)]);
+    expect(
+        "thread-reach direct + transitive",
+        &a.violations,
+        &[("thread-reach", 2), ("thread-reach", 4)],
+    );
+    let a = conc_sources(&[("crates/exec/src/x.rs", "exec", laundered)]);
+    expect("thread-reach exec scope", &a.violations, &[]);
+    // Calling INTO the executor is the sanctioned pattern.
+    let routed = "fn run_everything() {\n    map();\n}\n";
+    let exec_map = "fn map() {\n    std::thread::scope(|s| { let _ = s; });\n}\n";
+    let a = conc_sources(&[
+        ("crates/experiments/src/x.rs", "experiments", routed),
+        ("crates/exec/src/lib2.rs", "exec", exec_map),
+    ]);
+    expect("thread-reach via executor ok", &a.violations, &[]);
+
+    // shard-drain-merge: a non-commutative drain update.
+    let torn = "fn drain(reg: &mut Registry, shard: u64) {\n\
+                \x20   reg.drained = shard - reg.drained;\n\
+                }\n";
+    let a = conc_sources(&[("crates/obs/src/x.rs", "obs", torn)]);
+    expect(
+        "shard-drain-merge fires",
+        &a.violations,
+        &[("shard-drain-merge", 2)],
+    );
+    let merged = "fn drain(reg: &mut Registry, shard: &CounterSet) {\n\
+                  \x20   reg.drained = reg.drained.merge(shard);\n\
+                  }\n";
+    let a = conc_sources(&[("crates/obs/src/x.rs", "obs", merged)]);
+    expect("shard-drain-merge commutative ok", &a.violations, &[]);
+
+    // ordering-protocol: Acquire outside the executor.
+    let acq = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+               fn f(x: &AtomicU64) -> u64 {\n\
+               \x20   x.load(Ordering::Acquire)\n\
+               }\n";
+    let a = conc_sources(&[("crates/experiments/src/x.rs", "experiments", acq)]);
+    expect(
+        "ordering-protocol fires",
+        &a.violations,
+        &[("ordering-protocol", 3)],
+    );
+    let a = conc_sources(&[("crates/exec/src/x.rs", "exec", acq)]);
+    expect("ordering-protocol exec scope", &a.violations, &[]);
+
+    // Blanking sanity: nothing fires from comments, strings, or tests.
+    let invisible = "// static C: AtomicU64 = …\n\
+                     fn f() -> &'static str {\n\
+                     \x20   \"Ordering::SeqCst thread::spawn static mut\"\n\
+                     }\n\
+                     #[cfg(test)]\n\
+                     mod tests {\n\
+                     \x20   static T: Mutex<u8> = Mutex::new(0);\n\
+                     }\n";
+    let a = conc_sources(&[("crates/experiments/src/x.rs", "experiments", invisible)]);
+    expect("blanking hides non-code", &a.violations, &[]);
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_test_passes() {
+        if let Err(e) = self_test() {
+            panic!("conc self-test failed:\n{e}");
+        }
+    }
+
+    #[test]
+    fn report_has_one_summary_entry_per_rule() {
+        let a = conc_sources(&[]);
+        assert_eq!(a.report.entries.len(), RULES.len());
+        assert!(a.report.all_passed());
+        for (e, rule) in a.report.entries.iter().zip(RULES) {
+            assert_eq!(e.scheme, *rule);
+            assert_eq!(e.invariant, "zero-violations");
+        }
+    }
+
+    #[test]
+    fn violations_appear_as_failed_entries() {
+        let a = conc_sources(&[(
+            "crates/experiments/src/x.rs",
+            "experiments",
+            "static mut X: u64 = 0;\n",
+        )]);
+        assert_eq!(a.violations.len(), 1);
+        assert_eq!(a.report.failures(), 2, "summary + per-violation entries");
+        let per = a
+            .report
+            .entries
+            .iter()
+            .find(|e| e.geometry.contains(":1"))
+            .expect("per-violation entry present");
+        assert_eq!(per.scheme, "static-mut");
+        assert!(!per.passed);
+    }
+
+    #[test]
+    fn workspace_run_is_clean() {
+        // The real tree must satisfy its own concurrency architecture.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let a = conc_workspace(root).expect("scan workspace");
+        assert!(
+            a.violations.is_empty(),
+            "conc violations on the tree:\n{}",
+            a.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        // The families with real sites on the tree must have examined
+        // them (the other three are zero-site by design: no `static
+        // mut`, no out-of-exec thread creation, no Acquire/Release
+        // protocols anywhere).
+        for rule in ["shared-static", "relaxed-output", "shard-drain-merge"] {
+            let e = a
+                .report
+                .entries
+                .iter()
+                .find(|e| e.scheme == rule)
+                .expect("summary entry present");
+            assert!(
+                !e.details.starts_with("0 sites"),
+                "rule {rule} examined nothing: {}",
+                e.details
+            );
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Offline static analysis for the unicache workspace.
 //!
-//! Two layers, both pure computation (no traces, no network, no clock):
+//! Three layers, all pure computation (no traces, no network, no clock):
 //!
 //! * [`check`] — verifies the algebraic invariants behind every indexing
 //!   scheme and associativity policy (GF(2) rank, modular invertibility,
@@ -9,14 +9,23 @@
 //!   determinism rules (no default hashers, no hot-path panics, no raw
 //!   narrowing casts in address math, no wall-clock reads outside
 //!   `crates/timing`).
+//! * [`conc`] — a flow-aware concurrency pass over the [`parse`] symbol
+//!   table and name-based call graph, enforcing the shared-state
+//!   architecture (interior-mutable statics confined to `exec`/`obs`,
+//!   no Relaxed reads on output paths, no thread creation laundered
+//!   through helpers, commutative shard drains).
 //!
-//! Both are exposed through the `uca` binary (`uca check`, `uca lint`)
-//! and gate CI; [`report`] holds the machine-readable verdict format.
+//! All three are exposed through the `uca` binary (`uca check`,
+//! `uca lint`, `uca conc`) and gate CI; [`report`] holds the shared
+//! machine-readable verdict format.
 
 pub mod check;
+pub mod conc;
 pub mod lint;
+pub mod parse;
 pub mod report;
 
 pub use check::run_all;
+pub use conc::{conc_workspace, ConcAnalysis};
 pub use lint::{lint_workspace, Violation};
 pub use report::{CheckEntry, Report};

@@ -21,10 +21,11 @@
 //!   parallelism must route through `unicache_exec::map` (which `xp
 //!   --jobs N` governs).
 //! * **`unsafe-outside-simd`** — no `unsafe` blocks and no
-//!   `std::arch`/`core::arch`/`std::simd` paths outside the SIMD tier's
-//!   kernel homes (`core/src/index.rs`, `cachesim/src/soa.rs`); the tier
-//!   is deliberately safe autovectorized array code (DESIGN §12), and
-//!   any future intrinsics must stay inside the audited modules.
+//!   `std::arch`/`core::arch`/`std::simd` paths outside the audited
+//!   unsafe homes: the SIMD tier's kernel files (`core/src/index.rs`,
+//!   `cachesim/src/soa.rs`, deliberately safe autovectorized array code
+//!   today, DESIGN §12) and the executor's process-tuning FFI shim
+//!   (`exec/src/sys.rs`).
 //!
 //! A trailing `// uca:allow(rule)` comment suppresses a rule on that line
 //! (used where wall-clock time is the *point*, e.g. `xp --timing`).
@@ -61,6 +62,44 @@ impl std::fmt::Display for Violation {
     }
 }
 
+/// The lint rule names, in report order.
+pub const RULES: &[&str] = &[
+    "default-hasher",
+    "no-unwrap",
+    "narrowing-cast",
+    "wallclock",
+    "thread-outside-exec",
+    "unsafe-outside-simd",
+];
+
+/// Builds the machine-readable report for a lint run: one summary entry
+/// per rule (passed = no findings) followed by one failed entry per
+/// violation — the same shape `uca check` and `uca conc` emit, so CI
+/// consumes all three uniformly.
+pub fn report_from(violations: &[Violation]) -> crate::report::Report {
+    let mut report = crate::report::Report::default();
+    for rule in RULES {
+        let n = violations.iter().filter(|v| v.rule == *rule).count();
+        report.push(
+            *rule,
+            "workspace",
+            "zero-violations",
+            n == 0,
+            format!("{n} violations"),
+        );
+    }
+    for v in violations {
+        report.push(
+            v.rule,
+            format!("{}:{}", v.file, v.line),
+            "zero-violations",
+            false,
+            v.message.clone(),
+        );
+    }
+    report
+}
+
 /// Crates where the default std hasher is banned (everything whose output
 /// feeds the experiment pipeline; `bench`/`timing` measure the host,
 /// `analysis` is this tool).
@@ -95,10 +134,15 @@ const THREAD_CRATE: &str = "exec";
 const THREAD_NEEDLES: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
 
 /// The only files allowed to contain `unsafe` blocks or SIMD intrinsic
-/// paths: the SIMD tier's kernel homes (DESIGN §12). The shipped kernels
-/// are safe autovectorized array code; this allowlist is where any
-/// future intrinsics would have to live to be auditable in one place.
-const SIMD_FILES: &[&str] = &["crates/core/src/index.rs", "crates/cachesim/src/soa.rs"];
+/// paths: the SIMD tier's kernel homes (DESIGN §12) and the executor's
+/// process-tuning FFI shim. The shipped kernels are safe autovectorized
+/// array code; this allowlist is where any future intrinsics — and all
+/// libc FFI — have to live to be auditable in one place.
+const SIMD_FILES: &[&str] = &[
+    "crates/core/src/index.rs",
+    "crates/cachesim/src/soa.rs",
+    "crates/exec/src/sys.rs",
+];
 
 /// Intrinsic module paths banned outside [`SIMD_FILES`].
 const SIMD_NEEDLES: &[&str] = &["std::arch", "core::arch", "std::simd"];
@@ -145,7 +189,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
     Ok(violations)
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
         if path.is_dir() {
@@ -270,14 +314,14 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Violation> {
     violations
 }
 
-fn is_ident_byte(b: u8) -> bool {
+pub(crate) fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
 /// True if `line` contains `ident` as a standalone identifier (not as a
 /// substring of a longer one — `DetHashMap` does not contain the
 /// identifier `HashMap`, `Instantiates` does not contain `Instant`).
-fn contains_ident(line: &str, ident: &str) -> bool {
+pub(crate) fn contains_ident(line: &str, ident: &str) -> bool {
     let bytes = line.as_bytes();
     let mut from = 0;
     while let Some(pos) = line[from..].find(ident) {
@@ -323,16 +367,25 @@ fn has_narrowing_cast(line: &str) -> bool {
 /// (newlines preserved, so line/column structure survives), plus the
 /// `uca:allow(rule)` escapes captured from comments before they were
 /// erased.
-struct CleanSource {
-    text: String,
+pub(crate) struct CleanSource {
+    pub(crate) text: String,
     /// `(line, rule)` pairs granted by comments on that line.
-    allow: Vec<(usize, String)>,
+    pub(crate) allow: Vec<(usize, String)>,
 }
 
 impl CleanSource {
-    fn allows(&self, line: usize, rule: &str) -> bool {
+    pub(crate) fn allows(&self, line: usize, rule: &str) -> bool {
         self.allow.iter().any(|(l, r)| *l == line && r == rule)
     }
+}
+
+/// The lexer's cleaning passes, exposed for the lexer property tests:
+/// comments/literals blanked (with `uca:allow` escapes captured), then
+/// test-only modules blanked.
+#[doc(hidden)]
+pub fn debug_clean(src: &str) -> (String, Vec<(usize, String)>) {
+    let cleaned = clean_source(src);
+    (blank_test_modules(&cleaned.text), cleaned.allow)
 }
 
 fn record_allows(comment: &str, line: usize, allow: &mut Vec<(usize, String)>) {
@@ -349,7 +402,7 @@ fn record_allows(comment: &str, line: usize, allow: &mut Vec<(usize, String)>) {
     }
 }
 
-fn clean_source(src: &str) -> CleanSource {
+pub(crate) fn clean_source(src: &str) -> CleanSource {
     let bytes = src.as_bytes();
     let mut out = bytes.to_vec();
     let mut allow = Vec::new();
@@ -546,9 +599,12 @@ fn next_test_attr(text: &str, from: usize) -> Option<(usize, usize)> {
         .min()
 }
 
-/// Blanks the brace-matched body following every test-only `#[cfg(...)]`
-/// attribute so test-only code is exempt from the lints.
-fn blank_test_modules(text: &str) -> String {
+/// Blanks every test-only `#[cfg(...)]` attribute and the brace-matched
+/// body following it, so test-only code is exempt from the lints. The
+/// attribute itself is blanked too, which makes the pass idempotent —
+/// re-cleaning already-cleaned text cannot rediscover the attribute and
+/// blank a later, unrelated brace block.
+pub(crate) fn blank_test_modules(text: &str) -> String {
     let mut out = text.as_bytes().to_vec();
     let mut from = 0;
     while let Some((pos, attr_len)) = next_test_attr(text, from) {
@@ -559,6 +615,11 @@ fn blank_test_modules(text: &str) -> String {
             break;
         };
         let open = attr_end + open_rel;
+        for b in &mut out[pos..open] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
         let mut depth = 0usize;
         let bytes = text.as_bytes();
         let mut j = open;
@@ -784,6 +845,11 @@ mod tests {
             lint_source("crates/core/src/geometry.rs", "core", src).len(),
             1
         );
+        // The executor's FFI shim is an audited unsafe home; the rest of
+        // the executor is not.
+        let src = "fn f() {\n    unsafe { mallopt(0, 0) };\n}\n";
+        assert!(lint_source("crates/exec/src/sys.rs", "exec", src).is_empty());
+        assert_eq!(lint_source("crates/exec/src/lib.rs", "exec", src).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! Layer 2.5 — a lightweight item/signature parser on top of the
+//! `lint` lexer, feeding the flow-aware `uca conc` pass.
+//!
+//! The lexer ([`crate::lint`]) can only answer "does this *line* contain
+//! that token"; the concurrency rules need structure: *which function*
+//! does a line belong to, *what does it call*, and *which `static`s
+//! carry interior mutability*. This module extracts exactly that — no
+//! more. It is deliberately not a Rust parser:
+//!
+//! * **Functions** are found by the `fn name … {` pattern with brace
+//!   matching; nested items attribute their tokens to the innermost
+//!   enclosing function; bodies of closures belong to the function that
+//!   wrote them.
+//! * **Calls** are `name(` and `path::name(` occurrences inside a
+//!   function body (macro invocations `name!(…)` and `fn` definitions
+//!   excluded). The resulting call graph is **name-based**: a call to
+//!   `foo` links to *every* function named `foo` in the workspace.
+//!   That over-approximation is the right direction for every rule
+//!   built on it — reachability can only be overstated, never missed.
+//! * **Statics** are `static NAME: Type` items (module- or
+//!   function-level), with `static mut` and `thread_local!` membership
+//!   recorded. `'static` lifetimes are not statics.
+//!
+//! Comments, string/char literals and `#[cfg(test)]` bodies are blanked
+//! by the shared lexer before any of this runs, so doc text and
+//! test-only code produce no symbols, and `// uca:allow(rule)` escapes
+//! are carried through to the rule pass.
+
+use crate::lint::{self, CleanSource};
+
+/// One `static` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticItem {
+    /// Item name, e.g. `GLOBAL_JOBS`.
+    pub name: String,
+    /// The declared type, as source text (generics included).
+    pub ty: String,
+    /// 1-based line of the `static` keyword.
+    pub line: usize,
+    /// `static mut`?
+    pub is_mut: bool,
+    /// Declared inside a `thread_local!` block (per-thread storage, not
+    /// shared state)?
+    pub in_thread_local: bool,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// The callee's simple name (last path segment).
+    pub name: String,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Method-call syntax (`recv.name(…)`)?
+    pub is_method: bool,
+}
+
+/// One `fn` item (free function, method, or nested function).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's simple name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based line of the body's closing brace.
+    pub end_line: usize,
+    /// Call sites inside the body (innermost-function attribution).
+    pub calls: Vec<Call>,
+}
+
+impl FnItem {
+    /// Does `line` fall inside this function's extent?
+    pub fn contains_line(&self, line: usize) -> bool {
+        self.line <= line && line <= self.end_line
+    }
+}
+
+/// Everything the conc pass needs to know about one source file.
+pub struct ParsedFile {
+    /// Workspace-relative path, e.g. `crates/exec/src/lib.rs`.
+    pub path: String,
+    /// Owning crate directory name, e.g. `exec`.
+    pub crate_name: String,
+    /// Lexer-cleaned, test-blanked text (line structure preserved).
+    pub text: String,
+    /// `uca:allow` escapes captured from the original comments.
+    pub allows: Vec<(usize, String)>,
+    /// `static` items, in source order.
+    pub statics: Vec<StaticItem>,
+    /// `fn` items, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+impl ParsedFile {
+    /// True when `line` carries a `// uca:allow(rule)` escape.
+    pub fn allows(&self, line: usize, rule: &str) -> bool {
+        self.allows.iter().any(|(l, r)| *l == line && r == rule)
+    }
+
+    /// Index of the innermost function whose extent contains `line`.
+    pub fn enclosing_fn(&self, line: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.contains_line(line))
+            .min_by_key(|(_, f)| f.end_line - f.line)
+            .map(|(i, _)| i)
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(u8),
+}
+
+fn tokenize(text: &str) -> Vec<(Tok, usize)> {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut line = 1;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else if lint::is_ident_byte(b) {
+            let start = i;
+            while i < bytes.len() && lint::is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            toks.push((Tok::Ident(text[start..i].to_string()), line));
+        } else {
+            toks.push((Tok::Punct(b), line));
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Words that look like `name(` but are never calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "fn", "if", "while", "for", "match", "return", "loop", "let", "mut", "pub", "use", "mod",
+    "impl", "where", "move", "unsafe", "else", "break", "continue", "struct", "enum", "trait",
+    "type", "const", "static", "ref", "dyn", "in", "as", "crate", "self", "Self", "super",
+];
+
+/// Parses one already-cleaned source file into items. `path` and
+/// `crate_name` are carried through for the rule pass.
+pub fn parse_source(path: &str, crate_name: &str, src: &str) -> ParsedFile {
+    let CleanSource { text, allow } = lint::clean_source(src);
+    let text = lint::blank_test_modules(&text);
+    let toks = tokenize(&text);
+
+    let mut statics: Vec<StaticItem> = Vec::new();
+    let mut fns: Vec<FnItem> = Vec::new();
+
+    // Stack of functions whose body brace is open:
+    // (index into `fns`, brace depth at which the body opened).
+    let mut fn_stack: Vec<(usize, usize)> = Vec::new();
+    // A `fn name` seen, waiting for its body `{` (or a `;` for a
+    // bodyless trait/extern signature).
+    let mut pending_fn: Option<usize> = None;
+    // Depth at which an open `thread_local! {` block closes, if any.
+    let mut thread_local_until: Option<usize> = None;
+    let mut depth = 0usize;
+
+    let mut k = 0;
+    while k < toks.len() {
+        let (tok, line) = &toks[k];
+        let line = *line;
+        match tok {
+            Tok::Punct(b'{') => {
+                depth += 1;
+                if let Some(fi) = pending_fn.take() {
+                    fn_stack.push((fi, depth));
+                }
+                k += 1;
+            }
+            Tok::Punct(b'}') => {
+                if let Some(&(fi, open_depth)) = fn_stack.last() {
+                    if open_depth == depth {
+                        fns[fi].end_line = line;
+                        fn_stack.pop();
+                    }
+                }
+                if thread_local_until == Some(depth) {
+                    thread_local_until = None;
+                }
+                depth = depth.saturating_sub(1);
+                k += 1;
+            }
+            Tok::Punct(b';') => {
+                // A bodyless `fn` signature (trait method, extern decl).
+                if let Some(fi) = pending_fn.take() {
+                    fns[fi].end_line = line;
+                }
+                k += 1;
+            }
+            Tok::Ident(w) if w == "thread_local" => {
+                // `thread_local! { … }`: remember the block so statics
+                // inside it are marked per-thread.
+                if matches!(toks.get(k + 1), Some((Tok::Punct(b'!'), _))) {
+                    thread_local_until = Some(depth + 1);
+                }
+                k += 1;
+            }
+            Tok::Ident(w) if w == "fn" => {
+                if let Some((Tok::Ident(name), fline)) = toks.get(k + 1).map(|(t, l)| (t, *l)) {
+                    fns.push(FnItem {
+                        name: name.clone(),
+                        line: fline,
+                        end_line: fline,
+                        calls: Vec::new(),
+                    });
+                    pending_fn = Some(fns.len() - 1);
+                    k += 2;
+                } else {
+                    k += 1;
+                }
+            }
+            Tok::Ident(w) if w == "static" => {
+                // Skip `'static` lifetimes.
+                let is_lifetime = k > 0 && matches!(toks[k - 1].0, Tok::Punct(b'\''));
+                if is_lifetime {
+                    k += 1;
+                    continue;
+                }
+                let mut j = k + 1;
+                let mut is_mut = false;
+                if let Some((Tok::Ident(m), _)) = toks.get(j) {
+                    if m == "mut" {
+                        is_mut = true;
+                        j += 1;
+                    }
+                }
+                let Some((Tok::Ident(name), _)) = toks.get(j) else {
+                    k += 1;
+                    continue;
+                };
+                let name = name.clone();
+                j += 1;
+                // Expect `: Type` next; capture type text until the `=`
+                // initializer or terminating `;` at angle-depth 0.
+                let mut ty = String::new();
+                if matches!(toks.get(j), Some((Tok::Punct(b':'), _)))
+                    && !matches!(toks.get(j + 1), Some((Tok::Punct(b':'), _)))
+                {
+                    j += 1;
+                    let mut angle = 0i32;
+                    let mut prev_ident = false;
+                    while let Some((t, _)) = toks.get(j) {
+                        match t {
+                            Tok::Punct(b'<') => angle += 1,
+                            Tok::Punct(b'>') => angle -= 1,
+                            Tok::Punct(b'=') | Tok::Punct(b';') if angle <= 0 => break,
+                            _ => {}
+                        }
+                        match t {
+                            Tok::Ident(s) => {
+                                if prev_ident {
+                                    ty.push(' ');
+                                }
+                                ty.push_str(s);
+                                prev_ident = true;
+                            }
+                            Tok::Punct(p) => {
+                                ty.push(*p as char);
+                                prev_ident = false;
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+                statics.push(StaticItem {
+                    name,
+                    ty,
+                    line,
+                    is_mut,
+                    in_thread_local: thread_local_until.is_some(),
+                });
+                k = j;
+            }
+            Tok::Ident(w) => {
+                // A call site: `name(`, not a macro (`name!(`), not a
+                // definition (`fn name(`), not a keyword.
+                let next_is_paren = matches!(toks.get(k + 1), Some((Tok::Punct(b'('), _)));
+                let next_is_macro = matches!(toks.get(k + 1), Some((Tok::Punct(b'!'), _)));
+                let prev_is_fn = k > 0 && matches!(&toks[k - 1].0, Tok::Ident(p) if p == "fn");
+                if next_is_paren
+                    && !next_is_macro
+                    && !prev_is_fn
+                    && !NON_CALL_KEYWORDS.contains(&w.as_str())
+                {
+                    if let Some(&(fi, _)) = fn_stack.last() {
+                        let is_method = k > 0 && matches!(toks[k - 1].0, Tok::Punct(b'.'));
+                        fns[fi].calls.push(Call {
+                            name: w.clone(),
+                            line,
+                            is_method,
+                        });
+                    }
+                }
+                k += 1;
+            }
+            _ => {
+                k += 1;
+            }
+        }
+    }
+
+    // A file ending mid-function (should not happen on rustc-accepted
+    // code) still gets a sane extent.
+    let last_line = text.lines().count().max(1);
+    for &(fi, _) in &fn_stack {
+        fns[fi].end_line = last_line;
+    }
+
+    ParsedFile {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+        text,
+        allows: allow,
+        statics,
+        fns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_source("crates/x/src/lib.rs", "x", src)
+    }
+
+    #[test]
+    fn functions_get_extents_and_calls() {
+        let src = "fn a() {\n    helper(1);\n    obj.method();\n}\n\nfn helper(x: u32) -> u32 {\n    x\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "a");
+        assert_eq!((p.fns[0].line, p.fns[0].end_line), (1, 4));
+        let names: Vec<&str> = p.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["helper", "method"]);
+        assert!(!p.fns[0].calls[0].is_method);
+        assert!(p.fns[0].calls[1].is_method);
+        assert!(p.fns[1].calls.is_empty());
+    }
+
+    #[test]
+    fn nested_functions_attribute_to_innermost() {
+        let src = "fn outer() {\n    fn inner() {\n        deep();\n    }\n    inner();\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        let outer = p.fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = p.fns.iter().find(|f| f.name == "inner").unwrap();
+        assert_eq!(
+            inner.calls.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            ["deep"]
+        );
+        assert_eq!(
+            outer.calls.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            ["inner"]
+        );
+        assert_eq!(p.enclosing_fn(3), Some(1), "line 3 is inner's");
+        assert_eq!(p.enclosing_fn(5), Some(0), "line 5 is outer's");
+    }
+
+    #[test]
+    fn statics_capture_type_mut_and_thread_local() {
+        let src = "static A: AtomicU64 = AtomicU64::new(0);\n\
+                   static mut B: [u64; 4] = [0; 4];\n\
+                   static C: Mutex<Vec<u32>> = Mutex::new(Vec::new());\n\
+                   std::thread_local! {\n    static D: u64 = 0;\n}\n\
+                   fn f(s: &'static str) -> usize { s.len() }\n";
+        let p = parse(src);
+        assert_eq!(p.statics.len(), 4, "{:?}", p.statics);
+        assert_eq!(p.statics[0].ty, "AtomicU64");
+        assert!(p.statics[1].is_mut);
+        assert_eq!(p.statics[2].ty, "Mutex<Vec<u32>>");
+        assert!(p.statics[3].in_thread_local);
+        assert!(!p.statics[0].in_thread_local);
+    }
+
+    #[test]
+    fn macros_definitions_and_keywords_are_not_calls() {
+        let src = "fn f() {\n    println!(\"x\");\n    if maybe() {\n        return;\n    }\n}\n";
+        let p = parse(src);
+        let names: Vec<&str> = p.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["maybe"]);
+    }
+
+    #[test]
+    fn test_modules_and_comments_yield_no_symbols() {
+        let src = "// fn ghost() {}\n/* static SPOOK: Mutex<u8> = … */\n#[cfg(test)]\nmod tests {\n    fn test_helper() {}\n    static T: AtomicU64 = AtomicU64::new(0);\n}\nfn real() {}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "real");
+        assert!(p.statics.is_empty());
+    }
+
+    #[test]
+    fn trait_signatures_do_not_swallow_following_items() {
+        let src = "trait T {\n    fn sig(&self) -> u32;\n}\nfn after() {\n    call();\n}\n";
+        let p = parse(src);
+        let after = p.fns.iter().find(|f| f.name == "after").unwrap();
+        assert_eq!(
+            after.calls.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            ["call"]
+        );
+        let sig = p.fns.iter().find(|f| f.name == "sig").unwrap();
+        assert!(sig.calls.is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Property tests for the lint lexer (`clean_source` +
+//! `blank_test_modules`, exposed as `debug_clean`).
+//!
+//! The workspace's proptest shim is API-only, so generation is
+//! hand-rolled: a seeded splitmix64 stream drives a grammar of Rust-ish
+//! fragments biased toward the lexer's hard cases — raw strings with
+//! varying hash counts, nested block comments, lifetimes next to char
+//! literals, escaped quotes, byte strings, test-module attributes and
+//! `uca:allow` escapes. For every generated source the lexer must:
+//!
+//! 1. not panic (the property run IS the panic test),
+//! 2. preserve byte length exactly (spans computed on cleaned text map
+//!    1:1 onto the original),
+//! 3. preserve every newline position (line numbers survive cleaning),
+//! 4. only ever *blank* bytes, never invent content: each cleaned byte
+//!    is either the original byte or a space,
+//! 5. be idempotent on its own output for comment/string-free results.
+
+use unicache_analysis::lint::debug_clean;
+
+/// splitmix64 — the workspace's standard seedable generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn pick<'a>(&mut self, items: &[&'a str]) -> &'a str {
+        items[self.below(items.len())]
+    }
+}
+
+/// One pseudo-random Rust-ish source of `fragments` fragments.
+fn gen_source(rng: &mut Rng, fragments: usize) -> String {
+    const IDENTS: &[&str] = &["foo", "x", "HashMap", "Instant", "unwrap", "r", "b", "br"];
+    let mut out = String::new();
+    for _ in 0..fragments {
+        match rng.below(14) {
+            0 => {
+                // Line comment, possibly containing needles and allows.
+                let body = rng.pick(&[
+                    " plain comment",
+                    " has \"quote and 'tick",
+                    " uca:allow(wallclock)",
+                    " /* not a block",
+                    " r#\"not a raw string\"#",
+                ]);
+                out.push_str("//");
+                out.push_str(body);
+                out.push('\n');
+            }
+            1 => {
+                // Block comment, possibly nested, possibly multi-line.
+                let inner = rng.pick(&[
+                    " simple ",
+                    " /* nested */ tail ",
+                    " line\nbreak ",
+                    " unmatched quote \" here ",
+                    " star * slash-ish ",
+                ]);
+                out.push_str("/*");
+                out.push_str(inner);
+                out.push_str("*/ ");
+            }
+            2 => {
+                // Plain string with escapes.
+                let body = rng.pick(&[
+                    "plain",
+                    "esc \\\" aped",
+                    "back \\\\ slash",
+                    "tick ' inside",
+                    "multi\nline",
+                    "HashMap .unwrap( Instant",
+                ]);
+                out.push_str("let s = \"");
+                out.push_str(body);
+                out.push_str("\"; ");
+            }
+            3 => {
+                // Raw string, 0–3 hashes.
+                let hashes = "#".repeat(rng.below(4));
+                let body = rng.pick(&["raw", "with \" quote", "with \\ backslash", "a\nb"]);
+                out.push_str("let r = r");
+                out.push_str(&hashes);
+                out.push('"');
+                out.push_str(body);
+                out.push('"');
+                out.push_str(&hashes);
+                out.push_str("; ");
+            }
+            4 => {
+                // Byte / raw byte string.
+                let form = rng.pick(&["b\"bytes\"", "br\"rawbytes\"", "br#\"hash\"#"]);
+                out.push_str("let b = ");
+                out.push_str(form);
+                out.push_str("; ");
+            }
+            5 => {
+                // Char literals, escaped and plain.
+                let c = rng.pick(&["'x'", "'\\n'", "'\\''", "'\\u{1F600}'", "'\"'"]);
+                out.push_str("let c = ");
+                out.push_str(c);
+                out.push_str("; ");
+            }
+            6 => {
+                // Lifetimes — the apostrophe that is NOT a char literal.
+                let lt = rng.pick(&["'a", "'static", "'_"]);
+                out.push_str("fn f<");
+                out.push_str(lt);
+                out.push_str(">(x: &");
+                out.push_str(lt);
+                out.push_str(" str) {} ");
+            }
+            7 => {
+                // Test module attribute + body.
+                let attr = rng.pick(&["#[cfg(test)]", "#[cfg(all(test, feature = \"x\"))]"]);
+                out.push_str(attr);
+                out.push_str("\nmod tests { fn t() { inner(); } }\n");
+            }
+            8 => {
+                // Plain code statement.
+                let id = rng.pick(IDENTS);
+                out.push_str("let ");
+                out.push_str(id);
+                out.push_str(" = ");
+                out.push_str(rng.pick(IDENTS));
+                out.push_str("(); ");
+            }
+            9 => out.push('\n'),
+            10 => {
+                // Identifier that merely *starts* like a raw-string intro.
+                out.push_str(rng.pick(&["rb", "rx", "bx", "brx", "r#raw_ident"]));
+                out.push(' ');
+            }
+            11 => {
+                // Unterminated forms at end-of-fragment (the lexer must
+                // absorb them without panicking; a later fragment then
+                // looks like literal body, which is fine).
+                out.push_str(rng.pick(&["\"open ", "/* open ", "r#\"open ", "'"]));
+            }
+            12 => {
+                // Braces and punctuation soup.
+                out.push_str(rng.pick(&["{ } ", "{{ }} ", "} { ", "; ; ", "( ) [ ] "]));
+            }
+            _ => {
+                // Numeric / operator soup with `as` casts.
+                out.push_str(rng.pick(&["1 + 2 ", "x as usize ", "0xFF ", "1e-9 ", "a..=b "]));
+            }
+        }
+    }
+    out
+}
+
+/// Byte-level invariants relating `src` to its cleaned form.
+fn assert_clean_invariants(src: &str) {
+    let (cleaned, _allows) = debug_clean(src);
+
+    assert_eq!(
+        cleaned.len(),
+        src.len(),
+        "cleaning changed byte length\nsrc: {src:?}"
+    );
+
+    let src_newlines: Vec<usize> = src
+        .bytes()
+        .enumerate()
+        .filter(|(_, b)| *b == b'\n')
+        .map(|(i, _)| i)
+        .collect();
+    let cleaned_newlines: Vec<usize> = cleaned
+        .bytes()
+        .enumerate()
+        .filter(|(_, b)| *b == b'\n')
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        src_newlines, cleaned_newlines,
+        "cleaning moved newlines\nsrc: {src:?}"
+    );
+
+    for (i, (s, c)) in src.bytes().zip(cleaned.bytes()).enumerate() {
+        assert!(
+            c == s || c == b' ',
+            "cleaning invented byte {c:#x} from {s:#x} at offset {i}\nsrc: {src:?}"
+        );
+    }
+}
+
+#[test]
+fn token_soup_never_panics_and_preserves_spans() {
+    // Under Miri each clean is ~1000x slower; the property is about
+    // lexer logic, not memory, so a smaller sweep suffices there.
+    let (seeds, sizes): (u64, &[usize]) = if cfg!(miri) {
+        (8, &[0, 3, 17])
+    } else {
+        (400, &[0, 1, 2, 3, 8, 17, 40])
+    };
+    for seed in 0..seeds {
+        for &fragments in sizes {
+            let mut rng = Rng(0xC0FF_EE00 ^ (seed << 8) ^ fragments as u64);
+            let src = gen_source(&mut rng, fragments);
+            assert_clean_invariants(&src);
+        }
+    }
+}
+
+#[test]
+fn cleaning_is_idempotent() {
+    for seed in 0..if cfg!(miri) { 4 } else { 100 } {
+        let mut rng = Rng(0xDEAD_10CC ^ seed);
+        let src = gen_source(&mut rng, 12);
+        let (once, _) = debug_clean(&src);
+        let (twice, _) = debug_clean(&once);
+        // A cleaned source may still contain quote-free identifiers and
+        // punctuation; cleaning it again must change nothing beyond what
+        // the first pass already blanked.
+        assert_eq!(
+            once, twice,
+            "second clean diverged\nsrc: {src:?}\nonce: {once:?}"
+        );
+    }
+}
+
+#[test]
+fn adversarial_corpus_survives() {
+    // Hand-picked nasties the generator might hit only rarely.
+    let corpus: &[&str] = &[
+        "",
+        "\"",
+        "'",
+        "r",
+        "r#",
+        "r#\"",
+        "br##\"x\"#",
+        "b'",
+        "/*",
+        "/*/",
+        "/**/",
+        "/*/**/*/",
+        "//",
+        "\\",
+        "\"\\\"",
+        "'\\'",
+        "'\\\\'",
+        "r\"\\\"",
+        "let s = \"a\\u{7f}b\"; 'x' 'y \"z",
+        "#[cfg(test)]",
+        "#[cfg(test)] mod t {",
+        "#[cfg(all(test, x))] mod t { { } ",
+        "fn f<'a>(x: &'a str) -> &'static str { \"'\" }",
+        "é\"é\"é", // multi-byte UTF-8 around a string
+        "let x = '€'; let y = \"€\";",
+        "r#\"nested \"# outside\"#",
+    ];
+    for src in corpus {
+        assert_clean_invariants(src);
+    }
+}
+
+#[test]
+fn allow_escapes_round_trip_through_soup() {
+    // An allow escape planted ahead of arbitrary soup is always captured
+    // on its line (planting it first keeps it out of any unterminated
+    // construct the soup may open).
+    for seed in 0..if cfg!(miri) { 4 } else { 50 } {
+        let mut rng = Rng(0xA110_CAFE ^ seed);
+        let fragments = rng.below(10);
+        let soup = gen_source(&mut rng, fragments);
+        let src = format!("let t = now(); // uca:allow(wallclock)\n{soup}");
+        let (_, allows) = debug_clean(&src);
+        assert!(
+            allows.iter().any(|(l, r)| *l == 1 && r == "wallclock"),
+            "planted allow not captured on line 1: {allows:?}\nsrc: {src:?}"
+        );
+    }
+}

@@ -58,22 +58,47 @@
 //! section. Timings are *reported only*; they never influence scheduling
 //! or results.
 
+pub mod model;
+mod sys;
+
+pub use sys::tune_allocator;
+
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use unicache_timing::Stopwatch;
 
 /// Worker count override set by [`set_global_jobs`]; 0 means "default to
-/// the machine's available parallelism".
+/// the machine's available parallelism". Config, not output: the whole
+/// point of the executor is that the job count cannot change a byte of
+/// the results, so a relaxed read here is sanctioned by `uca conc`.
 static GLOBAL_JOBS: AtomicUsize = AtomicUsize::new(0);
 
-/// Jobs executed across all [`Executor::map`] calls.
-static TASKS_RUN: AtomicU64 = AtomicU64::new(0);
-/// Total busy nanoseconds across all jobs (sum over workers).
-static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
-/// Longest single job, nanoseconds.
-static MAX_TASK_NANOS: AtomicU64 = AtomicU64::new(0);
+/// Cumulative per-job accounting, in nanoseconds.
+///
+/// A single mutex — not three independent atomics — so that
+/// [`stats`]/[`reset_stats`] can never interleave with a completing job
+/// and report a *torn* snapshot (e.g. a `max_task` from a job whose
+/// `busy` contribution was just reset away, making `max > busy`). Every
+/// completing job takes the lock once; the jobs the experiment runners
+/// submit are whole trace simulations, so the critical section is noise
+/// next to the job body.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Telemetry {
+    /// Jobs executed across all [`Executor::map`] calls.
+    tasks: u64,
+    /// Total busy nanoseconds across all jobs (sum over workers).
+    busy_nanos: u64,
+    /// Longest single job, nanoseconds.
+    max_task_nanos: u64,
+}
+
+static TELEMETRY: Mutex<Telemetry> = Mutex::new(Telemetry {
+    tasks: 0,
+    busy_nanos: 0,
+    max_task_nanos: 0,
+});
 
 /// The machine default: `available_parallelism`, or 1 if unknown.
 pub fn default_jobs() -> usize {
@@ -108,20 +133,24 @@ pub struct ExecStats {
     pub max_task_seconds: f64,
 }
 
-/// Snapshot of the cumulative executor accounting.
+/// Snapshot of the cumulative executor accounting. The three fields are
+/// read under one lock, so they are always mutually consistent: in
+/// particular `max_task_seconds <= busy_seconds`, and a reset can never
+/// be observed half-applied.
 pub fn stats() -> ExecStats {
+    let t = *TELEMETRY.lock().unwrap_or_else(|p| p.into_inner());
     ExecStats {
-        tasks: TASKS_RUN.load(Ordering::Relaxed),
-        busy_seconds: BUSY_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
-        max_task_seconds: MAX_TASK_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
+        tasks: t.tasks,
+        busy_seconds: t.busy_nanos as f64 / 1e9,
+        max_task_seconds: t.max_task_nanos as f64 / 1e9,
     }
 }
 
-/// Zeroes the cumulative accounting (test isolation).
+/// Zeroes the cumulative accounting (test isolation). Atomic with
+/// respect to completing jobs: a job finishing concurrently either lands
+/// entirely before the reset or entirely after it.
 pub fn reset_stats() {
-    TASKS_RUN.store(0, Ordering::Relaxed);
-    BUSY_NANOS.store(0, Ordering::Relaxed);
-    MAX_TASK_NANOS.store(0, Ordering::Relaxed);
+    *TELEMETRY.lock().unwrap_or_else(|p| p.into_inner()) = Telemetry::default();
 }
 
 /// Runs one job with timing accounting.
@@ -129,9 +158,10 @@ fn run_timed<T, R, F: Fn(&T) -> R>(f: &F, item: &T) -> R {
     let sw = Stopwatch::start();
     let out = f(item);
     let nanos = sw.elapsed_nanos();
-    TASKS_RUN.fetch_add(1, Ordering::Relaxed);
-    BUSY_NANOS.fetch_add(nanos, Ordering::Relaxed);
-    MAX_TASK_NANOS.fetch_max(nanos, Ordering::Relaxed);
+    let mut t = TELEMETRY.lock().unwrap_or_else(|p| p.into_inner());
+    t.tasks += 1;
+    t.busy_nanos += nanos;
+    t.max_task_nanos = t.max_task_nanos.max(nanos);
     out
 }
 
@@ -246,11 +276,17 @@ mod tests {
     use std::collections::HashSet;
     use std::sync::atomic::AtomicUsize;
 
+    /// Tests that reset the global telemetry serialize on this lock so
+    /// they cannot clobber each other's accumulation windows.
+    static STATS_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn results_arrive_in_canonical_order_for_every_jobs_count() {
-        let items: Vec<u64> = (0..97).collect();
+        // Miri executes real threads but ~1000x slower; shrink the sweep.
+        let (n, max_jobs) = if cfg!(miri) { (13, 4) } else { (97, 16) };
+        let items: Vec<u64> = (0..n).collect();
         let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
-        for jobs in 1..=16 {
+        for jobs in 1..=max_jobs {
             let got = Executor::new(jobs).map(&items, |&x| x * 3 + 1);
             assert_eq!(got, expected, "jobs={jobs}");
         }
@@ -266,6 +302,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "spin loops are ~1000x slower under miri; covered by TSan"
+    )]
     fn stealing_balances_skewed_job_costs() {
         // One worker's deque gets all the heavy jobs; the others must
         // steal them or this takes ~workers× longer than the busy sum.
@@ -307,6 +347,7 @@ mod tests {
 
     #[test]
     fn global_jobs_roundtrip_and_stats_accumulate() {
+        let _guard = STATS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let before = stats().tasks;
         set_global_jobs(3);
         assert_eq!(global_jobs(), 3);
@@ -318,5 +359,48 @@ mod tests {
         assert!(after.max_task_seconds <= after.busy_seconds + 1e-9);
         set_global_jobs(1);
         assert_eq!(global_jobs(), 1);
+    }
+
+    /// Regression for the torn-snapshot race: with the old three-atomic
+    /// telemetry, `reset_stats()` could land *between* a finishing job's
+    /// `busy` and `max_task` updates, leaving a snapshot where the
+    /// longest task outlasted the entire recorded busy time. Hammer
+    /// readers and resetters against a stream of completing jobs and
+    /// assert every snapshot is internally consistent.
+    #[test]
+    fn telemetry_snapshots_are_never_torn() {
+        let _guard = STATS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset_stats();
+        let rounds = if cfg!(miri) { 4 } else { 200 };
+        let items: Vec<u64> = (0..8).collect();
+        std::thread::scope(|scope| {
+            let work = scope.spawn(|| {
+                for _ in 0..rounds {
+                    let _ = Executor::new(2).map(&items, |&x| {
+                        let mut acc = x;
+                        for k in 0..500u64 {
+                            acc = acc.wrapping_mul(31).wrapping_add(k);
+                        }
+                        acc
+                    });
+                }
+            });
+            while !work.is_finished() {
+                let s = stats();
+                assert!(
+                    s.max_task_seconds <= s.busy_seconds + 1e-12,
+                    "torn snapshot: max_task {} > busy {}",
+                    s.max_task_seconds,
+                    s.busy_seconds
+                );
+                if s.tasks == 0 {
+                    assert_eq!(s.busy_seconds, 0.0, "tasks reset but busy survived");
+                    assert_eq!(s.max_task_seconds, 0.0, "tasks reset but max survived");
+                }
+                reset_stats();
+            }
+            work.join().expect("worker panicked");
+        });
+        reset_stats();
     }
 }

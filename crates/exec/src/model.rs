@@ -1,0 +1,732 @@
+//! Bounded model checking for the executor's concurrency protocols.
+//!
+//! The byte-identity CI job proves the executor *was* deterministic on
+//! the schedules a particular machine happened to produce; it cannot
+//! distinguish "correct" from "racy but lucky". This module closes that
+//! gap dynamically: it re-expresses the two protocols the determinism
+//! argument rests on as explicit state machines and **exhaustively
+//! explores their bounded interleavings** with a deterministic
+//! scheduler — a dependency-free, loom-style shim.
+//!
+//! * [`check_deque_protocol`] — the work-stealing deque protocol of
+//!   [`crate::Executor::map`]: jobs dealt round-robin into per-worker
+//!   deques, owners popping the front, thieves popping the back, results
+//!   written into index-canonical slots. Invariants checked at every
+//!   terminal state: **every task executes exactly once** and **slot `i`
+//!   holds task `i`'s result** (the canonical collection order).
+//! * [`check_once_cell_protocol`] — the `TraceStore`/`SimStore`
+//!   memoization protocol: a once-cell claimed by the first arriver,
+//!   computed once, published, and read by every later arriver.
+//!   Invariants: **the value is computed exactly once**, **every worker
+//!   observes the published value**, and **no worker blocks forever**.
+//!
+//! ## How the exploration works
+//!
+//! Every *yield point* of the real code — one mutex-protected deque
+//! operation, one once-cell transition, one slot write — becomes one
+//! atomic step of a worker automaton. The checker runs a depth-first
+//! search over "which runnable worker steps next", cloning the model
+//! state at each branch. Each root-to-terminal path is one distinct
+//! interleaving; the DFS is **depth-capped** and **interleaving-capped**
+//! so the worst case stays bounded, and the per-node branch order is
+//! **seeded** so capped runs can sample different regions of the
+//! schedule space across seeds.
+//!
+//! What this does and does not prove: within the configured bounds the
+//! exploration is exhaustive over *schedules*, but the model inherits
+//! the atomicity the implementation gets from its mutexes — it verifies
+//! the protocol logic (no lost or doubled tasks, no misplaced slots, no
+//! lost wakeups), not the memory-model correctness of the primitives
+//! themselves. Miri and ThreadSanitizer cover that side (see DESIGN §13).
+//!
+//! [`Mutation`] seeds protocol bugs (a steal that drops the task, a
+//! steal that forgets to remove it, a skipped or misdirected slot write,
+//! a once-cell that computes without claiming) so tests can prove the
+//! checker actually fails on the classes of bug it exists to catch.
+
+use std::collections::VecDeque;
+
+/// Outcome of an exploration that found no violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Explored {
+    /// Distinct complete interleavings whose terminal state was checked.
+    pub interleavings: u64,
+    /// Length of the longest schedule explored.
+    pub deepest: usize,
+    /// True when a cap (depth or interleaving budget) pruned the search;
+    /// false means the bounded space was covered exhaustively.
+    pub capped: bool,
+}
+
+/// A protocol invariant broken on some explored schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The invariant that failed, e.g. `exactly-once`.
+    pub invariant: &'static str,
+    /// What the terminal state looked like.
+    pub detail: String,
+    /// The schedule that got there: `(worker, step)` in execution order.
+    pub schedule: Vec<(usize, &'static str)>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} after {} steps",
+            self.invariant,
+            self.detail,
+            self.schedule.len()
+        )
+    }
+}
+
+/// A protocol bug seeded into the model, for mutation tests proving the
+/// checker can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// Faithful model of the shipped protocol.
+    #[default]
+    None,
+    /// A successful steal drops the stolen task on the floor (lost task).
+    LoseStolenTask,
+    /// A steal reads the task but forgets to remove it from the victim's
+    /// deque (double execution).
+    StealLeavesTask,
+    /// The result write after execution is skipped (empty slot).
+    SkipResultWrite,
+    /// Every result is written into slot 0 (canonical order broken).
+    ClobberSlotZero,
+    /// A once-cell arriver that finds the cell claimed computes anyway
+    /// instead of waiting (double compute).
+    ComputeWithoutClaim,
+    /// The once-cell claimer finishes without publishing (lost wakeup:
+    /// every waiter blocks forever).
+    ForgetPublish,
+}
+
+/// Exploration bounds shared by both protocol checkers.
+#[derive(Debug, Clone, Copy)]
+pub struct Bounds {
+    /// Stop after this many complete interleavings (0 = unlimited).
+    pub max_interleavings: u64,
+    /// Prune any schedule longer than this many steps.
+    pub max_depth: usize,
+    /// Seed permuting the per-node branch order, so capped runs sample
+    /// different schedule regions. The explored *set* is identical for
+    /// every seed when the search is not capped.
+    pub seed: u64,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            max_interleavings: 100_000,
+            max_depth: 256,
+            seed: 0xB0D1_CAFE,
+        }
+    }
+}
+
+/// Splitmix64 — the deterministic per-node branch-order shuffler.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded Fisher–Yates over the runnable-worker list.
+fn shuffle(choices: &mut [usize], rng: &mut u64) {
+    for i in (1..choices.len()).rev() {
+        let j = (splitmix64(rng) % (i as u64 + 1)) as usize;
+        choices.swap(i, j);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deque protocol
+// ---------------------------------------------------------------------
+
+/// Configuration of one deque-protocol exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct DequeConfig {
+    /// Worker (and deque) count.
+    pub workers: usize,
+    /// Task count, dealt round-robin exactly like [`crate::Executor::map`].
+    pub tasks: usize,
+    /// Exploration bounds.
+    pub bounds: Bounds,
+    /// Seeded protocol bug, [`Mutation::None`] for the faithful model.
+    pub mutation: Mutation,
+}
+
+/// Program counter of one modeled worker. Each variant's transition is
+/// one yield point: exactly the work done under one lock acquisition (or
+/// one unsynchronized execution step) in [`crate::Executor::map`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DequePc {
+    /// Lock own deque, pop front.
+    PopOwn,
+    /// Lock victim `(w + offset) % workers`, pop back.
+    Steal { offset: usize },
+    /// Run the job body (outside any lock).
+    Execute { task: usize },
+    /// Lock the results vec, write slot `task`.
+    Write { task: usize },
+    /// Out of work: every deque observed empty in one sweep.
+    Done,
+}
+
+#[derive(Clone)]
+struct DequeState {
+    queues: Vec<VecDeque<usize>>,
+    /// Per-task execution count.
+    executed: Vec<u32>,
+    /// `results[slot] = Some(task)` written there.
+    results: Vec<Option<usize>>,
+    pcs: Vec<DequePc>,
+}
+
+impl DequeState {
+    fn initial(cfg: &DequeConfig) -> Self {
+        let queues = (0..cfg.workers)
+            .map(|w| {
+                (0..cfg.tasks)
+                    .filter(|i| i % cfg.workers == w)
+                    .collect::<VecDeque<usize>>()
+            })
+            .collect();
+        DequeState {
+            queues,
+            executed: vec![0; cfg.tasks],
+            results: vec![None; cfg.tasks],
+            pcs: vec![DequePc::PopOwn; cfg.workers],
+        }
+    }
+
+    /// Advances worker `w` by one atomic step; returns the step label.
+    fn step(&mut self, w: usize, cfg: &DequeConfig) -> &'static str {
+        match self.pcs[w] {
+            DequePc::PopOwn => match self.queues[w].pop_front() {
+                Some(t) => {
+                    self.pcs[w] = DequePc::Execute { task: t };
+                    "pop-own"
+                }
+                None => {
+                    self.pcs[w] = if cfg.workers > 1 {
+                        DequePc::Steal { offset: 1 }
+                    } else {
+                        DequePc::Done
+                    };
+                    "pop-own-empty"
+                }
+            },
+            DequePc::Steal { offset } => {
+                let victim = (w + offset) % cfg.workers;
+                let stolen = match cfg.mutation {
+                    Mutation::StealLeavesTask => self.queues[victim].back().copied(),
+                    _ => self.queues[victim].pop_back(),
+                };
+                match stolen {
+                    Some(t) => {
+                        self.pcs[w] = if cfg.mutation == Mutation::LoseStolenTask {
+                            DequePc::PopOwn
+                        } else {
+                            DequePc::Execute { task: t }
+                        };
+                        "steal"
+                    }
+                    None => {
+                        self.pcs[w] = if offset + 1 < cfg.workers {
+                            DequePc::Steal { offset: offset + 1 }
+                        } else {
+                            DequePc::Done
+                        };
+                        "steal-empty"
+                    }
+                }
+            }
+            DequePc::Execute { task } => {
+                self.executed[task] += 1;
+                self.pcs[w] = if cfg.mutation == Mutation::SkipResultWrite {
+                    DequePc::PopOwn
+                } else {
+                    DequePc::Write { task }
+                };
+                "execute"
+            }
+            DequePc::Write { task } => {
+                let slot = if cfg.mutation == Mutation::ClobberSlotZero {
+                    0
+                } else {
+                    task
+                };
+                self.results[slot] = Some(task);
+                self.pcs[w] = DequePc::PopOwn;
+                "write-slot"
+            }
+            DequePc::Done => unreachable!("done workers are never scheduled"),
+        }
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.pcs.len())
+            .filter(|&w| self.pcs[w] != DequePc::Done)
+            .collect()
+    }
+
+    /// Invariants of a terminal state (all workers done).
+    fn check(&self) -> InvariantResult {
+        for (t, &n) in self.executed.iter().enumerate() {
+            if n != 1 {
+                return Err((
+                    "exactly-once",
+                    format!("task {t} executed {n} times (want exactly 1)"),
+                ));
+            }
+        }
+        for (slot, got) in self.results.iter().enumerate() {
+            if *got != Some(slot) {
+                return Err((
+                    "canonical-slot",
+                    format!("slot {slot} holds {got:?} (want Some({slot}))"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Explores bounded interleavings of the work-stealing deque protocol,
+/// checking exactly-once execution and canonical slot collection at
+/// every terminal state.
+pub fn check_deque_protocol(cfg: &DequeConfig) -> Result<Explored, Violation> {
+    assert!(cfg.workers >= 1 && cfg.tasks >= 1, "degenerate model");
+    let state = DequeState::initial(cfg);
+    let mut explorer = Explorer::new(cfg.bounds);
+    explorer.dfs(
+        state,
+        &mut Vec::new(),
+        &|s| s.runnable(),
+        &|s, w| s.step(w, cfg),
+        &|s| s.check(),
+    )?;
+    Ok(explorer.into_explored())
+}
+
+// ---------------------------------------------------------------------
+// Once-cell (TraceStore / SimStore) protocol
+// ---------------------------------------------------------------------
+
+/// Configuration of one once-cell exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct OnceConfig {
+    /// Racing workers, all requesting the same key.
+    pub workers: usize,
+    /// Exploration bounds.
+    pub bounds: Bounds,
+    /// Seeded protocol bug, [`Mutation::None`] for the faithful model.
+    pub mutation: Mutation,
+}
+
+/// The memoization cell, as in `TraceStore`: a per-key `OnceLock` behind
+/// a brief map lock (the fetch), claimed by the first `get_or_init`
+/// arriver while later arrivers block until publication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellState {
+    Empty,
+    Claimed,
+    Ready(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OncePc {
+    /// Lock the cell map, fetch-or-insert the per-key cell.
+    Fetch,
+    /// Atomically: read the cell state; claim it if empty.
+    TryClaim,
+    /// Run the (expensive) init body — outside every lock.
+    Compute,
+    /// Publish the computed value into the cell.
+    Publish {
+        value: u64,
+    },
+    /// Blocked on a claimed cell; runnable only once it is `Ready`.
+    Wait,
+    Done,
+}
+
+#[derive(Clone)]
+struct OnceState {
+    cell: CellState,
+    computes: u32,
+    observed: Vec<Option<u64>>,
+    pcs: Vec<OncePc>,
+}
+
+/// The deterministic "expensive computation" all workers race to run.
+const ONCE_VALUE: u64 = 0x5EED;
+
+impl OnceState {
+    fn initial(cfg: &OnceConfig) -> Self {
+        OnceState {
+            cell: CellState::Empty,
+            computes: 0,
+            observed: vec![None; cfg.workers],
+            pcs: vec![OncePc::Fetch; cfg.workers],
+        }
+    }
+
+    fn step(&mut self, w: usize, cfg: &OnceConfig) -> &'static str {
+        match self.pcs[w] {
+            OncePc::Fetch => {
+                self.pcs[w] = OncePc::TryClaim;
+                "fetch-cell"
+            }
+            OncePc::TryClaim => match self.cell {
+                CellState::Ready(v) => {
+                    self.observed[w] = Some(v);
+                    self.pcs[w] = OncePc::Done;
+                    "read-ready"
+                }
+                CellState::Empty => {
+                    self.cell = CellState::Claimed;
+                    self.pcs[w] = OncePc::Compute;
+                    "claim"
+                }
+                CellState::Claimed => {
+                    self.pcs[w] = if cfg.mutation == Mutation::ComputeWithoutClaim {
+                        OncePc::Compute
+                    } else {
+                        OncePc::Wait
+                    };
+                    "observe-claimed"
+                }
+            },
+            OncePc::Compute => {
+                self.computes += 1;
+                self.pcs[w] = if cfg.mutation == Mutation::ForgetPublish {
+                    // The claimer walks away without publishing.
+                    self.observed[w] = Some(ONCE_VALUE);
+                    OncePc::Done
+                } else {
+                    OncePc::Publish { value: ONCE_VALUE }
+                };
+                "compute"
+            }
+            OncePc::Publish { value } => {
+                self.cell = CellState::Ready(value);
+                self.observed[w] = Some(value);
+                self.pcs[w] = OncePc::Done;
+                "publish"
+            }
+            OncePc::Wait => match self.cell {
+                CellState::Ready(v) => {
+                    self.observed[w] = Some(v);
+                    self.pcs[w] = OncePc::Done;
+                    "wake-read"
+                }
+                _ => unreachable!("waiters are runnable only once the cell is ready"),
+            },
+            OncePc::Done => unreachable!("done workers are never scheduled"),
+        }
+    }
+
+    /// Runnable = not done and not blocked: a `Wait` worker models a
+    /// thread parked inside `OnceLock::get_or_init`, so it can only be
+    /// scheduled after publication.
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.pcs.len())
+            .filter(|&w| match self.pcs[w] {
+                OncePc::Done => false,
+                OncePc::Wait => matches!(self.cell, CellState::Ready(_)),
+                _ => true,
+            })
+            .collect()
+    }
+
+    fn check(&self, all_done: bool) -> InvariantResult {
+        if !all_done {
+            let parked: Vec<usize> = (0..self.pcs.len())
+                .filter(|&w| self.pcs[w] != OncePc::Done)
+                .collect();
+            return Err((
+                "no-lost-wakeup",
+                format!("workers {parked:?} blocked forever on an unpublished cell"),
+            ));
+        }
+        if self.computes != 1 {
+            return Err((
+                "compute-once",
+                format!("init body ran {} times (want exactly 1)", self.computes),
+            ));
+        }
+        for (w, v) in self.observed.iter().enumerate() {
+            if *v != Some(ONCE_VALUE) {
+                return Err((
+                    "published-value",
+                    format!("worker {w} observed {v:?} (want Some({ONCE_VALUE}))"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Explores bounded interleavings of the `TraceStore`/`SimStore`
+/// once-cell protocol: N workers race one key; the init body must run
+/// exactly once, every worker must observe the published value, and no
+/// worker may block forever.
+pub fn check_once_cell_protocol(cfg: &OnceConfig) -> Result<Explored, Violation> {
+    assert!(cfg.workers >= 1, "degenerate model");
+    let state = OnceState::initial(cfg);
+    let mut explorer = Explorer::new(cfg.bounds);
+    explorer.dfs(
+        state,
+        &mut Vec::new(),
+        &|s| s.runnable(),
+        &|s, w| s.step(w, cfg),
+        &|s| s.check(s.pcs.iter().all(|&pc| pc == OncePc::Done)),
+    )?;
+    Ok(explorer.into_explored())
+}
+
+// ---------------------------------------------------------------------
+// The generic seeded, bounded DFS
+// ---------------------------------------------------------------------
+
+/// `Err((invariant, detail))` when a terminal state breaks an invariant.
+type InvariantResult = Result<(), (&'static str, String)>;
+
+struct Explorer {
+    bounds: Bounds,
+    interleavings: u64,
+    deepest: usize,
+    capped: bool,
+}
+
+impl Explorer {
+    fn new(bounds: Bounds) -> Self {
+        Explorer {
+            bounds,
+            interleavings: 0,
+            deepest: 0,
+            capped: false,
+        }
+    }
+
+    fn into_explored(self) -> Explored {
+        Explored {
+            interleavings: self.interleavings,
+            deepest: self.deepest,
+            capped: self.capped,
+        }
+    }
+
+    /// Depth-first over scheduler choices. A state with no runnable
+    /// worker is terminal (all done *or* deadlocked — `check` decides)
+    /// and counts as one interleaving.
+    fn dfs<S: Clone>(
+        &mut self,
+        state: S,
+        schedule: &mut Vec<(usize, &'static str)>,
+        runnable: &dyn Fn(&S) -> Vec<usize>,
+        step: &dyn Fn(&mut S, usize) -> &'static str,
+        check: &dyn Fn(&S) -> InvariantResult,
+    ) -> Result<(), Violation> {
+        if self.bounds.max_interleavings != 0 && self.interleavings >= self.bounds.max_interleavings
+        {
+            self.capped = true;
+            return Ok(());
+        }
+        let mut choices = runnable(&state);
+        if choices.is_empty() {
+            self.interleavings += 1;
+            self.deepest = self.deepest.max(schedule.len());
+            return check(&state).map_err(|(invariant, detail)| Violation {
+                invariant,
+                detail,
+                schedule: schedule.clone(),
+            });
+        }
+        if schedule.len() >= self.bounds.max_depth {
+            self.capped = true;
+            return Ok(());
+        }
+        // Seeded branch order: deterministic for a (seed, path) pair, so
+        // runs are reproducible, but different seeds walk the capped
+        // space in different orders.
+        let mut rng = self
+            .bounds
+            .seed
+            .wrapping_add((schedule.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(self.interleavings);
+        shuffle(&mut choices, &mut rng);
+        for w in choices {
+            let mut next = state.clone();
+            let label = step(&mut next, w);
+            schedule.push((w, label));
+            self.dfs(next, schedule, runnable, step, check)?;
+            schedule.pop();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds(max_interleavings: u64) -> Bounds {
+        Bounds {
+            max_interleavings,
+            ..Bounds::default()
+        }
+    }
+
+    #[test]
+    fn faithful_deque_protocol_is_exhaustively_clean_at_small_size() {
+        let cfg = DequeConfig {
+            workers: 2,
+            tasks: 3,
+            bounds: bounds(0),
+            mutation: Mutation::None,
+        };
+        let explored = check_deque_protocol(&cfg).expect("faithful protocol must verify");
+        assert!(!explored.capped, "small config must be exhaustive");
+        assert!(explored.interleavings > 100, "got {explored:?}");
+    }
+
+    #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "state-space walk is pure compute; miri adds nothing but hours"
+    )]
+    fn deque_protocol_covers_at_least_ten_thousand_interleavings() {
+        let cfg = DequeConfig {
+            workers: 3,
+            tasks: 6,
+            bounds: Bounds {
+                max_interleavings: 30_000,
+                max_depth: 256,
+                seed: 1,
+            },
+            mutation: Mutation::None,
+        };
+        let explored = check_deque_protocol(&cfg).expect("faithful protocol must verify");
+        assert!(
+            explored.interleavings >= 10_000,
+            "explored only {} interleavings",
+            explored.interleavings
+        );
+    }
+
+    #[test]
+    fn seeds_change_capped_sampling_but_never_the_verdict() {
+        for seed in [0, 7, 0xDEAD_BEEF] {
+            let cfg = DequeConfig {
+                workers: 3,
+                tasks: 4,
+                bounds: Bounds {
+                    max_interleavings: 2_000,
+                    max_depth: 256,
+                    seed,
+                },
+                mutation: Mutation::None,
+            };
+            let explored = check_deque_protocol(&cfg).expect("faithful protocol must verify");
+            assert!(explored.interleavings >= 2_000, "seed {seed}: {explored:?}");
+        }
+    }
+
+    /// The committed lost-task mutation: a steal that drops its task must
+    /// be caught as an exactly-once violation, with a witness schedule.
+    #[test]
+    fn checker_fails_on_seeded_lost_task_mutation() {
+        let cfg = DequeConfig {
+            workers: 2,
+            tasks: 2,
+            bounds: bounds(0),
+            mutation: Mutation::LoseStolenTask,
+        };
+        let v = check_deque_protocol(&cfg).expect_err("lost task must be detected");
+        assert_eq!(v.invariant, "exactly-once", "{v}");
+        assert!(
+            v.schedule.iter().any(|&(_, s)| s == "steal"),
+            "witness schedule must contain the buggy steal: {v:?}"
+        );
+    }
+
+    #[test]
+    fn checker_fails_on_each_deque_mutation() {
+        for (mutation, invariant) in [
+            (Mutation::StealLeavesTask, "exactly-once"),
+            (Mutation::SkipResultWrite, "canonical-slot"),
+            (Mutation::ClobberSlotZero, "canonical-slot"),
+        ] {
+            let cfg = DequeConfig {
+                workers: 2,
+                tasks: 3,
+                bounds: bounds(0),
+                mutation,
+            };
+            match check_deque_protocol(&cfg) {
+                Err(v) => assert_eq!(v.invariant, invariant, "{mutation:?}: {v}"),
+                Ok(e) => panic!("{mutation:?} verified clean: {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn faithful_once_cell_protocol_is_exhaustively_clean() {
+        for workers in 2..=4 {
+            let cfg = OnceConfig {
+                workers,
+                bounds: bounds(0),
+                mutation: Mutation::None,
+            };
+            let explored = check_once_cell_protocol(&cfg).expect("faithful protocol must verify");
+            assert!(!explored.capped, "workers={workers} must be exhaustive");
+            assert!(explored.interleavings >= 2, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn once_cell_mutations_are_detected() {
+        let cfg = OnceConfig {
+            workers: 3,
+            bounds: bounds(0),
+            mutation: Mutation::ComputeWithoutClaim,
+        };
+        let v = check_once_cell_protocol(&cfg).expect_err("double compute must be detected");
+        assert_eq!(v.invariant, "compute-once", "{v}");
+
+        let cfg = OnceConfig {
+            workers: 3,
+            bounds: bounds(0),
+            mutation: Mutation::ForgetPublish,
+        };
+        let v = check_once_cell_protocol(&cfg).expect_err("lost wakeup must be detected");
+        assert_eq!(v.invariant, "no-lost-wakeup", "{v}");
+    }
+
+    #[test]
+    fn single_worker_degenerate_cases_hold() {
+        let cfg = DequeConfig {
+            workers: 1,
+            tasks: 4,
+            bounds: bounds(0),
+            mutation: Mutation::None,
+        };
+        let explored = check_deque_protocol(&cfg).expect("serial schedule is trivially clean");
+        assert_eq!(explored.interleavings, 1, "one worker, one schedule");
+        let cfg = OnceConfig {
+            workers: 1,
+            bounds: bounds(0),
+            mutation: Mutation::None,
+        };
+        assert!(check_once_cell_protocol(&cfg).is_ok());
+    }
+}

@@ -42,32 +42,11 @@ pub fn run_model(trace: &Trace, model: &mut dyn CacheModel) -> CacheStats {
 }
 
 /// Tunes glibc's allocator for the experiment drivers' allocation
-/// pattern: multi-hundred-megabyte trace and stream buffers, allocated
-/// and released phase after phase.
-///
-/// By default glibc serves each of those large buffers with a fresh
-/// `mmap` and gives it straight back with `munmap`, so every phase
-/// re-faults its working set page by page. On bare metal that is noise;
-/// under the micro-VMs CI runs in, a minor fault costs tens of
-/// microseconds and the fault storm dominates end-to-end wall time
-/// (observed: over half of `xp all`). Raising the mmap and trim
-/// thresholds keeps the memory in the heap, where freed buffers are
-/// reused without a round trip through the kernel.
-///
-/// Call once at program start, before spawning threads. A no-op on
-/// non-glibc targets.
+/// pattern (multi-hundred-megabyte trace and stream buffers, allocated
+/// and released phase after phase). Delegates to
+/// [`unicache_exec::tune_allocator`] — the audited home for
+/// process-tuning FFI — so no `unsafe` lives in this crate. Call once at
+/// program start, before spawning threads.
 pub fn tune_allocator_for_traces() {
-    #[cfg(all(target_os = "linux", target_env = "gnu"))]
-    {
-        extern "C" {
-            fn mallopt(param: i32, value: i32) -> i32;
-        }
-        const M_TRIM_THRESHOLD: i32 = -1;
-        const M_MMAP_THRESHOLD: i32 = -3;
-        // SAFETY: mallopt only adjusts allocator parameters; called
-        // single-threaded at startup, with constants glibc documents.
-        // Not SIMD kernel territory, but an audited FFI exception.
-        unsafe { mallopt(M_TRIM_THRESHOLD, i32::MAX) }; // uca:allow(unsafe-outside-simd)
-        unsafe { mallopt(M_MMAP_THRESHOLD, i32::MAX) }; // uca:allow(unsafe-outside-simd)
-    }
+    unicache_exec::tune_allocator();
 }

@@ -104,7 +104,10 @@ mod global {
 
     impl Drop for SpanGuard {
         fn drop(&mut self) {
-            let end = TICK.fetch_add(1, Ordering::Relaxed) + 1;
+            // Allowed Relaxed fetch: span ticks feed only the Chrome
+            // trace diagnostic, which is documented as scheduling-dependent
+            // and never compared byte-for-byte.
+            let end = TICK.fetch_add(1, Ordering::Relaxed) + 1; // uca:allow(relaxed-output)
             let tid = TID.with(|t| *t);
             // Poison-safe: a panicking recorder loses its span rather
             // than cascading the panic through every later drop.
@@ -121,7 +124,9 @@ mod global {
 
     /// Opens a span closed when the returned guard drops.
     pub fn span(name: &'static str) -> SpanGuard {
-        let begin = TICK.fetch_add(1, Ordering::Relaxed) + 1;
+        // Allowed Relaxed fetch: see `SpanGuard::drop` — trace ticks are a
+        // diagnostic stream, not program output.
+        let begin = TICK.fetch_add(1, Ordering::Relaxed) + 1; // uca:allow(relaxed-output)
         SpanGuard { name, begin }
     }
 
