@@ -111,6 +111,7 @@ pub fn run_all() -> Report {
     check_assoc_schemes(&mut report);
     check_counter_conservation(&mut report);
     check_fused_conservation(&mut report);
+    check_coherence(&mut report);
     report
 }
 
@@ -1072,6 +1073,217 @@ pub fn check_fused_conservation(report: &mut Report) {
                 None => format!("no fused lane named {}", solo.name()),
             },
         );
+    }
+}
+
+/// Layer 1d — coherence invariants: the multi-core hierarchy's books
+/// must balance the same way the solo models' do, plus the obligations
+/// unique to coherence:
+///
+/// * **miss attribution** — every L1 miss is satisfied by exactly one
+///   data source (peer intervention, L2 demand hit, or memory fetch) and
+///   issues exactly one BusRd/BusRdX transaction;
+/// * **victim-buffer bounds** — per-core occupancy (current and
+///   high-water) never exceeds the configured depth, and every victim
+///   rescue is accounted as a secondary hit;
+/// * **MESI closure** — the transition table defines a successor for
+///   every (valid state, event) pair, rejects events on invalid lines,
+///   and places flush/upgrade side-conditions only where MESI requires;
+/// * **protocol model check** — a bounded DFS over interleaved
+///   load/store/evict/writeback races holds SWMR, data-value, inclusion
+///   and victim-no-alias at every step;
+/// * **solo equivalence** — a 1-core hierarchy with a pass-through L2
+///   and a depth-0 victim buffer reproduces the solo cache's stats
+///   exactly (the trait boundary adds no behavior).
+pub fn check_coherence(report: &mut Report) {
+    use unicache_core::{CoherentModel, MemRecord};
+    use unicache_hierarchy::{
+        check_coherence_protocol, transition, CoherenceConfig, HierarchyBuilder, L2Mode, LineEvent,
+        Mesi,
+    };
+
+    let glabel = "coherence (64 sets x 1 way x 32 B, 2 cores)";
+    let geom = small_geometry();
+    let line = geom.line_bytes();
+    let records: Vec<MemRecord> = conservation_stream(20_000)
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            let rec = if b % 7 == 0 {
+                MemRecord::write(b * line)
+            } else {
+                MemRecord::read(b * line)
+            };
+            rec.with_tid((i % 2) as u8)
+        })
+        .collect();
+
+    let l2 = match CacheGeometry::from_sets(geom.num_sets(), line, 4) {
+        Ok(g) => g,
+        Err(e) => {
+            report.push("coherent", glabel, "l2-geometry", false, e.to_string());
+            return;
+        }
+    };
+    let built = unicache_indexing::ModuloIndex::new(geom.num_sets())
+        .map_err(|e| e.to_string())
+        .and_then(|index| {
+            HierarchyBuilder::new(geom, std::sync::Arc::new(index))
+                .cores(2)
+                .victim_depth(2)
+                .l2(L2Mode::Shared(l2))
+                .build()
+                .map_err(|e| e.to_string())
+        });
+    let mut hier = match built {
+        Ok(h) => h,
+        Err(e) => {
+            report.push("coherent", glabel, "construction", false, e);
+            return;
+        }
+    };
+    hier.run(&records);
+    let merged = hier.merged_core_stats();
+    let coh = hier.coherence_stats();
+
+    let outcome_sum = merged.primary_hits
+        + merged.secondary_hits
+        + merged.misses_direct
+        + merged.misses_after_probe;
+    report.push(
+        "coherent",
+        glabel,
+        "outcome-conservation",
+        outcome_sum == merged.accesses() && merged.accesses() == records.len() as u64,
+        format!("{} outcomes, {} accesses", outcome_sum, merged.accesses()),
+    );
+    let issued = coh.bus_reads + coh.bus_read_x;
+    report.push(
+        "coherent",
+        glabel,
+        "miss-attribution",
+        merged.misses() == issued && merged.misses() == coh.data_sources(),
+        format!(
+            "{} misses = {} bus fetches = {} + {} + {} data sources",
+            merged.misses(),
+            issued,
+            coh.interventions,
+            coh.l2_demand_hits,
+            coh.memory_fetches
+        ),
+    );
+    report.push(
+        "coherent",
+        glabel,
+        "victim-hit-accounting",
+        coh.victim_hits == merged.secondary_hits,
+        format!(
+            "{} victim hits vs {} secondary hits",
+            coh.victim_hits, merged.secondary_hits
+        ),
+    );
+    let occupancy_ok = (0..2).all(|c| {
+        let v = hier.victim_buffer(c);
+        v.occupancy() <= hier.victim_depth() && v.max_occupancy() <= hier.victim_depth()
+    });
+    report.push(
+        "coherent",
+        glabel,
+        "victim-occupancy-bounds",
+        occupancy_ok,
+        format!(
+            "high-water {:?} within depth {}",
+            (0..2)
+                .map(|c| hier.victim_buffer(c).max_occupancy())
+                .collect::<Vec<_>>(),
+            hier.victim_depth()
+        ),
+    );
+
+    // MESI transition-table closure.
+    let mut closed = true;
+    let mut detail = String::from("closed");
+    for &s in &Mesi::ALL {
+        for &e in &LineEvent::ALL {
+            let t = transition(s, e);
+            let ok = match (s, t) {
+                (Mesi::Invalid, None) => true,
+                (Mesi::Invalid, Some(_)) => false,
+                (_, None) => false,
+                (_, Some(t)) => {
+                    (e != LineEvent::SnoopWrite || t.next == Mesi::Invalid)
+                        && (e != LineEvent::StoreHit || t.next == Mesi::Modified)
+                        && (t.flush == (s == Mesi::Modified && t.next != Mesi::Modified))
+                        && (t.bus_upgrade == (s == Mesi::Shared && e == LineEvent::StoreHit))
+                }
+            };
+            if !ok {
+                closed = false;
+                detail = format!("({s:?}, {e:?}) -> {t:?}");
+            }
+        }
+    }
+    report.push("coherent", glabel, "mesi-table-closure", closed, detail);
+
+    // Bounded model check (a fast slice of the full suite the hierarchy
+    // crate's tests run; `uca check` re-proves it on every invocation).
+    let mut cfg = CoherenceConfig::racing();
+    cfg.bounds.max_interleavings = 3_000;
+    cfg.bounds.max_depth = 128;
+    match check_coherence_protocol(&cfg) {
+        Ok(explored) => report.push(
+            "coherent",
+            glabel,
+            "protocol-model-check",
+            explored.interleavings > 0,
+            format!("{} interleavings clean", explored.interleavings),
+        ),
+        Err(v) => report.push(
+            "coherent",
+            glabel,
+            "protocol-model-check",
+            false,
+            format!("{} violated: {}", v.invariant, v.detail),
+        ),
+    }
+
+    // Solo equivalence: 1 core, pass-through L2, depth-0 victim buffer.
+    let solo_pair = unicache_indexing::ModuloIndex::new(geom.num_sets())
+        .map_err(|e| e.to_string())
+        .and_then(|index| {
+            let index = std::sync::Arc::new(index);
+            let h = HierarchyBuilder::new(geom, index.clone())
+                .cores(1)
+                .victim_depth(0)
+                .l2(L2Mode::PassThrough)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let c = unicache_sim::CacheBuilder::new(geom)
+                .index(index)
+                .build()
+                .map_err(|e| e.to_string())?;
+            Ok((h, c))
+        });
+    match solo_pair {
+        Ok((mut h, mut c)) => {
+            h.run(&records);
+            for rec in &records {
+                c.access(*rec);
+            }
+            let same = h.core_stats(0) == c.stats();
+            report.push(
+                "coherent",
+                glabel,
+                "solo-equivalence",
+                same,
+                if same {
+                    "1-core hierarchy stats identical to solo cache".to_string()
+                } else {
+                    "1-core hierarchy diverged from solo cache".to_string()
+                },
+            );
+        }
+        Err(e) => report.push("coherent", glabel, "solo-equivalence", false, e),
     }
 }
 

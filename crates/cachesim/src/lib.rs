@@ -21,4 +21,4 @@ pub mod victim;
 
 pub use cache::{Cache, CacheBuilder};
 pub use set::{CacheSet, ReplacementPolicy};
-pub use victim::VictimCache;
+pub use victim::{VictimBuffer, VictimCache};

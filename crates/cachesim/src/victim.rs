@@ -1,21 +1,157 @@
-//! A Jouppi-style victim cache (paper reference 14).
+//! Victim buffers (paper reference 14, Jouppi).
 //!
-//! A small fully-associative buffer holds recently evicted lines; a miss in
-//! the main cache that hits the victim buffer swaps the line back. The
-//! paper notes the adaptive group-associative cache "can be viewed as
-//! selective victim caching" — this unselective version is the natural
-//! baseline to compare it against (bench `ablation_adaptive_tables`).
+//! Two layers live here:
+//!
+//! * [`VictimBuffer`] — a small fully-associative LRU buffer of evicted
+//!   lines, generic over a per-line payload so hierarchies can stash
+//!   coherence state (`unicache-hierarchy` stores MESI states) while the
+//!   solo victim cache stores nothing. Depth 0 is a legal degenerate
+//!   buffer: every insert spills straight through, every probe misses.
+//! * [`VictimCache`] — the classic single-level composition: a main
+//!   [`Cache`] whose misses consult the buffer and swap rescued lines
+//!   back. The paper notes the adaptive group-associative cache "can be
+//!   viewed as selective victim caching" — this unselective version is
+//!   the natural baseline to compare it against (bench
+//!   `ablation_adaptive_tables`).
 
 use crate::cache::{Cache, CacheBuilder};
-use crate::set::{CacheSet, ReplacementPolicy};
 use unicache_core::{
-    AccessResult, CacheGeometry, CacheModel, CacheStats, HitWhere, MemRecord, Result,
+    AccessResult, BlockAddr, CacheGeometry, CacheModel, CacheStats, HitWhere, MemRecord, Result,
 };
+
+/// One resident line of a [`VictimBuffer`].
+#[derive(Debug, Clone, Copy)]
+struct VictimEntry<P> {
+    block: BlockAddr,
+    payload: P,
+    stamp: u64,
+}
+
+/// A fully-associative, LRU-replaced buffer of evicted lines.
+///
+/// The payload type `P` travels with each block: `()` for a plain victim
+/// cache, a MESI state for coherent hierarchies (which must write dirty
+/// spills back to the next level).
+///
+/// Determinism: replacement is pure LRU over a monotone logical clock —
+/// no randomness, no wallclock — so byte-identical transcripts hold
+/// across job counts.
+#[derive(Debug, Clone)]
+pub struct VictimBuffer<P: Copy> {
+    entries: Vec<VictimEntry<P>>,
+    depth: usize,
+    clock: u64,
+    max_occupancy: usize,
+}
+
+impl<P: Copy> VictimBuffer<P> {
+    /// A buffer holding at most `depth` lines. Depth 0 disables the
+    /// buffer entirely (inserts spill through, probes miss).
+    pub fn new(depth: usize) -> Self {
+        VictimBuffer {
+            entries: Vec::with_capacity(depth),
+            depth,
+            clock: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// Configured capacity in lines.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// High-water mark of [`VictimBuffer::occupancy`] since construction
+    /// or the last [`VictimBuffer::flush`] — the `uca check` occupancy
+    /// bound asserts this never exceeds [`VictimBuffer::depth`].
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Is `block` resident? (No recency update.)
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.entries.iter().any(|e| e.block == block)
+    }
+
+    /// Shared view of `block`'s payload, if resident. (No recency update.)
+    pub fn payload(&self, block: BlockAddr) -> Option<&P> {
+        self.entries
+            .iter()
+            .find(|e| e.block == block)
+            .map(|e| &e.payload)
+    }
+
+    /// Mutable view of `block`'s payload — coherent hierarchies use this
+    /// to downgrade a buffered line's MESI state on a bus snoop without
+    /// disturbing recency order.
+    pub fn payload_mut(&mut self, block: BlockAddr) -> Option<&mut P> {
+        self.entries
+            .iter_mut()
+            .find(|e| e.block == block)
+            .map(|e| &mut e.payload)
+    }
+
+    /// Removes `block` and returns its payload (a victim-buffer *hit*:
+    /// the caller swaps the line back into the main cache).
+    pub fn take(&mut self, block: BlockAddr) -> Option<P> {
+        let pos = self.entries.iter().position(|e| e.block == block)?;
+        Some(self.entries.remove(pos).payload)
+    }
+
+    /// Inserts an evicted line. Returns the line *this* insert displaced:
+    /// the LRU resident when the buffer was full, or the argument itself
+    /// for a depth-0 buffer (immediate spill-through). The caller decides
+    /// what a spill means (a coherent hierarchy writes back dirty ones).
+    pub fn insert(&mut self, block: BlockAddr, payload: P) -> Option<(BlockAddr, P)> {
+        if self.depth == 0 {
+            return Some((block, payload));
+        }
+        self.clock += 1;
+        let spilled = if self.entries.len() == self.depth {
+            // Full: evict the least recently inserted/rescued line. Stamps
+            // are unique (monotone clock), so the minimum is unambiguous.
+            let mut lru = 0;
+            for i in 1..self.entries.len() {
+                if self.entries[i].stamp < self.entries[lru].stamp {
+                    lru = i;
+                }
+            }
+            let e = self.entries.remove(lru);
+            Some((e.block, e.payload))
+        } else {
+            None
+        };
+        self.entries.push(VictimEntry {
+            block,
+            payload,
+            stamp: self.clock,
+        });
+        self.max_occupancy = self.max_occupancy.max(self.entries.len());
+        spilled
+    }
+
+    /// Every resident line, in unspecified order (for invariant checks).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &P)> {
+        self.entries.iter().map(|e| (e.block, &e.payload))
+    }
+
+    /// Drops every resident line and the high-water mark.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.clock = 0;
+        self.max_occupancy = 0;
+    }
+}
 
 /// Main cache + fully-associative victim buffer.
 pub struct VictimCache {
     main: Cache,
-    victims: CacheSet,
+    victims: VictimBuffer<()>,
     stats: CacheStats,
     name: String,
 }
@@ -23,13 +159,14 @@ pub struct VictimCache {
 impl VictimCache {
     /// Wraps the cache built by `builder` with a victim buffer of
     /// `victim_lines` entries (LRU-replaced, as in Jouppi's design).
+    /// A request for 0 lines keeps the historical 1-entry minimum.
     pub fn new(builder: CacheBuilder, victim_lines: usize) -> Result<Self> {
         let main = builder.build()?;
         let geom = main.geometry();
         let name = format!("victim({}, {} lines)", main.name(), victim_lines);
         Ok(VictimCache {
             main,
-            victims: CacheSet::new(victim_lines.max(1), ReplacementPolicy::Lru, 0x7661),
+            victims: VictimBuffer::new(victim_lines.max(1)),
             stats: CacheStats::new(geom.num_sets()),
             name,
         })
@@ -69,15 +206,12 @@ impl CacheModel for VictimCache {
             };
         }
         // Main miss: check the victim buffer.
-        if self.victims.lookup(block, is_write).is_some() {
-            // Swap back: fill into main, removing from victim buffer.
-            if let Some(w) = self.victims.probe(block) {
-                self.victims.invalidate_way(w);
-            }
-            // Fills into main (counts a miss internally).
+        if self.victims.take(block).is_some() {
+            // Swap back: fill into main (counts a miss internally there);
+            // the displaced main resident takes the rescued line's place.
             let r = self.main.access_block(block, is_write);
             if let Some(ev) = r.evicted {
-                self.victims.fill(ev, false);
+                self.victims.insert(ev, ());
             }
             self.stats.record(set, HitWhere::Secondary);
             self.stats.record_relocation();
@@ -90,7 +224,7 @@ impl CacheModel for VictimCache {
         // True miss: fill main; stash any victim.
         let r = self.main.access_block(block, is_write);
         if let Some(ev) = r.evicted {
-            self.victims.fill(ev, false);
+            self.victims.insert(ev, ());
             self.stats.record_eviction(set);
         }
         self.stats.record(set, HitWhere::MissAfterProbe);
@@ -195,5 +329,53 @@ mod tests {
         let v = VictimCache::new(small(), 4).unwrap();
         assert!(v.name().starts_with("victim("));
         assert_eq!(v.geometry().num_sets(), 8);
+    }
+
+    #[test]
+    fn buffer_lru_eviction_order() {
+        let mut b: VictimBuffer<u32> = VictimBuffer::new(2);
+        assert_eq!(b.insert(1, 10), None);
+        assert_eq!(b.insert(2, 20), None);
+        // Full: inserting 3 spills the oldest (block 1).
+        assert_eq!(b.insert(3, 30), Some((1, 10)));
+        // Rescuing 2 frees a slot; inserting 4 spills nothing.
+        assert_eq!(b.take(2), Some(20));
+        assert_eq!(b.insert(4, 40), None);
+        // 3 is now oldest.
+        assert_eq!(b.insert(5, 50), Some((3, 30)));
+        assert_eq!(b.max_occupancy(), 2);
+    }
+
+    #[test]
+    fn depth_zero_buffer_spills_through() {
+        let mut b: VictimBuffer<()> = VictimBuffer::new(0);
+        assert_eq!(b.insert(7, ()), Some((7, ())));
+        assert!(!b.contains(7));
+        assert_eq!(b.take(7), None);
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.max_occupancy(), 0);
+    }
+
+    #[test]
+    fn buffer_payload_mutation_preserves_recency() {
+        let mut b: VictimBuffer<char> = VictimBuffer::new(2);
+        b.insert(1, 'a');
+        b.insert(2, 'b');
+        *b.payload_mut(1).unwrap() = 'z';
+        assert_eq!(b.payload(1), Some(&'z'));
+        // Mutation did not refresh block 1: it is still the LRU entry.
+        assert_eq!(b.insert(3, 'c'), Some((1, 'z')));
+    }
+
+    #[test]
+    fn buffer_flush_resets_watermark() {
+        let mut b: VictimBuffer<()> = VictimBuffer::new(3);
+        b.insert(1, ());
+        b.insert(2, ());
+        assert_eq!(b.max_occupancy(), 2);
+        b.flush();
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.max_occupancy(), 0);
+        assert!(!b.contains(1));
     }
 }

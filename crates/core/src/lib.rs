@@ -37,7 +37,7 @@ pub use geometry::CacheGeometry;
 pub use hasher::{DetHashMap, DetHashSet, DetState};
 pub use index::{IndexFunction, SimdLanes, SIMD_LANES};
 pub use lru::{LruDir, LruSet};
-pub use model::{AccessResult, CacheModel, HitWhere};
+pub use model::{AccessResult, CacheModel, CoherentModel, HitWhere};
 pub use record::{AccessKind, MemRecord, ThreadId};
 pub use stats::{CacheStats, SetStats};
 
@@ -65,6 +65,7 @@ const _: () = {
     sendable::<CacheStats>();
     sendable::<SetStats>();
     sendable::<Box<dyn CacheModel>>();
+    sendable::<Box<dyn CoherentModel>>();
     shareable::<BlockStream>();
     shareable::<CacheStats>();
     shareable::<CacheGeometry>();

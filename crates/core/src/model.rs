@@ -142,6 +142,67 @@ pub trait CacheModel: Send {
     }
 }
 
+/// A multi-core cache organisation driven by per-core reference streams.
+///
+/// Where [`CacheModel`] simulates one cache fed by one stream, a
+/// `CoherentModel` owns several per-core caches kept consistent by a
+/// coherence protocol (MESI over a snooping bus in `unicache-hierarchy`).
+/// References are routed to cores by thread id, so the multi-threaded
+/// traces produced by the SMT interleaver (`unicache-smt`) drive it
+/// directly through [`CoherentModel::run`].
+///
+/// Statistics are split: each core accumulates its own per-set
+/// [`CacheStats`] (so the paper's uniformity lenses apply *per L1*), and
+/// the shared next level — when the model has one — reports separately.
+pub trait CoherentModel: Send {
+    /// Number of cores (private caches) in the organisation.
+    fn cores(&self) -> usize;
+
+    /// The per-core private-cache shape (all cores are homogeneous).
+    fn geometry(&self) -> CacheGeometry;
+
+    /// Simulates one pre-decoded reference issued by `core` and returns
+    /// its outcome at the private (L1) level.
+    fn access(&mut self, core: usize, block: BlockAddr, is_write: bool) -> AccessResult;
+
+    /// Statistics of one core's private cache.
+    fn core_stats(&self, core: usize) -> &CacheStats;
+
+    /// Statistics of the shared level, if the organisation has one
+    /// (`None` for a pass-through hierarchy that fetches straight from
+    /// memory — the degenerate shape the differential suites compare
+    /// against a solo [`CacheModel`]).
+    fn shared_stats(&self) -> Option<&CacheStats>;
+
+    /// Every core's per-set stats merged into one distribution. The merge
+    /// is commutative, so the result is independent of core order.
+    fn merged_core_stats(&self) -> CacheStats {
+        let mut merged = CacheStats::new(self.geometry().num_sets());
+        for c in 0..self.cores() {
+            merged.merge(self.core_stats(c));
+        }
+        merged
+    }
+
+    /// Invalidates all contents and clears statistics.
+    fn flush(&mut self);
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &str;
+
+    /// Drives a whole trace, routing each record to core
+    /// `tid % cores()` — the canonical thread-to-core pinning used by the
+    /// experiments (deterministic, independent of executor scheduling).
+    fn run(&mut self, trace: &[MemRecord]) {
+        let cores = self.cores();
+        let offset = self.geometry().offset_bits();
+        for &rec in trace {
+            let core = rec.tid as usize % cores;
+            self.access(core, rec.addr >> offset, rec.kind.is_write());
+        }
+    }
+}
+
 /// Blanket impl so `Box<dyn CacheModel>` is itself usable as a model — the
 /// experiment runners hold heterogeneous scheme collections this way.
 impl<T: CacheModel + ?Sized> CacheModel for Box<T> {

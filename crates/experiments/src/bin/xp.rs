@@ -47,7 +47,7 @@ fn usage() -> ExitCode {
          (fig1 also takes an optional workload name, e.g. `xp fig1 susan`)\n\
          experiments: fig1 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
                       classify patel belady generalize idx-amat assoc-sweep\n\
-                      hierarchy icache online workloads phases select all"
+                      hierarchy icache online workloads phases select coherent all"
     );
     ExitCode::from(2)
 }

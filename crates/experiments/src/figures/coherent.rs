@@ -1,0 +1,177 @@
+//! `xp coherent` — the paper's uniformity questions re-asked under
+//! multi-core coherence.
+//!
+//! Figures 3/7 ask how flat the per-set access/miss distributions are for
+//! a solo L1. This experiment asks the same question where modern misses
+//! actually happen: private L1s disturbed by invalidation traffic, and a
+//! shared inclusive L2 fed by several cores' conflict evictions. It
+//! sweeps indexing scheme x core count x victim-buffer depth over one
+//! four-thread mix and reports, per configuration:
+//!
+//! * the merged L1 demand miss rate and the shared-L2 local miss rate;
+//! * coherence traffic density (invalidations / interventions per 1k
+//!   accesses);
+//! * kurtosis of the per-set miss distribution (the paper's Fig. 9
+//!   lens, now summed across cores);
+//! * the dead-time fraction and MRU-hit ratio — the two line-level
+//!   uniformity lenses from `unicache-stats`.
+//!
+//! Everything is deterministic: one hierarchy per row, rows fanned out
+//! through `unicache_exec::map` (order-preserving), the bus serialized in
+//! trace order, timestamps from the logical clock.
+
+use crate::{ExperimentTable, SimStore};
+use unicache_core::{CacheGeometry, CoherentModel};
+use unicache_hierarchy::{HierarchyBuilder, L2Mode};
+use unicache_indexing::IndexScheme;
+use unicache_smt::InterleavePolicy;
+use unicache_stats::Moments;
+use unicache_workloads::Workload;
+
+/// The four-thread mix the coherent hierarchy replays (one of the
+/// paper's Fig. 13 mixes, so results line up with the SMT experiments).
+pub fn coherent_mix() -> Vec<Workload> {
+    use Workload::*;
+    vec![Fft, Basicmath, Patricia, Susan]
+}
+
+/// The schemes the sweep compares: the conventional baseline plus the
+/// two training-free families the paper finds most effective.
+fn sweep_schemes() -> Vec<IndexScheme> {
+    vec![
+        IndexScheme::Conventional,
+        IndexScheme::Xor,
+        IndexScheme::PrimeModulo,
+    ]
+}
+
+const CORE_COUNTS: [usize; 3] = [1, 2, 4];
+const VICTIM_DEPTHS: [usize; 2] = [0, 4];
+
+/// The per-core L1 of the sweep: 8 KB 2-way (128 sets x 32 B). Smaller
+/// than the paper's 32 KB evaluation L1 so conflict misses — the thing
+/// victim buffers exist to absorb — stay visible at tiny/small scales,
+/// and 2-way so the MRU-hit lens has a recency axis to measure (a
+/// direct-mapped cache hits at rank 0 by construction).
+fn sweep_l1_geom() -> CacheGeometry {
+    CacheGeometry::from_sets(128, 32, 2).expect("valid L1 geometry")
+}
+
+/// The shared L2 behind the private L1s: 8x the sets, 4-way, same line
+/// size (64 KB for the 8 KB L1) — large enough that inclusion
+/// back-invalidations stay rare even with four cores' aggregate
+/// footprint above it.
+fn l2_geom(l1: CacheGeometry) -> CacheGeometry {
+    CacheGeometry::from_sets(l1.num_sets() * 8, l1.line_bytes(), 4).expect("valid L2 geometry")
+}
+
+/// **`xp coherent`** — scheme x cores x victim-depth sweep of the
+/// MESI-coherent hierarchy over the shared four-thread mix.
+pub fn coherent(store: &SimStore) -> ExperimentTable {
+    let mix = coherent_mix();
+    let trace = store.merged_trace(&mix, InterleavePolicy::RoundRobin);
+    let geom = sweep_l1_geom();
+    let configs: Vec<(IndexScheme, usize, usize)> = sweep_schemes()
+        .into_iter()
+        .flat_map(|s| {
+            CORE_COUNTS
+                .iter()
+                .flat_map(move |&c| VICTIM_DEPTHS.iter().map(move |&v| (s, c, v)))
+        })
+        .collect();
+    let rows: Vec<String> = configs
+        .iter()
+        .map(|(s, c, v)| format!("{}_c{c}_v{v}", s.label()))
+        .collect();
+    let values: Vec<Vec<f64>> = unicache_exec::map(&configs, |&(scheme, cores, depth)| {
+        let index = scheme
+            .build(geom, None)
+            .expect("training-free schemes build without a trace");
+        let mut hier = HierarchyBuilder::new(geom, index)
+            .cores(cores)
+            .victim_depth(depth)
+            .l2(L2Mode::Shared(l2_geom(geom)))
+            .build()
+            .expect("valid hierarchy");
+        hier.run(trace.records());
+        let merged = hier.merged_core_stats();
+        let coh = hier.coherence_stats();
+        let accesses = merged.accesses() as f64;
+        let per_k = 1000.0 / accesses.max(1.0);
+        let l2_lookups = coh.l2_demand_hits + coh.memory_fetches;
+        let l2_miss_pct = if l2_lookups == 0 {
+            0.0
+        } else {
+            100.0 * coh.memory_fetches as f64 / l2_lookups as f64
+        };
+        let lifetime = hier.merged_lifetime();
+        let recency = hier.merged_recency();
+        vec![
+            100.0 * merged.miss_rate(),
+            l2_miss_pct,
+            coh.invalidations as f64 * per_k,
+            coh.interventions as f64 * per_k,
+            Moments::from_counts(&merged.misses_per_set()).kurtosis,
+            100.0 * lifetime.dead_fraction(),
+            100.0 * recency.mru_ratio(),
+        ]
+    });
+    ExperimentTable::new(
+        "Coherent hierarchy: uniformity under MESI traffic (scheme x cores x victim depth)",
+        "L1 miss % | L2 miss % | invalidations/1k | interventions/1k | miss kurtosis | dead time % | MRU hits %",
+        rows,
+        vec![
+            "L1_miss_pct".to_string(),
+            "L2_miss_pct".to_string(),
+            "inval_per_1k".to_string(),
+            "interv_per_1k".to_string(),
+            "miss_kurtosis".to_string(),
+            "dead_time_pct".to_string(),
+            "mru_hit_pct".to_string(),
+        ],
+        values,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicache_workloads::Scale;
+
+    #[test]
+    fn coherent_sweep_has_expected_shape() {
+        let store = SimStore::new(Scale::Tiny);
+        let t = coherent(&store);
+        assert_eq!(t.rows.len(), 18); // 3 schemes x 3 core counts x 2 depths
+        assert_eq!(t.cols.len(), 7);
+        assert!(t.rows[0].ends_with("_c1_v0"), "got {}", t.rows[0]);
+    }
+
+    #[test]
+    fn single_core_rows_have_no_coherence_traffic() {
+        let store = SimStore::new(Scale::Tiny);
+        let t = coherent(&store);
+        for (r, row) in t.rows.iter().enumerate() {
+            if row.contains("_c1_") {
+                assert_eq!(t.values[r][2], 0.0, "{row}: invalidations on 1 core");
+                assert_eq!(t.values[r][3], 0.0, "{row}: interventions on 1 core");
+            }
+        }
+    }
+
+    #[test]
+    fn more_cores_do_not_reduce_bus_invalidations() {
+        let store = SimStore::new(Scale::Tiny);
+        let t = coherent(&store);
+        // Conventional scheme, depth 0: invalidations/1k must be
+        // monotone non-decreasing in core count (more sharers = more
+        // write-invalidate targets).
+        let get = |c: usize| {
+            let row = format!("conventional_c{c}_v0");
+            let r = t.rows.iter().position(|x| *x == row).expect("row exists");
+            t.values[r][2]
+        };
+        assert!(get(2) >= get(1));
+        assert!(get(4) > 0.0, "4 cores on a shared mix must invalidate");
+    }
+}

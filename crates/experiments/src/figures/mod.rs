@@ -3,6 +3,7 @@
 //! report).
 
 pub mod assoc;
+pub mod coherent;
 pub mod extras;
 pub mod fig1;
 pub mod hybrid;

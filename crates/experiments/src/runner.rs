@@ -40,6 +40,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "workloads",
     "phases",
     "select",
+    "coherent",
 ];
 
 /// Renders a table the way `xp` emits it: CSV exactly, text with the
@@ -89,6 +90,7 @@ pub fn render_experiment(
         "online" => emit(figures::extras::online_selection(store), csv),
         "workloads" => emit(figures::extras::workload_characterization(store), csv),
         "phases" => emit(figures::extras::phase_stability(store), csv),
+        "coherent" => emit(figures::coherent::coherent(store), csv),
         "select" => {
             let t = figures::extras::scheme_selection(store);
             let mut out = emit(t.clone(), csv);

@@ -1,0 +1,289 @@
+//! A per-core private L1 with MESI state per line.
+//!
+//! Replacement is LRU with the exact victim-selection rule of
+//! `unicache_sim::CacheSet` (first invalid way, else the way with the
+//! minimum stamp), so a 1-core hierarchy with a pass-through L2 and a
+//! depth-0 victim buffer reproduces the solo `Cache` hit/miss sequence
+//! byte for byte — the differential suite in
+//! `tests/hierarchy_equivalence.rs` pins this down across every registry
+//! index scheme.
+//!
+//! The L1 also feeds the two hierarchy uniformity lenses: every fill /
+//! touch / eviction updates the dead-time/live-time accounting
+//! ([`LifetimeLens`]), and every hit records the recency rank of the
+//! serving way ([`RecencyLens`]).
+
+use crate::mesi::Mesi;
+use std::sync::Arc;
+use unicache_core::{BlockAddr, CacheGeometry, CacheStats, IndexFunction};
+use unicache_stats::{LifetimeLens, RecencyLens};
+
+#[derive(Debug, Clone, Copy)]
+struct L1Line {
+    block: BlockAddr,
+    state: Mesi,
+}
+
+const EMPTY: L1Line = L1Line {
+    block: 0,
+    state: Mesi::Invalid,
+};
+
+/// One core's private cache: `num_sets x ways` MESI lines indexed by any
+/// registry [`IndexFunction`].
+pub struct CoherentL1 {
+    geom: CacheGeometry,
+    index: Arc<dyn IndexFunction>,
+    ways: usize,
+    lines: Vec<L1Line>,
+    stamps: Vec<u64>,
+    clocks: Vec<u64>,
+    stats: CacheStats,
+    lifetime: LifetimeLens,
+    recency: RecencyLens,
+}
+
+impl CoherentL1 {
+    /// An empty L1 of the given shape.
+    pub fn new(geom: CacheGeometry, index: Arc<dyn IndexFunction>) -> Self {
+        let sets = geom.num_sets();
+        let ways = geom.ways() as usize;
+        CoherentL1 {
+            geom,
+            index,
+            ways,
+            lines: vec![EMPTY; sets * ways],
+            stamps: vec![0; sets * ways],
+            clocks: vec![0; sets],
+            stats: CacheStats::new(sets),
+            lifetime: LifetimeLens::new(sets * ways),
+            recency: RecencyLens::new(ways),
+        }
+    }
+
+    /// The cache shape.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// The set `block` maps to under this core's index scheme.
+    #[inline]
+    pub fn set_of(&self, block: BlockAddr) -> usize {
+        self.index.index_block(block)
+    }
+
+    #[inline]
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Non-mutating probe: the way and state of `block` if resident.
+    pub fn peek(&self, set: usize, block: BlockAddr) -> Option<(usize, Mesi)> {
+        let base = set * self.ways;
+        (0..self.ways).find_map(|w| {
+            let line = &self.lines[base + w];
+            (line.state.is_valid() && line.block == block).then_some((w, line.state))
+        })
+    }
+
+    /// A demand lookup at tick `now`: on a hit, refreshes LRU recency,
+    /// records the serving way's recency rank and extends the line's
+    /// live time. Returns the hit way.
+    pub fn lookup(&mut self, set: usize, block: BlockAddr, now: u64) -> Option<usize> {
+        let (way, _) = self.peek(set, block)?;
+        let slot = self.slot(set, way);
+        // Rank before refresh: how many valid ways of the set were used
+        // more recently than the serving one (0 = MRU).
+        let my_stamp = self.stamps[slot];
+        let base = set * self.ways;
+        let rank = (0..self.ways)
+            .filter(|&w| self.lines[base + w].state.is_valid() && self.stamps[base + w] > my_stamp)
+            .count();
+        self.recency.record(rank);
+        self.lifetime.touch(slot, now);
+        self.clocks[set] += 1;
+        self.stamps[slot] = self.clocks[set];
+        Some(way)
+    }
+
+    /// The MESI state of a resident way.
+    pub fn state(&self, set: usize, way: usize) -> Mesi {
+        self.lines[self.slot(set, way)].state
+    }
+
+    /// Rewrites the MESI state of a resident way (local upgrades and
+    /// snoop downgrades; invalidation goes through
+    /// [`CoherentL1::invalidate`] so the lifetime lens sees the removal).
+    pub fn set_state(&mut self, set: usize, way: usize, state: Mesi) {
+        debug_assert!(state.is_valid(), "use invalidate() to drop a line");
+        let slot = self.slot(set, way);
+        debug_assert!(self.lines[slot].state.is_valid());
+        self.lines[slot].state = state;
+    }
+
+    /// Installs `block` in `state`, evicting the LRU way if the set is
+    /// full. Returns the evicted line, if any.
+    pub fn fill(
+        &mut self,
+        set: usize,
+        block: BlockAddr,
+        state: Mesi,
+        now: u64,
+    ) -> Option<(BlockAddr, Mesi)> {
+        let base = set * self.ways;
+        // CacheSet::victim_way(): first invalid way, else minimum stamp
+        // (first index on the unreachable tie).
+        let mut way = 0;
+        let mut evicted = None;
+        let mut found_invalid = false;
+        for w in 0..self.ways {
+            if !self.lines[base + w].state.is_valid() {
+                way = w;
+                found_invalid = true;
+                break;
+            }
+        }
+        if !found_invalid {
+            for w in 1..self.ways {
+                if self.stamps[base + w] < self.stamps[base + way] {
+                    way = w;
+                }
+            }
+            let old = self.lines[base + way];
+            evicted = Some((old.block, old.state));
+            self.lifetime.evict(base + way, now);
+        }
+        self.lines[base + way] = L1Line { block, state };
+        self.clocks[set] += 1;
+        self.stamps[base + way] = self.clocks[set];
+        self.lifetime.fill(base + way, now);
+        evicted
+    }
+
+    /// Drops `block` if resident (snoop invalidation / back-invalidation),
+    /// returning the state it held.
+    pub fn invalidate(&mut self, block: BlockAddr, now: u64) -> Option<Mesi> {
+        let set = self.set_of(block);
+        let (way, state) = self.peek(set, block)?;
+        let slot = self.slot(set, way);
+        self.lines[slot].state = Mesi::Invalid;
+        self.lifetime.evict(slot, now);
+        Some(state)
+    }
+
+    /// Every resident line as `(block, state)` (invariant checks).
+    pub fn resident(&self) -> impl Iterator<Item = (BlockAddr, Mesi)> + '_ {
+        self.lines
+            .iter()
+            .filter(|l| l.state.is_valid())
+            .map(|l| (l.block, l.state))
+    }
+
+    /// Per-set hit/miss counters (recorded by the hierarchy, which knows
+    /// where each access was ultimately satisfied).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Mutable counters for the owning hierarchy.
+    pub fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    /// The dead-time/live-time lens, closed at tick `now`.
+    pub fn lifetime(&self, now: u64) -> unicache_stats::LifetimeTotals {
+        self.lifetime.snapshot(now)
+    }
+
+    /// The MRU-hit lens.
+    pub fn recency(&self) -> &RecencyLens {
+        &self.recency
+    }
+
+    /// Invalidates everything and clears stats and lenses.
+    pub fn flush(&mut self) {
+        self.lines.iter_mut().for_each(|l| *l = EMPTY);
+        self.stamps.iter_mut().for_each(|s| *s = 0);
+        self.clocks.iter_mut().for_each(|c| *c = 0);
+        self.stats.reset();
+        self.lifetime.reset();
+        self.recency.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicache_indexing::ModuloIndex;
+
+    fn l1(sets: usize, ways: u32) -> CoherentL1 {
+        let geom = CacheGeometry::from_sets(sets, 32, ways).unwrap();
+        CoherentL1::new(geom, Arc::new(ModuloIndex::new(sets).unwrap()))
+    }
+
+    #[test]
+    fn fill_then_lookup_hits() {
+        let mut c = l1(4, 2);
+        let set = c.set_of(5);
+        assert_eq!(set, 1);
+        assert!(c.lookup(set, 5, 1).is_none());
+        assert_eq!(c.fill(set, 5, Mesi::Exclusive, 2), None);
+        assert_eq!(c.lookup(set, 5, 3), Some(0));
+        assert_eq!(c.state(set, 0), Mesi::Exclusive);
+    }
+
+    #[test]
+    fn lru_eviction_matches_cacheset_rule() {
+        let mut c = l1(1, 2);
+        c.fill(0, 10, Mesi::Exclusive, 1);
+        c.fill(0, 20, Mesi::Exclusive, 2);
+        // Touch 10 so 20 becomes LRU.
+        c.lookup(0, 10, 3);
+        let ev = c.fill(0, 30, Mesi::Modified, 4);
+        assert_eq!(ev, Some((20, Mesi::Exclusive)));
+        assert!(c.peek(0, 10).is_some());
+        assert!(c.peek(0, 30).is_some());
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_state() {
+        let mut c = l1(2, 1);
+        let set = c.set_of(6);
+        c.fill(set, 6, Mesi::Modified, 1);
+        assert_eq!(c.invalidate(6, 2), Some(Mesi::Modified));
+        assert_eq!(c.invalidate(6, 3), None);
+        assert!(c.lookup(set, 6, 4).is_none());
+    }
+
+    #[test]
+    fn recency_ranks_distinguish_mru_from_lru() {
+        let mut c = l1(1, 2);
+        c.fill(0, 1, Mesi::Exclusive, 1);
+        c.fill(0, 2, Mesi::Exclusive, 2);
+        c.lookup(0, 2, 3); // 2 is MRU: rank 0
+        c.lookup(0, 1, 4); // 1 was LRU: rank 1
+        assert_eq!(c.recency().ranks(), &[1, 1]);
+    }
+
+    #[test]
+    fn lifetime_tracks_generations() {
+        let mut c = l1(1, 1);
+        c.fill(0, 1, Mesi::Exclusive, 1);
+        c.lookup(0, 1, 5);
+        c.fill(0, 2, Mesi::Exclusive, 9); // evicts 1 (live 4, dead 4)
+        let t = c.lifetime(9);
+        assert_eq!(t.generations, 2);
+        assert_eq!(t.live, 4);
+        assert_eq!(t.dead, 4);
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut c = l1(2, 2);
+        c.fill(0, 0, Mesi::Modified, 1);
+        c.flush();
+        assert_eq!(c.resident().count(), 0);
+        assert_eq!(c.recency().hits(), 0);
+        assert_eq!(c.lifetime(10).generations, 0);
+    }
+}

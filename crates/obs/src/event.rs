@@ -74,11 +74,32 @@ pub enum Event {
     /// (the per-scheme probe counters above still attribute each access
     /// to its own scheme inside the pass).
     FusedPass,
+    /// Coherent hierarchy: BusRd transaction (read miss broadcast).
+    CohBusRead,
+    /// Coherent hierarchy: BusRdX transaction (write miss broadcast).
+    CohBusReadX,
+    /// Coherent hierarchy: BusUpgr transaction (S -> M without data).
+    CohBusUpgrade,
+    /// Coherent hierarchy: a remote copy (L1 or victim buffer) was
+    /// invalidated by a snoop.
+    CohInvalidation,
+    /// Coherent hierarchy: a modified owner supplied the data for a
+    /// remote miss (cache-to-cache intervention).
+    CohIntervention,
+    /// Coherent hierarchy: a modified line was written back downstream
+    /// (snoop flush, victim-buffer spill, or back-invalidation flush).
+    CohWriteback,
+    /// Coherent hierarchy: an L2 eviction back-invalidated private
+    /// copies to preserve inclusion.
+    CohBackInvalidation,
+    /// Coherent hierarchy: an L1 miss was rescued by the core's own
+    /// victim buffer (no bus transaction).
+    CohVictimHit,
 }
 
 impl Event {
     /// Number of declared events (the counter-array length).
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 36;
 
     /// Every event, in declaration order.
     pub const ALL: [Event; Event::COUNT] = [
@@ -110,6 +131,14 @@ impl Event {
         Event::HierMemoryAccess,
         Event::HierWriteback,
         Event::FusedPass,
+        Event::CohBusRead,
+        Event::CohBusReadX,
+        Event::CohBusUpgrade,
+        Event::CohInvalidation,
+        Event::CohIntervention,
+        Event::CohWriteback,
+        Event::CohBackInvalidation,
+        Event::CohVictimHit,
     ];
 
     /// Position in the counter array.
@@ -149,6 +178,14 @@ impl Event {
             Event::HierMemoryAccess => "hier.memory_access",
             Event::HierWriteback => "hier.writeback",
             Event::FusedPass => "fused.pass",
+            Event::CohBusRead => "coh.bus_read",
+            Event::CohBusReadX => "coh.bus_readx",
+            Event::CohBusUpgrade => "coh.bus_upgrade",
+            Event::CohInvalidation => "coh.invalidation",
+            Event::CohIntervention => "coh.intervention",
+            Event::CohWriteback => "coh.writeback",
+            Event::CohBackInvalidation => "coh.back_invalidation",
+            Event::CohVictimHit => "coh.victim_hit",
         }
     }
 }

@@ -11,18 +11,25 @@
 //! * additional uniformity indices (Gini coefficient, normalized Shannon
 //!   entropy) used by the ablation studies;
 //! * percent-change helpers matching how the paper reports every figure
-//!   ("% reduction in miss rate", "% increase in kurtosis").
+//!   ("% reduction in miss rate", "% increase in kurtosis");
+//! * line-generation lenses for the coherent hierarchy — dead-time /
+//!   live-time ([`lifetime::LifetimeLens`]) and MRU-hit rank profiles
+//!   ([`recency::RecencyLens`]).
 
 pub mod change;
 pub mod classify;
 pub mod histogram;
+pub mod lifetime;
 pub mod moments;
 pub mod phases;
+pub mod recency;
 pub mod uniformity;
 
 pub use change::{percent_change, percent_reduction};
 pub use classify::SetClassification;
 pub use histogram::Histogram;
+pub use lifetime::{LifetimeLens, LifetimeTotals};
 pub use moments::Moments;
 pub use phases::PhaseSeries;
+pub use recency::RecencyLens;
 pub use uniformity::{gini, normalized_entropy};

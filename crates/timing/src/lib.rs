@@ -21,9 +21,11 @@
 pub mod amat;
 pub mod hierarchy;
 pub mod latency;
+pub mod logical;
 pub mod stopwatch;
 
 pub use amat::{amat_adaptive, amat_column_associative, amat_conventional, amat_exact};
 pub use hierarchy::Hierarchy;
 pub use latency::LatencyModel;
+pub use logical::LogicalClock;
 pub use stopwatch::Stopwatch;

@@ -47,6 +47,7 @@
 //! | [`assoc`] | `unicache-assoc` | Section III programmable-associativity caches |
 //! | [`timing`] | `unicache-timing` | AMAT (paper Eq. 8/9), 2-level hierarchy |
 //! | [`smt`] | `unicache-smt` | SMT interleaving, per-thread indexing, partitioned caches |
+//! | [`hierarchy`] | `unicache-hierarchy` | multi-core MESI hierarchy, victim buffers, coherence model checker |
 //! | [`trace`] | `unicache-trace` | simulated address space, instrumented memory, trace I/O |
 //! | [`workloads`] | `unicache-workloads` | 11 MiBench-like + 10 SPEC-like instrumented kernels |
 //! | [`stats`] | `unicache-stats` | kurtosis/skewness, FHS/FMS/LAS, Gini/entropy |
@@ -55,7 +56,9 @@
 
 pub use unicache_assoc as assoc;
 pub use unicache_core as core;
+pub use unicache_exec as exec;
 pub use unicache_experiments as experiments;
+pub use unicache_hierarchy as hierarchy;
 pub use unicache_indexing as indexing;
 pub use unicache_obs as obs;
 pub use unicache_sim as sim;
@@ -71,24 +74,30 @@ pub mod prelude {
         AdaptiveGroupCache, BCache, ColumnAssociativeCache, PartnerChainCache, PartnerIndexCache,
         SkewedCache,
     };
+    pub use unicache_core::CoherentModel;
     pub use unicache_core::{run_batch_many, run_fused, BlockStream, FusedLane, FUSE_CHUNK};
     pub use unicache_core::{
         AccessKind, AccessResult, Addr, CacheGeometry, CacheModel, CacheStats, HitWhere,
         IndexFunction, MemRecord,
     };
     pub use unicache_experiments::{ExperimentTable, FuseGroup, SchemeId, SimStore, TraceStore};
+    pub use unicache_hierarchy::{
+        check_coherence_protocol, CoherenceConfig, CoherenceMutation, CoherentHierarchy,
+        CoherentL1, HierarchyBuilder, L2Mode, Mesi,
+    };
     pub use unicache_indexing::{
         GivargisIndex, GivargisXorIndex, IndexScheme, ModuloIndex, OddMultiplierIndex, PatelSearch,
         PrimeModuloIndex, XorIndex,
     };
-    pub use unicache_sim::{Cache, CacheBuilder, ReplacementPolicy, VictimCache};
+    pub use unicache_sim::{Cache, CacheBuilder, ReplacementPolicy, VictimBuffer, VictimCache};
     pub use unicache_smt::{
         interleave, AdaptivePartitionedCache, InterleavePolicy, PartitionedCache,
         PerThreadIndexCache,
     };
-    pub use unicache_stats::{Moments, SetClassification};
+    pub use unicache_stats::{LifetimeLens, Moments, RecencyLens, SetClassification};
     pub use unicache_timing::{
         amat_adaptive, amat_column_associative, amat_conventional, Hierarchy, LatencyModel,
+        LogicalClock,
     };
     pub use unicache_trace::{Trace, TracedMat, TracedVec, Tracer};
     pub use unicache_workloads::{Scale, Workload};

@@ -54,9 +54,46 @@ fn golden_covers_every_registered_experiment() {
     // The transcript stays honest: every experiment in the registry has
     // its banner in the golden file, so nobody can add a figure without
     // extending the regression surface.
-    assert_eq!(unicache::experiments::ALL_EXPERIMENTS.len(), 23);
-    for name in ["Fig. 1", "Fig. 4", "Fig. 6", "Fig. 7", "Fig. 13", "Fig. 14"] {
+    assert_eq!(unicache::experiments::ALL_EXPERIMENTS.len(), 24);
+    for name in [
+        "Fig. 1",
+        "Fig. 4",
+        "Fig. 6",
+        "Fig. 7",
+        "Fig. 13",
+        "Fig. 14",
+        "Coherent hierarchy",
+    ] {
         assert!(GOLDEN.contains(name), "golden transcript lost {name}");
     }
     assert!(GOLDEN.contains("selected technique per application"));
+}
+
+/// The coherent sweep is deterministic under every execution knob the
+/// `xp` binary exposes: worker count (`--jobs 1/2/8`), the SIMD tier
+/// toggle (`--no-simd`), and rendering twice from one process. Each
+/// variant must produce byte-identical output.
+#[test]
+fn coherent_transcript_is_execution_invariant() {
+    let render = || {
+        let store = SimStore::new(Scale::Tiny);
+        unicache::experiments::render_experiment(&store, "coherent", false, Workload::Fft)
+            .expect("coherent is registered")
+    };
+    unicache::exec::set_global_jobs(1);
+    let jobs1 = render();
+    unicache::exec::set_global_jobs(2);
+    let jobs2 = render();
+    unicache::exec::set_global_jobs(8);
+    let jobs8 = render();
+    unicache::core::SimdLanes::set_enabled(false);
+    let scalar = render();
+    unicache::core::SimdLanes::set_enabled(true);
+    unicache::exec::set_global_jobs(1);
+    let again = render();
+    assert_eq!(jobs1, jobs2, "--jobs 2 changed the coherent transcript");
+    assert_eq!(jobs1, jobs8, "--jobs 8 changed the coherent transcript");
+    assert_eq!(jobs1, scalar, "--no-simd changed the coherent transcript");
+    assert_eq!(jobs1, again, "re-rendering changed the coherent transcript");
+    assert!(jobs1.contains("Coherent hierarchy"), "banner missing");
 }

@@ -1,0 +1,139 @@
+//! The coherent hierarchy must be a pure *generalization*: with one
+//! core, a pass-through L2 and a depth-0 victim buffer there is no peer
+//! to snoop, nothing to rescue and nothing behind the bus, so the
+//! hierarchy must reproduce the solo [`Cache`]'s per-set statistics
+//! *exactly* — for every registered indexing scheme, on both reference
+//! geometries. The MESI machinery, the logical clock and the lens
+//! bookkeeping ride along on every access; this suite proves they never
+//! perturb the underlying replacement behavior.
+//!
+//! A second property pins down merge order: the merged per-core view of
+//! a multi-core run must not depend on the order the cores are merged
+//! in (stat merging is commutative), and per-core totals must conserve
+//! the trace.
+
+use proptest::prelude::*;
+use unicache::prelude::*;
+use unicache::trace::synth;
+
+fn reference_geometries() -> [CacheGeometry; 2] {
+    [
+        CacheGeometry::from_sets(64, 32, 1).unwrap(),
+        CacheGeometry::paper_l1(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// 1-core hierarchy == solo cache, for every registry scheme and
+    /// both reference geometries, on a read/write mix (writes exercise
+    /// the E->M silent upgrade path, which must stay invisible).
+    #[test]
+    fn one_core_hierarchy_matches_solo_cache(seed in 0u64..4000) {
+        for geom in reference_geometries() {
+            let trace = synth::uniform_rw(seed, 4000, 0x1000, 1 << 18, 0.3);
+            let training = trace.unique_blocks(geom.line_bytes());
+            for scheme in IndexScheme::all() {
+                let index = scheme.build(geom, Some(&training)).unwrap();
+                let mut solo = CacheBuilder::new(geom)
+                    .index(index.clone())
+                    .build()
+                    .unwrap();
+                solo.run(trace.records());
+                let mut hier = HierarchyBuilder::new(geom, index)
+                    .cores(1)
+                    .victim_depth(0)
+                    .l2(L2Mode::PassThrough)
+                    .build()
+                    .unwrap();
+                hier.run(trace.records());
+                prop_assert_eq!(
+                    hier.core_stats(0),
+                    solo.stats(),
+                    "{} diverged from the solo cache at {} sets",
+                    scheme.label(),
+                    geom.num_sets()
+                );
+                // No phantom coherence traffic on one core.
+                let coh = hier.coherence_stats();
+                prop_assert_eq!(coh.invalidations, 0);
+                prop_assert_eq!(coh.interventions, 0);
+                prop_assert_eq!(coh.victim_hits, 0);
+            }
+        }
+    }
+
+    /// A 1-core hierarchy with a *victim buffer* must likewise match the
+    /// solo victim cache of the same depth: same primary/secondary hit
+    /// split, same relocations, same per-set misses.
+    #[test]
+    fn one_core_victim_hierarchy_matches_victim_cache(
+        seed in 0u64..4000,
+        depth in 1usize..9,
+    ) {
+        let geom = CacheGeometry::from_sets(64, 32, 1).unwrap();
+        let trace = synth::hotspot(seed, 3000, 0, 128, 1 << 14, 0.8);
+        let mut solo = VictimCache::new(CacheBuilder::new(geom), depth).unwrap();
+        solo.run(trace.records());
+        let sets = geom.num_sets();
+        let mut hier = HierarchyBuilder::new(
+            geom,
+            std::sync::Arc::new(ModuloIndex::new(sets).unwrap()),
+        )
+        .cores(1)
+        .victim_depth(depth)
+        .l2(L2Mode::PassThrough)
+        .build()
+        .unwrap();
+        hier.run(trace.records());
+        prop_assert_eq!(
+            hier.core_stats(0),
+            solo.stats(),
+            "depth-{} victim hierarchy diverged from the solo victim cache",
+            depth
+        );
+    }
+
+    /// Merging per-core stats is order-invariant, and the merged view
+    /// conserves the trace: every record lands on exactly one core and
+    /// in exactly one outcome bucket.
+    #[test]
+    fn merged_core_stats_are_permutation_invariant(
+        seed in 0u64..4000,
+        cores in 2usize..5,
+    ) {
+        let geom = CacheGeometry::from_sets(64, 32, 1).unwrap();
+        let trace = synth::uniform_rw(seed, 3000, 0, 1 << 16, 0.25);
+        let sets = geom.num_sets();
+        let mut hier = HierarchyBuilder::new(
+            geom,
+            std::sync::Arc::new(ModuloIndex::new(sets).unwrap()),
+        )
+        .cores(cores)
+        .victim_depth(2)
+        .l2(L2Mode::Shared(CacheGeometry::from_sets(sets, 32, 4).unwrap()))
+        .build()
+        .unwrap();
+        hier.run(trace.records());
+
+        let forward = hier.merged_core_stats();
+        // Reverse-order merge must agree field for field.
+        let mut reversed = CacheStats::new(geom.num_sets());
+        for c in (0..cores).rev() {
+            reversed.merge(hier.core_stats(c));
+        }
+        prop_assert_eq!(&forward, &reversed, "stat merging is order-sensitive");
+
+        let outcomes = forward.primary_hits
+            + forward.secondary_hits
+            + forward.misses_direct
+            + forward.misses_after_probe;
+        prop_assert_eq!(forward.accesses(), trace.records().len() as u64);
+        prop_assert_eq!(outcomes, forward.accesses());
+        // Miss attribution: one bus fetch and one data source per miss.
+        let coh = hier.coherence_stats();
+        prop_assert_eq!(coh.bus_reads + coh.bus_read_x, forward.misses());
+        prop_assert_eq!(coh.data_sources(), forward.misses());
+    }
+}
