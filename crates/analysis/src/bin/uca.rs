@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! uca check [--json PATH]    verify scheme invariants, optionally
-//!                            writing the JSON report to PATH
+//!           [--group NAME]   writing the JSON report to PATH; --group
+//!                            runs one invariant group in isolation
+//!                            (schemes, assoc, conservation, fused,
+//!                            coherence, model)
 //! uca lint [--root PATH]     lint crates/*/src for determinism rules
 //!          [--json PATH]     (root defaults to the current directory)
 //! uca lint --self-test       verify the linter detects seeded
@@ -30,8 +33,8 @@ fn main() -> ExitCode {
         Some("conc") => run_conc(&args[1..]),
         _ => {
             eprintln!(
-                "usage: uca check [--json PATH] | uca lint [--root PATH] [--json PATH] \
-                 [--self-test] | uca conc [--root PATH] [--json PATH] [--self-test]"
+                "usage: uca check [--json PATH] [--group NAME] | uca lint [--root PATH] \
+                 [--json PATH] [--self-test] | uca conc [--root PATH] [--json PATH] [--self-test]"
             );
             ExitCode::from(2)
         }
@@ -93,6 +96,7 @@ fn write_json(tool: &str, path: &PathBuf, json: &str) -> Result<(), ExitCode> {
 
 fn run_check(args: &[String]) -> ExitCode {
     let mut json_path: Option<PathBuf> = None;
+    let mut group: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -103,6 +107,16 @@ fn run_check(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--group" => match it.next() {
+                Some(g) => group = Some(g.clone()),
+                None => {
+                    eprintln!(
+                        "uca check: --group requires a name (one of: {})",
+                        check::GROUPS.join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("uca check: unknown argument '{other}'");
                 return ExitCode::from(2);
@@ -110,7 +124,19 @@ fn run_check(args: &[String]) -> ExitCode {
         }
     }
 
-    let report = check::run_all();
+    let report = match group.as_deref() {
+        None => check::run_all(),
+        Some(name) => match check::run_group(name) {
+            Some(r) => r,
+            None => {
+                eprintln!(
+                    "uca check: unknown group '{name}' (one of: {})",
+                    check::GROUPS.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        },
+    };
     if let Some(path) = json_path {
         if let Err(code) = write_json("check", &path, &report.to_json()) {
             return code;

@@ -99,6 +99,36 @@ pub fn training_blocks(count: usize) -> Vec<u64> {
     blocks
 }
 
+/// The named invariant groups `uca check --group NAME` can run in
+/// isolation (in `run_all` order).
+pub const GROUPS: &[&str] = &[
+    "schemes",
+    "assoc",
+    "conservation",
+    "fused",
+    "coherence",
+    "model",
+];
+
+/// Runs one named invariant group, or `None` for an unknown name.
+pub fn run_group(name: &str) -> Option<Report> {
+    let mut report = Report::default();
+    match name {
+        "schemes" => {
+            for geom in [CacheGeometry::paper_l1(), small_geometry()] {
+                check_index_schemes(&mut report, geom);
+            }
+        }
+        "assoc" => check_assoc_schemes(&mut report),
+        "conservation" => check_counter_conservation(&mut report),
+        "fused" => check_fused_conservation(&mut report),
+        "coherence" => check_coherence(&mut report),
+        "model" => crate::model_check::check_model(&mut report),
+        _ => return None,
+    }
+    Some(report)
+}
+
 /// Runs every check and returns the combined report.
 pub fn run_all() -> Report {
     let mut report = Report::default();
@@ -112,6 +142,7 @@ pub fn run_all() -> Report {
     check_counter_conservation(&mut report);
     check_fused_conservation(&mut report);
     check_coherence(&mut report);
+    crate::model_check::check_model(&mut report);
     report
 }
 

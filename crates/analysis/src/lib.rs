@@ -4,7 +4,9 @@
 //!
 //! * [`check`] — verifies the algebraic invariants behind every indexing
 //!   scheme and associativity policy (GF(2) rank, modular invertibility,
-//!   surjectivity, involution/matching structure, NPI/PI coverage).
+//!   surjectivity, involution/matching structure, NPI/PI coverage),
+//!   plus the [`model_check`] group gating the analytical miss-rate
+//!   model's declared error budgets.
 //! * [`lint`] — a lexer-based scanner enforcing the workspace's
 //!   determinism rules (no default hashers, no hot-path panics, no raw
 //!   narrowing casts in address math, no wall-clock reads outside
@@ -22,10 +24,11 @@
 pub mod check;
 pub mod conc;
 pub mod lint;
+pub mod model_check;
 pub mod parse;
 pub mod report;
 
-pub use check::run_all;
+pub use check::{run_all, run_group, GROUPS};
 pub use conc::{conc_workspace, ConcAnalysis};
 pub use lint::{lint_workspace, Violation};
 pub use report::{CheckEntry, Report};

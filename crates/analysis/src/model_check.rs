@@ -1,0 +1,328 @@
+//! Layer 1e — the analytical-model invariant group (`uca check --group
+//! model`).
+//!
+//! The `crates/model` predictor ships with declared error budgets
+//! (`unicache_model::error_budget`); this group is what makes those
+//! budgets contracts instead of comments. It runs prediction and full
+//! simulation side by side on the two synthetic workload families where
+//! the independent-reference model's assumptions hold and fails when:
+//!
+//! * **budget-uniform / budget-zipf** — |predicted − simulated| miss
+//!   rate exceeds the scheme's declared budget on uniform-random or
+//!   Zipf(s ≈ 0.9) references, at any probed geometry;
+//! * **monotone-sets / monotone-ways** — the predicted miss rate is not
+//!   non-increasing in the number of sets or ways (more cache can never
+//!   predict more misses under LRU/IRM);
+//! * **conflict-bound-dominates** — the birthday-paradox conflict bound
+//!   falls below the placement's actual overflow for a hashing scheme
+//!   (an upper bound that isn't);
+//! * **unsupported-honesty** — a trace-trained scheme returns a guess
+//!   instead of `Unsupported`, or a closed-form scheme lacks a budget;
+//! * **alpha-consistency** — the associativity threshold α is not the
+//!   crossing point of the expected-overflow curve.
+//!
+//! Everything is deterministic: fixed synthetic seeds, fixed geometries,
+//! no I/O, no clock.
+
+use crate::report::Report;
+use unicache_core::{CacheGeometry, CacheModel};
+use unicache_indexing::IndexScheme;
+use unicache_model::{
+    alpha_threshold, error_budget, expected_overflow, predict, supports, Prediction,
+};
+use unicache_sim::CacheBuilder;
+use unicache_trace::{synth, Trace, WorkloadSummary};
+
+fn geometry_label(geom: CacheGeometry) -> String {
+    format!(
+        "{} sets x {} way x {} B",
+        geom.num_sets(),
+        geom.ways(),
+        geom.line_bytes()
+    )
+}
+
+fn geom(sets: usize, ways: u32) -> CacheGeometry {
+    match CacheGeometry::from_sets(sets, 32, ways) {
+        Ok(g) => g,
+        Err(e) => unreachable!("model-check geometry {sets}x{ways} is valid: {e}"),
+    }
+}
+
+/// The geometries every budget is probed at: direct-mapped and
+/// multi-way, small enough that full simulation stays instant.
+fn budget_geometries() -> [CacheGeometry; 3] {
+    [geom(64, 1), geom(64, 2), geom(256, 4)]
+}
+
+/// Uniform-random references — the IRM's home turf (footprint ~2k
+/// blocks, 60k references).
+fn uniform_trace() -> Trace {
+    synth::uniform(42, 60_000, 0x40000, 1 << 16)
+}
+
+/// Zipf-popularity references at s ≈ 0.9 — skewed but still
+/// independent, the stress case for the Che approximation.
+fn zipf_trace() -> Trace {
+    synth::zipfian(9, 30_000, 0x20000, 4096, 32, 0.9)
+}
+
+/// Simulated miss rate of `scheme` at `geom`, trained on the trace's
+/// own unique blocks where the scheme requires it.
+fn simulated_miss_rate(scheme: IndexScheme, geom: CacheGeometry, trace: &Trace) -> Option<f64> {
+    let blocks = trace.unique_blocks(geom.line_bytes());
+    let f = scheme.build(geom, Some(&blocks)).ok()?;
+    let mut cache = CacheBuilder::new(geom).index(f).build().ok()?;
+    cache.run(trace.records());
+    Some(cache.stats().miss_rate())
+}
+
+fn predicted_miss_rate(
+    scheme: IndexScheme,
+    geom: CacheGeometry,
+    summary: &WorkloadSummary,
+) -> Option<f64> {
+    predict(scheme, geom, summary).output().map(|o| o.miss_rate)
+}
+
+/// Runs the whole model group into `report`.
+pub fn check_model(report: &mut Report) {
+    check_budgets(report);
+    check_monotonicity(report);
+    check_conflict_bound(report);
+    check_unsupported_honesty(report);
+    check_alpha_consistency(report);
+}
+
+/// Selects one budget figure (uniform or Zipf) from a scheme's declared
+/// budget, or `None` for trace-trained schemes.
+type BudgetOf = fn(IndexScheme) -> Option<f64>;
+
+fn check_budgets(report: &mut Report) {
+    let families: [(&str, Trace, BudgetOf); 2] = [
+        ("budget-uniform", uniform_trace(), |s| {
+            error_budget(s).map(|b| b.uniform_pts)
+        }),
+        ("budget-zipf", zipf_trace(), |s| {
+            error_budget(s).map(|b| b.zipf_pts)
+        }),
+    ];
+    for (invariant, trace, budget_of) in families {
+        let summary = trace.summarize(32);
+        for g in budget_geometries() {
+            let glabel = geometry_label(g);
+            for scheme in IndexScheme::all() {
+                let Some(budget_pts) = budget_of(scheme) else {
+                    continue; // trace-trained: nothing declared, nothing gated
+                };
+                let label = scheme.label();
+                let (Some(pred), Some(sim)) = (
+                    predicted_miss_rate(scheme, g, &summary),
+                    simulated_miss_rate(scheme, g, &trace),
+                ) else {
+                    report.push(
+                        &label,
+                        &glabel,
+                        invariant,
+                        false,
+                        "scheme failed to predict or simulate".to_string(),
+                    );
+                    continue;
+                };
+                let err_pts = 100.0 * (pred - sim).abs();
+                report.push(
+                    &label,
+                    &glabel,
+                    invariant,
+                    err_pts <= budget_pts,
+                    format!(
+                        "predicted {:.2}% vs simulated {:.2}%: |err| {err_pts:.3} pts, \
+                         budget {budget_pts} pts",
+                        100.0 * pred,
+                        100.0 * sim
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_monotonicity(report: &mut Report) {
+    let trace = zipf_trace();
+    let summary = trace.summarize(32);
+    for scheme in [IndexScheme::Conventional, IndexScheme::Xor] {
+        let label = scheme.label();
+        let rate = |sets, ways| predicted_miss_rate(scheme, geom(sets, ways), &summary);
+        let sets_chain: Vec<Option<f64>> = [64, 128, 256].iter().map(|&s| rate(s, 1)).collect();
+        let sets_ok = sets_chain.windows(2).all(|w| match (w[0], w[1]) {
+            (Some(a), Some(b)) => a >= b - 1e-9,
+            _ => false,
+        });
+        report.push(
+            &label,
+            "64->128->256 sets x 1 way x 32 B",
+            "monotone-sets",
+            sets_ok,
+            format!(
+                "predicted miss rates {:?} non-increasing in sets",
+                sets_chain
+                    .iter()
+                    .map(|r| r.map(|v| (v * 1e4).round() / 1e4))
+                    .collect::<Vec<_>>()
+            ),
+        );
+        let ways_chain: Vec<Option<f64>> = [1u32, 2, 4].iter().map(|&w| rate(128, w)).collect();
+        let ways_ok = ways_chain.windows(2).all(|w| match (w[0], w[1]) {
+            (Some(a), Some(b)) => a >= b - 1e-9,
+            _ => false,
+        });
+        report.push(
+            &label,
+            "128 sets x 1->2->4 ways x 32 B",
+            "monotone-ways",
+            ways_ok,
+            format!(
+                "predicted miss rates {:?} non-increasing in ways",
+                ways_chain
+                    .iter()
+                    .map(|r| r.map(|v| (v * 1e4).round() / 1e4))
+                    .collect::<Vec<_>>()
+            ),
+        );
+    }
+}
+
+fn check_conflict_bound(report: &mut Report) {
+    let trace = uniform_trace();
+    let summary = trace.summarize(32);
+    for g in [geom(64, 1), geom(128, 2)] {
+        let glabel = geometry_label(g);
+        for scheme in [
+            IndexScheme::Xor,
+            IndexScheme::OddMultiplier(21),
+            IndexScheme::PrimeModulo,
+        ] {
+            let label = scheme.label();
+            match predict(scheme, g, &summary) {
+                Prediction::Supported(out) => report.push(
+                    &label,
+                    &glabel,
+                    "conflict-bound-dominates",
+                    out.conflict_blocks as f64 <= out.conflict_bound,
+                    format!(
+                        "placement overflows {} blocks, birthday bound {:.1}",
+                        out.conflict_blocks, out.conflict_bound
+                    ),
+                ),
+                Prediction::Unsupported { reason } => report.push(
+                    &label,
+                    &glabel,
+                    "conflict-bound-dominates",
+                    false,
+                    format!("unexpectedly unsupported: {reason}"),
+                ),
+            }
+        }
+    }
+}
+
+fn check_unsupported_honesty(report: &mut Report) {
+    let trace = uniform_trace();
+    let summary = trace.summarize(32);
+    let g = geom(64, 1);
+    let glabel = geometry_label(g);
+    for scheme in IndexScheme::all() {
+        let label = scheme.label();
+        let p = predict(scheme, g, &summary);
+        let consistent = matches!(
+            (&p, supports(scheme), error_budget(scheme)),
+            (Prediction::Supported(_), true, Some(_))
+                | (Prediction::Unsupported { .. }, false, None)
+        );
+        report.push(
+            &label,
+            &glabel,
+            "unsupported-honesty",
+            consistent,
+            format!(
+                "supports={}, budget={}, prediction={}",
+                supports(scheme),
+                error_budget(scheme).is_some(),
+                match p {
+                    Prediction::Supported(_) => "supported",
+                    Prediction::Unsupported { .. } => "unsupported",
+                }
+            ),
+        );
+    }
+}
+
+fn check_alpha_consistency(report: &mut Report) {
+    // α must be the crossing point of the expected-overflow curve:
+    // overflow(α) < 1 block and (α == 1 or overflow(α − 1) ≥ 1).
+    for (blocks, sets) in [(100usize, 64usize), (500, 64), (4096, 256), (64, 64)] {
+        let alpha = alpha_threshold(blocks, sets);
+        let at = expected_overflow(blocks, sets, alpha);
+        let below = if alpha > 1 {
+            expected_overflow(blocks, sets, alpha - 1)
+        } else {
+            f64::INFINITY
+        };
+        let ok = alpha >= 1 && at < 1.0 && (alpha == 1 || below >= 1.0);
+        report.push(
+            "birthday",
+            format!("{blocks} blocks over {sets} sets"),
+            "alpha-consistency",
+            ok,
+            format!("alpha = {alpha}: E[overflow] {at:.3} at alpha, {below:.3} one way below"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_group_passes_clean() {
+        let mut report = Report::default();
+        check_model(&mut report);
+        let failed: Vec<String> = report
+            .entries
+            .iter()
+            .filter(|e| !e.passed)
+            .map(|e| format!("{}/{}/{}: {}", e.scheme, e.geometry, e.invariant, e.details))
+            .collect();
+        assert!(failed.is_empty(), "failing model invariants: {failed:#?}");
+        // Every declared invariant family fired.
+        for needle in [
+            "budget-uniform",
+            "budget-zipf",
+            "monotone-sets",
+            "monotone-ways",
+            "conflict-bound-dominates",
+            "unsupported-honesty",
+            "alpha-consistency",
+        ] {
+            assert!(
+                report.entries.iter().any(|e| e.invariant == needle),
+                "missing {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn budgets_gate_all_closed_form_schemes() {
+        let mut report = Report::default();
+        check_budgets(&mut report);
+        for scheme in IndexScheme::all() {
+            let label = scheme.label();
+            let gated = report.entries.iter().any(|e| e.scheme == label);
+            assert_eq!(
+                gated,
+                error_budget(scheme).is_some(),
+                "{label}: budget entries present iff a budget is declared"
+            );
+        }
+    }
+}

@@ -1,14 +1,17 @@
 //! `perfgate` — the CI gate over `xp --timing-json` artifacts.
 //!
 //! ```text
-//! perfgate compare <baseline.json> <current.json> [--max-regress F] [--out diff.json]
+//! perfgate compare <baseline.json> <current.json> [--max-regress F]
+//!                  [--phase NAME]... [--out diff.json]
 //! perfgate speedup <serial.json> <parallel.json> [--min F]
 //! ```
 //!
 //! `compare` fails (exit 1) when the current run's aggregate records/sec
 //! has regressed more than `--max-regress` (default 0.25) below the
-//! baseline; `--out` writes the diff verdict as a JSON artifact either
-//! way. `speedup` fails when wall-clock speedup of the parallel artifact
+//! baseline, or when any `--phase` (repeatable, e.g. `--phase coherent`)
+//! grew its share of total wall-clock by more than the same limit;
+//! `--out` writes the diff verdict as a JSON artifact either way.
+//! `speedup` fails when wall-clock speedup of the parallel artifact
 //! over the serial one is below `--min` (default 2.0). Logic and parsing
 //! live in [`unicache_bench::gate`].
 
@@ -17,7 +20,8 @@ use unicache_bench::gate;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: perfgate compare <baseline.json> <current.json> [--max-regress F] [--out FILE]\n\
+        "usage: perfgate compare <baseline.json> <current.json> [--max-regress F] \
+         [--phase NAME]... [--out FILE]\n\
          \x20      perfgate speedup <serial.json> <parallel.json> [--min F]"
     );
     ExitCode::from(2)
@@ -55,11 +59,17 @@ fn main() -> ExitCode {
                 .iter()
                 .position(|x| x == "--out")
                 .and_then(|i| args.get(i + 1));
+            let phases: Vec<&str> = args
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| x.as_str() == "--phase")
+                .filter_map(|(i, _)| args.get(i + 1).map(String::as_str))
+                .collect();
             let (base, cur) = match (read(a), read(b)) {
                 (Ok(x), Ok(y)) => (x, y),
                 (Err(c), _) | (_, Err(c)) => return c,
             };
-            let cmp = match gate::compare(&base, &cur, max_regress) {
+            let cmp = match gate::compare_with_phases(&base, &cur, max_regress, &phases) {
                 Ok(c) => c,
                 Err(e) => {
                     eprintln!("perfgate: {e}");
@@ -73,6 +83,15 @@ fn main() -> ExitCode {
             }
             for w in &cmp.warnings {
                 eprintln!("perfgate: warning: {w}");
+            }
+            for p in &cmp.phases {
+                eprintln!(
+                    "perfgate: phase '{}' share {:.1}% -> {:.1}% of wall-clock: {}",
+                    p.name,
+                    100.0 * p.base_share,
+                    100.0 * p.cur_share,
+                    if p.pass { "PASS" } else { "FAIL" }
+                );
             }
             eprintln!(
                 "perfgate: baseline {:.0} rec/s, current {:.0} rec/s, change {:+.1}% \

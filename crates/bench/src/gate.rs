@@ -15,6 +15,12 @@
 //!   *reported* but never fail the gate: adding a figure legitimately
 //!   grows the workload, and wall totals are not comparable across
 //!   different work amounts.
+//! * **phase share** — named phases (e.g. the `coherent` hierarchy
+//!   sweep, gated by CI) are compared by their *share* of total
+//!   wall-clock, which is machine-independent: a phase whose share grows
+//!   by more than `max_regress` relative (and more than two points of
+//!   total absolute, so microscopic phases can't trip the gate on noise)
+//!   fails like a throughput regression does.
 //!
 //! [`speedup`] serves the parallel-determinism CI job: given a `--jobs 1`
 //! and a `--jobs N` artifact it returns the wall-clock ratio, gated at
@@ -49,6 +55,39 @@ pub fn json_u64(src: &str, key: &str) -> Option<u64> {
     Some(v as u64)
 }
 
+/// Wall-clock seconds of one named phase in a `--timing-json` artifact.
+///
+/// Matches the exact machine-written form `{"name": "X", "seconds": N}`
+/// the `xp` binary emits — like [`json_f64`], a scan is exact here and
+/// only here.
+pub fn phase_seconds(src: &str, name: &str) -> Option<f64> {
+    let needle = format!("{{\"name\": \"{name}\", \"seconds\": ");
+    let at = src.find(&needle)? + needle.len();
+    let rest = &src[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Verdict for one gated phase: its share of total wall-clock, baseline
+/// vs current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseVerdict {
+    /// Phase (experiment) name.
+    pub name: String,
+    /// Baseline `phase seconds / total seconds`.
+    pub base_share: f64,
+    /// Current `phase seconds / total seconds`.
+    pub cur_share: f64,
+    /// Fractional share growth: positive = the phase got relatively
+    /// slower.
+    pub regress: f64,
+    /// True when the share grew by no more than the limit (or by less
+    /// than two absolute points of total).
+    pub pass: bool,
+}
+
 /// Outcome of a baseline-vs-current comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
@@ -62,7 +101,9 @@ pub struct Comparison {
     pub max_regress: f64,
     /// Non-fatal observations (work-counter drift etc.).
     pub warnings: Vec<String>,
-    /// True when `regress <= max_regress`.
+    /// Per-phase share verdicts for the phases the caller gated.
+    pub phases: Vec<PhaseVerdict>,
+    /// True when `regress <= max_regress` and every gated phase passed.
     pub pass: bool,
 }
 
@@ -75,6 +116,19 @@ impl Comparison {
              \"regress_fraction\": {:.6},\n  \"max_regress\": {:.6},\n  \"pass\": {},\n",
             self.base_rps, self.cur_rps, self.regress, self.max_regress, self.pass
         ));
+        out.push_str("  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            let comma = if i + 1 < self.phases.len() { "," } else { "" };
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"base_share\": {:.6}, \"cur_share\": {:.6}, \
+                 \"regress\": {:.6}, \"pass\": {}}}{comma}",
+                p.name, p.base_share, p.cur_share, p.regress, p.pass
+            ));
+        }
+        if !self.phases.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
         out.push_str("  \"warnings\": [");
         for (i, w) in self.warnings.iter().enumerate() {
             let comma = if i + 1 < self.warnings.len() { "," } else { "" };
@@ -93,6 +147,25 @@ impl Comparison {
 /// Returns `Err` when either artifact lacks the gate metric — a malformed
 /// artifact must fail CI loudly, not pass vacuously.
 pub fn compare(baseline: &str, current: &str, max_regress: f64) -> Result<Comparison, String> {
+    compare_with_phases(baseline, current, max_regress, &[])
+}
+
+/// Minimum absolute share growth (of total wall-clock) before a phase
+/// can fail the gate — keeps sub-percent phases from tripping on timer
+/// noise.
+const PHASE_SHARE_SLACK: f64 = 0.02;
+
+/// [`compare`] plus per-phase share gating: each named phase's share of
+/// total wall-clock may grow by at most `max_regress` relative (with
+/// [`PHASE_SHARE_SLACK`] absolute slack). A gated phase missing from
+/// either artifact is an error — the baseline must be regenerated when a
+/// gated experiment is added.
+pub fn compare_with_phases(
+    baseline: &str,
+    current: &str,
+    max_regress: f64,
+    gated_phases: &[&str],
+) -> Result<Comparison, String> {
     let base_rps = json_f64(baseline, "records_per_sec")
         .ok_or_else(|| "baseline artifact lacks records_per_sec".to_string())?;
     let cur_rps = json_f64(current, "records_per_sec")
@@ -101,6 +174,39 @@ pub fn compare(baseline: &str, current: &str, max_regress: f64) -> Result<Compar
         return Err(format!("baseline records_per_sec not positive: {base_rps}"));
     }
     let regress = (base_rps - cur_rps) / base_rps;
+
+    let mut phases = Vec::new();
+    if !gated_phases.is_empty() {
+        let base_total = json_f64(baseline, "total_seconds")
+            .filter(|&t| t > 0.0)
+            .ok_or_else(|| "baseline artifact lacks a positive total_seconds".to_string())?;
+        let cur_total = json_f64(current, "total_seconds")
+            .filter(|&t| t > 0.0)
+            .ok_or_else(|| "current artifact lacks a positive total_seconds".to_string())?;
+        for &name in gated_phases {
+            let base_secs = phase_seconds(baseline, name)
+                .ok_or_else(|| format!("baseline artifact lacks phase '{name}'"))?;
+            let cur_secs = phase_seconds(current, name)
+                .ok_or_else(|| format!("current artifact lacks phase '{name}'"))?;
+            let base_share = base_secs / base_total;
+            let cur_share = cur_secs / cur_total;
+            let growth = cur_share - base_share;
+            let phase_regress = if base_share > 0.0 {
+                growth / base_share
+            } else if cur_share > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            phases.push(PhaseVerdict {
+                name: name.to_string(),
+                base_share,
+                cur_share,
+                regress: phase_regress,
+                pass: phase_regress <= max_regress || growth <= PHASE_SHARE_SLACK,
+            });
+        }
+    }
 
     let mut warnings = Vec::new();
     for key in ["sims_run", "records_simulated"] {
@@ -113,13 +219,14 @@ pub fn compare(baseline: &str, current: &str, max_regress: f64) -> Result<Compar
         }
     }
 
-    let pass = regress <= max_regress;
+    let pass = regress <= max_regress && phases.iter().all(|p| p.pass);
     Ok(Comparison {
         base_rps,
         cur_rps,
         regress,
         max_regress,
         warnings,
+        phases,
         pass,
     })
 }
@@ -211,5 +318,67 @@ mod tests {
         let j = c.to_json();
         assert!(j.contains("\"pass\": false"));
         assert_eq!(json_f64(&j, "regress_fraction"), Some(0.5));
+    }
+
+    /// Artifact in the exact shape `xp --timing-json` writes, with a
+    /// two-entry phase list.
+    fn phased(rps: f64, total: f64, coherent_secs: f64) -> String {
+        format!(
+            "{{\n  \"phases\": [\n    {{\"name\": \"fig4\", \"seconds\": 1.000000}},\n    \
+             {{\"name\": \"coherent\", \"seconds\": {coherent_secs:.6}}}\n  ],\n  \
+             \"total_seconds\": {total:.6},\n  \"sims_run\": 100,\n  \
+             \"records_simulated\": 1000000,\n  \"records_per_sec\": {rps:.0}\n}}"
+        )
+    }
+
+    #[test]
+    fn phase_seconds_scans_the_named_entry() {
+        let a = phased(100000.0, 10.0, 2.5);
+        assert_eq!(phase_seconds(&a, "fig4"), Some(1.0));
+        assert_eq!(phase_seconds(&a, "coherent"), Some(2.5));
+        assert_eq!(phase_seconds(&a, "absent"), None);
+    }
+
+    #[test]
+    fn phase_share_growth_fails_the_gate() {
+        let base = phased(100000.0, 10.0, 2.0);
+        // Same throughput, but coherent ballooned from 20% to 60% of wall.
+        let bad = phased(100000.0, 10.0, 6.0);
+        let c = compare_with_phases(&base, &bad, 0.25, &["coherent"]).unwrap();
+        assert!(!c.pass, "{c:?}");
+        assert_eq!(c.phases.len(), 1);
+        assert!(!c.phases[0].pass);
+        assert!((c.phases[0].regress - 2.0).abs() < 1e-9);
+        // Within-band growth passes.
+        let ok =
+            compare_with_phases(&base, &phased(100000.0, 10.0, 2.2), 0.25, &["coherent"]).unwrap();
+        assert!(ok.pass, "{ok:?}");
+    }
+
+    #[test]
+    fn tiny_phase_noise_is_absorbed_by_absolute_slack() {
+        // 0.1% -> 0.3% of wall is a 3x relative jump but far below the
+        // two-point absolute slack.
+        let base = phased(100000.0, 10.0, 0.01);
+        let cur = phased(100000.0, 10.0, 0.03);
+        let c = compare_with_phases(&base, &cur, 0.25, &["coherent"]).unwrap();
+        assert!(c.pass, "{c:?}");
+    }
+
+    #[test]
+    fn gated_phase_missing_from_baseline_errors() {
+        let cur = phased(100000.0, 10.0, 2.0);
+        assert!(compare_with_phases(BASE, &cur, 0.25, &["coherent"]).is_err());
+        assert!(compare_with_phases(&cur, &cur, 0.25, &["absent"]).is_err());
+    }
+
+    #[test]
+    fn phase_verdicts_round_trip_through_json() {
+        let base = phased(100000.0, 10.0, 2.0);
+        let c =
+            compare_with_phases(&base, &phased(100000.0, 10.0, 6.0), 0.25, &["coherent"]).unwrap();
+        let j = c.to_json();
+        assert!(j.contains("\"name\": \"coherent\""));
+        assert!(j.contains("\"cur_share\": 0.600000"));
     }
 }

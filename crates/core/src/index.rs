@@ -179,6 +179,28 @@ pub trait IndexFunction: Send + Sync {
     }
 }
 
+/// Set-occupancy histogram of an index function over a block list:
+/// slot `s` of the result counts how many of `blocks` map to set `s`
+/// (length [`IndexFunction::num_sets`]).
+///
+/// Routed through [`IndexFunction::index_many`] in fixed-size chunks so
+/// the batched (SIMD-tier) kernels are used and the scratch buffer stays
+/// L1-resident. This is shared plumbing between the analytical model's
+/// placement evaluation (per-set footprint without simulating the trace)
+/// and invariant checks that need set coverage witnesses.
+pub fn set_histogram(f: &dyn IndexFunction, blocks: &[BlockAddr]) -> Vec<u64> {
+    const CHUNK: usize = 1024;
+    let mut hist = vec![0u64; f.num_sets()];
+    let mut out = [0usize; CHUNK];
+    for chunk in blocks.chunks(CHUNK) {
+        f.index_many(chunk, &mut out[..chunk.len()]);
+        for &s in &out[..chunk.len()] {
+            hist[s] += 1;
+        }
+    }
+    hist
+}
+
 // Allow passing boxed/shared functions wherever a function is expected.
 impl<T: IndexFunction + ?Sized> IndexFunction for &T {
     fn index_block(&self, block: BlockAddr) -> usize {

@@ -35,7 +35,7 @@ pub use batch::{run_batch_many, run_fused, run_many, BlockStream, FusedLane, FUS
 pub use error::{ConfigError, Result};
 pub use geometry::CacheGeometry;
 pub use hasher::{DetHashMap, DetHashSet, DetState};
-pub use index::{IndexFunction, SimdLanes, SIMD_LANES};
+pub use index::{set_histogram, IndexFunction, SimdLanes, SIMD_LANES};
 pub use lru::{LruDir, LruSet};
 pub use model::{AccessResult, CacheModel, CoherentModel, HitWhere};
 pub use record::{AccessKind, MemRecord, ThreadId};

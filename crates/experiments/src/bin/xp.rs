@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! xp <fig1|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|
-//!     classify|patel|belady|select|all> [--scale tiny|small|large] [--csv]
+//!     classify|patel|belady|select|model|all> [--scale tiny|small|large] [--csv]
 //!    [--jobs N] [--no-simd] [--timing] [--timing-json FILE]
-//!    [--metrics-json FILE] [--trace-out FILE]
+//!    [--metrics-json FILE] [--model-json FILE] [--trace-out FILE]
 //! ```
 //!
 //! Rendering lives in [`unicache_experiments::runner`]; this binary only
@@ -28,6 +28,9 @@
 //!   (event counters, histograms, span counts — no wall-clock, byte-
 //!   identical across runs). Meaningful with the `obs` feature; without
 //!   it the counters section is all zeros and `obs_enabled` is false.
+//! * `--model-json` writes the analytical-model error sweep (the data
+//!   behind `xp model`) as deterministic JSON — the CI `MODEL_error.json`
+//!   artifact the model job uploads.
 //! * `--trace-out` writes completed spans in Chrome trace-event format
 //!   (load into `chrome://tracing` / Perfetto; timestamps are logical
 //!   ticks, not wall time).
@@ -43,11 +46,12 @@ use unicache_workloads::{Scale, Workload};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: xp <experiment> [--scale tiny|small|large] [--csv] [--jobs N] [--no-simd]\n\
-         \x20         [--timing] [--timing-json FILE] [--metrics-json FILE] [--trace-out FILE]\n\
+         \x20         [--timing] [--timing-json FILE] [--metrics-json FILE] [--model-json FILE]\n\
+         \x20         [--trace-out FILE]\n\
          (fig1 also takes an optional workload name, e.g. `xp fig1 susan`)\n\
          experiments: fig1 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n\
                       classify patel belady generalize idx-amat assoc-sweep\n\
-                      hierarchy icache online workloads phases select coherent all"
+                      hierarchy icache online workloads phases select coherent model all"
     );
     ExitCode::from(2)
 }
@@ -64,6 +68,7 @@ fn report_timing(store: &SimStore, phases: &[Phase], total_secs: f64, json_path:
     let sims = store.sims_run();
     let hits = store.hits();
     let decodes = store.streams_decoded();
+    let summaries = store.summaries_built();
     let rps = if total_secs > 0.0 {
         records as f64 / total_secs
     } else {
@@ -79,7 +84,7 @@ fn report_timing(store: &SimStore, phases: &[Phase], total_secs: f64, json_path:
     eprintln!(
         "simulations: {sims} run, {hits} served from cache; \
          {records} records simulated ({rps:.0} records/sec overall); \
-         {decodes} streams decoded"
+         {decodes} streams decoded, {summaries} summaries built"
     );
     eprintln!(
         "parallel: {jobs} jobs, {} tasks, busy {:.3}s (max task {:.3}s, wall {total_secs:.3}s)",
@@ -98,7 +103,7 @@ fn report_timing(store: &SimStore, phases: &[Phase], total_secs: f64, json_path:
         out.push_str(&format!(
             "  ],\n  \"total_seconds\": {total_secs:.6},\n  \"sims_run\": {sims},\n  \
              \"cache_hits\": {hits},\n  \"records_simulated\": {records},\n  \
-             \"streams_decoded\": {decodes},\n  \
+             \"streams_decoded\": {decodes},\n  \"summaries_built\": {summaries},\n  \
              \"records_per_sec\": {rps:.0},\n  \"jobs\": {jobs},\n  \
              \"parallel\": {{\"tasks\": {}, \"busy_seconds\": {:.6}, \
              \"max_task_seconds\": {:.6}}}\n}}\n",
@@ -126,6 +131,7 @@ fn main() -> ExitCode {
     let mut timing = false;
     let mut timing_json: Option<String> = None;
     let mut metrics_json: Option<String> = None;
+    let mut model_json: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -160,6 +166,13 @@ fn main() -> ExitCode {
                 i += 1;
                 match args.get(i) {
                     Some(p) => metrics_json = Some(p.clone()),
+                    None => return usage(),
+                }
+            }
+            "--model-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => model_json = Some(p.clone()),
                     None => return usage(),
                 }
             }
@@ -216,6 +229,14 @@ fn main() -> ExitCode {
     }
     if let Some(path) = metrics_json.as_deref() {
         write_artifact(path, &unicache_experiments::metrics_json(&store));
+    }
+    if let Some(path) = model_json.as_deref() {
+        // Served from the same store: after `xp model` (or `xp all`) the
+        // sweep is fully cached and this only re-reads results.
+        write_artifact(
+            path,
+            &unicache_experiments::figures::model::model_error_json(&store),
+        );
     }
     if let Some(path) = trace_out.as_deref() {
         write_artifact(path, &unicache_obs::snapshot().to_chrome_trace());

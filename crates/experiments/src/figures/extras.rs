@@ -459,15 +459,17 @@ pub fn workload_characterization(store: &SimStore) -> ExperimentTable {
     store.prefetch(&workloads, &[SchemeId::Baseline], geom);
     let rows = workloads.iter().map(|w| w.name().to_string()).collect();
     let values: Vec<Vec<f64>> = unicache_exec::map(&workloads, |&w| {
-        let trace = store.get(w);
-        let unique = store.unique_blocks(w, geom.line_bytes());
+        // One memoized summary supplies length, footprint and write mix —
+        // the same pass the analytical model and Givargis training share,
+        // instead of one trace traversal per statistic.
+        let summary = store.summary(w, geom.line_bytes());
         let stats = store.stats(w, SchemeId::Baseline, geom);
         let accesses = stats.accesses_per_set();
         vec![
-            trace.len() as f64,
-            unique.len() as f64,
-            (unique.len() as u64 * geom.line_bytes()) as f64 / 1024.0,
-            100.0 * trace.write_count() as f64 / trace.len().max(1) as f64,
+            summary.total_refs as f64,
+            summary.footprint_blocks() as f64,
+            (summary.footprint_blocks() as u64 * geom.line_bytes()) as f64 / 1024.0,
+            100.0 * summary.mix.writes as f64 / summary.total_refs.max(1) as f64,
             100.0 * stats.miss_rate(),
             unicache_stats::gini(&accesses),
         ]

@@ -8,6 +8,7 @@ pub mod extras;
 pub mod fig1;
 pub mod hybrid;
 pub mod indexing;
+pub mod model;
 pub mod smt;
 pub mod sweeps;
 

@@ -1,0 +1,298 @@
+//! The `xp model` figure — analytical predictions next to full
+//! simulations.
+//!
+//! For every registry indexing scheme, two cache geometries and the
+//! MiBench suite, the table shows the closed-form model's predicted miss
+//! rate beside the simulator's measured one, with the absolute error in
+//! miss-rate percentage points and the relative error — the evidence
+//! behind the declared error budgets the `uca check` model group gates
+//! on. Trace-trained schemes (the Givargis family) have no closed form;
+//! their prediction columns render as dashes, never as a guess.
+
+use crate::figures::paper_geom;
+use crate::{ExperimentTable, SchemeId, SimStore};
+use std::fmt::Write as _;
+use unicache_core::CacheGeometry;
+use unicache_indexing::IndexScheme;
+use unicache_model::{error_budget, predict, Prediction};
+use unicache_workloads::Workload;
+
+/// The schemes of the model table: the conventional baseline plus the
+/// paper's figure-4 set — one of every registered scheme kind, closed
+/// form or not.
+fn schemes() -> Vec<IndexScheme> {
+    let mut v = vec![IndexScheme::Conventional];
+    v.extend(IndexScheme::figure4_set());
+    v
+}
+
+/// The [`SimStore`] key a scheme's simulation lives under. Conventional
+/// indexing *is* the baseline cache, so it maps onto the baseline key
+/// and shares the simulations every other figure already ran.
+fn sim_id(scheme: IndexScheme) -> SchemeId {
+    match scheme {
+        IndexScheme::Conventional => SchemeId::Baseline,
+        other => SchemeId::Index(other),
+    }
+}
+
+/// The geometries the model sweeps: the paper's direct-mapped L1 and the
+/// same capacity at four ways (the Che approximation and the α threshold
+/// behave qualitatively differently above one way).
+fn geometries() -> Vec<CacheGeometry> {
+    vec![
+        paper_geom(),
+        CacheGeometry::new(32 * 1024, 32, 4).expect("4-way paper L1 is valid"),
+    ]
+}
+
+/// One (workload, scheme, geometry) comparison: the model's answer and
+/// the simulator's.
+struct ModelRow {
+    workload: Workload,
+    scheme: IndexScheme,
+    geom: CacheGeometry,
+    prediction: Prediction,
+    simulated_miss_rate: f64,
+}
+
+/// Runs predictions and simulations side by side for the whole sweep, in
+/// canonical (geometry, workload, scheme) order. Simulations come from
+/// the shared pool (prefetched fused, in parallel); predictions are
+/// parallelised per (geometry, workload) pair.
+fn model_rows(store: &SimStore) -> Vec<ModelRow> {
+    let workloads = Workload::mibench();
+    let sim_ids: Vec<SchemeId> = schemes().iter().map(|&s| sim_id(s)).collect();
+    for geom in geometries() {
+        store.prefetch(&workloads, &sim_ids, geom);
+    }
+    let pairs: Vec<(CacheGeometry, Workload)> = geometries()
+        .into_iter()
+        .flat_map(|g| workloads.iter().map(move |&w| (g, w)))
+        .collect();
+    let per_pair: Vec<Vec<ModelRow>> = unicache_exec::map(&pairs, |&(geom, w)| {
+        let summary = store.summary(w, geom.line_bytes());
+        schemes()
+            .into_iter()
+            .map(|scheme| {
+                let prediction = predict(scheme, geom, &summary);
+                match prediction {
+                    Prediction::Supported(_) => {
+                        unicache_obs::count(unicache_obs::Event::ModelPredict)
+                    }
+                    Prediction::Unsupported { .. } => {
+                        unicache_obs::count(unicache_obs::Event::ModelUnsupported)
+                    }
+                }
+                let simulated_miss_rate = store.stats(w, sim_id(scheme), geom).miss_rate();
+                ModelRow {
+                    workload: w,
+                    scheme,
+                    geom,
+                    prediction,
+                    simulated_miss_rate,
+                }
+            })
+            .collect()
+    });
+    per_pair.into_iter().flatten().collect()
+}
+
+/// **`xp model`** — predicted vs simulated miss rate (and the conflict
+/// bound / α machinery) per scheme × geometry × workload.
+pub fn model(store: &SimStore) -> ExperimentTable {
+    let rows = model_rows(store);
+    let labels = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{}:{}@{}x{}",
+                r.workload.name(),
+                r.scheme.label(),
+                r.geom.num_sets(),
+                r.geom.ways()
+            )
+        })
+        .collect();
+    let values = rows
+        .iter()
+        .map(|r| {
+            let sim_pct = 100.0 * r.simulated_miss_rate;
+            match r.prediction.output() {
+                Some(out) => {
+                    let pred_pct = 100.0 * out.miss_rate;
+                    let rel = if r.simulated_miss_rate > 0.0 {
+                        100.0 * (out.miss_rate - r.simulated_miss_rate) / r.simulated_miss_rate
+                    } else {
+                        f64::NAN
+                    };
+                    vec![
+                        pred_pct,
+                        sim_pct,
+                        pred_pct - sim_pct,
+                        rel,
+                        out.conflict_blocks as f64,
+                        out.conflict_bound,
+                        f64::from(out.alpha),
+                    ]
+                }
+                None => vec![
+                    f64::NAN,
+                    sim_pct,
+                    f64::NAN,
+                    f64::NAN,
+                    f64::NAN,
+                    f64::NAN,
+                    f64::NAN,
+                ],
+            }
+        })
+        .collect();
+    ExperimentTable::new(
+        "Model: analytical miss-rate predictions vs full simulation",
+        "miss rates in %, Err_pts = predicted - simulated (pts); '-' = no closed form",
+        labels,
+        vec![
+            "Pred_Miss".into(),
+            "Sim_Miss".into(),
+            "Err_pts".into(),
+            "RelErr_%".into(),
+            "Conflicts".into(),
+            "Conf_Bound".into(),
+            "Alpha".into(),
+        ],
+        values,
+    )
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// The machine-readable companion of [`model`]: the same sweep as a JSON
+/// document (`xp model --model-json FILE`, uploaded by CI as
+/// `MODEL_error.json`). Deterministic: same scale, same bytes.
+pub fn model_error_json(store: &SimStore) -> String {
+    let rows = model_rows(store);
+    let mut out = String::from("{\n  \"schemes\": [\n");
+    let all = schemes();
+    for (i, &s) in all.iter().enumerate() {
+        let sep = if i + 1 == all.len() { "" } else { "," };
+        match error_budget(s) {
+            Some(b) => {
+                let _ = writeln!(
+                    out,
+                    "    {{\"scheme\": \"{}\", \"closed_form\": true, \
+                     \"budget_uniform_pts\": {}, \"budget_zipf_pts\": {}}}{sep}",
+                    s.label(),
+                    json_f64(b.uniform_pts),
+                    json_f64(b.zipf_pts)
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "    {{\"scheme\": \"{}\", \"closed_form\": false}}{sep}",
+                    s.label()
+                );
+            }
+        }
+    }
+    out.push_str("  ],\n  \"entries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"{}\", \"scheme\": \"{}\", \"sets\": {}, \"ways\": {}, \
+             \"simulated_miss_rate\": {}",
+            r.workload.name(),
+            r.scheme.label(),
+            r.geom.num_sets(),
+            r.geom.ways(),
+            json_f64(r.simulated_miss_rate)
+        );
+        match r.prediction.output() {
+            Some(o) => {
+                let _ = writeln!(
+                    out,
+                    ", \"predicted_miss_rate\": {}, \"abs_err_pts\": {}, \
+                     \"conflict_blocks\": {}, \"conflict_bound\": {}, \"alpha\": {}}}{sep}",
+                    json_f64(o.miss_rate),
+                    json_f64(100.0 * (o.miss_rate - r.simulated_miss_rate)),
+                    o.conflict_blocks,
+                    json_f64(o.conflict_bound),
+                    o.alpha
+                );
+            }
+            None => {
+                let _ = writeln!(out, ", \"predicted_miss_rate\": null}}{sep}");
+            }
+        }
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicache_workloads::Scale;
+
+    #[test]
+    fn model_table_covers_the_full_sweep() {
+        let store = SimStore::new(Scale::Tiny);
+        let t = model(&store);
+        // 2 geometries x 11 workloads x 6 schemes.
+        assert_eq!(t.rows.len(), 2 * 11 * 6);
+        assert_eq!(t.cols.len(), 7);
+        // Closed-form rows predict; trace-trained rows abstain but still
+        // report the simulated rate.
+        let pred = t.get("adpcm:XOR@1024x1", "Pred_Miss").unwrap();
+        assert!(pred.is_finite() && (0.0..=100.0).contains(&pred));
+        let givargis = t.get("adpcm:Givargis@1024x1", "Pred_Miss").unwrap();
+        assert!(givargis.is_nan(), "no closed form must mean no guess");
+        let sim = t.get("adpcm:Givargis@1024x1", "Sim_Miss").unwrap();
+        assert!(sim.is_finite());
+        // Err_pts is exactly the difference of the two rate columns.
+        let s = t.get("fft:Prime_Modulo@256x4", "Sim_Miss").unwrap();
+        let p = t.get("fft:Prime_Modulo@256x4", "Pred_Miss").unwrap();
+        let e = t.get("fft:Prime_Modulo@256x4", "Err_pts").unwrap();
+        assert!((e - (p - s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conventional_rows_reuse_the_baseline_simulations() {
+        let store = SimStore::new(Scale::Tiny);
+        let _ = model(&store);
+        let sims_after = store.sims_run();
+        // The conventional column keyed as Baseline: re-rendering (or any
+        // figure-4-family figure) adds no simulations for it.
+        let _ = crate::figures::indexing::fig4(&store);
+        assert_eq!(store.sims_run(), sims_after, "fig4 fully served from pool");
+    }
+
+    #[test]
+    fn model_error_json_is_valid_enough_and_stable() {
+        let store = SimStore::new(Scale::Tiny);
+        let a = model_error_json(&store);
+        let b = model_error_json(&store);
+        assert_eq!(a, b, "deterministic given a warm store");
+        assert!(a.contains("\"schemes\""));
+        assert!(a.contains("\"entries\""));
+        assert!(a.contains("\"budget_uniform_pts\""));
+        assert!(
+            a.contains("\"predicted_miss_rate\": null"),
+            "Givargis abstains"
+        );
+        assert!(
+            !a.contains("NaN") && !a.contains("inf"),
+            "JSON has no non-finite literals"
+        );
+        assert_eq!(a.matches("{\"workload\"").count(), 2 * 11 * 6);
+        assert!(a.trim_end().ends_with('}'));
+    }
+}

@@ -41,6 +41,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "phases",
     "select",
     "coherent",
+    "model",
 ];
 
 /// Renders a table the way `xp` emits it: CSV exactly, text with the
@@ -91,6 +92,7 @@ pub fn render_experiment(
         "workloads" => emit(figures::extras::workload_characterization(store), csv),
         "phases" => emit(figures::extras::phase_stability(store), csv),
         "coherent" => emit(figures::coherent::coherent(store), csv),
+        "model" => emit(figures::model::model(store), csv),
         "select" => {
             let t = figures::extras::scheme_selection(store);
             let mut out = emit(t.clone(), csv);
@@ -135,11 +137,13 @@ pub fn metrics_json(store: &SimStore) -> String {
     let _ = write!(
         out,
         ",\n  \"simstore\": {{\n    \"sims_run\": {},\n    \"cache_hits\": {},\n    \
-         \"records_simulated\": {},\n    \"streams_decoded\": {}\n  }}\n}}\n",
+         \"records_simulated\": {},\n    \"streams_decoded\": {},\n    \
+         \"summaries_built\": {}\n  }}\n}}\n",
         store.sims_run(),
         store.hits(),
         store.records_simulated(),
-        store.streams_decoded()
+        store.streams_decoded(),
+        store.summaries_built()
     );
     out
 }

@@ -56,7 +56,7 @@ use unicache_core::{
 use unicache_indexing::IndexScheme;
 use unicache_sim::CacheBuilder;
 use unicache_smt::{interleave_refs, InterleavePolicy};
-use unicache_trace::Trace;
+use unicache_trace::{Trace, WorkloadSummary};
 use unicache_workloads::{Scale, Workload};
 
 /// Identity of one simulated cache organisation — the scheme axis of the
@@ -155,7 +155,7 @@ type MergedKey = (Vec<Workload>, InterleavePolicy);
 pub struct SimStore {
     traces: Arc<TraceStore>,
     streams: Mutex<DetHashMap<StreamKey, Cell<BlockStream>>>,
-    uniques: Mutex<DetHashMap<StreamKey, Cell<Vec<BlockAddr>>>>,
+    summaries: Mutex<DetHashMap<StreamKey, Cell<WorkloadSummary>>>,
     merged: Mutex<DetHashMap<MergedKey, Cell<Trace>>>,
     results: Mutex<DetHashMap<ResultKey, Cell<CacheStats>>>,
     groups: Mutex<DetHashMap<GroupKey, Arc<Mutex<()>>>>,
@@ -163,6 +163,7 @@ pub struct SimStore {
     sims_run: AtomicU64,
     records_simulated: AtomicU64,
     streams_decoded: AtomicU64,
+    summaries_built: AtomicU64,
 }
 
 /// One schedulable unit of fused simulation: every scheme in `schemes`
@@ -205,7 +206,7 @@ impl SimStore {
         SimStore {
             traces,
             streams: Mutex::new(det_map()),
-            uniques: Mutex::new(det_map()),
+            summaries: Mutex::new(det_map()),
             merged: Mutex::new(det_map()),
             results: Mutex::new(det_map()),
             groups: Mutex::new(det_map()),
@@ -213,6 +214,7 @@ impl SimStore {
             sims_run: AtomicU64::new(0),
             records_simulated: AtomicU64::new(0),
             streams_decoded: AtomicU64::new(0),
+            summaries_built: AtomicU64::new(0),
         }
     }
 
@@ -259,15 +261,28 @@ impl SimStore {
         }))
     }
 
-    /// The sorted unique block list of `w` at `line_bytes` (Givargis
-    /// training input), computed at most once.
-    pub fn unique_blocks(&self, w: Workload, line_bytes: u64) -> Arc<Vec<BlockAddr>> {
-        let cell = Self::cell_of(&self.uniques, (w, line_bytes));
+    /// The one-pass workload summary of `w` at `line_bytes` (footprint
+    /// with per-block reference counts, access mix, stride profile —
+    /// see [`WorkloadSummary`]), computed at most once per trace-store
+    /// entry. Both the analytical model and the access-mix statistics of
+    /// the characterization figure draw from this single pass.
+    pub fn summary(&self, w: Workload, line_bytes: u64) -> Arc<WorkloadSummary> {
+        let cell = Self::cell_of(&self.summaries, (w, line_bytes));
         Arc::clone(cell.get_or_init(|| {
-            let _span = unicache_obs::span("unique-blocks");
+            let _span = unicache_obs::span("summarize");
+            unicache_obs::count(unicache_obs::Event::ModelSummaryBuild);
+            self.summaries_built.fetch_add(1, Ordering::Relaxed);
             let trace = self.traces.get(w);
-            Arc::new(trace.unique_blocks(line_bytes))
+            Arc::new(trace.summarize(line_bytes))
         }))
+    }
+
+    /// The sorted unique block list of `w` at `line_bytes` (Givargis
+    /// training input) — the footprint slice of [`SimStore::summary`],
+    /// shared with it rather than recomputed (the summary's sort-dedup
+    /// pass produces exactly this list).
+    pub fn unique_blocks(&self, w: Workload, line_bytes: u64) -> Arc<Vec<BlockAddr>> {
+        Arc::clone(&self.summary(w, line_bytes).blocks)
     }
 
     /// The interleaved shared-cache stream of `mix`, merged at most once
@@ -437,6 +452,16 @@ impl SimStore {
         // `xp --timing` after the worker scope has joined (a happens-before
         // edge), and timing output is explicitly host-dependent.
         self.streams_decoded.load(Ordering::Relaxed) // uca:allow(relaxed-output)
+    }
+
+    /// Number of workload summaries actually computed (one per distinct
+    /// `(workload, line size)` pair, shared by the analytical model, the
+    /// Givargis training lists and the characterization stats).
+    pub fn summaries_built(&self) -> u64 {
+        // Allowed Relaxed read: monotone counter, only rendered by
+        // `xp --timing` after the worker scope has joined (a happens-before
+        // edge), and timing output is explicitly host-dependent.
+        self.summaries_built.load(Ordering::Relaxed) // uca:allow(relaxed-output)
     }
 
     /// Number of distinct results currently cached.

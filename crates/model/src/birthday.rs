@@ -1,0 +1,234 @@
+//! Birthday-paradox conflict model for random-style placement.
+//!
+//! When U footprint blocks are hashed into S sets by a well-mixing index
+//! function (XOR or odd-multiplier over high-entropy addresses behaves
+//! like uniform random placement — the arXiv 1909.12195 framing), the
+//! occupancy of one set is `K ~ Binomial(U, 1/S)` and
+//!
+//! * expected colliding **pairs** = `C(U,2)/S` (the birthday count),
+//! * expected **overflow blocks** at associativity A =
+//!   `S · E[(K − A)⁺]` — blocks that cannot co-reside in their set and
+//!   must conflict-evict each other,
+//! * the **associativity threshold** α = the smallest A whose expected
+//!   overflow drops below one block (the arXiv 2304.04954 phenomenon:
+//!   beyond α extra ways buy almost nothing, because random placement
+//!   almost never loads any set past α).
+//!
+//! The Binomial expectation is computed exactly from the pmf recurrence
+//! in log space (no `(1−p)^U` underflow even for U in the millions),
+//! truncated only where the pmf falls below e⁻⁷⁴⁶ — the `f64::exp`
+//! underflow threshold, so the truncation is invisible at f64 precision
+//! and, with its fixed bound, deterministic.
+
+/// Exact Binomial(U, 1/S) set-occupancy distribution, materialized once
+/// so overflow expectations for every associativity come from one pmf
+/// pass (the α search would otherwise be quadratic in U).
+#[derive(Debug, Clone)]
+pub struct OccupancyDist {
+    /// `pmf[k]` = P(K = k), truncated past the underflow tail.
+    pmf: Vec<f64>,
+    /// Number of blocks thrown (E[K] = blocks / sets).
+    blocks: usize,
+    /// Number of sets.
+    sets: usize,
+}
+
+impl OccupancyDist {
+    /// Builds the occupancy distribution of `blocks` balls in `sets`
+    /// bins.
+    ///
+    /// # Panics
+    /// If `sets` is zero.
+    pub fn binomial(blocks: usize, sets: usize) -> Self {
+        assert!(sets > 0, "occupancy distribution needs at least one set");
+        if sets == 1 {
+            // Degenerate: every block lands in the single set.
+            let mut pmf = vec![0.0; blocks + 1];
+            pmf[blocks] = 1.0;
+            return OccupancyDist { pmf, blocks, sets };
+        }
+        let u = blocks;
+        let p = 1.0 / sets as f64;
+        let log_ratio = (p / (1.0 - p)).ln();
+        let lambda = u as f64 * p;
+        // log pmf recurrence: lpmf(k+1) = lpmf(k) + ln((u−k)/(k+1)) + ln(p/(1−p)).
+        let mut lpmf = u as f64 * (1.0 - p).ln();
+        let mut pmf = Vec::new();
+        for k in 0..=u {
+            pmf.push(lpmf.exp());
+            // Past the mean the log-pmf decreases monotonically; once it
+            // is below the f64 exp-underflow threshold every further term
+            // is exactly 0.0, so stopping is lossless.
+            if k as f64 > lambda && lpmf < -746.0 {
+                break;
+            }
+            if k < u {
+                lpmf += ((u - k) as f64 / (k + 1) as f64).ln() + log_ratio;
+            }
+        }
+        OccupancyDist { pmf, blocks, sets }
+    }
+
+    /// `E[(K − ways)⁺]` for one set: expected blocks beyond capacity.
+    pub fn expected_overflow_per_set(&self, ways: u32) -> f64 {
+        let a = ways as f64;
+        self.pmf
+            .iter()
+            .enumerate()
+            .skip(ways as usize + 1)
+            .map(|(k, &p)| (k as f64 - a) * p)
+            .sum()
+    }
+
+    /// Expected overflow blocks across all sets: `S · E[(K − ways)⁺]`.
+    pub fn expected_overflow(&self, ways: u32) -> f64 {
+        self.sets as f64 * self.expected_overflow_per_set(ways)
+    }
+
+    /// The associativity threshold α: smallest number of ways whose
+    /// expected total overflow is below one block. Always terminates —
+    /// at A = U the overflow is exactly 0.
+    pub fn alpha(&self) -> u32 {
+        let mut a = 1u32;
+        while self.expected_overflow(a) >= 1.0 {
+            a += 1;
+            if a as usize >= self.blocks {
+                break;
+            }
+        }
+        a
+    }
+}
+
+/// Expected colliding pairs of the birthday bound: `U(U−1)/(2S)`.
+pub fn expected_colliding_pairs(blocks: usize, sets: usize) -> f64 {
+    assert!(sets > 0, "colliding pairs need at least one set");
+    let u = blocks as f64;
+    u * (u - 1.0) / (2.0 * sets as f64)
+}
+
+/// Expected overflow blocks (conflict victims) for random placement of
+/// `blocks` into `sets` at the given associativity — `S·E[(K−A)⁺]`,
+/// K ~ Binomial(U, 1/S), computed exactly.
+pub fn expected_overflow(blocks: usize, sets: usize, ways: u32) -> f64 {
+    OccupancyDist::binomial(blocks, sets).expected_overflow(ways)
+}
+
+/// Upper *bound* on the overflow count for random placement: the exact
+/// expectation plus a concentration margin of `4·√(E+1) + 4` blocks.
+///
+/// Total overflow is a sum over sets of functions of negatively
+/// associated occupancies, so its standard deviation is at most on the
+/// order of √E; four deviations plus a constant floor make the bound
+/// conservative enough that an actual random placement essentially
+/// never exceeds it (the `uca check` model group enforces exactly this
+/// dominance on synthesized random footprints), while staying within a
+/// small constant factor of the expectation.
+pub fn conflict_bound(blocks: usize, sets: usize, ways: u32) -> f64 {
+    let e = expected_overflow(blocks, sets, ways);
+    e + 4.0 * (e + 1.0).sqrt() + 4.0
+}
+
+/// The associativity threshold α for `blocks` random-placed into `sets`
+/// (see [`OccupancyDist::alpha`]).
+pub fn alpha_threshold(blocks: usize, sets: usize) -> u32 {
+    OccupancyDist::binomial(blocks, sets).alpha()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (u, s) in [(0usize, 4usize), (1, 4), (10, 4), (500, 64), (5000, 16)] {
+            let d = OccupancyDist::binomial(u, s);
+            let total: f64 = d.pmf.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "U={u} S={s} Σpmf={total}");
+        }
+    }
+
+    #[test]
+    fn single_set_is_deterministic_overflow() {
+        let d = OccupancyDist::binomial(10, 1);
+        assert_eq!(d.expected_overflow(4), 6.0);
+        assert_eq!(d.expected_overflow(10), 0.0);
+        // E[(10−9)⁺] = 1 is not yet below one block; only all ten ways
+        // silence the overflow entirely.
+        assert_eq!(d.alpha(), 10);
+    }
+
+    #[test]
+    fn overflow_matches_direct_formula_small() {
+        // U=3, S=2, A=1: K ~ Bin(3, 1/2). E[(K−1)⁺] = Σ (k−1)·C(3,k)/8
+        // = (1·3 + 2·1)/8 = 5/8; times S=2 → 1.25.
+        let e = expected_overflow(3, 2, 1);
+        assert!((e - 1.25).abs() < 1e-12, "{e}");
+    }
+
+    #[test]
+    fn overflow_decreases_in_ways_and_sets() {
+        let u = 2000;
+        let mut prev = f64::INFINITY;
+        for a in 1..8u32 {
+            let e = expected_overflow(u, 256, a);
+            assert!(e <= prev, "A={a}");
+            prev = e;
+        }
+        let mut prev = f64::INFINITY;
+        for s in [64usize, 128, 256, 512, 1024] {
+            let e = expected_overflow(u, s, 1);
+            assert!(e <= prev, "S={s}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn mean_identity_at_zero_ways() {
+        // E[(K−0)⁺] = E[K] = U/S, so total overflow at A=0 is exactly U.
+        for (u, s) in [(100usize, 8usize), (5000, 128)] {
+            let e = expected_overflow(u, s, 0);
+            assert!((e - u as f64).abs() < 1e-6 * u as f64, "U={u} S={s} {e}");
+        }
+    }
+
+    #[test]
+    fn no_underflow_for_large_footprints() {
+        // λ = 1000 would underflow a linear-space pmf seed; log space
+        // must survive and keep the mass normalized.
+        let d = OccupancyDist::binomial(1_024_000, 1024);
+        let total: f64 = d.pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "Σpmf={total}");
+        // Mean occupancy 1000: at A=1000 roughly half the mass overflows
+        // somewhere; expectation must be positive and finite.
+        let e = d.expected_overflow(1000);
+        assert!(e.is_finite() && e > 0.0);
+    }
+
+    #[test]
+    fn alpha_is_the_crossing_point() {
+        for (u, s) in [(512usize, 64usize), (4096, 256), (100, 16)] {
+            let d = OccupancyDist::binomial(u, s);
+            let a = d.alpha();
+            assert!(d.expected_overflow(a) < 1.0, "U={u} S={s} α={a}");
+            if a > 1 {
+                assert!(d.expected_overflow(a - 1) >= 1.0, "U={u} S={s} α={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn colliding_pairs_birthday_formula() {
+        assert_eq!(expected_colliding_pairs(0, 8), 0.0);
+        assert_eq!(expected_colliding_pairs(1, 8), 0.0);
+        assert!((expected_colliding_pairs(23, 365) - 23.0 * 22.0 / 730.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflict_bound_dominates_expectation() {
+        for (u, s, a) in [(1000usize, 64usize, 1u32), (1000, 64, 4), (50, 16, 1)] {
+            let e = expected_overflow(u, s, a);
+            assert!(conflict_bound(u, s, a) > e);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Declared prediction-error budgets — the numbers CI gates on.
+//!
+//! A model without an error contract is an opinion. Each closed-form
+//! scheme declares how far its predicted miss rate may sit from the
+//! simulated one on the two synthetic workload families where the
+//! independent-reference model's assumptions hold (uniform random and
+//! Zipf-popularity references); the `uca check` model group runs
+//! prediction and simulation side by side and fails the build when a
+//! budget is exceeded. Real program traces (loops, phases, bursts)
+//! violate IRM's independence assumption, so no budget is declared for
+//! them — the `xp model` figure *reports* that error instead of gating
+//! on it.
+//!
+//! Budgets are in absolute miss-rate percentage points. They are meant
+//! to be tight enough to catch a broken solver or placement (which shows
+//! up as tens of points) while leaving honest headroom over the observed
+//! error (fractions of a point on uniform, ~4.5 points on Zipf at the
+//! most overloaded direct-mapped geometry — the Che approximation is
+//! weakest for highly skewed popularities at low associativity).
+
+use unicache_indexing::registry::IndexScheme;
+
+/// Maximum tolerated |predicted − simulated| miss rate, in percentage
+/// points, per synthetic workload family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBudget {
+    /// Budget on uniform-random reference streams.
+    pub uniform_pts: f64,
+    /// Budget on Zipf-popularity reference streams (s ≈ 0.9).
+    pub zipf_pts: f64,
+}
+
+/// The declared budget for a scheme, or `None` for schemes the model
+/// does not predict (trace-trained; they are `Unsupported`, so there is
+/// nothing to gate).
+pub fn error_budget(scheme: IndexScheme) -> Option<ErrorBudget> {
+    match scheme {
+        IndexScheme::Conventional
+        | IndexScheme::Xor
+        | IndexScheme::OddMultiplier(_)
+        | IndexScheme::PrimeModulo => Some(ErrorBudget {
+            uniform_pts: 1.5,
+            zipf_pts: 5.0,
+        }),
+        IndexScheme::Givargis | IndexScheme::GivargisXor => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::supports;
+
+    #[test]
+    fn budgets_exist_exactly_for_supported_schemes() {
+        for scheme in IndexScheme::all() {
+            assert_eq!(
+                error_budget(scheme).is_some(),
+                supports(scheme),
+                "{}",
+                scheme.label()
+            );
+        }
+    }
+
+    #[test]
+    fn budgets_are_positive_and_sane() {
+        for scheme in IndexScheme::all() {
+            if let Some(b) = error_budget(scheme) {
+                assert!(b.uniform_pts > 0.0 && b.uniform_pts < 10.0);
+                assert!(b.zipf_pts >= b.uniform_pts && b.zipf_pts < 15.0);
+            }
+        }
+    }
+}

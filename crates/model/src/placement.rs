@@ -1,0 +1,101 @@
+//! Closed-form placement: per-set footprint without replaying the trace.
+//!
+//! A scheme "admits a closed form" when its set index is a pure function
+//! of the block address — buildable with no training trace. For those
+//! schemes the entire per-set structure of a workload is computable from
+//! the footprint alone: map each of the U unique blocks through the
+//! scheme (O(U), batched through [`IndexFunction::index_many`]) instead
+//! of simulating the N-reference trace. The Givargis variants are
+//! trained on the trace itself, so they have no closed form and yield
+//! `None` here.
+
+use std::sync::Arc;
+use unicache_core::{BlockAddr, CacheGeometry, IndexFunction};
+use unicache_indexing::registry::IndexScheme;
+
+/// Builds the closed-form index function for `scheme`, or `None` for
+/// trace-trained schemes (and for geometries the scheme rejects).
+pub fn closed_form(scheme: IndexScheme, geom: CacheGeometry) -> Option<Arc<dyn IndexFunction>> {
+    if scheme.needs_training() {
+        return None;
+    }
+    scheme.build(geom, None).ok()
+}
+
+/// Maps every block to its set through the scheme's closed form:
+/// `result[i]` is the set of `blocks[i]`. `None` when the scheme has no
+/// closed form.
+pub fn set_partition(
+    scheme: IndexScheme,
+    geom: CacheGeometry,
+    blocks: &[BlockAddr],
+) -> Option<Vec<usize>> {
+    let f = closed_form(scheme, geom)?;
+    let mut out = vec![0usize; blocks.len()];
+    f.index_many(blocks, &mut out);
+    Some(out)
+}
+
+/// Conflict victims of an *actual* placement: given the per-set distinct
+/// block histogram, the number of blocks that exceed their set's
+/// capacity, `Σ_s (D_s − ways)⁺`. This is the measured quantity the
+/// birthday bound must dominate for random-style placement.
+pub fn measured_overflow(histogram: &[u64], ways: u32) -> u64 {
+    let a = ways as u64;
+    histogram.iter().map(|&d| d.saturating_sub(a)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicache_core::set_histogram;
+
+    fn geom16() -> CacheGeometry {
+        CacheGeometry::from_sets(16, 32, 1).expect("valid geometry")
+    }
+
+    #[test]
+    fn trained_schemes_have_no_closed_form() {
+        assert!(closed_form(IndexScheme::Givargis, geom16()).is_none());
+        assert!(closed_form(IndexScheme::GivargisXor, geom16()).is_none());
+        assert!(set_partition(IndexScheme::Givargis, geom16(), &[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn partition_matches_per_block_indexing() {
+        let blocks: Vec<u64> = (0..300u64)
+            .map(|i| i.wrapping_mul(0x9E3779B9) >> 4)
+            .collect();
+        for scheme in [
+            IndexScheme::Conventional,
+            IndexScheme::Xor,
+            IndexScheme::OddMultiplier(21),
+            IndexScheme::PrimeModulo,
+        ] {
+            let f = scheme.build(geom16(), None).expect("closed form builds");
+            let part = set_partition(scheme, geom16(), &blocks).expect("supported");
+            for (i, &b) in blocks.iter().enumerate() {
+                assert_eq!(part[i], f.index_block(b), "{}", scheme.label());
+            }
+        }
+    }
+
+    #[test]
+    fn measured_overflow_counts_excess_blocks() {
+        assert_eq!(measured_overflow(&[], 1), 0);
+        assert_eq!(measured_overflow(&[1, 1, 1], 1), 0);
+        assert_eq!(measured_overflow(&[3, 0, 1, 5], 1), 2 + 4);
+        assert_eq!(measured_overflow(&[3, 0, 1, 5], 2), 1 + 3);
+        assert_eq!(measured_overflow(&[3, 0, 1, 5], 8), 0);
+    }
+
+    #[test]
+    fn overflow_agrees_with_histogram_of_partition() {
+        let blocks: Vec<u64> = (0..97u64).map(|i| i * 37 + 5).collect();
+        let f = IndexScheme::Xor.build(geom16(), None).expect("builds");
+        let hist = set_histogram(f.as_ref(), &blocks);
+        assert_eq!(hist.iter().sum::<u64>(), blocks.len() as u64);
+        let brute: u64 = hist.iter().map(|&d| d.saturating_sub(1)).sum();
+        assert_eq!(measured_overflow(&hist, 1), brute);
+    }
+}

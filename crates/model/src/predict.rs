@@ -1,0 +1,291 @@
+//! The prediction entry point: summary + scheme + geometry → miss rate.
+//!
+//! [`predict`] stitches the three model pieces together:
+//!
+//! 1. the scheme's closed form partitions the footprint into sets
+//!    ([`crate::placement`], O(U));
+//! 2. each set's steady-state LRU hit rate comes from the Che / IRM
+//!    solver over the per-block popularity counts ([`crate::irm`]);
+//! 3. predicted misses per set are compulsory (`D_s`, first touch of
+//!    every distinct block) plus the steady-state miss share of the
+//!    remaining references: `m_s = D_s + (n_s − D_s)·(1 − h_s)`;
+//! 4. the birthday machinery supplies the conflict bound and the
+//!    associativity threshold for the footprint ([`crate::birthday`]).
+//!
+//! Schemes without a closed form report [`Prediction::Unsupported`] with
+//! the reason — the model never guesses, which is what lets CI gate on
+//! the error of everything it *does* predict.
+
+use crate::birthday::{alpha_threshold, conflict_bound};
+use crate::irm::lru_hit_rate;
+use crate::placement::{closed_form, measured_overflow};
+use unicache_core::CacheGeometry;
+use unicache_indexing::registry::IndexScheme;
+use unicache_trace::WorkloadSummary;
+
+/// Everything the closed-form model can say about one (scheme, geometry,
+/// workload) combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelOutput {
+    /// Predicted miss rate over all references, in `[0, 1]`.
+    pub miss_rate: f64,
+    /// Predicted miss count (`miss_rate × total_refs`).
+    pub predicted_misses: f64,
+    /// Compulsory misses: the footprint size (first touch of every
+    /// distinct block always misses).
+    pub compulsory: usize,
+    /// Conflict victims of the *actual* placement: blocks beyond their
+    /// set's capacity, `Σ_s (D_s − ways)⁺`.
+    pub conflict_blocks: u64,
+    /// Birthday-paradox upper bound on `conflict_blocks` for
+    /// random-style placement of this footprint.
+    pub conflict_bound: f64,
+    /// Associativity threshold α: the smallest number of ways at which
+    /// random placement of this footprint expects < 1 overflow block.
+    pub alpha: u32,
+}
+
+/// Outcome of asking the model about a scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Prediction {
+    /// The scheme admits a closed form; here is the prediction.
+    Supported(ModelOutput),
+    /// The scheme cannot be predicted analytically. Never a guess.
+    Unsupported {
+        /// Why no closed form exists.
+        reason: &'static str,
+    },
+}
+
+impl Prediction {
+    /// The prediction, if supported.
+    pub fn output(&self) -> Option<&ModelOutput> {
+        match self {
+            Prediction::Supported(out) => Some(out),
+            Prediction::Unsupported { .. } => None,
+        }
+    }
+}
+
+/// True if `scheme` admits a closed form (predictable without a trace).
+pub fn supports(scheme: IndexScheme) -> bool {
+    !scheme.needs_training()
+}
+
+/// Predicts miss rate, conflict count and α for one scheme at one
+/// geometry, from the workload summary alone.
+///
+/// # Panics
+/// If the summary was computed at a different line size than `geom`
+/// uses — the footprints would not be comparable.
+pub fn predict(scheme: IndexScheme, geom: CacheGeometry, summary: &WorkloadSummary) -> Prediction {
+    assert_eq!(
+        summary.line_bytes,
+        geom.line_bytes(),
+        "summary computed at {}B lines but geometry has {}B lines",
+        summary.line_bytes,
+        geom.line_bytes()
+    );
+    let f = match closed_form(scheme, geom) {
+        Some(f) => f,
+        None => {
+            return Prediction::Unsupported {
+                reason: "trained on the trace itself; no closed form",
+            }
+        }
+    };
+    let u = summary.blocks.len();
+    let num_sets = geom.num_sets();
+    let ways = geom.ways();
+    if summary.total_refs == 0 {
+        return Prediction::Supported(ModelOutput {
+            miss_rate: 0.0,
+            predicted_misses: 0.0,
+            compulsory: 0,
+            conflict_blocks: 0,
+            conflict_bound: conflict_bound(0, num_sets, ways),
+            alpha: alpha_threshold(0, num_sets),
+        });
+    }
+    // Partition the footprint: set of each unique block, then group the
+    // per-block reference counts by set with a counting sort (O(U + S),
+    // no hashing, stable in footprint order).
+    let mut part = vec![0usize; u];
+    f.index_many(&summary.blocks, &mut part);
+    let mut set_distinct = vec![0u64; num_sets];
+    for &s in &part {
+        set_distinct[s] += 1;
+    }
+    let mut offsets = vec![0usize; num_sets + 1];
+    for s in 0..num_sets {
+        offsets[s + 1] = offsets[s] + set_distinct[s] as usize;
+    }
+    let mut grouped = vec![0u64; u];
+    let mut cursor = offsets.clone();
+    for (i, &s) in part.iter().enumerate() {
+        grouped[cursor[s]] = summary.counts[i];
+        cursor[s] += 1;
+    }
+    // Per-set: compulsory + steady-state misses on the rest.
+    let mut predicted = 0.0f64;
+    for s in 0..num_sets {
+        let counts = &grouped[offsets[s]..offsets[s + 1]];
+        if counts.is_empty() {
+            continue;
+        }
+        let d = counts.len() as f64;
+        let n: u64 = counts.iter().sum();
+        let h = lru_hit_rate(counts, ways);
+        let m = d + (n as f64 - d) * (1.0 - h);
+        predicted += m.clamp(d, n as f64);
+    }
+    let total = summary.total_refs as f64;
+    Prediction::Supported(ModelOutput {
+        miss_rate: (predicted / total).clamp(0.0, 1.0),
+        predicted_misses: predicted,
+        compulsory: u,
+        conflict_blocks: measured_overflow(&set_distinct, ways),
+        conflict_bound: conflict_bound(u, num_sets, ways),
+        alpha: alpha_threshold(u, num_sets),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unicache_core::CacheModel;
+    use unicache_sim::CacheBuilder;
+    use unicache_trace::synth;
+
+    fn geom(sets: usize, ways: u32) -> CacheGeometry {
+        CacheGeometry::from_sets(sets, 32, ways).expect("valid geometry")
+    }
+
+    fn simulate(scheme: IndexScheme, g: CacheGeometry, trace: &unicache_trace::Trace) -> f64 {
+        let blocks = trace.unique_blocks(g.line_bytes());
+        let f = scheme.build(g, Some(&blocks)).expect("scheme builds");
+        let mut cache = CacheBuilder::new(g).index(f).build().expect("cache builds");
+        cache.run(trace.records());
+        cache.stats().miss_rate()
+    }
+
+    #[test]
+    fn trained_schemes_are_unsupported() {
+        let s = synth::uniform(7, 2_000, 0x10000, 1 << 14).summarize(32);
+        for scheme in [IndexScheme::Givargis, IndexScheme::GivargisXor] {
+            assert!(!supports(scheme));
+            let p = predict(scheme, geom(64, 1), &s);
+            assert!(matches!(p, Prediction::Unsupported { .. }), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_predicts_zero_misses() {
+        let s = unicache_trace::Trace::new().summarize(32);
+        let p = predict(IndexScheme::Conventional, geom(64, 1), &s);
+        let out = p.output().expect("supported");
+        assert_eq!(out.predicted_misses, 0.0);
+        assert_eq!(out.miss_rate, 0.0);
+        assert_eq!(out.compulsory, 0);
+        assert_eq!(out.conflict_blocks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lines")]
+    fn line_size_mismatch_is_rejected() {
+        let s = synth::uniform(1, 100, 0, 1 << 12).summarize(64);
+        let _ = predict(IndexScheme::Conventional, geom(64, 1), &s);
+    }
+
+    #[test]
+    fn fitting_footprint_predicts_compulsory_only() {
+        // 32 distinct blocks in a 64-set cache: everything fits, misses
+        // are exactly the footprint.
+        let t = synth::strided(4_000, 0x8000, 32, 32 * 32);
+        let g = geom(64, 1);
+        let s = t.summarize(32);
+        assert!(s.footprint_blocks() <= 64);
+        let out = predict(IndexScheme::Conventional, g, &s)
+            .output()
+            .cloned()
+            .expect("supported");
+        assert_eq!(out.predicted_misses, s.footprint_blocks() as f64);
+        assert_eq!(out.conflict_blocks, 0);
+        // Simulation agrees exactly in this regime.
+        let sim = simulate(IndexScheme::Conventional, g, &t);
+        assert!(
+            (out.miss_rate - sim).abs() < 1e-12,
+            "{} vs {sim}",
+            out.miss_rate
+        );
+    }
+
+    #[test]
+    fn uniform_random_prediction_tracks_simulation() {
+        // The IRM's home turf: uniform random references. The model
+        // should land within ~1.5 miss-rate points of the simulator for
+        // every closed-form scheme.
+        let t = synth::uniform(42, 60_000, 0x40000, 1 << 16);
+        for g in [geom(64, 1), geom(64, 2), geom(256, 4)] {
+            let s = t.summarize(32);
+            for scheme in [
+                IndexScheme::Conventional,
+                IndexScheme::Xor,
+                IndexScheme::OddMultiplier(21),
+                IndexScheme::PrimeModulo,
+            ] {
+                let out = predict(scheme, g, &s).output().cloned().expect("supported");
+                let sim = simulate(scheme, g, &t);
+                let err = (out.miss_rate - sim).abs();
+                assert!(
+                    err < 0.015,
+                    "{} at {}x{}: pred {:.4} sim {sim:.4}",
+                    scheme.label(),
+                    g.num_sets(),
+                    g.ways(),
+                    out.miss_rate
+                );
+                // Sanity structure: compulsory floor and probability range.
+                assert!(out.predicted_misses + 1e-9 >= out.compulsory as f64);
+                assert!(out.miss_rate <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn predictions_are_monotone_in_geometry() {
+        let t = synth::zipfian(9, 30_000, 0x20000, 4096, 32, 0.9);
+        let s = t.summarize(32);
+        let rate = |sets, ways| {
+            predict(IndexScheme::Conventional, geom(sets, ways), &s)
+                .output()
+                .map(|o| o.miss_rate)
+                .unwrap_or(f64::NAN)
+        };
+        assert!(rate(64, 1) >= rate(128, 1) - 1e-9);
+        assert!(rate(128, 1) >= rate(256, 1) - 1e-9);
+        assert!(rate(128, 1) >= rate(128, 2) - 1e-9);
+        assert!(rate(128, 2) >= rate(128, 4) - 1e-9);
+    }
+
+    #[test]
+    fn conflict_bound_dominates_actual_overflow_for_hashing_schemes() {
+        let t = synth::uniform(3, 20_000, 0x100000, 1 << 15);
+        let s = t.summarize(32);
+        for (sets, ways) in [(64, 1), (128, 2)] {
+            for scheme in [IndexScheme::Xor, IndexScheme::OddMultiplier(21)] {
+                let out = predict(scheme, geom(sets, ways), &s)
+                    .output()
+                    .cloned()
+                    .expect("supported");
+                assert!(
+                    (out.conflict_blocks as f64) <= out.conflict_bound,
+                    "{} at {sets}x{ways}: measured {} bound {}",
+                    scheme.label(),
+                    out.conflict_blocks,
+                    out.conflict_bound
+                );
+            }
+        }
+    }
+}

@@ -95,11 +95,20 @@ pub enum Event {
     /// Coherent hierarchy: an L1 miss was rescued by the core's own
     /// victim buffer (no bus transaction).
     CohVictimHit,
+    /// Analytical model: one-pass workload summary computed (shared by
+    /// the model, Givargis training and characterization stats).
+    ModelSummaryBuild,
+    /// Analytical model: closed-form prediction produced for one
+    /// (scheme, geometry, workload) combination.
+    ModelPredict,
+    /// Analytical model: a scheme without a closed form reported
+    /// `Unsupported` (never a guessed prediction).
+    ModelUnsupported,
 }
 
 impl Event {
     /// Number of declared events (the counter-array length).
-    pub const COUNT: usize = 36;
+    pub const COUNT: usize = 39;
 
     /// Every event, in declaration order.
     pub const ALL: [Event; Event::COUNT] = [
@@ -139,6 +148,9 @@ impl Event {
         Event::CohWriteback,
         Event::CohBackInvalidation,
         Event::CohVictimHit,
+        Event::ModelSummaryBuild,
+        Event::ModelPredict,
+        Event::ModelUnsupported,
     ];
 
     /// Position in the counter array.
@@ -186,6 +198,9 @@ impl Event {
             Event::CohWriteback => "coh.writeback",
             Event::CohBackInvalidation => "coh.back_invalidation",
             Event::CohVictimHit => "coh.victim_hit",
+            Event::ModelSummaryBuild => "model.summary_build",
+            Event::ModelPredict => "model.predict",
+            Event::ModelUnsupported => "model.unsupported",
         }
     }
 }

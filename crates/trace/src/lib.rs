@@ -20,12 +20,14 @@
 
 pub mod io;
 pub mod mem;
+pub mod summary;
 pub mod synth;
 pub mod trace;
 pub mod tracer;
 pub mod vspace;
 
 pub use mem::{TracedMat, TracedVec};
+pub use summary::{summarize, StrideProfile, WorkloadSummary};
 pub use trace::{AccessMix, Trace};
 pub use tracer::Tracer;
 pub use vspace::{Region, VirtualSpace};

@@ -60,6 +60,7 @@ pub use unicache_exec as exec;
 pub use unicache_experiments as experiments;
 pub use unicache_hierarchy as hierarchy;
 pub use unicache_indexing as indexing;
+pub use unicache_model as model;
 pub use unicache_obs as obs;
 pub use unicache_sim as sim;
 pub use unicache_smt as smt;

@@ -1,0 +1,230 @@
+//! Brute-force cross-checks of the analytical miss-rate model
+//! (`crates/model`) on tiny geometries.
+//!
+//! Every closed-form quantity the model produces is recomputed here the
+//! slow, obviously-correct way — exact binomial coefficients for the
+//! birthday machinery, per-block set enumeration for the conflict count,
+//! a naive per-set Che evaluation for the miss prediction — and the two
+//! paths must agree. Geometries stay at or below 16 sets so the brute
+//! force is readable and (for the binomial side) exhaustive.
+
+use proptest::prelude::*;
+use unicache::model::{alpha_threshold, expected_overflow, lru_hit_rate, predict, Prediction};
+use unicache::prelude::*;
+use unicache::trace::synth;
+
+/// The registry schemes with a closed form (the trained Givargis
+/// variants are `Unsupported` and have nothing to cross-check).
+const CLOSED_FORM: [IndexScheme; 4] = [
+    IndexScheme::Conventional,
+    IndexScheme::Xor,
+    IndexScheme::OddMultiplier(21),
+    IndexScheme::PrimeModulo,
+];
+
+fn geom(sets: usize, ways: u32) -> CacheGeometry {
+    CacheGeometry::from_sets(sets, 32, ways).expect("valid tiny geometry")
+}
+
+/// Exact Binomial(u, 1/s) pmf from explicit binomial coefficients —
+/// an independent path from the log-space recurrence in
+/// `crates/model/src/birthday.rs` (only valid for small `u`; C(40, 20)
+/// still fits a u128 exactly).
+fn brute_binomial_pmf(u: usize, s: usize) -> Vec<f64> {
+    let p = 1.0 / s as f64;
+    let q = 1.0 - p;
+    (0..=u)
+        .map(|k| {
+            let mut c: u128 = 1;
+            for i in 0..k {
+                c = c * (u - i) as u128 / (i + 1) as u128;
+            }
+            c as f64 * p.powi(k as i32) * q.powi((u - k) as i32)
+        })
+        .collect()
+}
+
+/// `S · E[(K − ways)⁺]` straight off the brute-force pmf.
+fn brute_overflow(u: usize, s: usize, ways: u32) -> f64 {
+    let a = ways as f64;
+    let per_set: f64 = brute_binomial_pmf(u, s)
+        .iter()
+        .enumerate()
+        .map(|(k, &pk)| (k as f64 - a).max(0.0) * pk)
+        .sum();
+    s as f64 * per_set
+}
+
+#[test]
+fn expected_overflow_matches_exact_binomial_enumeration() {
+    // Exhaustive over every footprint ≤ 40 blocks, every tiny set count
+    // and every associativity up to 4 — the full brute-forceable corner
+    // of the parameter space.
+    for u in 0..=40usize {
+        for s in [2usize, 4, 8, 16] {
+            for a in 0..=4u32 {
+                let brute = brute_overflow(u, s, a);
+                let got = expected_overflow(u, s, a);
+                assert!(
+                    (got - brute).abs() <= 1e-9 * brute.max(1.0),
+                    "U={u} S={s} A={a}: model {got} brute {brute}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn alpha_threshold_matches_linear_scan_of_brute_overflow() {
+    for u in (0..=120usize).step_by(7) {
+        for s in [2usize, 4, 8, 16] {
+            // Replicate the threshold semantics on the brute pmf: walk up
+            // from one way until the expected overflow drops below one
+            // block (capped at the footprint, where overflow is zero).
+            let mut a = 1u32;
+            while brute_overflow(u, s, a) >= 1.0 {
+                a += 1;
+                if a as usize >= u {
+                    break;
+                }
+            }
+            assert_eq!(alpha_threshold(u, s), a, "U={u} S={s}");
+        }
+    }
+}
+
+/// Supported prediction for one scheme, unwrapped.
+fn predicted(
+    scheme: IndexScheme,
+    g: CacheGeometry,
+    summary: &unicache::model::WorkloadSummary,
+) -> unicache::model::ModelOutput {
+    match predict(scheme, g, summary) {
+        Prediction::Supported(out) => out,
+        Prediction::Unsupported { reason } => {
+            panic!("{} unexpectedly unsupported: {reason}", scheme.label())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn conflict_blocks_match_per_block_enumeration(
+        seed in 0u64..1000,
+        sets_pow in 1u32..5,
+        ways in 1u32..3,
+    ) {
+        // ≤16 sets: walk every unique block through the scheme one at a
+        // time and count set overflow directly.
+        let sets = 1usize << sets_pow;
+        let g = geom(sets, ways);
+        let t = synth::uniform(seed, 2_000, 0x4000, 1 << 13);
+        let summary = t.summarize(32);
+        for scheme in CLOSED_FORM {
+            let out = predicted(scheme, g, &summary);
+            let f = scheme.build(g, None).expect("closed form builds");
+            let mut hist = vec![0u64; sets];
+            for &b in summary.blocks.iter() {
+                hist[f.index_block(b)] += 1;
+            }
+            let brute: u64 = hist.iter().map(|&d| d.saturating_sub(ways as u64)).sum();
+            prop_assert!(
+                out.conflict_blocks == brute,
+                "{}: model {} brute {brute}",
+                scheme.label(),
+                out.conflict_blocks
+            );
+        }
+    }
+
+    #[test]
+    fn predicted_misses_match_naive_per_set_che(
+        seed in 0u64..1000,
+        sets_pow in 1u32..5,
+        ways_pow in 0u32..3,
+        zipf in proptest::bool::ANY,
+    ) {
+        // Re-derive the prediction with the naive data structure (one
+        // Vec per set, no counting sort) and the public per-set solver.
+        let sets = 1usize << sets_pow;
+        let ways = 1u32 << ways_pow;
+        let g = geom(sets, ways);
+        let t = if zipf {
+            synth::zipfian(seed, 3_000, 0x8000, 512, 32, 0.9)
+        } else {
+            synth::uniform(seed, 3_000, 0x4000, 1 << 13)
+        };
+        let summary = t.summarize(32);
+        for scheme in CLOSED_FORM {
+            let out = predicted(scheme, g, &summary);
+            let f = scheme.build(g, None).expect("closed form builds");
+            let mut per_set: Vec<Vec<u64>> = vec![Vec::new(); sets];
+            for (i, &b) in summary.blocks.iter().enumerate() {
+                per_set[f.index_block(b)].push(summary.counts[i]);
+            }
+            let mut naive = 0.0f64;
+            for counts in &per_set {
+                if counts.is_empty() {
+                    continue;
+                }
+                let d = counts.len() as f64;
+                let n: u64 = counts.iter().sum();
+                let h = lru_hit_rate(counts, ways);
+                naive += (d + (n as f64 - d) * (1.0 - h)).clamp(d, n as f64);
+            }
+            prop_assert!(
+                (out.predicted_misses - naive).abs() < 1e-9,
+                "{}: model {} naive {naive}",
+                scheme.label(),
+                out.predicted_misses
+            );
+            // Structural bounds: at least one miss per distinct block,
+            // never more misses than references.
+            prop_assert!(out.predicted_misses + 1e-9 >= out.compulsory as f64);
+            prop_assert!(out.miss_rate <= 1.0 + 1e-12);
+            prop_assert!(
+                out.miss_rate + 1e-12
+                    >= out.compulsory as f64 / summary.total_refs as f64
+            );
+        }
+    }
+
+    #[test]
+    fn equal_popularity_traces_hit_the_exact_uniform_fixed_point(
+        stride_pow in 0u32..3,
+        ways_pow in 0u32..3,
+    ) {
+        let ways = 1u32 << ways_pow;
+        // A strided trace touches every block equally often, so each
+        // set's Che fixed point collapses to the exact h = A/D — the
+        // model must match the closed formula to the last bit of f64
+        // rounding.
+        let g = geom(16, ways);
+        let stride = 32u64 << stride_pow;
+        let t = synth::strided(4_096, 0x1000, stride, stride * 64);
+        let summary = t.summarize(32);
+        let out = predicted(IndexScheme::Conventional, g, &summary);
+        let f = IndexScheme::Conventional.build(g, None).expect("builds");
+        let mut per_set: Vec<(f64, u64)> = vec![(0.0, 0); 16];
+        for (i, &b) in summary.blocks.iter().enumerate() {
+            let s = f.index_block(b);
+            per_set[s].0 += 1.0;
+            per_set[s].1 += summary.counts[i];
+        }
+        let exact: f64 = per_set
+            .iter()
+            .filter(|&&(d, _)| d > 0.0)
+            .map(|&(d, n)| {
+                let h = (ways as f64 / d).min(1.0);
+                (d + (n as f64 - d) * (1.0 - h)).clamp(d, n as f64)
+            })
+            .sum();
+        prop_assert!(
+            (out.predicted_misses - exact).abs() < 1e-9,
+            "model {} exact {exact}",
+            out.predicted_misses
+        );
+    }
+}

@@ -54,7 +54,7 @@ fn golden_covers_every_registered_experiment() {
     // The transcript stays honest: every experiment in the registry has
     // its banner in the golden file, so nobody can add a figure without
     // extending the regression surface.
-    assert_eq!(unicache::experiments::ALL_EXPERIMENTS.len(), 24);
+    assert_eq!(unicache::experiments::ALL_EXPERIMENTS.len(), 25);
     for name in [
         "Fig. 1",
         "Fig. 4",
@@ -63,6 +63,7 @@ fn golden_covers_every_registered_experiment() {
         "Fig. 13",
         "Fig. 14",
         "Coherent hierarchy",
+        "Model: analytical miss-rate predictions",
     ] {
         assert!(GOLDEN.contains(name), "golden transcript lost {name}");
     }
@@ -96,4 +97,35 @@ fn coherent_transcript_is_execution_invariant() {
     assert_eq!(jobs1, scalar, "--no-simd changed the coherent transcript");
     assert_eq!(jobs1, again, "re-rendering changed the coherent transcript");
     assert!(jobs1.contains("Coherent hierarchy"), "banner missing");
+}
+
+/// The model table (and its predictions fan out over the executor like
+/// any other figure) is deterministic under the same execution knobs:
+/// worker count, the SIMD tier toggle, and re-rendering in-process.
+#[test]
+fn model_transcript_is_execution_invariant() {
+    let render = || {
+        let store = SimStore::new(Scale::Tiny);
+        unicache::experiments::render_experiment(&store, "model", false, Workload::Fft)
+            .expect("model is registered")
+    };
+    unicache::exec::set_global_jobs(1);
+    let jobs1 = render();
+    unicache::exec::set_global_jobs(2);
+    let jobs2 = render();
+    unicache::exec::set_global_jobs(8);
+    let jobs8 = render();
+    unicache::core::SimdLanes::set_enabled(false);
+    let scalar = render();
+    unicache::core::SimdLanes::set_enabled(true);
+    unicache::exec::set_global_jobs(1);
+    let again = render();
+    assert_eq!(jobs1, jobs2, "--jobs 2 changed the model transcript");
+    assert_eq!(jobs1, jobs8, "--jobs 8 changed the model transcript");
+    assert_eq!(jobs1, scalar, "--no-simd changed the model transcript");
+    assert_eq!(jobs1, again, "re-rendering changed the model transcript");
+    assert!(
+        jobs1.contains("Model: analytical miss-rate predictions"),
+        "banner missing"
+    );
 }
