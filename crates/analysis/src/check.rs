@@ -1231,6 +1231,61 @@ pub fn check_coherence(report: &mut Report) {
         ),
     );
 
+    // Chunked-kernel conservation (DESIGN §16): every access commits on
+    // exactly one of the two paths, so the fast-path and serial-path
+    // counters must partition the access total.
+    let fast = hier.fast_path_commits();
+    let serial = hier.serial_path_commits();
+    report.push(
+        "coherent",
+        glabel,
+        "chunk-commit-conservation",
+        fast + serial == merged.accesses(),
+        format!(
+            "{fast} fast + {serial} serial commits vs {} accesses",
+            merged.accesses()
+        ),
+    );
+
+    // Chunk-replay equivalence: the chunked kernel's fast path skips bus
+    // bookkeeping only for accesses that provably generate none, so a
+    // per-record replay of the same stream must produce byte-identical
+    // coherence traffic and core stats.
+    let replay = unicache_indexing::ModuloIndex::new(geom.num_sets())
+        .map_err(|e| e.to_string())
+        .and_then(|index| {
+            HierarchyBuilder::new(geom, std::sync::Arc::new(index))
+                .cores(2)
+                .victim_depth(2)
+                .l2(L2Mode::Shared(l2))
+                .chunked(false)
+                .build()
+                .map_err(|e| e.to_string())
+        });
+    match replay {
+        Ok(mut slow) => {
+            slow.run(&records);
+            let same = slow.coherence_stats() == coh
+                && slow.merged_core_stats() == merged
+                && slow.shared_l2_stats() == hier.shared_l2_stats();
+            report.push(
+                "coherent",
+                glabel,
+                "chunk-replay-equivalence",
+                same,
+                if same {
+                    format!(
+                        "per-record replay identical ({} bus fetches)",
+                        coh.bus_reads + coh.bus_read_x
+                    )
+                } else {
+                    "chunked and per-record runs diverged".to_string()
+                },
+            );
+        }
+        Err(e) => report.push("coherent", glabel, "chunk-replay-equivalence", false, e),
+    }
+
     // MESI transition-table closure.
     let mut closed = true;
     let mut detail = String::from("closed");

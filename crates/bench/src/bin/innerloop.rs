@@ -27,6 +27,13 @@
 //!    (streaming-copy probe), placing the inner loop relative to the
 //!    machine ceiling; `--roofline-out` writes it as its own artifact.
 //!
+//! Since the chunked coherent kernel (DESIGN §16) it also carries:
+//!
+//! 6. **Chunked vs per-record coherent traversal** — the same 4-core
+//!    MESI hierarchy driven through `step_chunk` (batched index, private
+//!    -line fast path) and record-at-a-time `access`, in ns/record, plus
+//!    the fraction of accesses the fast path committed.
+//!
 //! Usage: `innerloop [--records N] [--reps R] [--block-mask HEX]
 //!                   [--out FILE]
 //!                   [--roofline-out FILE]`
@@ -40,9 +47,10 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::sync::Arc;
 use unicache_core::{
-    run_batch_many, run_fused, BlockStream, CacheGeometry, CacheModel, FusedLane, IndexFunction,
-    MemRecord, SimdLanes, FUSE_CHUNK,
+    run_batch_many, run_fused, BlockStream, CacheGeometry, CacheModel, CoherentModel, FusedLane,
+    IndexFunction, MemRecord, SimdLanes, FUSE_CHUNK,
 };
+use unicache_hierarchy::{HierarchyBuilder, L2Mode};
 use unicache_indexing::XorIndex;
 use unicache_sim::CacheBuilder;
 use unicache_timing::Stopwatch;
@@ -265,7 +273,74 @@ fn main() {
         scalar_best as f64 / simd_best as f64
     );
 
-    // Section 4: per-phase ns/record for the direct-mapped fast path.
+    // Section 4: chunked vs per-record traversal of the coherent
+    // hierarchy (the `xp coherent` engine, DESIGN §16). The stream has
+    // the locality shape of the sweep's real mixes — each core loops
+    // over a private hot footprint (fast-path food), with a shared
+    // region and a streaming tail mixed in so snoops, upgrades and
+    // misses exercise the serial fallback. Both variants produce
+    // byte-identical stats; only the clock and the fast/serial commit
+    // split may differ.
+    let coh_records: Vec<MemRecord> = synth_records(args.records, u64::MAX)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let tid = (i % 4) as u64;
+            let block = if i % 13 == 0 {
+                (r.addr >> 5) & 0x1F // shared front region: S-state traffic
+            } else if i % 11 == 0 {
+                0x1000 + ((r.addr >> 5) & 0x7FF) // streaming tail: misses
+            } else {
+                // Private per-core hot set, well inside a 128x2 L1.
+                0x100 + tid * 0x100 + ((r.addr >> 5) & 0x7F)
+            };
+            MemRecord {
+                addr: block * 32,
+                ..r.with_tid(tid as u8)
+            }
+        })
+        .collect();
+    let l1 = CacheGeometry::from_sets(128, 32, 2).expect("valid L1 geometry");
+    let l2 = CacheGeometry::from_sets(1024, 32, 4).expect("valid L2 geometry");
+    let coh_index: Arc<dyn IndexFunction> =
+        Arc::new(XorIndex::new(l1.num_sets()).expect("valid xor index"));
+    let build_hier = |chunked: bool| {
+        HierarchyBuilder::new(l1, Arc::clone(&coh_index))
+            .cores(4)
+            .victim_depth(4)
+            .l2(L2Mode::Shared(l2))
+            .chunked(chunked)
+            .build()
+            .expect("valid hierarchy")
+    };
+    let mut chunked_best = u64::MAX;
+    let mut per_record_best = u64::MAX;
+    let mut fast_fraction = 0.0;
+    for _ in 0..args.reps {
+        let mut fast = build_hier(true);
+        let sw = Stopwatch::start();
+        fast.run(&coh_records);
+        chunked_best = chunked_best.min(sw.elapsed_nanos());
+        fast_fraction = fast.fast_path_commits() as f64 / coh_records.len().max(1) as f64;
+
+        let mut slow = build_hier(false);
+        let sw = Stopwatch::start();
+        slow.run(&coh_records);
+        per_record_best = per_record_best.min(sw.elapsed_nanos());
+    }
+    let per_record = |ns: u64| ns as f64 / args.records as f64;
+    let _ = write!(
+        sections,
+        "    \"coherent_chunk_vs_record/4c_v4\": {{\n      \
+         \"chunked_ns_per_record\": {:.4},\n      \
+         \"per_record_ns_per_record\": {:.4},\n      \"speedup\": {:.4},\n      \
+         \"fast_path_fraction\": {fast_fraction:.4}\n    }},\n",
+        per_record(chunked_best),
+        per_record(per_record_best),
+        per_record_best as f64 / chunked_best as f64
+    );
+
+    // Section 5: per-phase ns/record for the direct-mapped fast path.
     // index = `index_many` alone over 1024-record chunks; classify =
     // `classify_chunk` (index + batched tag compare, read-only) minus
     // index; update = a full fused pass minus both. Each phase regresses

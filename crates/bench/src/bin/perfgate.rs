@@ -9,7 +9,9 @@
 //! `compare` fails (exit 1) when the current run's aggregate records/sec
 //! has regressed more than `--max-regress` (default 0.25) below the
 //! baseline, or when any `--phase` (repeatable, e.g. `--phase coherent`)
-//! grew its share of total wall-clock by more than the same limit;
+//! grew its share of total wall-clock by more than the same limit, or —
+//! when both artifacts carry per-phase `records_per_sec` — when a gated
+//! phase's own throughput dropped by more than the limit;
 //! `--out` writes the diff verdict as a JSON artifact either way.
 //! `speedup` fails when wall-clock speedup of the parallel artifact
 //! over the serial one is below `--min` (default 2.0). Logic and parsing
@@ -85,8 +87,18 @@ fn main() -> ExitCode {
                 eprintln!("perfgate: warning: {w}");
             }
             for p in &cmp.phases {
+                let rps = if p.base_rps > 0.0 && p.cur_rps > 0.0 {
+                    format!(
+                        ", {:.0} -> {:.0} rec/s ({:+.1}%)",
+                        p.base_rps,
+                        p.cur_rps,
+                        -100.0 * p.rps_regress
+                    )
+                } else {
+                    String::new()
+                };
                 eprintln!(
-                    "perfgate: phase '{}' share {:.1}% -> {:.1}% of wall-clock: {}",
+                    "perfgate: phase '{}' share {:.1}% -> {:.1}% of wall-clock{rps}: {}",
                     p.name,
                     100.0 * p.base_share,
                     100.0 * p.cur_share,

@@ -21,6 +21,12 @@
 //!   by more than `max_regress` relative (and more than two points of
 //!   total absolute, so microscopic phases can't trip the gate on noise)
 //!   fails like a throughput regression does.
+//! * **phase throughput** — when both artifacts carry a per-phase
+//!   `records_per_sec` (newer `xp` builds emit it alongside `seconds`),
+//!   the phase is additionally gated on normalised per-record cost, the
+//!   same way the aggregate is. Older artifacts without the field fall
+//!   back to share-only gating, so the gate stays usable across baseline
+//!   generations.
 //!
 //! [`speedup`] serves the parallel-determinism CI job: given a `--jobs 1`
 //! and a `--jobs N` artifact it returns the wall-clock ratio, gated at
@@ -70,8 +76,22 @@ pub fn phase_seconds(src: &str, name: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Verdict for one gated phase: its share of total wall-clock, baseline
-/// vs current.
+/// Records/sec of one named phase in a `--timing-json` artifact, when
+/// present. Newer `xp` builds append `"records"` and
+/// `"records_per_sec"` after `"seconds"` in each phase entry; older
+/// artifacts (and phases that simulated no records) yield `None`, which
+/// callers treat as "no phase-throughput data — share gate only".
+pub fn phase_records_per_sec(src: &str, name: &str) -> Option<f64> {
+    let needle = format!("{{\"name\": \"{name}\", \"seconds\": ");
+    let at = src.find(&needle)?;
+    let entry = &src[at..];
+    let entry = &entry[..entry.find('}')?];
+    json_f64(entry, "records_per_sec")
+}
+
+/// Verdict for one gated phase: its share of total wall-clock (and,
+/// when both artifacts report it, its records/sec), baseline vs
+/// current.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseVerdict {
     /// Phase (experiment) name.
@@ -83,8 +103,17 @@ pub struct PhaseVerdict {
     /// Fractional share growth: positive = the phase got relatively
     /// slower.
     pub regress: f64,
+    /// Baseline phase records/sec (0 when the artifact predates the
+    /// field or the phase simulated no records).
+    pub base_rps: f64,
+    /// Current phase records/sec (0 under the same conditions).
+    pub cur_rps: f64,
+    /// Fractional phase-throughput drop: positive = regression. Zero
+    /// when either artifact lacks a positive phase records/sec.
+    pub rps_regress: f64,
     /// True when the share grew by no more than the limit (or by less
-    /// than two absolute points of total).
+    /// than two absolute points of total) *and* phase throughput —
+    /// when both sides report it — dropped by no more than the limit.
     pub pass: bool,
 }
 
@@ -121,8 +150,16 @@ impl Comparison {
             let comma = if i + 1 < self.phases.len() { "," } else { "" };
             out.push_str(&format!(
                 "\n    {{\"name\": \"{}\", \"base_share\": {:.6}, \"cur_share\": {:.6}, \
-                 \"regress\": {:.6}, \"pass\": {}}}{comma}",
-                p.name, p.base_share, p.cur_share, p.regress, p.pass
+                 \"regress\": {:.6}, \"base_records_per_sec\": {:.0}, \
+                 \"cur_records_per_sec\": {:.0}, \"rps_regress\": {:.6}, \"pass\": {}}}{comma}",
+                p.name,
+                p.base_share,
+                p.cur_share,
+                p.regress,
+                p.base_rps,
+                p.cur_rps,
+                p.rps_regress,
+                p.pass
             ));
         }
         if !self.phases.is_empty() {
@@ -198,12 +235,26 @@ pub fn compare_with_phases(
             } else {
                 0.0
             };
+            // Phase throughput gates only when both artifacts carry a
+            // positive per-phase records/sec — older baselines predate
+            // the field and must keep passing on share alone.
+            let base_prps = phase_records_per_sec(baseline, name).unwrap_or(0.0);
+            let cur_prps = phase_records_per_sec(current, name).unwrap_or(0.0);
+            let rps_regress = if base_prps > 0.0 && cur_prps > 0.0 {
+                (base_prps - cur_prps) / base_prps
+            } else {
+                0.0
+            };
+            let share_pass = phase_regress <= max_regress || growth <= PHASE_SHARE_SLACK;
             phases.push(PhaseVerdict {
                 name: name.to_string(),
                 base_share,
                 cur_share,
                 regress: phase_regress,
-                pass: phase_regress <= max_regress || growth <= PHASE_SHARE_SLACK,
+                base_rps: base_prps,
+                cur_rps: cur_prps,
+                rps_regress,
+                pass: share_pass && rps_regress <= max_regress,
             });
         }
     }
@@ -321,8 +372,26 @@ mod tests {
     }
 
     /// Artifact in the exact shape `xp --timing-json` writes, with a
-    /// two-entry phase list.
+    /// two-entry phase list carrying the per-phase throughput fields.
     fn phased(rps: f64, total: f64, coherent_secs: f64) -> String {
+        phased_rps(rps, total, coherent_secs, 200000.0)
+    }
+
+    /// [`phased`] with an explicit coherent-phase records/sec.
+    fn phased_rps(rps: f64, total: f64, coherent_secs: f64, coherent_rps: f64) -> String {
+        format!(
+            "{{\n  \"phases\": [\n    {{\"name\": \"fig4\", \"seconds\": 1.000000, \
+             \"records\": 500000, \"records_per_sec\": 500000}},\n    \
+             {{\"name\": \"coherent\", \"seconds\": {coherent_secs:.6}, \
+             \"records\": 500000, \"records_per_sec\": {coherent_rps:.0}}}\n  ],\n  \
+             \"total_seconds\": {total:.6},\n  \"sims_run\": 100,\n  \
+             \"records_simulated\": 1000000,\n  \"records_per_sec\": {rps:.0}\n}}"
+        )
+    }
+
+    /// Artifact in the *old* phase shape (no per-phase records/sec) —
+    /// the backwards-compat case the rps gate must not break on.
+    fn phased_legacy(rps: f64, total: f64, coherent_secs: f64) -> String {
         format!(
             "{{\n  \"phases\": [\n    {{\"name\": \"fig4\", \"seconds\": 1.000000}},\n    \
              {{\"name\": \"coherent\", \"seconds\": {coherent_secs:.6}}}\n  ],\n  \
@@ -366,6 +435,45 @@ mod tests {
     }
 
     #[test]
+    fn phase_records_per_sec_scans_the_named_entry() {
+        let a = phased_rps(100000.0, 10.0, 2.0, 250000.0);
+        assert_eq!(phase_records_per_sec(&a, "fig4"), Some(500000.0));
+        assert_eq!(phase_records_per_sec(&a, "coherent"), Some(250000.0));
+        assert_eq!(phase_records_per_sec(&a, "absent"), None);
+        let legacy = phased_legacy(100000.0, 10.0, 2.0);
+        assert_eq!(phase_records_per_sec(&legacy, "coherent"), None);
+    }
+
+    #[test]
+    fn phase_throughput_drop_fails_even_at_constant_share() {
+        // Coherent keeps its 20% share (total shrank with it), but its
+        // records/sec halved — the share gate alone would miss this.
+        let base = phased_rps(100000.0, 10.0, 2.0, 400000.0);
+        let bad = phased_rps(100000.0, 5.0, 1.0, 200000.0);
+        let c = compare_with_phases(&base, &bad, 0.25, &["coherent"]).unwrap();
+        assert!(!c.pass, "{c:?}");
+        assert!(!c.phases[0].pass);
+        assert!((c.phases[0].rps_regress - 0.5).abs() < 1e-9);
+        // Same shape inside the band passes.
+        let ok = phased_rps(100000.0, 10.0, 2.0, 360000.0);
+        let c = compare_with_phases(&base, &ok, 0.25, &["coherent"]).unwrap();
+        assert!(c.pass, "{c:?}");
+        assert!(c.phases[0].rps_regress > 0.0);
+    }
+
+    #[test]
+    fn legacy_artifacts_without_phase_rps_gate_on_share_only() {
+        let base = phased_legacy(100000.0, 10.0, 2.0);
+        let cur = phased_rps(100000.0, 10.0, 2.2, 50000.0);
+        // Baseline has no phase rps, so a slow-looking current phase
+        // rps cannot fail the gate; share growth is inside the band.
+        let c = compare_with_phases(&base, &cur, 0.25, &["coherent"]).unwrap();
+        assert!(c.pass, "{c:?}");
+        assert_eq!(c.phases[0].rps_regress, 0.0);
+        assert_eq!(c.phases[0].base_rps, 0.0);
+    }
+
+    #[test]
     fn gated_phase_missing_from_baseline_errors() {
         let cur = phased(100000.0, 10.0, 2.0);
         assert!(compare_with_phases(BASE, &cur, 0.25, &["coherent"]).is_err());
@@ -380,5 +488,6 @@ mod tests {
         let j = c.to_json();
         assert!(j.contains("\"name\": \"coherent\""));
         assert!(j.contains("\"cur_share\": 0.600000"));
+        assert!(j.contains("\"rps_regress\": 0.000000"));
     }
 }

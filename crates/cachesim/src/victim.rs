@@ -73,6 +73,13 @@ impl<P: Copy> VictimBuffer<P> {
         self.max_occupancy
     }
 
+    /// True when no lines are buffered — the chunked coherent kernel's
+    /// cheap pre-check: an empty (or depth-0) buffer can neither rescue
+    /// a miss nor hold a snoopable copy, so whole probe passes skip it.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
     /// Is `block` resident? (No recency update.)
     pub fn contains(&self, block: BlockAddr) -> bool {
         self.entries.iter().any(|e| e.block == block)

@@ -186,6 +186,57 @@ fn decode_chunk(packed: &[u64], blocks: &mut [u64], writes: &mut [bool]) {
     }
 }
 
+/// Unpacks one chunk of raw [`MemRecord`]s into the coherent kernel's
+/// scratch: block addresses (`addr >> offset_bits`), write flags, and
+/// the serving core (`tid % cores` — the routing rule of
+/// [`crate::CoherentModel::run`]). This is the multi-core counterpart of
+/// `decode_chunk`: unlike [`BlockStream`], the decoded form keeps the
+/// thread id (as a core index), which coherent models need for routing,
+/// so the decode runs straight off the record slice. With the SIMD tier
+/// on, the three fields decode as separate straight-line sweeps (each a
+/// trivially vectorizable map); with it off, one interleaved scalar
+/// loop runs. Both orders write identical bytes.
+///
+/// # Panics
+/// If `cores` is 0 or exceeds 256 (core indices must fit in the `u8`
+/// scratch), or the scratch slices are shorter than `records`.
+pub fn decode_coherent_chunk(
+    records: &[MemRecord],
+    offset_bits: u32,
+    cores: usize,
+    blocks: &mut [BlockAddr],
+    writes: &mut [bool],
+    core_of: &mut [u8],
+) {
+    assert!(
+        (1..=256).contains(&cores),
+        "core index scratch is u8: cores must be 1..=256, got {cores}"
+    );
+    assert!(
+        blocks.len() >= records.len()
+            && writes.len() >= records.len()
+            && core_of.len() >= records.len(),
+        "decode_coherent_chunk: scratch shorter than record chunk"
+    );
+    if crate::SimdLanes::enabled() {
+        for (b, r) in blocks.iter_mut().zip(records) {
+            *b = r.addr >> offset_bits;
+        }
+        for (w, r) in writes.iter_mut().zip(records) {
+            *w = r.kind.is_write();
+        }
+        for (c, r) in core_of.iter_mut().zip(records) {
+            *c = (r.tid as usize % cores) as u8;
+        }
+    } else {
+        for (i, r) in records.iter().enumerate() {
+            blocks[i] = r.addr >> offset_bits;
+            writes[i] = r.kind.is_write();
+            core_of[i] = (r.tid as usize % cores) as u8;
+        }
+    }
+}
+
 /// Drives several models over `stream` in one traversal (record-outer,
 /// model-inner). Equivalent to calling [`CacheModel::run_batch`] on each
 /// model; preferable when the stream is too large to stay cache-resident

@@ -31,7 +31,9 @@ pub mod model;
 pub mod record;
 pub mod stats;
 
-pub use batch::{run_batch_many, run_fused, run_many, BlockStream, FusedLane, FUSE_CHUNK};
+pub use batch::{
+    decode_coherent_chunk, run_batch_many, run_fused, run_many, BlockStream, FusedLane, FUSE_CHUNK,
+};
 pub use error::{ConfigError, Result};
 pub use geometry::CacheGeometry;
 pub use hasher::{DetHashMap, DetHashSet, DetState};

@@ -3,7 +3,7 @@
 //! ```text
 //! xp <fig1|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|
 //!     classify|patel|belady|select|model|all> [--scale tiny|small|large] [--csv]
-//!    [--jobs N] [--no-simd] [--timing] [--timing-json FILE]
+//!    [--jobs N] [--no-simd] [--no-coherent-chunk] [--timing] [--timing-json FILE]
 //!    [--metrics-json FILE] [--model-json FILE] [--trace-out FILE]
 //! ```
 //!
@@ -19,11 +19,16 @@
 //! * `--no-simd` forces the SIMD tier (DESIGN §12) onto its scalar
 //!   fallbacks — the ablation knob behind the CI byte-identity gate.
 //!   Like `--jobs`, it only changes wall-clock, never output bytes.
+//! * `--no-coherent-chunk` forces the coherent hierarchy onto its
+//!   per-record MESI path (DESIGN §16), disabling the chunked
+//!   classify/commit kernel — the second ablation knob behind the CI
+//!   byte-identity gate. Wall-clock only, never output bytes.
 //! * `--timing` prints per-experiment wall-clock to stderr plus a summary
 //!   of the [`SimStore`]'s work: simulations run vs served from cache, and
 //!   aggregate records/sec through the batched engine. `--timing-json`
 //!   additionally writes the same numbers as JSON (the CI perf artifact),
-//!   including a `parallel` section with per-job and wall-clock figures.
+//!   including per-phase records/sec (the per-phase perfgate's input) and
+//!   a `parallel` section with per-job and wall-clock figures.
 //! * `--metrics-json` writes the deterministic observability metrics
 //!   (event counters, histograms, span counts — no wall-clock, byte-
 //!   identical across runs). Meaningful with the `obs` feature; without
@@ -46,6 +51,7 @@ use unicache_workloads::{Scale, Workload};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: xp <experiment> [--scale tiny|small|large] [--csv] [--jobs N] [--no-simd]\n\
+         \x20         [--no-coherent-chunk]\n\
          \x20         [--timing] [--timing-json FILE] [--metrics-json FILE] [--model-json FILE]\n\
          \x20         [--trace-out FILE]\n\
          (fig1 also takes an optional workload name, e.g. `xp fig1 susan`)\n\
@@ -56,10 +62,13 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-/// One `--timing` sample: an experiment name and its wall-clock seconds.
+/// One `--timing` sample: an experiment name, its wall-clock seconds,
+/// and the records the SimStore simulated during it (the per-phase
+/// records/sec numerator the perfgate gates on).
 struct Phase {
     name: String,
     secs: f64,
+    records: u64,
 }
 
 /// Renders the timing report (stderr text + optional JSON file).
@@ -78,7 +87,15 @@ fn report_timing(store: &SimStore, phases: &[Phase], total_secs: f64, json_path:
     let exec = unicache_exec::stats();
     eprintln!("-- timing --");
     for p in phases {
-        eprintln!("{:>24}  {:8.3}s", p.name, p.secs);
+        let prps = if p.secs > 0.0 {
+            p.records as f64 / p.secs
+        } else {
+            0.0
+        };
+        eprintln!(
+            "{:>24}  {:8.3}s  ({} records, {prps:.0} rec/s)",
+            p.name, p.secs, p.records
+        );
     }
     eprintln!("{:>24}  {total_secs:8.3}s", "total");
     eprintln!(
@@ -95,9 +112,17 @@ fn report_timing(store: &SimStore, phases: &[Phase], total_secs: f64, json_path:
         let mut out = String::from("{\n  \"phases\": [\n");
         for (i, p) in phases.iter().enumerate() {
             let comma = if i + 1 < phases.len() { "," } else { "" };
+            // "seconds" must stay directly after "name": the perfgate
+            // phase parser anchors on that exact byte sequence.
+            let prps = if p.secs > 0.0 {
+                p.records as f64 / p.secs
+            } else {
+                0.0
+            };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"seconds\": {:.6}}}{comma}\n",
-                p.name, p.secs
+                "    {{\"name\": \"{}\", \"seconds\": {:.6}, \"records\": {}, \
+                 \"records_per_sec\": {prps:.0}}}{comma}\n",
+                p.name, p.secs, p.records
             ));
         }
         out.push_str(&format!(
@@ -154,6 +179,7 @@ fn main() -> ExitCode {
                 }
             }
             "--no-simd" => unicache_core::SimdLanes::set_enabled(false),
+            "--no-coherent-chunk" => unicache_hierarchy::CoherentChunk::set_enabled(false),
             "--timing" => timing = true,
             "--timing-json" => {
                 i += 1;
@@ -198,6 +224,7 @@ fn main() -> ExitCode {
     let mut phases: Vec<Phase> = Vec::new();
     let mut timed_run = |name: &str| -> bool {
         let t0 = Stopwatch::start();
+        let records_before = store.records_simulated();
         let Some(out) = render_experiment(&store, name, csv, fig1_workload) else {
             return false;
         };
@@ -205,6 +232,7 @@ fn main() -> ExitCode {
         phases.push(Phase {
             name: name.to_string(),
             secs: t0.elapsed_secs(),
+            records: store.records_simulated() - records_before,
         });
         true
     };

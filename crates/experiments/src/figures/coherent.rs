@@ -16,13 +16,18 @@
 //! * the dead-time fraction and MRU-hit ratio — the two line-level
 //!   uniformity lenses from `unicache-stats`.
 //!
-//! Everything is deterministic: one hierarchy per row, rows fanned out
-//! through `unicache_exec::map` (order-preserving), the bus serialized in
-//! trace order, timestamps from the logical clock.
+//! Everything is deterministic: rows served from the [`SimStore`]'s
+//! memoized coherent outcomes (exactly-once per configuration), the bus
+//! serialized in trace order, timestamps from the logical clock.
+//!
+//! Scheduling is *fused*: the three schemes of each (cores, victim
+//! depth) cell form one [`CoherentGroup`], so the sweep runs 6 chunked
+//! group traversals (each decoding the merged stream once per chunk for
+//! all three member hierarchies) instead of 18 per-record replays —
+//! groups fanned out through `unicache_exec::map` (order-preserving).
 
-use crate::{ExperimentTable, SimStore};
-use unicache_core::{CacheGeometry, CoherentModel};
-use unicache_hierarchy::{HierarchyBuilder, L2Mode};
+use crate::{CoherentGroup, CoherentKey, ExperimentTable, SimStore};
+use unicache_core::CacheGeometry;
 use unicache_indexing::IndexScheme;
 use unicache_smt::InterleavePolicy;
 use unicache_stats::Moments;
@@ -69,11 +74,32 @@ fn l2_geom(l1: CacheGeometry) -> CacheGeometry {
 /// MESI-coherent hierarchy over the shared four-thread mix.
 pub fn coherent(store: &SimStore) -> ExperimentTable {
     let mix = coherent_mix();
-    let trace = store.merged_trace(&mix, InterleavePolicy::RoundRobin);
     let geom = sweep_l1_geom();
-    let configs: Vec<(IndexScheme, usize, usize)> = sweep_schemes()
-        .into_iter()
-        .flat_map(|s| {
+    let schemes = sweep_schemes();
+    // One fuse-group per (cores, victim depth): the three schemes share
+    // a single chunked traversal of the merged stream.
+    let groups: Vec<CoherentGroup> = CORE_COUNTS
+        .iter()
+        .flat_map(|&c| {
+            let mix = &mix;
+            let schemes = &schemes;
+            VICTIM_DEPTHS.iter().map(move |&v| CoherentGroup {
+                mix: mix.clone(),
+                policy: InterleavePolicy::RoundRobin,
+                geom,
+                cores: c,
+                victim_depth: v,
+                l2: Some(l2_geom(geom)),
+                schemes: schemes.clone(),
+            })
+        })
+        .collect();
+    store.prefetch_coherent_groups(&groups);
+    // Rows keep the original scheme-outer order; every outcome is now a
+    // cache hit against the group results above.
+    let configs: Vec<(IndexScheme, usize, usize)> = schemes
+        .iter()
+        .flat_map(|&s| {
             CORE_COUNTS
                 .iter()
                 .flat_map(move |&c| VICTIM_DEPTHS.iter().map(move |&v| (s, c, v)))
@@ -83,39 +109,36 @@ pub fn coherent(store: &SimStore) -> ExperimentTable {
         .iter()
         .map(|(s, c, v)| format!("{}_c{c}_v{v}", s.label()))
         .collect();
-    let values: Vec<Vec<f64>> = unicache_exec::map(&configs, |&(scheme, cores, depth)| {
-        let index = scheme
-            .build(geom, None)
-            .expect("training-free schemes build without a trace");
-        let mut hier = HierarchyBuilder::new(geom, index)
-            .cores(cores)
-            .victim_depth(depth)
-            .l2(L2Mode::Shared(l2_geom(geom)))
-            .build()
-            .expect("valid hierarchy");
-        hier.run(trace.records());
-        let merged = hier.merged_core_stats();
-        let coh = hier.coherence_stats();
-        let accesses = merged.accesses() as f64;
-        let per_k = 1000.0 / accesses.max(1.0);
-        let l2_lookups = coh.l2_demand_hits + coh.memory_fetches;
-        let l2_miss_pct = if l2_lookups == 0 {
-            0.0
-        } else {
-            100.0 * coh.memory_fetches as f64 / l2_lookups as f64
-        };
-        let lifetime = hier.merged_lifetime();
-        let recency = hier.merged_recency();
-        vec![
-            100.0 * merged.miss_rate(),
-            l2_miss_pct,
-            coh.invalidations as f64 * per_k,
-            coh.interventions as f64 * per_k,
-            Moments::from_counts(&merged.misses_per_set()).kurtosis,
-            100.0 * lifetime.dead_fraction(),
-            100.0 * recency.mru_ratio(),
-        ]
-    });
+    let values: Vec<Vec<f64>> = configs
+        .iter()
+        .map(|&(scheme, cores, depth)| {
+            let key = groups[0].key_for(scheme);
+            let out = store.coherent(&CoherentKey {
+                cores,
+                victim_depth: depth,
+                ..key
+            });
+            let merged = &out.merged;
+            let coh = &out.coh;
+            let accesses = merged.accesses() as f64;
+            let per_k = 1000.0 / accesses.max(1.0);
+            let l2_lookups = coh.l2_demand_hits + coh.memory_fetches;
+            let l2_miss_pct = if l2_lookups == 0 {
+                0.0
+            } else {
+                100.0 * coh.memory_fetches as f64 / l2_lookups as f64
+            };
+            vec![
+                100.0 * merged.miss_rate(),
+                l2_miss_pct,
+                coh.invalidations as f64 * per_k,
+                coh.interventions as f64 * per_k,
+                Moments::from_counts(&merged.misses_per_set()).kurtosis,
+                100.0 * out.lifetime.dead_fraction(),
+                100.0 * out.recency.mru_ratio(),
+            ]
+        })
+        .collect();
     ExperimentTable::new(
         "Coherent hierarchy: uniformity under MESI traffic (scheme x cores x victim depth)",
         "L1 miss % | L2 miss % | invalidations/1k | interventions/1k | miss kurtosis | dead time % | MRU hits %",
@@ -145,6 +168,19 @@ mod tests {
         assert_eq!(t.rows.len(), 18); // 3 schemes x 3 core counts x 2 depths
         assert_eq!(t.cols.len(), 7);
         assert!(t.rows[0].ends_with("_c1_v0"), "got {}", t.rows[0]);
+    }
+
+    #[test]
+    fn coherent_rows_are_memoized_exactly_once() {
+        let store = SimStore::new(Scale::Tiny);
+        let t1 = coherent(&store);
+        let sims = store.sims_run();
+        assert_eq!(sims, 18, "one simulation per sweep row");
+        // A second render re-reads every outcome from the store.
+        let t2 = coherent(&store);
+        assert_eq!(store.sims_run(), sims, "no re-simulation");
+        assert!(store.hits() >= 18, "rows served from cache");
+        assert_eq!(t1.values, t2.values, "cached render must be identical");
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod table;
 
 pub use runner::{metrics_json, render_all, render_experiment, ALL_EXPERIMENTS};
 pub use selector::OnlineSelector;
-pub use simstore::{FuseGroup, SchemeId, SimStore};
+pub use simstore::{CoherentGroup, CoherentKey, CoherentOutcome, FuseGroup, SchemeId, SimStore};
 pub use store::TraceStore;
 pub use table::ExperimentTable;
 

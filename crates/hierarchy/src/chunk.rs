@@ -1,0 +1,204 @@
+//! The chunked coherent kernel: FUSE_CHUNK-sized batches through the
+//! MESI hierarchy, with a private-line fast path (DESIGN §16).
+//!
+//! The solo engine's fused kernel decodes each trace chunk once and
+//! replays it through every lane; this module brings the same execution
+//! shape to [`CoherentHierarchy`]. Each chunk of raw `MemRecord`s is
+//! decoded once (`unicache_core::decode_coherent_chunk` — blocks, write
+//! flags, serving cores) into stack scratch shared by every hierarchy in
+//! the fuse group, then each hierarchy runs its single-pass chunk step:
+//!
+//! * The serving core's L1 set for every record comes from one
+//!   [`IndexFunction::index_many`] call (all cores of a hierarchy share
+//!   the index function, so a block's set is core-independent).
+//! * Each record, in trace order, is classified *inline against current
+//!   state* for a *provably bus-free* hit: resident in the packed L1,
+//!   and either a load (hits in any valid state) or a store to a
+//!   core-private line (Exclusive/Modified — SWMR guarantees no other
+//!   copy exists, so the store upgrade is silent). Such records commit
+//!   on the spot with zero bus/snoop bookkeeping; everything else falls
+//!   back to the exact serial MESI walk of [`CoherentModel::access`].
+//!   Because classification happens at commit time, there is no stale
+//!   verdict to defend against — serial side effects (snoops, fills,
+//!   evictions, back-invalidations) are already visible to every later
+//!   record in the chunk.
+//!
+//! Byte-identity with the per-record path is pinned by the
+//! `chunked_hierarchy_matches_per_record` property suite and the CI
+//! `--no-coherent-chunk` transcript comparison.
+//!
+//! [`IndexFunction::index_many`]: unicache_core::IndexFunction::index_many
+//! [`CoherentModel::access`]: unicache_core::CoherentModel::access
+
+use crate::coherent::CoherentHierarchy;
+use std::sync::atomic::{AtomicBool, Ordering};
+use unicache_core::{decode_coherent_chunk, CoherentModel, MemRecord, FUSE_CHUNK};
+
+/// Process-wide ablation knob, mirroring `SimdLanes`: CI byte-compares
+/// transcripts with the chunked kernel forced off (`--no-coherent-chunk`).
+static COHERENT_CHUNK_ENABLED: AtomicBool = AtomicBool::new(true); // uca:allow(shared-static)
+
+/// The chunked-kernel tier switch (DESIGN §16).
+///
+/// Like [`unicache_core::SimdLanes`], this is a process-wide default,
+/// not a synchronization point: hierarchies resolve it once at build
+/// time (or take an explicit [`HierarchyBuilder::chunked`] override), so
+/// flipping it mid-run never changes an existing hierarchy.
+///
+/// [`HierarchyBuilder::chunked`]: crate::HierarchyBuilder::chunked
+pub struct CoherentChunk;
+
+impl CoherentChunk {
+    /// Is the chunked coherent kernel enabled (default: yes)?
+    #[inline]
+    pub fn enabled() -> bool {
+        COHERENT_CHUNK_ENABLED.load(Ordering::Relaxed) // uca:allow(relaxed-output)
+    }
+
+    /// Force the per-record path (`--no-coherent-chunk`) or restore the
+    /// chunked default. Affects hierarchies built afterwards.
+    pub fn set_enabled(on: bool) {
+        COHERENT_CHUNK_ENABLED.store(on, Ordering::Relaxed) // uca:allow(relaxed-output);
+    }
+}
+
+/// Drives every hierarchy in `hiers` over `records` in one fused
+/// traversal: each chunk is decoded exactly once into shared scratch
+/// (chunk-outer, hierarchy-inner), so an `xp coherent` fuse group of
+/// per-scheme hierarchies streams the trace from memory once per group
+/// instead of once per scheme. Statistically equivalent to calling
+/// [`CoherentModel::run`] on each hierarchy alone — every hierarchy sees
+/// the same records in the same order and they never observe each other.
+///
+/// # Panics
+/// If the hierarchies disagree on line size or core count (the shared
+/// decoded chunk would be wrong for them).
+pub fn run_coherent_fused(hiers: &mut [&mut CoherentHierarchy], records: &[MemRecord]) {
+    let Some(first) = hiers.first() else { return };
+    let line = first.geometry().line_bytes();
+    let offset = first.geometry().offset_bits();
+    let cores = first.cores();
+    for h in hiers.iter() {
+        assert_eq!(
+            h.geometry().line_bytes(),
+            line,
+            "hierarchy '{}' line size does not match the fuse group",
+            h.name()
+        );
+        assert_eq!(
+            h.cores(),
+            cores,
+            "hierarchy '{}' core count does not match the fuse group",
+            h.name()
+        );
+    }
+    let mut blocks = [0u64; FUSE_CHUNK];
+    let mut writes = [false; FUSE_CHUNK];
+    let mut core_of = [0u8; FUSE_CHUNK];
+    for chunk in records.chunks(FUSE_CHUNK) {
+        let n = chunk.len();
+        decode_coherent_chunk(
+            chunk,
+            offset,
+            cores,
+            &mut blocks[..n],
+            &mut writes[..n],
+            &mut core_of[..n],
+        );
+        for h in hiers.iter_mut() {
+            h.step_chunk(&blocks[..n], &writes[..n], &core_of[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coherent::{HierarchyBuilder, L2Mode};
+    use std::sync::Arc;
+    use unicache_core::CacheGeometry;
+    use unicache_indexing::{ModuloIndex, XorIndex};
+
+    fn trace(n: u64) -> Vec<MemRecord> {
+        (0..n)
+            .map(|i| {
+                let tid = i % 4;
+                // Mostly per-core-private hot blocks (fast-path food)
+                // with a shared region and a streaming tail (serial
+                // food: S-state stores, misses, evictions).
+                let block = if i % 7 == 0 {
+                    i % 8
+                } else if i % 11 == 0 {
+                    1024 + (i * 7919) % 1024
+                } else {
+                    64 + tid * 64 + (i / 4) % 8
+                };
+                let addr = block * 32;
+                let rec = if i % 5 == 0 {
+                    MemRecord::write(addr)
+                } else {
+                    MemRecord::read(addr)
+                };
+                rec.with_tid(tid as u8)
+            })
+            .collect()
+    }
+
+    fn build(chunked: bool) -> CoherentHierarchy {
+        let geom = CacheGeometry::from_sets(16, 32, 2).unwrap();
+        HierarchyBuilder::new(geom, Arc::new(XorIndex::new(16).unwrap()))
+            .cores(4)
+            .victim_depth(2)
+            .l2(L2Mode::Shared(CacheGeometry::from_sets(64, 32, 4).unwrap()))
+            .chunked(chunked)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fused_group_matches_individual_runs() {
+        let recs = trace(FUSE_CHUNK as u64 + 700); // ragged second chunk
+        let mut solo_a = build(true);
+        let mut solo_b = build(true);
+        solo_a.run(&recs);
+        solo_b.run(&recs);
+        let mut a = build(true);
+        let mut b = build(true);
+        run_coherent_fused(&mut [&mut a, &mut b], &recs);
+        for (fused, solo) in [(&a, &solo_a), (&b, &solo_b)] {
+            assert_eq!(fused.merged_core_stats(), solo.merged_core_stats());
+            assert_eq!(fused.coherence_stats(), solo.coherence_stats());
+            assert_eq!(fused.now(), solo.now());
+        }
+    }
+
+    #[test]
+    fn chunked_equals_per_record_on_mixed_traffic() {
+        let recs = trace(3 * FUSE_CHUNK as u64 + 11);
+        let mut chunked = build(true);
+        let mut serial = build(false);
+        chunked.run(&recs);
+        serial.run(&recs);
+        assert_eq!(chunked.merged_core_stats(), serial.merged_core_stats());
+        assert_eq!(chunked.coherence_stats(), serial.coherence_stats());
+        assert_eq!(chunked.merged_lifetime(), serial.merged_lifetime());
+        assert_eq!(chunked.merged_recency(), serial.merged_recency());
+        assert!(chunked.fast_path_commits() > 0, "fast path never engaged");
+        assert_eq!(
+            chunked.fast_path_commits() + chunked.serial_path_commits(),
+            chunked.merged_core_stats().accesses()
+        );
+    }
+
+    #[test]
+    fn knob_sets_build_time_default() {
+        let geom = CacheGeometry::from_sets(8, 32, 1).unwrap();
+        let idx: Arc<dyn unicache_core::IndexFunction> = Arc::new(ModuloIndex::new(8).unwrap());
+        CoherentChunk::set_enabled(false);
+        let off = HierarchyBuilder::new(geom, Arc::clone(&idx)).build().unwrap();
+        CoherentChunk::set_enabled(true);
+        let on = HierarchyBuilder::new(geom, idx).build().unwrap();
+        assert!(!off.is_chunked());
+        assert!(on.is_chunked());
+    }
+}

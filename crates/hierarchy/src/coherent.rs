@@ -23,15 +23,17 @@
 //! `uca check` asserts `misses == interventions + l2_demand_hits +
 //! memory_fetches` over replayed traces, in both L2 modes.
 
+use crate::chunk::CoherentChunk;
 use crate::l1::CoherentL1;
+use crate::l2::PackedL2;
 use crate::mesi::{fill_state, transition, LineEvent, Mesi};
 use std::sync::Arc;
 use unicache_core::{
-    AccessResult, BlockAddr, CacheGeometry, CacheModel, CacheStats, CoherentModel, HitWhere,
-    IndexFunction, Result,
+    AccessResult, BlockAddr, CacheGeometry, CacheStats, CoherentModel, HitWhere, IndexFunction,
+    MemRecord, Result, FUSE_CHUNK,
 };
 use unicache_obs as obs;
-use unicache_sim::{Cache, CacheBuilder, VictimBuffer};
+use unicache_sim::VictimBuffer;
 use unicache_stats::{LifetimeTotals, RecencyLens};
 use unicache_timing::LogicalClock;
 
@@ -100,6 +102,7 @@ pub struct HierarchyBuilder {
     victim_depth: usize,
     l2: L2Mode,
     name: Option<String>,
+    chunked: Option<bool>,
 }
 
 impl HierarchyBuilder {
@@ -114,6 +117,7 @@ impl HierarchyBuilder {
             victim_depth: 0,
             l2: L2Mode::PassThrough,
             name: None,
+            chunked: None,
         }
     }
 
@@ -142,11 +146,20 @@ impl HierarchyBuilder {
         self
     }
 
+    /// Explicit chunked-kernel override. Without it, `build()` resolves
+    /// the process-wide [`CoherentChunk`] knob once — the knob never
+    /// changes a hierarchy after construction, which keeps parallel
+    /// differential tests free of global-state races.
+    pub fn chunked(mut self, on: bool) -> Self {
+        self.chunked = Some(on);
+        self
+    }
+
     /// Builds the hierarchy.
     pub fn build(self) -> Result<CoherentHierarchy> {
         let l2 = match self.l2 {
             L2Mode::PassThrough => None,
-            L2Mode::Shared(g) => Some(CacheBuilder::new(g).name("shared-L2").build()?),
+            L2Mode::Shared(g) => Some(PackedL2::new(g)?),
         };
         let cores = (0..self.cores)
             .map(|_| Core {
@@ -173,6 +186,10 @@ impl HierarchyBuilder {
             clock: LogicalClock::new(),
             coh: CoherenceStats::default(),
             name,
+            index: self.index,
+            chunked: self.chunked.unwrap_or_else(CoherentChunk::enabled),
+            fast_commits: 0,
+            serial_commits: 0,
         })
     }
 }
@@ -180,11 +197,20 @@ impl HierarchyBuilder {
 /// See the module docs for the protocol and determinism story.
 pub struct CoherentHierarchy {
     cores: Vec<Core>,
-    l2: Option<Cache>,
+    l2: Option<PackedL2>,
     victim_depth: usize,
     clock: LogicalClock,
     coh: CoherenceStats,
     name: String,
+    /// The (shared) index function, kept for the chunked kernel's
+    /// batched `index_many` — every core's L1 holds a clone of it, so a
+    /// block's set number is core-independent.
+    index: Arc<dyn IndexFunction>,
+    /// Whether `step_chunk` runs the classify/commit kernel (resolved at
+    /// build time from [`CoherentChunk`] or the builder override).
+    chunked: bool,
+    fast_commits: u64,
+    serial_commits: u64,
 }
 
 struct SnoopOutcome {
@@ -210,14 +236,33 @@ impl CoherentHierarchy {
         &self.cores[core].victim
     }
 
-    /// The shared L2, if this hierarchy has one.
-    pub fn shared_l2(&self) -> Option<&Cache> {
-        self.l2.as_ref()
+    /// The shared L2's hit/miss counters, if this hierarchy has one
+    /// (same as [`CoherentModel::shared_stats`], without the trait).
+    pub fn shared_l2_stats(&self) -> Option<&CacheStats> {
+        self.l2.as_ref().map(|c| c.stats())
     }
 
     /// Configured per-core victim-buffer depth.
     pub fn victim_depth(&self) -> usize {
         self.victim_depth
+    }
+
+    /// Whether `step_chunk` runs the chunked classify/commit kernel.
+    pub fn is_chunked(&self) -> bool {
+        self.chunked
+    }
+
+    /// Hits committed by the chunked private-line fast path (zero bus
+    /// bookkeeping). `fast_path_commits + serial_path_commits` equals
+    /// total accesses — `uca check` pins this conservation down.
+    pub fn fast_path_commits(&self) -> u64 {
+        self.fast_commits
+    }
+
+    /// Accesses that took the exact serial MESI path (misses, shared or
+    /// unclassified state, and every access when chunking is off).
+    pub fn serial_path_commits(&self) -> u64 {
+        self.serial_commits
     }
 
     /// Current logical tick (== accesses simulated since flush).
@@ -256,6 +301,7 @@ impl CoherentHierarchy {
         &mut self,
         requester: usize,
         block: BlockAddr,
+        set: usize,
         exclusive: bool,
         now: u64,
     ) -> SnoopOutcome {
@@ -267,7 +313,9 @@ impl CoherentHierarchy {
             if c == requester {
                 continue;
             }
-            let set = self.cores[c].l1.set_of(block);
+            // The index function is shared, so the requester's set
+            // number is every peer's set number — no per-core index
+            // recomputation on the bus.
             if let Some((way, st)) = self.cores[c].l1.peek(set, block) {
                 let ev = if exclusive {
                     LineEvent::SnoopWrite
@@ -283,7 +331,7 @@ impl CoherentHierarchy {
                         self.cores[c].l1.set_state(set, way, t.next);
                         out.sharers_remain = true;
                     } else {
-                        self.cores[c].l1.invalidate(block, now);
+                        self.cores[c].l1.invalidate_at(set, block, now);
                         self.coh.invalidations += 1;
                         obs::count(obs::Event::CohInvalidation);
                     }
@@ -333,7 +381,7 @@ impl CoherentHierarchy {
     fn demand_fetch(&mut self, block: BlockAddr, now: u64) {
         if let Some(l2) = self.l2.as_mut() {
             let r = l2.access_block(block, false);
-            if r.is_hit() {
+            if r.hit {
                 self.coh.l2_demand_hits += 1;
             } else {
                 self.coh.memory_fetches += 1;
@@ -348,10 +396,13 @@ impl CoherentHierarchy {
 
     /// Inclusion enforcement: the L2 evicted `block`, so no private
     /// cache may keep it. Dirty copies go straight to memory (the line
-    /// just left the L2).
+    /// just left the L2). This is the one serial side effect landing at
+    /// a *different* L1 set than the record that caused it, so the
+    /// chunk-staleness filter must see it too.
     fn back_invalidate(&mut self, block: BlockAddr, now: u64) {
+        let set = self.index.index_block(block);
         for c in 0..self.cores.len() {
-            if let Some(st) = self.cores[c].l1.invalidate(block, now) {
+            if let Some(st) = self.cores[c].l1.invalidate_at(set, block, now) {
                 self.coh.back_invalidations += 1;
                 obs::count(obs::Event::CohBackInvalidation);
                 if st.is_dirty() {
@@ -380,20 +431,74 @@ impl CoherentHierarchy {
             }
         }
     }
-}
 
-impl CoherentModel for CoherentHierarchy {
-    fn cores(&self) -> usize {
-        self.cores.len()
-    }
-
-    fn geometry(&self) -> CacheGeometry {
-        self.cores[0].l1.geometry()
-    }
-
-    fn access(&mut self, core: usize, block: BlockAddr, is_write: bool) -> AccessResult {
+    /// Commits a chunk-classified hit: exactly the serial hit path
+    /// (tick, write counter, LRU/lens bookkeeping, silent E→M upgrade,
+    /// per-set Primary record) minus the probes the classification
+    /// already proved unnecessary. Emits no obs events — neither does
+    /// the serial hit path, so transcripts and metrics stay identical.
+    #[inline]
+    fn commit_fast(&mut self, core: usize, set: usize, way: usize, is_write: bool) {
         let now = self.clock.tick();
-        let set = self.cores[core].l1.set_of(block);
+        let l1 = &mut self.cores[core].l1;
+        if is_write {
+            l1.stats_mut().record_write();
+        }
+        l1.commit_fast_hit(set, way, is_write, now);
+        l1.stats_mut().record(set, HitWhere::Primary);
+        self.fast_commits += 1;
+    }
+
+    /// Processes one decoded chunk (`blocks[i]` pairs with `writes[i]`
+    /// and `core_of[i]`). With chunking off this is the plain per-record
+    /// loop; with it on, the single-pass fused kernel of DESIGN §16
+    /// runs: one batched `index_many` for the whole chunk, then every
+    /// record is classified *inline, against current state* — a provably
+    /// bus-free private-line hit commits on the fast path, anything else
+    /// falls through to the exact serial MESI walk with its set already
+    /// computed. Because classification happens at commit time there is
+    /// no stale-verdict problem and nothing to track between records.
+    /// Byte-identical either way.
+    ///
+    /// # Panics
+    /// If the chunk is longer than [`FUSE_CHUNK`] (the stack scratch
+    /// size) or the scratch slices disagree on length.
+    pub fn step_chunk(&mut self, blocks: &[BlockAddr], writes: &[bool], core_of: &[u8]) {
+        let n = blocks.len();
+        assert!(n <= FUSE_CHUNK, "chunk of {n} exceeds FUSE_CHUNK");
+        assert!(writes.len() == n && core_of.len() == n);
+        if !self.chunked {
+            for i in 0..n {
+                self.access(core_of[i] as usize, blocks[i], writes[i]);
+            }
+            return;
+        }
+        // One batched index computation serves every core: the index
+        // function is shared, so set numbers are core-independent.
+        let mut sets = [0usize; FUSE_CHUNK];
+        self.index.index_many(blocks, &mut sets[..n]);
+        for i in 0..n {
+            let core = core_of[i] as usize;
+            match self.cores[core].l1.classify_fast(sets[i], blocks[i], writes[i]) {
+                Some(way) => self.commit_fast(core, sets[i], way, writes[i]),
+                None => {
+                    self.access_at(core, sets[i], blocks[i], writes[i]);
+                }
+            }
+        }
+    }
+    /// The exact serial MESI walk with the L1 set already computed —
+    /// the shared tail of [`CoherentModel::access`] and the chunked
+    /// kernel's fallback (which batch-computes sets via `index_many`).
+    fn access_at(
+        &mut self,
+        core: usize,
+        set: usize,
+        block: BlockAddr,
+        is_write: bool,
+    ) -> AccessResult {
+        self.serial_commits += 1;
+        let now = self.clock.tick();
         if is_write {
             self.cores[core].l1.stats_mut().record_write();
         }
@@ -411,7 +516,7 @@ impl CoherentModel for CoherentHierarchy {
                 if t.bus_upgrade {
                     self.coh.bus_upgrades += 1;
                     obs::count(obs::Event::CohBusUpgrade);
-                    self.snoop(core, block, true, now);
+                    self.snoop(core, block, set, true, now);
                 }
                 if t.next != st {
                     self.cores[core].l1.set_state(set, way, t.next);
@@ -429,15 +534,22 @@ impl CoherentModel for CoherentHierarchy {
         }
 
         // Own victim buffer: swap the line back without bus traffic
-        // (a store still upgrades a Shared rescue over the bus).
-        if let Some(st) = self.cores[core].victim.take(block) {
+        // (a store still upgrades a Shared rescue over the bus). The
+        // is_empty pre-check skips the probe outright for depth-0
+        // hierarchies — the common case on the chunked serial tail.
+        let rescued = if self.cores[core].victim.is_empty() {
+            None
+        } else {
+            self.cores[core].victim.take(block)
+        };
+        if let Some(st) = rescued {
             self.coh.victim_hits += 1;
             obs::count(obs::Event::CohVictimHit);
             let st = if is_write {
                 if st == Mesi::Shared {
                     self.coh.bus_upgrades += 1;
                     obs::count(obs::Event::CohBusUpgrade);
-                    self.snoop(core, block, true, now);
+                    self.snoop(core, block, set, true, now);
                 }
                 Mesi::Modified
             } else {
@@ -464,7 +576,7 @@ impl CoherentModel for CoherentHierarchy {
             self.coh.bus_reads += 1;
             obs::count(obs::Event::CohBusRead);
         }
-        let outcome = self.snoop(core, block, is_write, now);
+        let outcome = self.snoop(core, block, set, is_write, now);
         if outcome.had_owner {
             self.coh.interventions += 1;
             obs::count(obs::Event::CohIntervention);
@@ -497,6 +609,28 @@ impl CoherentModel for CoherentHierarchy {
             evicted: evicted_block,
         }
     }
+}
+
+impl CoherentModel for CoherentHierarchy {
+    fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.cores[0].l1.geometry()
+    }
+
+    fn access(&mut self, core: usize, block: BlockAddr, is_write: bool) -> AccessResult {
+        let set = self.cores[core].l1.set_of(block);
+        self.access_at(core, set, block, is_write)
+    }
+
+    /// Routes the whole trace through the chunked kernel (decode once
+    /// per chunk, classify, commit) — or, with chunking resolved off,
+    /// through a loop byte-identical to the trait's per-record default.
+    fn run(&mut self, trace: &[MemRecord]) {
+        crate::chunk::run_coherent_fused(&mut [self], trace);
+    }
 
     fn core_stats(&self, core: usize) -> &CacheStats {
         self.cores[core].l1.stats()
@@ -516,6 +650,8 @@ impl CoherentModel for CoherentHierarchy {
         }
         self.clock.reset();
         self.coh = CoherenceStats::default();
+        self.fast_commits = 0;
+        self.serial_commits = 0;
     }
 
     fn name(&self) -> &str {

@@ -8,38 +8,68 @@
 //! `tests/hierarchy_equivalence.rs` pins this down across every registry
 //! index scheme.
 //!
+//! Line state is packed per way: tag, LRU stamp, MESI state *and* the
+//! open dead-time generation live in one 32-byte [`WaySlot`], so a
+//! 2-way set — the coherent sweep's geometry — spans a single host
+//! cache line. A hit (the chunked kernel's fast path, DESIGN §16)
+//! touches that line, the set's LRU clock and two small histograms, and
+//! nothing else; the SoA split this replaced scattered the same state
+//! over five arrays and cost a host-cache touch per array.
+//!
 //! The L1 also feeds the two hierarchy uniformity lenses: every fill /
 //! touch / eviction updates the dead-time/live-time accounting
-//! ([`LifetimeLens`]), and every hit records the recency rank of the
-//! serving way ([`RecencyLens`]).
+//! (reported as [`LifetimeTotals`], embedded here slot-by-slot), and
+//! every hit records the recency rank of the serving way
+//! ([`RecencyLens`]).
 
 use crate::mesi::Mesi;
 use std::sync::Arc;
 use unicache_core::{BlockAddr, CacheGeometry, CacheStats, IndexFunction};
-use unicache_stats::{LifetimeLens, RecencyLens};
+use unicache_stats::{LifetimeTotals, RecencyLens};
 
+/// One way's complete hot state. `repr(align(32))` keeps a slot inside
+/// one host cache line and a 2-way set inside (at most) two, whatever
+/// the allocator does; the lifetime-generation fields ride along so a
+/// touch costs no extra line.
 #[derive(Debug, Clone, Copy)]
-struct L1Line {
+#[repr(align(32))]
+struct WaySlot {
     block: BlockAddr,
+    /// LRU stamp: the set clock's value at the last touch.
+    stamp: u64,
+    /// Tick of the fill that opened the current generation
+    /// (meaningful only while `state` is valid).
+    fill_at: u64,
+    /// Tick of the generation's last touch.
+    last_touch: u64,
     state: Mesi,
 }
 
-const EMPTY: L1Line = L1Line {
-    block: 0,
-    state: Mesi::Invalid,
-};
+impl WaySlot {
+    const EMPTY: WaySlot = WaySlot {
+        block: 0,
+        stamp: 0,
+        fill_at: 0,
+        last_touch: 0,
+        state: Mesi::Invalid,
+    };
+}
 
 /// One core's private cache: `num_sets x ways` MESI lines indexed by any
-/// registry [`IndexFunction`].
+/// registry [`IndexFunction`]. Storage is an array of packed
+/// [`WaySlot`]s (`set * ways + way`), plus one LRU clock per set.
 pub struct CoherentL1 {
     geom: CacheGeometry,
     index: Arc<dyn IndexFunction>,
     ways: usize,
-    lines: Vec<L1Line>,
-    stamps: Vec<u64>,
+    slots: Vec<WaySlot>,
     clocks: Vec<u64>,
     stats: CacheStats,
-    lifetime: LifetimeLens,
+    /// Dead/live totals over *closed* generations; open ones live in
+    /// the slots and are folded in by [`CoherentL1::lifetime`]. A slot's
+    /// generation is open iff its state is valid — fills open, evictions
+    /// and invalidations close, exactly the `LifetimeLens` protocol.
+    closed: LifetimeTotals,
     recency: RecencyLens,
 }
 
@@ -52,11 +82,10 @@ impl CoherentL1 {
             geom,
             index,
             ways,
-            lines: vec![EMPTY; sets * ways],
-            stamps: vec![0; sets * ways],
+            slots: vec![WaySlot::EMPTY; sets * ways],
             clocks: vec![0; sets],
             stats: CacheStats::new(sets),
-            lifetime: LifetimeLens::new(sets * ways),
+            closed: LifetimeTotals::default(),
             recency: RecencyLens::new(ways),
         }
     }
@@ -72,18 +101,81 @@ impl CoherentL1 {
         self.index.index_block(block)
     }
 
+    /// Closes `slot`'s open generation at tick `now` (caller guarantees
+    /// the slot is valid, i.e. a generation is open).
     #[inline]
-    fn slot(&self, set: usize, way: usize) -> usize {
-        set * self.ways + way
+    fn close_generation(&mut self, slot: usize, now: u64) {
+        let s = &self.slots[slot];
+        self.closed.live += s.last_touch - s.fill_at;
+        self.closed.dead += now.saturating_sub(s.last_touch);
+        self.closed.generations += 1;
+    }
+
+    /// Recency rank of `way` in `set`: how many valid ways were used
+    /// more recently (0 = MRU). The slots were just scanned by the
+    /// probe that found `way`, so this re-walk stays in host cache.
+    #[inline]
+    fn rank_of(&self, set: usize, way: usize) -> usize {
+        let base = set * self.ways;
+        let my_stamp = self.slots[base + way].stamp;
+        (0..self.ways)
+            .filter(|&w| {
+                let s = &self.slots[base + w];
+                s.state.is_valid() && s.stamp > my_stamp
+            })
+            .count()
     }
 
     /// Non-mutating probe: the way and state of `block` if resident.
     pub fn peek(&self, set: usize, block: BlockAddr) -> Option<(usize, Mesi)> {
         let base = set * self.ways;
         (0..self.ways).find_map(|w| {
-            let line = &self.lines[base + w];
-            (line.state.is_valid() && line.block == block).then_some((w, line.state))
+            let s = &self.slots[base + w];
+            (s.state.is_valid() && s.block == block).then_some((w, s.state))
         })
+    }
+
+    /// Read-only classify probe for the chunked kernel: the hit way if
+    /// `block` is resident *and* the access can commit with provably no
+    /// bus traffic. A load hits in any valid state (LoadHit MESI
+    /// transitions are the identity); a store needs the line core-private
+    /// (Exclusive or Modified — SWMR guarantees no other copy), because a
+    /// store hit on Shared raises BusUpgr and must take the serial path.
+    #[inline]
+    pub(crate) fn classify_fast(
+        &self,
+        set: usize,
+        block: BlockAddr,
+        is_write: bool,
+    ) -> Option<usize> {
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            let s = &self.slots[base + w];
+            if s.state.is_valid() && s.block == block {
+                let private = matches!(s.state, Mesi::Exclusive | Mesi::Modified);
+                return (!is_write || private).then_some(w);
+            }
+        }
+        None
+    }
+
+    /// Commits a hit classified by [`CoherentL1::classify_fast`]:
+    /// reproduces `lookup` bookkeeping (recency rank before refresh,
+    /// lifetime touch, LRU stamp) plus the silent store upgrade
+    /// (Exclusive -> Modified; Modified stays Modified). Byte-identical
+    /// to `lookup` + `transition` + `set_state` on the serial path.
+    #[inline]
+    pub(crate) fn commit_fast_hit(&mut self, set: usize, way: usize, is_write: bool, now: u64) {
+        let rank = self.rank_of(set, way);
+        self.recency.record(rank);
+        self.clocks[set] += 1;
+        let clock = self.clocks[set];
+        let s = &mut self.slots[set * self.ways + way];
+        s.last_touch = s.last_touch.max(now);
+        s.stamp = clock;
+        if is_write {
+            s.state = Mesi::Modified;
+        }
     }
 
     /// A demand lookup at tick `now`: on a hit, refreshes LRU recency,
@@ -91,24 +183,21 @@ impl CoherentL1 {
     /// live time. Returns the hit way.
     pub fn lookup(&mut self, set: usize, block: BlockAddr, now: u64) -> Option<usize> {
         let (way, _) = self.peek(set, block)?;
-        let slot = self.slot(set, way);
         // Rank before refresh: how many valid ways of the set were used
         // more recently than the serving one (0 = MRU).
-        let my_stamp = self.stamps[slot];
-        let base = set * self.ways;
-        let rank = (0..self.ways)
-            .filter(|&w| self.lines[base + w].state.is_valid() && self.stamps[base + w] > my_stamp)
-            .count();
+        let rank = self.rank_of(set, way);
         self.recency.record(rank);
-        self.lifetime.touch(slot, now);
         self.clocks[set] += 1;
-        self.stamps[slot] = self.clocks[set];
+        let clock = self.clocks[set];
+        let s = &mut self.slots[set * self.ways + way];
+        s.last_touch = s.last_touch.max(now);
+        s.stamp = clock;
         Some(way)
     }
 
     /// The MESI state of a resident way.
     pub fn state(&self, set: usize, way: usize) -> Mesi {
-        self.lines[self.slot(set, way)].state
+        self.slots[set * self.ways + way].state
     }
 
     /// Rewrites the MESI state of a resident way (local upgrades and
@@ -116,9 +205,9 @@ impl CoherentL1 {
     /// [`CoherentL1::invalidate`] so the lifetime lens sees the removal).
     pub fn set_state(&mut self, set: usize, way: usize, state: Mesi) {
         debug_assert!(state.is_valid(), "use invalidate() to drop a line");
-        let slot = self.slot(set, way);
-        debug_assert!(self.lines[slot].state.is_valid());
-        self.lines[slot].state = state;
+        let slot = set * self.ways + way;
+        debug_assert!(self.slots[slot].state.is_valid());
+        self.slots[slot].state = state;
     }
 
     /// Installs `block` in `state`, evicting the LRU way if the set is
@@ -137,7 +226,7 @@ impl CoherentL1 {
         let mut evicted = None;
         let mut found_invalid = false;
         for w in 0..self.ways {
-            if !self.lines[base + w].state.is_valid() {
+            if !self.slots[base + w].state.is_valid() {
                 way = w;
                 found_invalid = true;
                 break;
@@ -145,18 +234,23 @@ impl CoherentL1 {
         }
         if !found_invalid {
             for w in 1..self.ways {
-                if self.stamps[base + w] < self.stamps[base + way] {
+                if self.slots[base + w].stamp < self.slots[base + way].stamp {
                     way = w;
                 }
             }
-            let old = self.lines[base + way];
-            evicted = Some((old.block, old.state));
-            self.lifetime.evict(base + way, now);
+            let v = &self.slots[base + way];
+            evicted = Some((v.block, v.state));
+            self.close_generation(base + way, now);
         }
-        self.lines[base + way] = L1Line { block, state };
         self.clocks[set] += 1;
-        self.stamps[base + way] = self.clocks[set];
-        self.lifetime.fill(base + way, now);
+        let clock = self.clocks[set];
+        self.slots[base + way] = WaySlot {
+            block,
+            stamp: clock,
+            fill_at: now,
+            last_touch: now,
+            state,
+        };
         evicted
     }
 
@@ -164,19 +258,31 @@ impl CoherentL1 {
     /// returning the state it held.
     pub fn invalidate(&mut self, block: BlockAddr, now: u64) -> Option<Mesi> {
         let set = self.set_of(block);
+        self.invalidate_at(set, block, now)
+    }
+
+    /// [`invalidate`](Self::invalidate) with the set already computed —
+    /// the index function is shared across cores, so a snoop initiator's
+    /// set number is valid for every peer and need not be re-derived.
+    pub(crate) fn invalidate_at(
+        &mut self,
+        set: usize,
+        block: BlockAddr,
+        now: u64,
+    ) -> Option<Mesi> {
         let (way, state) = self.peek(set, block)?;
-        let slot = self.slot(set, way);
-        self.lines[slot].state = Mesi::Invalid;
-        self.lifetime.evict(slot, now);
+        let slot = set * self.ways + way;
+        self.close_generation(slot, now);
+        self.slots[slot].state = Mesi::Invalid;
         Some(state)
     }
 
     /// Every resident line as `(block, state)` (invariant checks).
     pub fn resident(&self) -> impl Iterator<Item = (BlockAddr, Mesi)> + '_ {
-        self.lines
+        self.slots
             .iter()
-            .filter(|l| l.state.is_valid())
-            .map(|l| (l.block, l.state))
+            .filter(|s| s.state.is_valid())
+            .map(|s| (s.block, s.state))
     }
 
     /// Per-set hit/miss counters (recorded by the hierarchy, which knows
@@ -190,9 +296,17 @@ impl CoherentL1 {
         &mut self.stats
     }
 
-    /// The dead-time/live-time lens, closed at tick `now`.
-    pub fn lifetime(&self, now: u64) -> unicache_stats::LifetimeTotals {
-        self.lifetime.snapshot(now)
+    /// The dead-time/live-time lens, closed at tick `now`: totals over
+    /// closed generations plus every open one (valid slot) as if it
+    /// were evicted at `now`.
+    pub fn lifetime(&self, now: u64) -> LifetimeTotals {
+        let mut t = self.closed;
+        for s in self.slots.iter().filter(|s| s.state.is_valid()) {
+            t.live += s.last_touch - s.fill_at;
+            t.dead += now.saturating_sub(s.last_touch);
+            t.generations += 1;
+        }
+        t
     }
 
     /// The MRU-hit lens.
@@ -202,11 +316,10 @@ impl CoherentL1 {
 
     /// Invalidates everything and clears stats and lenses.
     pub fn flush(&mut self) {
-        self.lines.iter_mut().for_each(|l| *l = EMPTY);
-        self.stamps.iter_mut().for_each(|s| *s = 0);
+        self.slots.iter_mut().for_each(|s| *s = WaySlot::EMPTY);
         self.clocks.iter_mut().for_each(|c| *c = 0);
         self.stats.reset();
-        self.lifetime.reset();
+        self.closed = LifetimeTotals::default();
         self.recency.reset();
     }
 }
@@ -285,5 +398,41 @@ mod tests {
         assert_eq!(c.resident().count(), 0);
         assert_eq!(c.recency().hits(), 0);
         assert_eq!(c.lifetime(10).generations, 0);
+    }
+
+    #[test]
+    fn classify_fast_gates_on_write_privacy() {
+        let mut c = l1(4, 2);
+        let set = c.set_of(5);
+        c.fill(set, 5, Mesi::Shared, 1);
+        // Loads are fast in any valid state; stores only when private.
+        assert_eq!(c.classify_fast(set, 5, false), Some(0));
+        assert_eq!(c.classify_fast(set, 5, true), None);
+        c.set_state(set, 0, Mesi::Exclusive);
+        assert_eq!(c.classify_fast(set, 5, true), Some(0));
+        assert_eq!(c.classify_fast(set, 7, false), None);
+    }
+
+    #[test]
+    fn commit_fast_hit_matches_lookup_bookkeeping() {
+        let mut a = l1(1, 2);
+        let mut b = l1(1, 2);
+        for c in [&mut a, &mut b] {
+            c.fill(0, 1, Mesi::Exclusive, 1);
+            c.fill(0, 2, Mesi::Exclusive, 2);
+        }
+        // Store hit on the LRU private line: fast commit vs serial
+        // lookup + upgrade must leave identical state and lenses.
+        let way = a.classify_fast(0, 1, true).unwrap();
+        a.commit_fast_hit(0, way, true, 3);
+        let w = b.lookup(0, 1, 3).unwrap();
+        b.set_state(0, w, Mesi::Modified);
+        assert_eq!(a.state(0, way), Mesi::Modified);
+        assert_eq!(a.state(0, way), b.state(0, w));
+        assert_eq!(a.recency().ranks(), b.recency().ranks());
+        assert_eq!(a.lifetime(4), b.lifetime(4));
+        let stamps =
+            |c: &CoherentL1| c.slots.iter().map(|s| s.stamp).collect::<Vec<_>>();
+        assert_eq!(stamps(&a), stamps(&b));
     }
 }

@@ -23,13 +23,19 @@
 //!   it);
 //! * [`coherent::CoherentHierarchy`] — the bus + victim buffers + L2
 //!   composition implementing `unicache_core::CoherentModel`;
+//! * [`chunk`] — the chunked fused kernel (DESIGN §16): decode-once
+//!   chunk replay with a private-line fast path, plus the
+//!   `--no-coherent-chunk` ablation knob;
 //! * [`model`] — the litmus/model-check suite.
 
+pub mod chunk;
 pub mod coherent;
 pub mod l1;
+mod l2;
 pub mod mesi;
 pub mod model;
 
+pub use chunk::{run_coherent_fused, CoherentChunk};
 pub use coherent::{CoherenceStats, CoherentHierarchy, HierarchyBuilder, L2Mode};
 pub use l1::CoherentL1;
 pub use mesi::{fill_state, transition, LineEvent, Mesi, Transition};

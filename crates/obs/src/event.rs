@@ -95,6 +95,12 @@ pub enum Event {
     /// Coherent hierarchy: an L1 miss was rescued by the core's own
     /// victim buffer (no bus transaction).
     CohVictimHit,
+    /// Chunked coherent kernel: one fused multi-hierarchy pass over a
+    /// raw record trace (the coherent counterpart of `FusedPass`) —
+    /// emitted once per fuse-group with pending work, independent of
+    /// the `--no-coherent-chunk` knob, so metrics stay byte-identical
+    /// across the ablation.
+    CohFusedPass,
     /// Analytical model: one-pass workload summary computed (shared by
     /// the model, Givargis training and characterization stats).
     ModelSummaryBuild,
@@ -108,7 +114,7 @@ pub enum Event {
 
 impl Event {
     /// Number of declared events (the counter-array length).
-    pub const COUNT: usize = 39;
+    pub const COUNT: usize = 40;
 
     /// Every event, in declaration order.
     pub const ALL: [Event; Event::COUNT] = [
@@ -148,6 +154,7 @@ impl Event {
         Event::CohWriteback,
         Event::CohBackInvalidation,
         Event::CohVictimHit,
+        Event::CohFusedPass,
         Event::ModelSummaryBuild,
         Event::ModelPredict,
         Event::ModelUnsupported,
@@ -198,6 +205,7 @@ impl Event {
             Event::CohWriteback => "coh.writeback",
             Event::CohBackInvalidation => "coh.back_invalidation",
             Event::CohVictimHit => "coh.victim_hit",
+            Event::CohFusedPass => "coh.fused_pass",
             Event::ModelSummaryBuild => "model.summary_build",
             Event::ModelPredict => "model.predict",
             Event::ModelUnsupported => "model.unsupported",
@@ -218,11 +226,15 @@ pub enum HistEvent {
     /// Fused kernel: lanes (schemes) driven per fused pass — the
     /// distribution shows how much sharing the fuse-grouping achieves.
     FusedGroupLanes,
+    /// Chunked coherent kernel: hierarchies (schemes) driven per fused
+    /// coherent pass — the sharing the `xp coherent` fuse-grouping
+    /// achieves.
+    CohGroupLanes,
 }
 
 impl HistEvent {
     /// Number of declared histogram series.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// Every series, in declaration order.
     pub const ALL: [HistEvent; HistEvent::COUNT] = [
@@ -230,6 +242,7 @@ impl HistEvent {
         HistEvent::AdaptiveRelocSearch,
         HistEvent::PartnerEpochPairs,
         HistEvent::FusedGroupLanes,
+        HistEvent::CohGroupLanes,
     ];
 
     /// Position in the histogram array.
@@ -245,6 +258,7 @@ impl HistEvent {
             HistEvent::AdaptiveRelocSearch => "adaptive.reloc_search",
             HistEvent::PartnerEpochPairs => "partner.epoch_pairs",
             HistEvent::FusedGroupLanes => "fused.group_lanes",
+            HistEvent::CohGroupLanes => "coh.group_lanes",
         }
     }
 }

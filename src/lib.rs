@@ -83,8 +83,8 @@ pub mod prelude {
     };
     pub use unicache_experiments::{ExperimentTable, FuseGroup, SchemeId, SimStore, TraceStore};
     pub use unicache_hierarchy::{
-        check_coherence_protocol, CoherenceConfig, CoherenceMutation, CoherentHierarchy,
-        CoherentL1, HierarchyBuilder, L2Mode, Mesi,
+        check_coherence_protocol, run_coherent_fused, CoherenceConfig, CoherenceMutation,
+        CoherentChunk, CoherentHierarchy, CoherentL1, HierarchyBuilder, L2Mode, Mesi,
     };
     pub use unicache_indexing::{
         GivargisIndex, GivargisXorIndex, IndexScheme, ModuloIndex, OddMultiplierIndex, PatelSearch,

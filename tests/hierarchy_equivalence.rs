@@ -11,6 +11,14 @@
 //! a multi-core run must not depend on the order the cores are merged
 //! in (stat merging is commutative), and per-core totals must conserve
 //! the trace.
+//!
+//! A third property pins the chunked kernel (DESIGN §16): the
+//! classify/commit fast path is a pure execution-order optimization, so
+//! a chunked hierarchy must match its per-record twin *exactly* — stats,
+//! coherence counters, lenses, shared L2, logical clock, and the
+//! transcript-level cache state (resident lines, victim-buffer
+//! contents) — across every registry scheme, core count, victim depth,
+//! and ragged trace lengths straddling the FUSE_CHUNK boundary.
 
 use proptest::prelude::*;
 use unicache::prelude::*;
@@ -135,5 +143,74 @@ proptest! {
         let coh = hier.coherence_stats();
         prop_assert_eq!(coh.bus_reads + coh.bus_read_x, forward.misses());
         prop_assert_eq!(coh.data_sources(), forward.misses());
+    }
+
+    /// Chunked hierarchy == per-record hierarchy, exactly, for every
+    /// registry scheme × {1,2,4} cores × victim depth {0,4} × ragged
+    /// chunk lengths (the `len` range crosses the FUSE_CHUNK boundary).
+    #[test]
+    fn chunked_hierarchy_matches_per_record(
+        seed in 0u64..4000,
+        cores_ix in 0usize..3,
+        depth_ix in 0usize..2,
+        len in 1usize..2600,
+    ) {
+        let cores = [1usize, 2, 4][cores_ix];
+        let depth = [0usize, 4][depth_ix];
+        let geom = CacheGeometry::from_sets(64, 32, 2).unwrap();
+        let l2 = CacheGeometry::from_sets(256, 32, 4).unwrap();
+        // Narrow span so cores genuinely share lines (S-state stores,
+        // snoop invalidations — the serial-fallback cases).
+        let base = synth::uniform_rw(seed, len, 0, 1 << 13, 0.3);
+        let records: Vec<MemRecord> = base
+            .records()
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| r.with_tid((i % cores) as u8))
+            .collect();
+        let training = base.unique_blocks(geom.line_bytes());
+        for scheme in IndexScheme::all() {
+            let index = scheme.build(geom, Some(&training)).unwrap();
+            let build = |chunked: bool| {
+                HierarchyBuilder::new(geom, index.clone())
+                    .cores(cores)
+                    .victim_depth(depth)
+                    .l2(L2Mode::Shared(l2))
+                    .chunked(chunked)
+                    .build()
+                    .unwrap()
+            };
+            let mut fast = build(true);
+            let mut slow = build(false);
+            fast.run(&records);
+            slow.run(&records);
+            for c in 0..cores {
+                prop_assert_eq!(
+                    fast.core_stats(c),
+                    slow.core_stats(c),
+                    "{}: core {} stats diverged (cores={}, depth={})",
+                    scheme.label(), c, cores, depth
+                );
+                let lines_fast: Vec<_> = fast.l1(c).resident().collect();
+                let lines_slow: Vec<_> = slow.l1(c).resident().collect();
+                prop_assert_eq!(lines_fast, lines_slow, "{}: L1 transcript", scheme.label());
+                let vb_fast: Vec<_> =
+                    fast.victim_buffer(c).iter().map(|(b, &s)| (b, s)).collect();
+                let vb_slow: Vec<_> =
+                    slow.victim_buffer(c).iter().map(|(b, &s)| (b, s)).collect();
+                prop_assert_eq!(vb_fast, vb_slow, "{}: victim transcript", scheme.label());
+            }
+            prop_assert_eq!(fast.coherence_stats(), slow.coherence_stats());
+            prop_assert_eq!(fast.merged_lifetime(), slow.merged_lifetime());
+            prop_assert_eq!(&fast.merged_recency(), &slow.merged_recency());
+            prop_assert_eq!(fast.now(), slow.now());
+            prop_assert_eq!(fast.shared_stats(), slow.shared_stats());
+            // Conservation: every access committed on exactly one path.
+            prop_assert_eq!(
+                fast.fast_path_commits() + fast.serial_path_commits(),
+                fast.merged_core_stats().accesses()
+            );
+            prop_assert_eq!(slow.fast_path_commits(), 0);
+        }
     }
 }
